@@ -1,0 +1,84 @@
+// Command wabench regenerates every table and figure of the evaluation of
+// "Write-Avoiding Algorithms" (Carson et al., 2015) on the simulated
+// substrates of this repository.
+//
+// Usage:
+//
+//	wabench [-quick] [section ...]
+//
+// Sections: sec2 sec3 sec4 sec5 fig2 fig5 realcache table1 table2 lu krylov sec9 smp multilevel all
+// (default: all). -quick shrinks problem sizes so the whole run finishes in
+// well under a minute; the full run takes a few minutes, dominated by the
+// Figure 2/5 cache simulations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"writeavoid/internal/costmodel"
+	"writeavoid/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced problem sizes")
+	hwKind := flag.String("hw", "nvm", "hardware preset for analytic tables: dram|nvm")
+	flag.Parse()
+
+	sections := flag.Args()
+	if len(sections) == 0 {
+		sections = []string{"all"}
+	}
+	want := map[string]bool{}
+	for _, s := range sections {
+		want[s] = true
+	}
+	on := func(name string) bool { return want["all"] || want[name] }
+
+	var hw costmodel.HW
+	switch *hwKind {
+	case "dram":
+		hw = costmodel.DRAMOnly()
+	case "nvm":
+		hw = costmodel.NVMBacked(8)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -hw %q (want dram|nvm)\n", *hwKind)
+		os.Exit(2)
+	}
+
+	run := func(name string, f func() string) {
+		if !on(name) {
+			return
+		}
+		start := time.Now()
+		out := f()
+		fmt.Print(out)
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("sec2", experiments.Sec2Report)
+	run("sec3", func() string { return experiments.FormatSec3(experiments.Sec3(*quick)) })
+	run("sec4", func() string { return experiments.FormatSec4(experiments.Sec4(*quick)) })
+	run("sec5", func() string { return experiments.FormatSec5(experiments.Sec5(*quick)) })
+	run("fig2", func() string { return experiments.FormatPanels(experiments.Fig2(*quick)) })
+	run("fig5", func() string { return experiments.FormatPanels(experiments.Fig5(*quick)) })
+	run("realcache", func() string {
+		wa, co := experiments.RealCacheCrossCheck()
+		return fmt.Sprintf("== Set-associative CLOCK3 cross-check (250 x 128 x 250, 16-way)\n"+
+			"WA order victims.M = %d, CO order victims.M = %d (ordering preserved: %v)\n",
+			wa, co, wa < co)
+	})
+	run("table1", func() string {
+		return experiments.FormatTable1(experiments.Table1(*quick), hw, 1<<14, 1<<10, 2, 8)
+	})
+	run("table2", func() string {
+		return experiments.FormatTable2(experiments.Table2(*quick), hw, 1<<20, 256, 4)
+	})
+	run("lu", func() string { return experiments.FormatLU(experiments.LU(*quick), hw) })
+	run("krylov", func() string { return experiments.FormatKrylov(experiments.Krylov(*quick)) })
+	run("sec9", func() string { return experiments.Sec9Report(*quick) })
+	run("smp", func() string { return experiments.SMPReport(*quick) })
+	run("multilevel", func() string { return experiments.FormatMultiLevel(experiments.MultiLevel(*quick)) })
+}

@@ -1,0 +1,209 @@
+// Command watrace records memory-access traces of the paper's matrix
+// multiplication instruction orders and replays traces through configurable
+// cache simulations.
+//
+// Record a trace:
+//
+//	watrace record -out mm.trace -order wa -m 128 -n 128 -l 128 -blocks 32,8
+//	watrace record -out co.trace -order co -m 128 -n 128 -l 128 -base 8
+//
+// Simulate a trace (any policy, or Belady's offline OPT):
+//
+//	watrace sim -in mm.trace -size 65536 -line 64 -assoc 16 -policy clock3
+//	watrace sim -in mm.trace -size 65536 -line 64 -policy opt
+//	watrace sim -in mm.trace -size 65536 -line 64 -policy lru -fullassoc
+//
+// The reported VictimsM count (modified-line evictions plus the final dirty
+// flush) is the number of cache lines written back to memory — the paper's
+// LLC_VICTIMS.M.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"writeavoid/internal/access"
+	"writeavoid/internal/cache"
+	"writeavoid/internal/core"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "sim":
+		sim(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: watrace record|sim [flags]   (see package comment)")
+	os.Exit(2)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	out := fs.String("out", "", "output trace file (required)")
+	order := fs.String("order", "wa", "instruction order: wa | multilevel | tuned | co")
+	m := fs.Int("m", 128, "C rows")
+	n := fs.Int("n", 128, "contraction dimension")
+	l := fs.Int("l", 128, "C cols")
+	blocks := fs.String("blocks", "32,8", "comma-separated block sizes, coarsest first (wa/multilevel/tuned)")
+	base := fs.Int("base", 8, "base-case threshold (co)")
+	line := fs.Int("line", 64, "address-space line alignment")
+	fs.Parse(args) //nolint:errcheck
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "watrace record: -out is required")
+		os.Exit(2)
+	}
+	var rec access.Recorder
+	switch *order {
+	case "co":
+		core.NewCOMatMulTrace(*m, *n, *l, *base, *line).Run(&rec)
+	case "wa", "multilevel", "tuned":
+		bs, err := parseBlocks(*blocks)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "watrace record:", err)
+			os.Exit(2)
+		}
+		levels := make([]core.TraceLevel, len(bs))
+		for i, b := range bs {
+			switch *order {
+			case "wa": // Fig 4b: contraction inner only at the top
+				levels[i] = core.TraceLevel{Block: b, ContractionInner: i == 0}
+			case "multilevel": // Fig 4a: contraction inner everywhere
+				levels[i] = core.TraceLevel{Block: b, ContractionInner: true}
+			case "tuned": // write-oblivious: contraction outer at the top
+				levels[i] = core.TraceLevel{Block: b, ContractionInner: i != 0}
+			}
+		}
+		core.NewMatMulTrace(*m, *n, *l, *line, levels...).Run(&rec)
+	default:
+		fmt.Fprintf(os.Stderr, "watrace record: unknown order %q\n", *order)
+		os.Exit(2)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := access.WriteTrace(f, rec.Ops); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d accesses to %s\n", len(rec.Ops), *out)
+}
+
+func sim(args []string) {
+	// cache.New treats bad geometry as a programming error and panics;
+	// for the CLI it is user input, so report it politely.
+	defer func() {
+		if e := recover(); e != nil {
+			fmt.Fprintln(os.Stderr, "watrace:", e)
+			os.Exit(2)
+		}
+	}()
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	in := fs.String("in", "", "input trace file (required)")
+	size := fs.Int("size", 128*1024, "cache size in bytes")
+	line := fs.Int("line", 64, "line size in bytes")
+	assoc := fs.Int("assoc", 16, "associativity (ignored with -fullassoc)")
+	policy := fs.String("policy", "lru", "lru | clock3 | fifo | plru | random | opt")
+	full := fs.Bool("fullassoc", false, "fully-associative (lru only, O(1))")
+	wt := fs.Bool("writethrough", false, "write-through / no-write-allocate mode")
+	fs.Parse(args) //nolint:errcheck
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "watrace sim: -in is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	var st cache.Stats
+	switch {
+	case *policy == "opt":
+		ops, err := access.ReadTrace(f)
+		if err != nil {
+			fatal(err)
+		}
+		st = cache.SimulateOPT(ops, *size, *line)
+	case *full:
+		c := cache.NewFALRU(*size, *line)
+		if _, err := access.StreamTrace(f, access.SinkFunc(c.Access)); err != nil {
+			fatal(err)
+		}
+		c.FlushDirty()
+		st = c.Stats()
+	default:
+		kind, err := parsePolicy(*policy)
+		if err != nil {
+			fatal(err)
+		}
+		c := cache.New(cache.Config{SizeBytes: *size, LineBytes: *line, Assoc: *assoc, Policy: kind, Seed: 1, WriteThrough: *wt})
+		if _, err := access.StreamTrace(f, access.SinkFunc(c.Access)); err != nil {
+			fatal(err)
+		}
+		c.FlushDirty()
+		st = c.Stats()
+	}
+	fmt.Printf("accesses   %12d (%d reads, %d writes)\n", st.Accesses, st.Reads, st.Writes)
+	fmt.Printf("hits       %12d (%.2f%%)\n", st.Hits, 100*float64(st.Hits)/float64(max(st.Accesses, 1)))
+	fmt.Printf("fills.E    %12d\n", st.FillsE)
+	fmt.Printf("victims.M  %12d (write-backs, incl. %d flushed)\n", st.VictimsM, st.Flushed)
+	fmt.Printf("victims.E  %12d\n", st.VictimsE)
+	if st.WriteThroughs > 0 {
+		fmt.Printf("writethru  %12d (total memory writes %d)\n", st.WriteThroughs, st.MemoryWrites())
+	}
+}
+
+func parseBlocks(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	prev := 1 << 30
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad block size %q", p)
+		}
+		if v > prev {
+			return nil, fmt.Errorf("block sizes must be coarsest first: %s", s)
+		}
+		prev = v
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parsePolicy(s string) (cache.PolicyKind, error) {
+	switch s {
+	case "lru":
+		return cache.PolicyLRU, nil
+	case "clock3":
+		return cache.PolicyClock3, nil
+	case "fifo":
+		return cache.PolicyFIFO, nil
+	case "plru":
+		return cache.PolicyPLRU, nil
+	case "random":
+		return cache.PolicyRandom, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "watrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,21 @@
+// Package writeavoid is a from-scratch Go reproduction of
+//
+//	Carson, Demmel, Grigori, Knight, Koanantakool, Schwartz, Simhadri:
+//	"Write-Avoiding Algorithms", UC Berkeley EECS-2015-163 / IPDPS 2016.
+//
+// The library builds every substrate the paper's evaluation rests on —
+// an explicit multi-level memory model with directional read/write counters,
+// a trace-driven cache simulator with LRU/CLOCK/FIFO/PLRU/OPT replacement
+// and modified/exclusive victim counters, a message-counting SPMD
+// distributed machine — and on top of them the paper's write-avoiding
+// algorithms (blocked matmul, TRSM, left-looking Cholesky, direct N-body,
+// 2.5D and SUMMA parallel matmul, parallel LU, s-step CA-CG with streaming
+// matrix powers), their non-write-avoiding controls, the negative results
+// (FFT, Strassen, cache-oblivious), and the closed-form cost models of the
+// paper's Tables 1 and 2.
+//
+// Start with README.md, DESIGN.md (system inventory and per-experiment
+// index), and cmd/wabench (regenerates every table and figure). The
+// root-level benchmarks in bench_test.go drive one experiment per paper
+// table/figure through the testing.B harness.
+package writeavoid

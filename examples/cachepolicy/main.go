@@ -1,0 +1,73 @@
+// cachepolicy demonstrates Section 6 of the paper: on a machine with
+// hardware-controlled caching, the explicit data movement of a write-avoiding
+// algorithm can be replaced by the LRU replacement policy — if the block size
+// leaves enough slack (Proposition 6.1: five blocks must fit).
+//
+// The same blocked matrix multiplication trace is replayed through simulated
+// caches under several replacement policies and block sizes, counting
+// modified-line evictions (write-backs to memory).
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"writeavoid/internal/access"
+	"writeavoid/internal/cache"
+	"writeavoid/internal/core"
+)
+
+func main() {
+	const (
+		n     = 128
+		lineB = 64
+	)
+	outLines := int64(n * n * 8 / lineB)
+	fmt.Printf("C = A*B with n=%d; output = %d cache lines (the write lower bound)\n\n", n, outLines)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "block\tfit\tpolicy\tcache\twrite-backs\tx LB\t\n")
+
+	for _, b := range []int{16, 20, 24} {
+		// Cache sized so that exactly `fit` blocks of b x b doubles fit.
+		for _, fit := range []int{3, 5} {
+			sizeBytes := fit*b*b*8 + lineB
+			tr := core.NewMatMulTrace(n, n, n, lineB,
+				core.TraceLevel{Block: b, ContractionInner: true},
+				core.TraceLevel{Block: 4, ContractionInner: false})
+
+			// Fully-associative LRU (the Proposition 6.1 setting).
+			fa := cache.NewFALRU(sizeBytes, lineB)
+			tr.Run(access.SinkFunc(fa.Access))
+			fa.FlushDirty()
+			report(tw, b, fit, "LRU (full-assoc)", sizeBytes, fa.Stats().VictimsM, outLines)
+
+			// 8-way CLOCK3, the Nehalem-like configuration.
+			lines := sizeBytes / lineB
+			assoc := 8
+			lines = lines / assoc * assoc
+			for s := lines / assoc; s&(s-1) != 0; {
+				lines -= assoc
+				s = lines / assoc
+			}
+			cl := cache.New(cache.Config{SizeBytes: lines * lineB, LineBytes: lineB, Assoc: assoc, Policy: cache.PolicyClock3})
+			tr2 := core.NewMatMulTrace(n, n, n, lineB,
+				core.TraceLevel{Block: b, ContractionInner: true},
+				core.TraceLevel{Block: 4, ContractionInner: false})
+			tr2.Run(access.SinkFunc(cl.Access))
+			cl.FlushDirty()
+			report(tw, b, fit, "CLOCK3 (8-way)", lines*lineB, cl.Stats().VictimsM, outLines)
+		}
+	}
+	tw.Flush()
+	fmt.Println("\nWith five blocks resident (Prop 6.1), full-associative LRU writes each")
+	fmt.Println("output line exactly once; with only three, parts of the C block lose")
+	fmt.Println("recency and are evicted early. Real (set-associative, clock) caches add")
+	fmt.Println("conflict noise but preserve the ordering.")
+}
+
+func report(tw *tabwriter.Writer, b, fit int, policy string, size int, wb, lb int64) {
+	fmt.Fprintf(tw, "%d\t%d\t%s\t%dK\t%d\t%.2f\t\n",
+		b, fit, policy, size/1024, wb, float64(wb)/float64(lb))
+}

@@ -1,0 +1,70 @@
+// pdesolver solves a Poisson-like problem on a periodic mesh with the
+// conjugate gradient method and its communication-avoiding s-step variant,
+// demonstrating Section 8 of the paper: the streaming matrix-powers CA-CG
+// writes Theta(s) times fewer words to slow memory than plain CG while
+// producing the same iterates.
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"writeavoid/internal/krylov"
+)
+
+func main() {
+	// 1-D model problem: a (2b+1)-point stencil ring, the paper's matrix
+	// powers example with d=1.
+	const (
+		n     = 16384
+		band  = 1
+		iters = 48
+	)
+	ring := krylov.NewRing(n, band)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%17) - 8 // deterministic, zero-ish mean forcing
+	}
+	x0 := make([]float64, n)
+
+	var trCG krylov.Traffic
+	ref := krylov.CG(ring.CSR(), b, x0, iters, 0, &trCG)
+	fmt.Printf("CG:        %3d iterations, residual %.3e, W12 writes = %d words (~4n/iter)\n",
+		ref.Iters, ref.Residual, trCG.Writes)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "\ns\tbasis\tvariant\tresidual\tW12 writes\tvs CG\tflops\t\n")
+	for _, s := range []int{2, 4, 8, 16} {
+		// The monomial basis loses accuracy beyond s~4 (the paper's
+		// finite-precision caveat); the Newton basis holds up.
+		basis, bname := krylov.BasisMonomial, "monomial"
+		if s > 4 {
+			basis, bname = krylov.BasisNewton, "newton"
+		}
+		for _, mode := range []struct {
+			name string
+			m    krylov.CACGMode
+		}{
+			{"stored", krylov.CACGStored},
+			{"streaming", krylov.CACGStreaming},
+		} {
+			var tr krylov.Traffic
+			res, err := krylov.CACG(ring, b, x0, iters/s,
+				krylov.CACGConfig{S: s, Mode: mode.m, Basis: basis, Block: n / 32}, &tr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(tw, "%d\t%s\tCA-CG %s\t%.3e\t%d\t%.2fx\t%d\t\n",
+				s, bname, mode.name, res.Residual, tr.Writes,
+				float64(trCG.Writes)/float64(tr.Writes), res.FlopCount)
+		}
+	}
+	tw.Flush()
+
+	fmt.Println("\nThe stored variant is communication-avoiding but not write-avoiding: it")
+	fmt.Println("materializes the 2s+1 basis vectors. The streaming variant computes the")
+	fmt.Println("basis twice, blockwise, and only ever writes the recovered p, r, x —")
+	fmt.Println("a Theta(s) write reduction for <= 2x the flops, exactly Section 8's trade.")
+}

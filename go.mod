@@ -1,0 +1,3 @@
+module writeavoid
+
+go 1.22

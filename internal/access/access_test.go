@@ -1,0 +1,143 @@
+package access
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecorderAndTee(t *testing.T) {
+	var rec Recorder
+	var cnt Counter
+	tee := Tee{&rec, &cnt}
+	tee.Access(100, true)
+	tee.Access(200, false)
+	if len(rec.Ops) != 2 || rec.Ops[0] != (Op{100, true}) {
+		t.Fatalf("recorder: %+v", rec.Ops)
+	}
+	if cnt.Writes != 1 || cnt.Reads != 1 {
+		t.Fatalf("counter: %+v", cnt)
+	}
+}
+
+func TestSinkFunc(t *testing.T) {
+	got := uint64(0)
+	SinkFunc(func(a uint64, w bool) { got = a }).Access(7, false)
+	if got != 7 {
+		t.Fatal("sinkfunc")
+	}
+}
+
+func TestLayoutAlignmentValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two alignment")
+		}
+	}()
+	NewLayout(48)
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		ops := make([]Op, rng.IntN(500))
+		for i := range ops {
+			ops[i] = Op{Addr: rng.Uint64() % (1 << 40), Write: rng.IntN(2) == 0}
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, ops); err != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(ops) {
+			return false
+		}
+		for i := range ops {
+			if got[i] != ops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v err %v", got, err)
+	}
+}
+
+func TestTraceCompactness(t *testing.T) {
+	// Sequential small-stride accesses should cost ~1-2 bytes each.
+	ops := make([]Op, 10000)
+	for i := range ops {
+		ops[i] = Op{Addr: uint64(i * 8), Write: i%4 == 0}
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	if perOp := float64(buf.Len()) / float64(len(ops)); perOp > 2 {
+		t.Fatalf("trace too fat: %.2f bytes/op", perOp)
+	}
+}
+
+func TestStreamTraceMatchesRead(t *testing.T) {
+	ops := []Op{{8, false}, {16, true}, {8, false}, {1 << 30, true}}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	var rec Recorder
+	n, err := StreamTrace(bytes.NewReader(buf.Bytes()), &rec)
+	if err != nil || n != 4 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	for i := range ops {
+		if rec.Ops[i] != ops[i] {
+			t.Fatalf("op %d: %+v vs %+v", i, rec.Ops[i], ops[i])
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("NOPE1234"))); err == nil {
+		t.Fatal("want magic error")
+	}
+	if _, err := ReadTrace(bytes.NewReader([]byte{'W', 'A', 'T', 'R', 99, 0})); err == nil {
+		t.Fatal("want version error")
+	}
+	if _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
+		t.Fatal("want EOF error")
+	}
+}
+
+func TestWriteTraceRejectsHugeAddress(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, []Op{{Addr: MaxAddr + 1}}); err == nil {
+		t.Fatal("want MaxAddr error")
+	}
+	if err := WriteTrace(&buf, []Op{{Addr: MaxAddr}}); err != nil {
+		t.Fatalf("MaxAddr itself must encode: %v", err)
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40)} {
+		if unzigzag(zigzag(v)) != v {
+			t.Fatalf("zigzag roundtrip failed for %d", v)
+		}
+	}
+}

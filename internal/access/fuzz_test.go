@@ -1,0 +1,50 @@
+package access
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceRoundTrip drives the trace codec with arbitrary op streams
+// derived from raw bytes: every encodable stream must decode to itself.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0x80})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var ops []Op
+		for i := 0; i+8 < len(raw); i += 9 {
+			addr := uint64(0)
+			for j := 0; j < 8; j++ {
+				addr = addr<<8 | uint64(raw[i+j])
+			}
+			ops = append(ops, Op{Addr: addr & MaxAddr, Write: raw[i+8]&1 == 1})
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, ops); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ops) {
+			t.Fatalf("count %d vs %d", len(got), len(ops))
+		}
+		for i := range ops {
+			if got[i] != ops[i] {
+				t.Fatalf("op %d: %+v vs %+v", i, got[i], ops[i])
+			}
+		}
+	})
+}
+
+// FuzzReadTraceRobust feeds arbitrary bytes to the decoder: it must either
+// decode or return an error, never panic.
+func FuzzReadTraceRobust(f *testing.F) {
+	f.Add([]byte("WATR\x01\x00"))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		_, _ = ReadTrace(bytes.NewReader(raw)) //nolint:errcheck
+	})
+}

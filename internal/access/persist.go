@@ -1,0 +1,135 @@
+package access
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Trace file format: a compact binary stream for saving memory traces to
+// disk and replaying them later (cmd/watrace).
+//
+//	magic   [4]byte  "WATR"
+//	version uint8    1
+//	count   uvarint  number of ops
+//	ops     count x uvarint: zigzag(delta from previous address) << 1 | write
+//
+// Delta+varint encoding keeps the blocked-matmul traces (mostly small
+// strides) a few bytes per access. Addresses must be below 2^62: the
+// encoded value is zigzag(delta) << 1 | writeBit, which needs the two top
+// bits free (a fuzzer-found constraint, now validated on write).
+
+// MaxAddr is the largest encodable byte address.
+const MaxAddr = 1<<62 - 1
+
+var traceMagic = [4]byte{'W', 'A', 'T', 'R'}
+
+const traceVersion = 1
+
+// WriteTrace serializes ops to w.
+func WriteTrace(w io.Writer, ops []Op) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(traceVersion); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(ops)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	prev := uint64(0)
+	for i, op := range ops {
+		if op.Addr > MaxAddr {
+			return fmt.Errorf("access: op %d address %#x exceeds MaxAddr", i, op.Addr)
+		}
+		delta := int64(op.Addr) - int64(prev)
+		v := zigzag(delta) << 1
+		if op.Write {
+			v |= 1
+		}
+		n := binary.PutUvarint(buf[:], v)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		prev = op.Addr
+	}
+	return bw.Flush()
+}
+
+// ReadTrace deserializes a trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]Op, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("access: reading magic: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("access: bad magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != traceVersion {
+		return nil, fmt.Errorf("access: unsupported trace version %d", ver)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	ops := make([]Op, 0, count)
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("access: op %d: %w", i, err)
+		}
+		addr := uint64(int64(prev) + unzigzag(v>>1))
+		ops = append(ops, Op{Addr: addr, Write: v&1 != 0})
+		prev = addr
+	}
+	return ops, nil
+}
+
+// StreamTrace reads a trace and feeds each op to sink without materializing
+// the slice, for replaying huge traces.
+func StreamTrace(r io.Reader, sink Sink) (int64, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return 0, err
+	}
+	if magic != traceMagic {
+		return 0, fmt.Errorf("access: bad magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	if ver != traceVersion {
+		return 0, fmt.Errorf("access: unsupported trace version %d", ver)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, err
+	}
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return int64(i), err
+		}
+		addr := uint64(int64(prev) + unzigzag(v>>1))
+		sink.Access(addr, v&1 != 0)
+		prev = addr
+	}
+	return int64(count), nil
+}
+
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(v uint64) int64 { return int64(v>>1) ^ -int64(v&1) }

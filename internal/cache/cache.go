@@ -1,0 +1,227 @@
+// Package cache is a trace-driven, set-associative, write-back/write-allocate
+// cache simulator with MESI-like line states, built to stand in for the
+// Nehalem-EX L3 hardware counters of Section 6 of "Write-Avoiding
+// Algorithms" (Carson et al., 2015).
+//
+// Counter mapping to the paper's measurements on the Xeon 7560:
+//
+//	FillsE     ~ LLC_S_FILLS.E   (lines filled from memory; all fills enter E)
+//	VictimsM   ~ LLC_VICTIMS.M   (modified lines evicted => write-backs)
+//	VictimsE   ~ LLC_VICTIMS.E   (clean lines evicted and forgotten)
+//
+// Replacement policies: true LRU, the 3-bit clock algorithm the paper cites
+// as Nehalem's LRU approximation, FIFO, tree-PLRU, and seeded random; package
+// opt adds the offline Belady policy. A specialized O(1) fully-associative
+// LRU cache (FALRU) backs the Proposition 6.1/6.2 tests, which are stated for
+// fully-associative LRU.
+package cache
+
+import (
+	"fmt"
+)
+
+// State is a cache line coherence state. With a single simulated core the
+// relevant MESIF states collapse to Invalid / Exclusive (clean) / Modified.
+type State uint8
+
+// Line states.
+const (
+	Invalid State = iota
+	Exclusive
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// Stats are the simulator's counters, in cache lines (not bytes).
+type Stats struct {
+	Accesses int64
+	Reads    int64
+	Writes   int64
+	Hits     int64
+	Misses   int64
+	FillsE   int64 // lines brought in from memory (paper: LLC_S_FILLS.E)
+	VictimsM int64 // modified lines evicted: obligatory write-backs (LLC_VICTIMS.M)
+	VictimsE int64 // clean lines evicted (LLC_VICTIMS.E)
+	Flushed  int64 // dirty lines written back by FlushDirty (counted into VictimsM too)
+	// WriteThroughs counts per-access memory writes in write-through mode.
+	WriteThroughs int64
+}
+
+// MemoryWrites returns all lines/accesses written to memory: write-back
+// victims plus write-through stores.
+func (s Stats) MemoryWrites() int64 { return s.VictimsM + s.WriteThroughs }
+
+// Writebacks returns the total lines written back to memory.
+func (s Stats) Writebacks() int64 { return s.VictimsM }
+
+// Simulator is the common interface of the set-associative cache, the
+// fully-associative LRU cache, and the multi-level hierarchy front end.
+type Simulator interface {
+	Access(addr uint64, write bool)
+	FlushDirty()
+	Stats() Stats
+	LineBytes() int
+}
+
+// Config describes one cache.
+type Config struct {
+	SizeBytes int        // total capacity
+	LineBytes int        // line size (power of two)
+	Assoc     int        // ways per set; 0 or >= number of lines means fully associative
+	Policy    PolicyKind // replacement policy
+	Seed      uint64     // PRNG seed for PolicyRandom
+
+	// WriteThrough switches from write-back/write-allocate to
+	// write-through/no-write-allocate: every write goes straight to
+	// memory (counted in Stats.WriteThroughs), lines never turn dirty,
+	// and write misses do not fill. This models designs where writes
+	// bypass the cache entirely (e.g. an NVM write path) — under which
+	// no instruction reordering can avoid writes, making the write-back
+	// policy itself a precondition of Section 6's results.
+	WriteThrough bool
+}
+
+// Lines returns the number of lines the configuration holds.
+func (c Config) Lines() int { return c.SizeBytes / c.LineBytes }
+
+func (c Config) validate() error {
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d must be a positive power of two", c.LineBytes)
+	}
+	if c.SizeBytes < c.LineBytes {
+		return fmt.Errorf("cache: size %d smaller than one line (%d)", c.SizeBytes, c.LineBytes)
+	}
+	if c.SizeBytes%c.LineBytes != 0 {
+		return fmt.Errorf("cache: size %d not a multiple of line size %d", c.SizeBytes, c.LineBytes)
+	}
+	lines := c.Lines()
+	assoc := c.Assoc
+	if assoc <= 0 || assoc > lines {
+		assoc = lines
+	}
+	if lines%assoc != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by associativity %d", lines, assoc)
+	}
+	sets := lines / assoc
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: number of sets %d must be a power of two", sets)
+	}
+	return nil
+}
+
+// Cache is a set-associative write-back, write-allocate cache.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	assoc     int
+	sets      []set
+	policy    policy
+	stats     Stats
+}
+
+type set struct {
+	tag   []uint64
+	state []State
+	meta  []uint32 // per-way policy metadata (stamps, markers, ...)
+	aux   uint32   // per-set policy metadata (clock hand, PLRU bits, counter)
+	aux2  uint32
+}
+
+// New builds a cache from a config; it panics on invalid geometry because a
+// bad config is a programming error in an experiment definition.
+func New(cfg Config) *Cache {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	lines := cfg.Lines()
+	assoc := cfg.Assoc
+	if assoc <= 0 || assoc > lines {
+		assoc = lines
+	}
+	nsets := lines / assoc
+	c := &Cache{
+		cfg:     cfg,
+		assoc:   assoc,
+		setMask: uint64(nsets - 1),
+		policy:  newPolicy(cfg.Policy, cfg.Seed),
+	}
+	for ls := cfg.LineBytes; ls > 1; ls >>= 1 {
+		c.lineShift++
+	}
+	c.sets = make([]set, nsets)
+	for i := range c.sets {
+		c.sets[i] = set{
+			tag:   make([]uint64, assoc),
+			state: make([]State, assoc),
+			meta:  make([]uint32, assoc),
+		}
+	}
+	return c
+}
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
+
+// Assoc returns the effective associativity.
+func (c *Cache) Assoc() int { return c.assoc }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return len(c.sets) }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters but keeps cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Access simulates one read or write of the byte at addr. The line state and
+// victim bookkeeping live in accessTracked (shared with Hierarchy, which also
+// needs the identity of dirty victims to cascade write-backs).
+func (c *Cache) Access(addr uint64, write bool) {
+	c.accessTracked(addr, write)
+}
+
+// FlushDirty writes back every modified line (counting into VictimsM and
+// Flushed) and invalidates the whole cache. Experiments call it at the end of
+// a run so that the final resident dirty output counts as written, matching
+// the paper's whole-run counter readings.
+func (c *Cache) FlushDirty() {
+	for i := range c.sets {
+		s := &c.sets[i]
+		for w := 0; w < c.assoc; w++ {
+			if s.state[w] == Modified {
+				c.stats.VictimsM++
+				c.stats.Flushed++
+			}
+			s.state[w] = Invalid
+			s.meta[w] = 0
+		}
+		s.aux = 0
+		s.aux2 = 0
+	}
+}
+
+// Contains reports whether the line holding addr is resident, and its state.
+// Used by tests to probe simulator internals.
+func (c *Cache) Contains(addr uint64) (State, bool) {
+	lineAddr := addr >> c.lineShift
+	s := &c.sets[lineAddr&c.setMask]
+	for w := 0; w < c.assoc; w++ {
+		if s.state[w] != Invalid && s.tag[w] == lineAddr {
+			return s.state[w], true
+		}
+	}
+	return Invalid, false
+}

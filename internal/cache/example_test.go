@@ -1,0 +1,30 @@
+package cache_test
+
+import (
+	"fmt"
+
+	"writeavoid/internal/cache"
+)
+
+// A dirty line evicted from a write-back cache is a memory write-back —
+// the LLC_VICTIMS.M event of the paper's hardware measurements.
+func ExampleCache() {
+	c := cache.New(cache.Config{SizeBytes: 2 * 64, LineBytes: 64, Assoc: 1, Policy: cache.PolicyLRU})
+	c.Access(0, true)     // write line 0 (dirty)
+	c.Access(2*64, false) // conflicts with line 0: dirty eviction
+	c.Access(4*64, false) // conflicts again: clean eviction
+	st := c.Stats()
+	fmt.Printf("fills=%d victims.M=%d victims.E=%d\n", st.FillsE, st.VictimsM, st.VictimsE)
+	// Output: fills=3 victims.M=1 victims.E=1
+}
+
+// The fully-associative LRU cache is the model of Proposition 6.1.
+func ExampleFALRU() {
+	c := cache.NewFALRU(4*64, 64)
+	for i := 0; i < 5; i++ { // one more line than fits
+		c.Access(uint64(i)*64, false)
+	}
+	_, oldestStillIn := c.Contains(0)
+	fmt.Printf("capacity=%d misses=%d line0 resident=%v\n", c.Capacity(), c.Stats().Misses, oldestStillIn)
+	// Output: capacity=4 misses=5 line0 resident=false
+}

@@ -1,0 +1,160 @@
+package cache
+
+// FALRU is a fully-associative LRU write-back cache with O(1) accesses,
+// implemented as a hash map plus intrusive doubly-linked recency list. The
+// Proposition 6.1/6.2 experiments, which are stated for a fully-associative
+// LRU fast memory, run on this type; the set-associative Cache would need
+// associativity equal to the full line count and pay a linear victim scan.
+type FALRU struct {
+	lineBytes int
+	lineShift uint
+	capacity  int // lines
+	nodes     map[uint64]*falruNode
+	head      *falruNode // most recently used
+	tail      *falruNode // least recently used
+	stats     Stats
+}
+
+type falruNode struct {
+	line       uint64
+	dirty      bool
+	prev, next *falruNode
+}
+
+// NewFALRU builds a fully-associative LRU cache of sizeBytes capacity.
+func NewFALRU(sizeBytes, lineBytes int) *FALRU {
+	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		panic("cache: line size must be a positive power of two")
+	}
+	if sizeBytes < lineBytes {
+		panic("cache: size smaller than one line")
+	}
+	c := &FALRU{
+		lineBytes: lineBytes,
+		capacity:  sizeBytes / lineBytes,
+		nodes:     make(map[uint64]*falruNode),
+	}
+	for ls := lineBytes; ls > 1; ls >>= 1 {
+		c.lineShift++
+	}
+	return c
+}
+
+// LineBytes returns the line size.
+func (c *FALRU) LineBytes() int { return c.lineBytes }
+
+// Capacity returns the capacity in lines.
+func (c *FALRU) Capacity() int { return c.capacity }
+
+// Stats returns a copy of the counters.
+func (c *FALRU) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters but keeps contents.
+func (c *FALRU) ResetStats() { c.stats = Stats{} }
+
+// Access simulates one read or write of the byte at addr.
+func (c *FALRU) Access(addr uint64, write bool) {
+	c.stats.Accesses++
+	if write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	line := addr >> c.lineShift
+	if n, ok := c.nodes[line]; ok {
+		c.stats.Hits++
+		if write {
+			n.dirty = true
+		}
+		c.moveToFront(n)
+		return
+	}
+	c.stats.Misses++
+	if len(c.nodes) >= c.capacity {
+		v := c.tail
+		c.unlink(v)
+		delete(c.nodes, v.line)
+		if v.dirty {
+			c.stats.VictimsM++
+		} else {
+			c.stats.VictimsE++
+		}
+	}
+	c.stats.FillsE++
+	n := &falruNode{line: line, dirty: write}
+	c.nodes[line] = n
+	c.pushFront(n)
+}
+
+// FlushDirty writes back all dirty lines and empties the cache.
+func (c *FALRU) FlushDirty() {
+	for _, n := range c.nodes {
+		if n.dirty {
+			c.stats.VictimsM++
+			c.stats.Flushed++
+		}
+	}
+	c.nodes = make(map[uint64]*falruNode)
+	c.head, c.tail = nil, nil
+}
+
+// Contains reports residency and state of the line holding addr.
+func (c *FALRU) Contains(addr uint64) (State, bool) {
+	n, ok := c.nodes[addr>>c.lineShift]
+	if !ok {
+		return Invalid, false
+	}
+	if n.dirty {
+		return Modified, true
+	}
+	return Exclusive, true
+}
+
+// LRUDistance returns the recency rank of the line holding addr (0 = most
+// recently used), or -1 if absent. Tests of Proposition 6.1 use this to check
+// the "never ranked below 5b^2" invariant directly.
+func (c *FALRU) LRUDistance(addr uint64) int {
+	line := addr >> c.lineShift
+	rank := 0
+	for n := c.head; n != nil; n = n.next {
+		if n.line == line {
+			return rank
+		}
+		rank++
+	}
+	return -1
+}
+
+func (c *FALRU) moveToFront(n *falruNode) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}
+
+func (c *FALRU) unlink(n *falruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *FALRU) pushFront(n *falruNode) {
+	n.next = c.head
+	n.prev = nil
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}

@@ -1,0 +1,29 @@
+package cache
+
+import "testing"
+
+// FuzzCacheConsistency replays arbitrary access streams through a
+// set-associative LRU cache and the fully-associative reference with the
+// same single-set geometry: their counters must agree, and the stats
+// invariants must hold at every prefix end.
+func FuzzCacheConsistency(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0, 1})
+	f.Add([]byte{0xaa, 0x55, 0x10, 0x20, 0x30})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		sa := New(Config{SizeBytes: 8 * 64, LineBytes: 64, Assoc: 8, Policy: PolicyLRU})
+		fa := NewFALRU(8*64, 64)
+		for _, b := range raw {
+			addr := uint64(b&0x3f) * 64
+			write := b&0x40 != 0
+			sa.Access(addr, write)
+			fa.Access(addr, write)
+		}
+		s1, s2 := sa.Stats(), fa.Stats()
+		if s1.Hits != s2.Hits || s1.VictimsM != s2.VictimsM || s1.VictimsE != s2.VictimsE {
+			t.Fatalf("set-assoc %+v vs fully-assoc %+v", s1, s2)
+		}
+		if s1.Hits+s1.Misses != s1.Accesses || s1.FillsE != s1.Misses {
+			t.Fatalf("invariants: %+v", s1)
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package cache
+
+import "fmt"
+
+// Hierarchy chains caches (fastest first) into a multi-level simulator. An
+// access probes level 0; on a miss it recursively probes the next level; the
+// line is then filled into every level it missed in (a mostly-inclusive
+// design, like the Nehalem-EX the paper measures). A modified line evicted
+// from level i is written back into level i+1 as a write access; a modified
+// victim of the last level is a memory write-back counted in that level's
+// VictimsM.
+//
+// Hierarchy exists so multi-level instruction orders (the Figure 5 left
+// column) can be studied end to end; the Figure 2 experiments drive a single
+// L3-sized cache directly, as DESIGN.md explains.
+type Hierarchy struct {
+	levels []*Cache
+}
+
+// NewHierarchy builds a hierarchy from per-level configs, fastest first. All
+// levels must share a line size.
+func NewHierarchy(cfgs ...Config) *Hierarchy {
+	if len(cfgs) == 0 {
+		panic("cache: empty hierarchy")
+	}
+	h := &Hierarchy{}
+	for i, cfg := range cfgs {
+		if cfg.LineBytes != cfgs[0].LineBytes {
+			panic(fmt.Sprintf("cache: level %d line size %d != level 0 line size %d",
+				i, cfg.LineBytes, cfgs[0].LineBytes))
+		}
+		h.levels = append(h.levels, New(cfg))
+	}
+	return h
+}
+
+// Level returns the cache at depth i (0 = fastest).
+func (h *Hierarchy) Level(i int) *Cache { return h.levels[i] }
+
+// NumLevels returns the number of levels.
+func (h *Hierarchy) NumLevels() int { return len(h.levels) }
+
+// LineBytes returns the shared line size.
+func (h *Hierarchy) LineBytes() int { return h.levels[0].LineBytes() }
+
+// Stats returns the counters of the LAST (memory-facing) level, which is the
+// level whose VictimsM are true memory write-backs. Per-level counters are
+// available via Level(i).Stats().
+func (h *Hierarchy) Stats() Stats { return h.levels[len(h.levels)-1].Stats() }
+
+// Access simulates one access through the hierarchy.
+func (h *Hierarchy) Access(addr uint64, write bool) {
+	h.access(0, addr, write)
+}
+
+func (h *Hierarchy) access(lvl int, addr uint64, write bool) {
+	c := h.levels[lvl]
+	hitsBefore := c.stats.Hits
+	wbLine, wbValid := c.accessTracked(addr, write)
+	missed := c.stats.Hits == hitsBefore
+	if lvl+1 < len(h.levels) {
+		if missed {
+			// Fill from the level below (a read there, or a write if
+			// this was a write access that missed everywhere; the
+			// write-allocate fill itself is a read of the line).
+			h.access(lvl+1, addr, false)
+		}
+		if wbValid {
+			// Dirty victim descends one level as a write.
+			h.access(lvl+1, wbLine<<c.lineShift, true)
+		}
+	}
+}
+
+// accessTracked performs the access and reports whether a modified line was
+// evicted (so the hierarchy can propagate the write-back), returning its line
+// address.
+func (c *Cache) accessTracked(addr uint64, write bool) (victimLine uint64, victimDirty bool) {
+	c.stats.Accesses++
+	if write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	lineAddr := addr >> c.lineShift
+	si := lineAddr & c.setMask
+	s := &c.sets[si]
+	for w := 0; w < c.assoc; w++ {
+		if s.state[w] != Invalid && s.tag[w] == lineAddr {
+			c.stats.Hits++
+			if write {
+				if c.cfg.WriteThrough {
+					// Write-through: the memory copy is updated
+					// immediately and the line stays clean.
+					c.stats.WriteThroughs++
+				} else {
+					s.state[w] = Modified
+				}
+			}
+			c.policy.touch(s, w, c.assoc)
+			return 0, false
+		}
+	}
+	if write && c.cfg.WriteThrough {
+		// No-write-allocate: the write goes straight to memory.
+		c.stats.Misses++
+		c.stats.WriteThroughs++
+		return 0, false
+	}
+	c.stats.Misses++
+	way := -1
+	for w := 0; w < c.assoc; w++ {
+		if s.state[w] == Invalid {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		way = c.policy.victim(s, c.assoc)
+		switch s.state[way] {
+		case Modified:
+			c.stats.VictimsM++
+			victimLine, victimDirty = s.tag[way], true
+		case Exclusive:
+			c.stats.VictimsE++
+		}
+	}
+	c.stats.FillsE++
+	s.tag[way] = lineAddr
+	if write {
+		s.state[way] = Modified
+	} else {
+		s.state[way] = Exclusive
+	}
+	c.policy.insert(s, way, c.assoc)
+	return victimLine, victimDirty
+}
+
+// FlushDirty flushes every level, cascading dirty victims downward so that a
+// line dirty only in L1 still reaches the last level as a write-back.
+func (h *Hierarchy) FlushDirty() {
+	for i := 0; i < len(h.levels); i++ {
+		c := h.levels[i]
+		for si := range c.sets {
+			s := &c.sets[si]
+			for w := 0; w < c.assoc; w++ {
+				if s.state[w] == Modified {
+					c.stats.VictimsM++
+					c.stats.Flushed++
+					if i+1 < len(h.levels) {
+						h.access(i+1, s.tag[w]<<c.lineShift, true)
+					}
+				}
+				s.state[w] = Invalid
+				s.meta[w] = 0
+			}
+			s.aux = 0
+			s.aux2 = 0
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package cache
+
+import (
+	"container/heap"
+
+	"writeavoid/internal/access"
+)
+
+// SimulateOPT replays a recorded trace through a fully-associative cache with
+// Belady's offline-optimal (furthest-next-use) replacement. It is the "ideal
+// cache" of the cache-oblivious literature and the reference line of
+// Figure 2a. Offline optimality needs the whole trace up front, so unlike the
+// online simulators this one takes a materialized []Op.
+func SimulateOPT(ops []access.Op, sizeBytes, lineBytes int) Stats {
+	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		panic("cache: line size must be a positive power of two")
+	}
+	capacity := sizeBytes / lineBytes
+	if capacity < 1 {
+		panic("cache: size smaller than one line")
+	}
+	var shift uint
+	for ls := lineBytes; ls > 1; ls >>= 1 {
+		shift++
+	}
+
+	// next[i] = index of the next access to the same line after i, or
+	// len(ops) if none.
+	const inf = int(^uint(0) >> 1)
+	next := make([]int, len(ops))
+	last := make(map[uint64]int, 1024)
+	for i := len(ops) - 1; i >= 0; i-- {
+		line := ops[i].Addr >> shift
+		if j, ok := last[line]; ok {
+			next[i] = j
+		} else {
+			next[i] = inf
+		}
+		last[line] = i
+	}
+
+	type resident struct {
+		dirty bool
+		// heap position handled via lazily-invalidated entries
+	}
+	var st Stats
+	res := make(map[uint64]*resident, capacity+1)
+	// Max-heap of (nextUse, line); entries may be stale, validated on pop
+	// against nextUse recorded in fresh map.
+	h := &optHeap{}
+	nextUse := make(map[uint64]int, capacity+1)
+
+	for i, op := range ops {
+		st.Accesses++
+		if op.Write {
+			st.Writes++
+		} else {
+			st.Reads++
+		}
+		line := op.Addr >> shift
+		if r, ok := res[line]; ok {
+			st.Hits++
+			if op.Write {
+				r.dirty = true
+			}
+			nextUse[line] = next[i]
+			heap.Push(h, optEntry{use: next[i], line: line})
+			continue
+		}
+		st.Misses++
+		if len(res) >= capacity {
+			// Evict the resident line with the furthest next use,
+			// skipping stale heap entries.
+			for {
+				e := heap.Pop(h).(optEntry)
+				vr, vok := res[e.line]
+				if !vok || nextUse[e.line] != e.use {
+					continue // stale
+				}
+				if vr.dirty {
+					st.VictimsM++
+				} else {
+					st.VictimsE++
+				}
+				delete(res, e.line)
+				delete(nextUse, e.line)
+				break
+			}
+		}
+		st.FillsE++
+		res[line] = &resident{dirty: op.Write}
+		nextUse[line] = next[i]
+		heap.Push(h, optEntry{use: next[i], line: line})
+	}
+	for _, r := range res {
+		if r.dirty {
+			st.VictimsM++
+			st.Flushed++
+		}
+	}
+	return st
+}
+
+type optEntry struct {
+	use  int
+	line uint64
+}
+
+type optHeap []optEntry
+
+func (h optHeap) Len() int            { return len(h) }
+func (h optHeap) Less(i, j int) bool  { return h[i].use > h[j].use } // max-heap on next use
+func (h optHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *optHeap) Push(x interface{}) { *h = append(*h, x.(optEntry)) }
+func (h *optHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,207 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// PolicyKind selects a replacement policy.
+type PolicyKind int
+
+// Available replacement policies.
+const (
+	// PolicyLRU is true least-recently-used.
+	PolicyLRU PolicyKind = iota
+	// PolicyClock3 is the 3-bit clock algorithm the paper cites as
+	// Nehalem-EX's LRU approximation: each line carries a 3-bit recency
+	// marker incremented on hits; the victim search scans clockwise for a
+	// marker of 0, decrementing all markers each full lap.
+	PolicyClock3
+	// PolicyFIFO evicts the oldest-filled line.
+	PolicyFIFO
+	// PolicyPLRU is tree-based pseudo-LRU (associativity must be a power
+	// of two).
+	PolicyPLRU
+	// PolicyRandom evicts a uniformly random way (seeded, deterministic).
+	PolicyRandom
+)
+
+func (k PolicyKind) String() string {
+	switch k {
+	case PolicyLRU:
+		return "LRU"
+	case PolicyClock3:
+		return "CLOCK3"
+	case PolicyFIFO:
+		return "FIFO"
+	case PolicyPLRU:
+		return "PLRU"
+	case PolicyRandom:
+		return "RANDOM"
+	}
+	return fmt.Sprintf("PolicyKind(%d)", int(k))
+}
+
+// policy is the internal per-access hook set. Implementations store their
+// state in the set's meta/aux fields so the hot loop stays allocation-free.
+type policy interface {
+	// touch records a hit on way w.
+	touch(s *set, w, assoc int)
+	// insert records a fill into way w.
+	insert(s *set, w, assoc int)
+	// victim picks the way to evict from a full set.
+	victim(s *set, assoc int) int
+}
+
+func newPolicy(k PolicyKind, seed uint64) policy {
+	switch k {
+	case PolicyLRU:
+		return lruPolicy{}
+	case PolicyClock3:
+		return clock3Policy{}
+	case PolicyFIFO:
+		return fifoPolicy{}
+	case PolicyPLRU:
+		return plruPolicy{}
+	case PolicyRandom:
+		return &randomPolicy{rng: rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb))}
+	default:
+		panic(fmt.Sprintf("cache: unknown policy %v", k))
+	}
+}
+
+// --- true LRU: per-way stamps from a per-set counter -----------------------
+
+type lruPolicy struct{}
+
+func (lruPolicy) touch(s *set, w, _ int) {
+	s.aux++
+	s.meta[w] = s.aux
+}
+
+func (lruPolicy) insert(s *set, w, assoc int) { lruPolicy{}.touch(s, w, assoc) }
+
+func (lruPolicy) victim(s *set, assoc int) int {
+	best, bestStamp := 0, s.meta[0]
+	for w := 1; w < assoc; w++ {
+		if s.meta[w] < bestStamp {
+			best, bestStamp = w, s.meta[w]
+		}
+	}
+	return best
+}
+
+// --- 3-bit clock ------------------------------------------------------------
+
+type clock3Policy struct{}
+
+const clock3Max = 7
+
+func (clock3Policy) touch(s *set, w, _ int) {
+	if s.meta[w] < clock3Max {
+		s.meta[w]++
+	}
+}
+
+func (clock3Policy) insert(s *set, w, _ int) {
+	// A freshly filled line starts recently-used with marker 1.
+	s.meta[w] = 1
+}
+
+func (clock3Policy) victim(s *set, assoc int) int {
+	for {
+		for i := 0; i < assoc; i++ {
+			w := int(s.aux) % assoc
+			s.aux = uint32((w + 1) % assoc)
+			if s.meta[w] == 0 {
+				return w
+			}
+		}
+		for w := 0; w < assoc; w++ {
+			if s.meta[w] > 0 {
+				s.meta[w]--
+			}
+		}
+	}
+}
+
+// --- FIFO --------------------------------------------------------------------
+
+type fifoPolicy struct{}
+
+func (fifoPolicy) touch(*set, int, int) {}
+
+func (fifoPolicy) insert(s *set, w, _ int) {
+	s.aux++
+	s.meta[w] = s.aux
+}
+
+func (fifoPolicy) victim(s *set, assoc int) int {
+	best, bestStamp := 0, s.meta[0]
+	for w := 1; w < assoc; w++ {
+		if s.meta[w] < bestStamp {
+			best, bestStamp = w, s.meta[w]
+		}
+	}
+	return best
+}
+
+// --- tree PLRU ----------------------------------------------------------------
+
+type plruPolicy struct{}
+
+// The PLRU tree bits live in s.aux2: bit i is node i of a complete binary
+// tree over the ways; 0 means "left half is older".
+
+func (plruPolicy) touch(s *set, w, assoc int) {
+	// Walk from root to leaf w, pointing each node AWAY from w.
+	node := 0
+	lo, hi := 0, assoc
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if w < mid {
+			s.aux2 |= 1 << uint(node) // most-recent went left => LRU side is right
+			node = 2*node + 1
+			hi = mid
+		} else {
+			s.aux2 &^= 1 << uint(node) // most-recent went right => LRU side is left
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+}
+
+func (plruPolicy) insert(s *set, w, assoc int) { plruPolicy{}.touch(s, w, assoc) }
+
+func (plruPolicy) victim(s *set, assoc int) int {
+	if assoc&(assoc-1) != 0 {
+		panic("cache: PLRU requires power-of-two associativity")
+	}
+	node := 0
+	lo, hi := 0, assoc
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if s.aux2&(1<<uint(node)) != 0 {
+			// Most recent went left; victim on the right.
+			node = 2*node + 2
+			lo = mid
+		} else {
+			node = 2*node + 1
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// --- random --------------------------------------------------------------------
+
+type randomPolicy struct {
+	rng *rand.Rand
+}
+
+func (*randomPolicy) touch(*set, int, int)  {}
+func (*randomPolicy) insert(*set, int, int) {}
+
+func (p *randomPolicy) victim(_ *set, assoc int) int {
+	return p.rng.IntN(assoc)
+}

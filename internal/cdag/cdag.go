@@ -1,0 +1,167 @@
+// Package cdag implements computation directed acyclic graphs and the
+// bounded-reuse write lower bound of Section 3 of "Write-Avoiding
+// Algorithms" (Carson et al., 2015).
+//
+// A CDAG has a vertex per input or computed value and an edge per direct
+// dependency. Theorem 2 of the paper: if every non-input vertex of a subgraph
+// has out-degree at most d, an execution segment performing t loads of which
+// N are input loads must do at least ceil((t-N)/d) writes to slow memory —
+// so bounded-reuse algorithms (Cooley-Tukey FFT with d=2, Strassen with d=4
+// on the product subgraph) cannot be write-avoiding.
+package cdag
+
+import "fmt"
+
+// Kind classifies a vertex.
+type Kind uint8
+
+// Vertex kinds. Phase tags beyond the three basic kinds let builders mark
+// the paper's Dec_C-style subgraphs without storing reachability.
+const (
+	Input Kind = iota
+	Intermediate
+	Output
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Input:
+		return "input"
+	case Intermediate:
+		return "intermediate"
+	case Output:
+		return "output"
+	}
+	return "?"
+}
+
+// Graph is a CDAG under construction. Vertices are dense integer IDs.
+// Adjacency lists are kept (the graphs in this repository are small), which
+// the schedule simulator needs.
+type Graph struct {
+	kind   []Kind
+	tag    []uint8 // builder-defined subgraph tag (e.g. Strassen's Dec_C)
+	outDeg []int32
+	inDeg  []int32
+	succ   [][]int32
+	pred   [][]int32
+	edges  int64
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// AddVertex adds a vertex of the given kind with subgraph tag 0.
+func (g *Graph) AddVertex(k Kind) int { return g.AddTagged(k, 0) }
+
+// AddTagged adds a vertex with an explicit subgraph tag.
+func (g *Graph) AddTagged(k Kind, tag uint8) int {
+	g.kind = append(g.kind, k)
+	g.tag = append(g.tag, tag)
+	g.outDeg = append(g.outDeg, 0)
+	g.inDeg = append(g.inDeg, 0)
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	return len(g.kind) - 1
+}
+
+// AddEdge records the dependency from -> to.
+func (g *Graph) AddEdge(from, to int) {
+	if from < 0 || from >= len(g.kind) || to < 0 || to >= len(g.kind) {
+		panic(fmt.Sprintf("cdag: edge (%d,%d) out of range (n=%d)", from, to, len(g.kind)))
+	}
+	if from == to {
+		panic("cdag: self edge")
+	}
+	g.outDeg[from]++
+	g.inDeg[to]++
+	g.succ[from] = append(g.succ[from], int32(to))
+	g.pred[to] = append(g.pred[to], int32(from))
+	g.edges++
+}
+
+// Successors returns the out-neighbors of v (shared slice; do not mutate).
+func (g *Graph) Successors(v int) []int32 { return g.succ[v] }
+
+// Predecessors returns the in-neighbors of v (shared slice; do not mutate).
+func (g *Graph) Predecessors(v int) []int32 { return g.pred[v] }
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.kind) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int64 { return g.edges }
+
+// KindOf returns the kind of vertex v.
+func (g *Graph) KindOf(v int) Kind { return g.kind[v] }
+
+// OutDegree returns vertex v's out-degree.
+func (g *Graph) OutDegree(v int) int { return int(g.outDeg[v]) }
+
+// InDegree returns vertex v's in-degree.
+func (g *Graph) InDegree(v int) int { return int(g.inDeg[v]) }
+
+// Count returns the number of vertices of kind k.
+func (g *Graph) Count(k Kind) int {
+	c := 0
+	for _, x := range g.kind {
+		if x == k {
+			c++
+		}
+	}
+	return c
+}
+
+// MaxOutDegree returns the maximum out-degree over vertices selected by
+// keep; passing nil selects every vertex.
+func (g *Graph) MaxOutDegree(keep func(v int) bool) int {
+	d := 0
+	for v := range g.kind {
+		if keep != nil && !keep(v) {
+			continue
+		}
+		if int(g.outDeg[v]) > d {
+			d = int(g.outDeg[v])
+		}
+	}
+	return d
+}
+
+// MaxOutDegreeNonInput is the paper's d: the max out-degree excluding input
+// vertices.
+func (g *Graph) MaxOutDegreeNonInput() int {
+	return g.MaxOutDegree(func(v int) bool { return g.kind[v] != Input })
+}
+
+// MaxOutDegreeTagged restricts the census to vertices carrying tag.
+func (g *Graph) MaxOutDegreeTagged(tag uint8) int {
+	return g.MaxOutDegree(func(v int) bool { return g.tag[v] == tag })
+}
+
+// Theorem2WriteBound is part (1) of Theorem 2: an execution segment with t
+// loads, N of them input loads, whose intermediate vertices have out-degree
+// at most d, must write at least ceil((t-N)/d) words to slow memory.
+func Theorem2WriteBound(loads, inputLoads, d int64) int64 {
+	if d <= 0 {
+		panic("cdag: non-positive out-degree bound")
+	}
+	if loads <= inputLoads {
+		return 0
+	}
+	return (loads - inputLoads + d - 1) / d
+}
+
+// Theorem2TrafficBound is the convenient corollary used in tests: if an
+// execution moves W words total (loads+stores) of which at most N are input
+// loads, then since loads = W - stores and stores >= (loads-N)/d,
+//
+//	stores >= (W - N) / (d + 1).
+func Theorem2TrafficBound(totalTraffic, inputLoads, d int64) int64 {
+	if d <= 0 {
+		panic("cdag: non-positive out-degree bound")
+	}
+	if totalTraffic <= inputLoads {
+		return 0
+	}
+	return (totalTraffic - inputLoads + d) / (d + 1)
+}

@@ -1,0 +1,132 @@
+package cdag
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicGraph(t *testing.T) {
+	g := New()
+	a := g.AddVertex(Input)
+	b := g.AddVertex(Input)
+	c := g.AddVertex(Intermediate)
+	d := g.AddVertex(Output)
+	g.AddEdge(a, c)
+	g.AddEdge(b, c)
+	g.AddEdge(c, d)
+	if g.NumVertices() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("shape: %d vertices %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if g.OutDegree(a) != 1 || g.InDegree(c) != 2 || g.OutDegree(d) != 0 {
+		t.Fatal("degrees")
+	}
+	if g.Count(Input) != 2 || g.Count(Intermediate) != 1 || g.Count(Output) != 1 {
+		t.Fatal("counts")
+	}
+}
+
+func TestSelfEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g := New()
+	v := g.AddVertex(Input)
+	g.AddEdge(v, v)
+}
+
+func TestEdgeRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g := New()
+	g.AddVertex(Input)
+	g.AddEdge(0, 5)
+}
+
+func TestMaxOutDegreeFilters(t *testing.T) {
+	g := New()
+	in := g.AddVertex(Input)
+	x := g.AddTagged(Intermediate, 1)
+	y := g.AddTagged(Intermediate, 2)
+	sinks := make([]int, 7)
+	for i := range sinks {
+		sinks[i] = g.AddVertex(Output)
+	}
+	// in -> 5 sinks, x -> 3 sinks, y -> 1 sink.
+	for i := 0; i < 5; i++ {
+		g.AddEdge(in, sinks[i])
+	}
+	for i := 0; i < 3; i++ {
+		g.AddEdge(x, sinks[i])
+	}
+	g.AddEdge(y, sinks[6])
+
+	if d := g.MaxOutDegree(nil); d != 5 {
+		t.Fatalf("all: %d", d)
+	}
+	if d := g.MaxOutDegreeNonInput(); d != 3 {
+		t.Fatalf("non-input: %d", d)
+	}
+	if d := g.MaxOutDegreeTagged(2); d != 1 {
+		t.Fatalf("tagged: %d", d)
+	}
+}
+
+func TestTheorem2WriteBound(t *testing.T) {
+	// t loads, N input loads, out-degree d: ceil((t-N)/d) writes.
+	if got := Theorem2WriteBound(100, 20, 4); got != 20 {
+		t.Fatalf("got %d want 20", got)
+	}
+	if got := Theorem2WriteBound(101, 20, 4); got != 21 {
+		t.Fatalf("ceiling: got %d want 21", got)
+	}
+	if got := Theorem2WriteBound(10, 20, 4); got != 0 {
+		t.Fatalf("all-inputs case: got %d want 0", got)
+	}
+}
+
+func TestTheorem2TrafficBound(t *testing.T) {
+	// stores >= (W - N)/(d+1).
+	if got := Theorem2TrafficBound(300, 0, 2); got != 100 {
+		t.Fatalf("got %d want 100", got)
+	}
+	if got := Theorem2TrafficBound(10, 10, 2); got != 0 {
+		t.Fatalf("got %d want 0", got)
+	}
+}
+
+// Consistency between the two bound forms: for any split of W into loads and
+// stores that satisfies part (1), stores also satisfy the traffic bound.
+func TestTheorem2BoundsConsistent(t *testing.T) {
+	f := func(w, n uint16, dRaw uint8) bool {
+		W := int64(w)%1000 + 1
+		N := int64(n) % (W + 1)
+		d := int64(dRaw)%8 + 1
+		// The minimal-store execution: stores s, loads W-s with
+		// s = ceil((W-s-N)/d) -> the fixpoint is >= (W-N)/(d+1).
+		s := Theorem2TrafficBound(W, N, d)
+		return s >= 0 && Theorem2WriteBound(W-s, N, d) <= s+d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundPanicsOnBadD(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Theorem2WriteBound(10, 0, 0)
+}
+
+func TestKindString(t *testing.T) {
+	if Input.String() != "input" || Intermediate.String() != "intermediate" || Output.String() != "output" {
+		t.Fatal("kind names")
+	}
+}

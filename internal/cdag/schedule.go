@@ -1,0 +1,184 @@
+package cdag
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// This file simulates executions of a CDAG on the paper's two-level machine:
+// a schedule is a topological execution order plus an eviction policy for the
+// size-M fast memory. Every valid schedule must respect the Theorem 2 write
+// lower bound, which the tests verify over randomized schedules — a
+// schedule-space validation of the theorem, complementing the per-algorithm
+// measurements.
+
+// ScheduleStats reports the traffic of one simulated schedule.
+type ScheduleStats struct {
+	Loads      int64 // words loaded (reads of slow, writes of fast)
+	InputLoads int64 // loads of input vertices
+	Stores     int64 // words stored (writes of slow)
+	Recomputes int64 // vertices computed more than once (0 here: no recomputation)
+}
+
+// Schedule simulates executing g with fast memory of m values, visiting
+// vertices in the given topological order (must contain every non-input
+// vertex exactly once). Eviction victims are chosen by the provided rng
+// uniformly among evictable residents; values still needed by uncomputed
+// successors are written back to slow memory on eviction, others are
+// discarded. Inputs start in slow memory; outputs are stored at the end if
+// not already in slow memory.
+func Schedule(g *Graph, order []int, m int, rng *rand.Rand) (ScheduleStats, error) {
+	n := g.NumVertices()
+	if m < 2 {
+		return ScheduleStats{}, fmt.Errorf("cdag: fast memory must hold at least 2 values")
+	}
+	computed := make([]bool, n)
+	inFast := make([]bool, n)
+	inSlow := make([]bool, n)
+	remainingUses := make([]int32, n)
+	for v := 0; v < n; v++ {
+		remainingUses[v] = g.outDeg[v]
+		if g.kind[v] == Input {
+			computed[v] = true
+			inSlow[v] = true
+		}
+	}
+	resident := make([]int, 0, m)
+	var st ScheduleStats
+
+	evictOne := func(protect map[int]bool) error {
+		// Pick a random evictable resident.
+		cands := resident[:0:0]
+		for _, v := range resident {
+			if !protect[v] {
+				cands = append(cands, v)
+			}
+		}
+		if len(cands) == 0 {
+			return fmt.Errorf("cdag: fast memory too small for an operation")
+		}
+		victim := cands[rng.IntN(len(cands))]
+		if remainingUses[victim] > 0 && !inSlow[victim] {
+			st.Stores++ // still needed: must be written back
+			inSlow[victim] = true
+		}
+		inFast[victim] = false
+		for i, v := range resident {
+			if v == victim {
+				resident = append(resident[:i], resident[i+1:]...)
+				break
+			}
+		}
+		return nil
+	}
+	bring := func(v int, protect map[int]bool) error {
+		if inFast[v] {
+			return nil
+		}
+		if !inSlow[v] {
+			return fmt.Errorf("cdag: value %d lost (evicted without store)", v)
+		}
+		for len(resident) >= m {
+			if err := evictOne(protect); err != nil {
+				return err
+			}
+		}
+		st.Loads++
+		if g.kind[v] == Input {
+			st.InputLoads++
+		}
+		inFast[v] = true
+		resident = append(resident, v)
+		return nil
+	}
+
+	seen := make([]bool, n)
+	for _, v := range order {
+		if v < 0 || v >= n || g.kind[v] == Input {
+			return st, fmt.Errorf("cdag: bad schedule entry %d", v)
+		}
+		if seen[v] {
+			return st, fmt.Errorf("cdag: vertex %d scheduled twice", v)
+		}
+		seen[v] = true
+		preds := g.pred[v]
+		protect := make(map[int]bool, len(preds)+1)
+		for _, p := range preds {
+			protect[int(p)] = true
+		}
+		for _, p := range preds {
+			if !computed[int(p)] {
+				return st, fmt.Errorf("cdag: vertex %d scheduled before predecessor %d", v, p)
+			}
+			if err := bring(int(p), protect); err != nil {
+				return st, err
+			}
+		}
+		// Compute v into fast memory (an R2 residency beginning).
+		protect[v] = true
+		for len(resident) >= m {
+			if err := evictOne(protect); err != nil {
+				return st, err
+			}
+		}
+		computed[v] = true
+		inFast[v] = true
+		resident = append(resident, v)
+		// Consume one use on each predecessor.
+		for _, p := range preds {
+			remainingUses[int(p)]--
+		}
+	}
+	// Every non-input vertex must have been scheduled.
+	for v := 0; v < n; v++ {
+		if g.kind[v] != Input && !seen[v] {
+			return st, fmt.Errorf("cdag: vertex %d never scheduled", v)
+		}
+	}
+	// Outputs must end up in slow memory.
+	for v := 0; v < n; v++ {
+		if g.kind[v] == Output && !inSlow[v] {
+			st.Stores++
+			inSlow[v] = true
+		}
+	}
+	return st, nil
+}
+
+// RandomTopoOrder returns a uniformly-ish random topological order of the
+// non-input vertices.
+func RandomTopoOrder(g *Graph, rng *rand.Rand) []int {
+	n := g.NumVertices()
+	// Inputs are pre-satisfied: remove their out-edges from the in-degree
+	// count, then Kahn's algorithm with a random ready pick.
+	indeg := make([]int32, n)
+	copy(indeg, g.inDeg)
+	for v := 0; v < n; v++ {
+		if g.kind[v] == Input {
+			for _, s := range g.succ[v] {
+				indeg[s]--
+			}
+		}
+	}
+	ready := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if g.kind[v] != Input && indeg[v] == 0 {
+			ready = append(ready, v)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(ready) > 0 {
+		i := rng.IntN(len(ready))
+		v := ready[i]
+		ready[i] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, v)
+		for _, s := range g.succ[v] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, int(s))
+			}
+		}
+	}
+	return order
+}

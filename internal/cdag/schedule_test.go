@@ -1,0 +1,166 @@
+package cdag
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// butterfly builds a small FFT-like butterfly CDAG (out-degree 2) locally to
+// avoid an import cycle with internal/fft.
+func butterfly(n int) *Graph {
+	g := New()
+	prev := make([]int, n)
+	for i := range prev {
+		prev[i] = g.AddVertex(Input)
+	}
+	stages := 0
+	for 1<<stages < n {
+		stages++
+	}
+	for s := 1; s <= stages; s++ {
+		cur := make([]int, n)
+		for i := range cur {
+			k := Intermediate
+			if s == stages {
+				k = Output
+			}
+			cur[i] = g.AddVertex(k)
+		}
+		bit := 1 << (s - 1)
+		for i := 0; i < n; i++ {
+			g.AddEdge(prev[i], cur[i])
+			g.AddEdge(prev[i], cur[i^bit])
+		}
+		prev = cur
+	}
+	return g
+}
+
+func TestAdjacencyLists(t *testing.T) {
+	g := New()
+	a := g.AddVertex(Input)
+	b := g.AddVertex(Intermediate)
+	c := g.AddVertex(Output)
+	g.AddEdge(a, b)
+	g.AddEdge(b, c)
+	if len(g.Successors(a)) != 1 || g.Successors(a)[0] != 1 {
+		t.Fatal("successors")
+	}
+	if len(g.Predecessors(c)) != 1 || g.Predecessors(c)[0] != 1 {
+		t.Fatal("predecessors")
+	}
+}
+
+func TestRandomTopoOrderValid(t *testing.T) {
+	g := butterfly(8)
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		order := RandomTopoOrder(g, rng)
+		// Every non-input vertex exactly once, predecessors first.
+		pos := map[int]int{}
+		for i, v := range order {
+			pos[v] = i
+		}
+		if len(order) != g.NumVertices()-g.Count(Input) {
+			return false
+		}
+		for _, v := range order {
+			for _, p := range g.Predecessors(v) {
+				if g.KindOf(int(p)) == Input {
+					continue
+				}
+				if pos[int(p)] >= pos[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleCompletesAndCounts(t *testing.T) {
+	g := butterfly(8)
+	rng := rand.New(rand.NewPCG(7, 7))
+	order := RandomTopoOrder(g, rng)
+	st, err := Schedule(g, order, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Loads == 0 || st.Stores == 0 {
+		t.Fatalf("suspicious stats %+v", st)
+	}
+	// With M far below 8+24 vertices, inputs must at least all be loaded.
+	if st.InputLoads < 8 {
+		t.Fatalf("input loads %d < 8", st.InputLoads)
+	}
+}
+
+// The schedule-space validation of Theorem 2: every randomized valid
+// schedule of an out-degree-2 butterfly obeys stores >= ceil((loads-N)/2).
+func TestTheorem2HoldsOverRandomSchedules(t *testing.T) {
+	for _, n := range []int{8, 16} {
+		g := butterfly(n)
+		d := int64(g.MaxOutDegree(nil))
+		if d != 2 {
+			t.Fatalf("butterfly degree %d", d)
+		}
+		for _, m := range []int{4, 6, 10} {
+			f := func(seed uint64) bool {
+				rng := rand.New(rand.NewPCG(seed, uint64(n*m)))
+				order := RandomTopoOrder(g, rng)
+				st, err := Schedule(g, order, m, rng)
+				if err != nil {
+					return false
+				}
+				bound := Theorem2WriteBound(st.Loads, st.InputLoads, d)
+				return st.Stores >= bound
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatalf("n=%d m=%d: %v", n, m, err)
+			}
+		}
+	}
+}
+
+// With fast memory large enough to hold everything, a schedule loads each
+// input once and stores only the outputs — the degenerate WA case the
+// paper's Section 2.1 mentions ("when the data is smaller").
+func TestScheduleAllFitsInFast(t *testing.T) {
+	g := butterfly(8)
+	rng := rand.New(rand.NewPCG(9, 9))
+	order := RandomTopoOrder(g, rng)
+	st, err := Schedule(g, order, g.NumVertices()+1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Loads != 8 || st.InputLoads != 8 {
+		t.Fatalf("want only the 8 input loads, got %+v", st)
+	}
+	if st.Stores != 8 {
+		t.Fatalf("want only the 8 output stores, got %d", st.Stores)
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	g := butterfly(4)
+	rng := rand.New(rand.NewPCG(1, 1))
+	order := RandomTopoOrder(g, rng)
+	if _, err := Schedule(g, order, 1, rng); err == nil {
+		t.Fatal("want tiny-memory error")
+	}
+	if _, err := Schedule(g, order[:len(order)-1], 8, rng); err == nil {
+		t.Fatal("want incomplete-schedule error")
+	}
+	bad := append([]int{order[len(order)-1]}, order[:len(order)-1]...)
+	if _, err := Schedule(g, bad, 8, rng); err == nil {
+		t.Fatal("want dependency-violation error")
+	}
+	dup := append(append([]int{}, order...), order[0])
+	if _, err := Schedule(g, dup, 8, rng); err == nil {
+		t.Fatal("want duplicate error")
+	}
+}

@@ -1,0 +1,470 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"writeavoid/internal/machine"
+	"writeavoid/internal/matrix"
+)
+
+func planFor(b int, order Order) *Plan {
+	return TwoLevelPlan(int64(3*b*b), b, order)
+}
+
+func plan3L(b0, b1 int, order Order) *Plan {
+	h := machine.New(true,
+		machine.Level{Name: "L1", Size: int64(3 * b0 * b0)},
+		machine.Level{Name: "L2", Size: int64(3 * b1 * b1)},
+		machine.Level{Name: "L3"})
+	return &Plan{H: h, BlockSizes: []int{b0, b1}, Order: order}
+}
+
+func TestMatMulCorrectTwoLevel(t *testing.T) {
+	for _, order := range []Order{OrderWA, OrderNonWA} {
+		a := matrix.Random(12, 8, 1)
+		b := matrix.Random(8, 16, 2)
+		c := matrix.Random(12, 16, 3)
+		want := c.Clone()
+		matrix.MulAdd(want, a, b)
+		p := planFor(4, order)
+		if err := MatMul(p, c, a, b); err != nil {
+			t.Fatalf("%v: %v", order, err)
+		}
+		if matrix.MaxAbsDiff(c, want) > 1e-12 {
+			t.Fatalf("%v: wrong product, diff %g", order, matrix.MaxAbsDiff(c, want))
+		}
+	}
+}
+
+func TestMatMulCorrectThreeLevel(t *testing.T) {
+	a := matrix.Random(16, 16, 4)
+	b := matrix.Random(16, 16, 5)
+	c := matrix.New(16, 16)
+	want := matrix.Mul(a, b)
+	p := plan3L(2, 8, OrderWA)
+	if err := MatMul(p, c, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if matrix.MaxAbsDiff(c, want) > 1e-12 {
+		t.Fatalf("multi-level product wrong, diff %g", matrix.MaxAbsDiff(c, want))
+	}
+}
+
+func TestMatMulExactCountsTwoLevel(t *testing.T) {
+	m, n, l, b := 12, 8, 16, 4
+	p := planFor(b, OrderWA)
+	c := matrix.New(m, l)
+	if err := MatMul(p, c, matrix.Random(m, n, 1), matrix.Random(n, l, 2)); err != nil {
+		t.Fatal(err)
+	}
+	pred := PredictMatMul(m, n, l, []int{b})
+	got := p.H.Interface(0)
+	if got.LoadWords != pred.LoadWords[0] {
+		t.Errorf("loads: got %d want %d", got.LoadWords, pred.LoadWords[0])
+	}
+	if got.StoreWords != pred.StoreWords[0] {
+		t.Errorf("stores: got %d want %d", got.StoreWords, pred.StoreWords[0])
+	}
+	if got.LoadMsgs != pred.LoadMsgs[0] {
+		t.Errorf("load msgs: got %d want %d", got.LoadMsgs, pred.LoadMsgs[0])
+	}
+	if got.StoreMsgs != pred.StoreMsgs[0] {
+		t.Errorf("store msgs: got %d want %d", got.StoreMsgs, pred.StoreMsgs[0])
+	}
+	// Paper's closed forms: loads = ml + 2mnl/b, stores = ml.
+	M, N, L, B := int64(m), int64(n), int64(l), int64(b)
+	if got.LoadWords != M*L+2*M*N*L/B {
+		t.Errorf("loads %d != paper formula %d", got.LoadWords, M*L+2*M*N*L/B)
+	}
+	if got.StoreWords != M*L {
+		t.Errorf("stores %d != output size %d", got.StoreWords, M*L)
+	}
+	if p.H.FlopCount() != 2*M*N*L {
+		t.Errorf("flops %d want %d", p.H.FlopCount(), 2*M*N*L)
+	}
+}
+
+func TestMatMulExactCountsThreeLevel(t *testing.T) {
+	m, n, l := 16, 16, 16
+	bs := []int{2, 8}
+	p := plan3L(bs[0], bs[1], OrderWA)
+	c := matrix.New(m, l)
+	if err := MatMul(p, c, matrix.Random(m, n, 1), matrix.Random(n, l, 2)); err != nil {
+		t.Fatal(err)
+	}
+	pred := PredictMatMul(m, n, l, bs)
+	for s := 0; s < 2; s++ {
+		got := p.H.Interface(s)
+		if got.LoadWords != pred.LoadWords[s] || got.StoreWords != pred.StoreWords[s] {
+			t.Errorf("iface %d: got (%d,%d) want (%d,%d)",
+				s, got.LoadWords, got.StoreWords, pred.LoadWords[s], pred.StoreWords[s])
+		}
+		if got.LoadMsgs != pred.LoadMsgs[s] || got.StoreMsgs != pred.StoreMsgs[s] {
+			t.Errorf("iface %d msgs: got (%d,%d) want (%d,%d)",
+				s, got.LoadMsgs, got.StoreMsgs, pred.LoadMsgs[s], pred.StoreMsgs[s])
+		}
+	}
+}
+
+func TestMatMulWAvsNonWAWrites(t *testing.T) {
+	m, n, l, b := 16, 16, 16, 4
+	run := func(order Order) machine.InterfaceCounters {
+		p := planFor(b, order)
+		c := matrix.New(m, l)
+		if err := MatMul(p, c, matrix.Random(m, n, 1), matrix.Random(n, l, 2)); err != nil {
+			t.Fatal(err)
+		}
+		return p.H.Interface(0)
+	}
+	wa := run(OrderWA)
+	nw := run(OrderNonWA)
+	if wa.StoreWords != int64(m*l) {
+		t.Fatalf("WA stores %d != output %d", wa.StoreWords, m*l)
+	}
+	wantNW, _ := int64(0), int64(0)
+	if lw, sw := PredictMatMulNonWA(m, n, l, b); true {
+		wantNW = sw
+		if nw.LoadWords != lw {
+			t.Errorf("nonWA loads %d want %d", nw.LoadWords, lw)
+		}
+	}
+	if nw.StoreWords != wantNW {
+		t.Errorf("nonWA stores %d want %d", nw.StoreWords, wantNW)
+	}
+	if nw.StoreWords != int64(n/b)*wa.StoreWords {
+		t.Errorf("nonWA should store n/b=%d times more: %d vs %d", n/b, nw.StoreWords, wa.StoreWords)
+	}
+}
+
+func TestMatMulNaiveMinWritesMaxReads(t *testing.T) {
+	m, n, l := 8, 8, 8
+	h := machine.TwoLevel(16)
+	c := matrix.New(m, l)
+	MatMulNaive(h, c, matrix.Random(m, n, 1), matrix.Random(n, l, 2))
+	got := h.Interface(0)
+	if got.StoreWords != int64(m*l) {
+		t.Errorf("naive stores %d want output size %d", got.StoreWords, m*l)
+	}
+	if got.LoadWords != 2*int64(m)*int64(n)*int64(l) {
+		t.Errorf("naive loads %d want 2mnl=%d", got.LoadWords, 2*m*n*l)
+	}
+	want := matrix.Mul(matrix.Random(m, n, 1), matrix.Random(n, l, 2))
+	if matrix.MaxAbsDiff(c, want) > 1e-12 {
+		t.Error("naive result wrong")
+	}
+}
+
+func TestMatMulTheorem1AndResidency(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := planFor(4, OrderWA)
+		c := matrix.New(8, 12)
+		if err := MatMul(p, c, matrix.Random(8, 4, seed), matrix.Random(4, 12, seed+1)); err != nil {
+			return false
+		}
+		return p.H.Theorem1Holds(0) && p.H.ResidencyBalanced(0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for random block-aligned shapes the measured counts equal the
+// closed-form predictor exactly, at both interfaces of a 3-level machine.
+func TestMatMulCountsPropertyRandomShapes(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := seed
+		next := func(lim int) int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			return int(rng>>33)%lim + 1
+		}
+		b0, b1 := 2, 8
+		m := b1 * next(3)
+		n := b1 * next(3)
+		l := b1 * next(3)
+		p := plan3L(b0, b1, OrderWA)
+		c := matrix.New(m, l)
+		if err := MatMul(p, c, matrix.Random(m, n, seed), matrix.Random(n, l, seed+1)); err != nil {
+			return false
+		}
+		pred := PredictMatMul(m, n, l, []int{b0, b1})
+		for s := 0; s < 2; s++ {
+			got := p.H.Interface(s)
+			if got.LoadWords != pred.LoadWords[s] || got.StoreWords != pred.StoreWords[s] ||
+				got.LoadMsgs != pred.LoadMsgs[s] || got.StoreMsgs != pred.StoreMsgs[s] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulRejectsBadShapes(t *testing.T) {
+	p := planFor(4, OrderWA)
+	if err := MatMul(p, matrix.New(8, 8), matrix.New(8, 4), matrix.New(8, 8)); err == nil {
+		t.Fatal("want shape error")
+	}
+	if err := MatMul(p, matrix.New(9, 9), matrix.New(9, 9), matrix.New(9, 9)); err == nil {
+		t.Fatal("want divisibility error")
+	}
+}
+
+func TestMatMulSubAndSYRK(t *testing.T) {
+	n, b := 16, 4
+	a := matrix.Random(n, n, 70)
+	bm := matrix.Random(n, n, 71)
+	c := matrix.Random(n, n, 72)
+
+	want := c.Clone()
+	matrix.MulSub(want, a, bm)
+	p := planFor(b, OrderWA)
+	got := c.Clone()
+	if err := MatMulSub(p, got, a, bm); err != nil {
+		t.Fatal(err)
+	}
+	if matrix.MaxAbsDiff(got, want) > 1e-12 {
+		t.Fatal("MatMulSub wrong")
+	}
+
+	wantS := c.Clone()
+	matrix.MulSubTrans(wantS, a, a)
+	p2 := planFor(b, OrderWA)
+	gotS := c.Clone()
+	if err := SYRK(p2, gotS, a); err != nil {
+		t.Fatal(err)
+	}
+	if matrix.MaxAbsDiff(gotS, wantS) > 1e-12 {
+		t.Fatal("SYRK wrong")
+	}
+	// SYRK traffic matches the GEMM predictor (same blocking structure).
+	pred := PredictMatMul(n, n, n, []int{b})
+	if p2.H.Interface(0).LoadWords != pred.LoadWords[0] {
+		t.Fatalf("SYRK loads %d want %d", p2.H.Interface(0).LoadWords, pred.LoadWords[0])
+	}
+	if err := SYRK(planFor(b, OrderWA), matrix.New(8, 4), matrix.New(8, 4)); err == nil {
+		t.Fatal("want shape error")
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	h := machine.TwoLevel(10) // too small for 3 blocks of 4x4
+	p := &Plan{H: h, BlockSizes: []int{4}}
+	if err := p.validate(8); err == nil {
+		t.Fatal("want capacity error")
+	}
+	p2 := plan3L(3, 8, OrderWA) // 8 % 3 != 0
+	if err := p2.validate(16); err == nil {
+		t.Fatal("want nesting error")
+	}
+	p3 := &Plan{H: machine.TwoLevel(100), BlockSizes: []int{2, 4}}
+	if err := p3.validate(8); err == nil {
+		t.Fatal("want interface-count error")
+	}
+}
+
+func TestTRSMCorrectBothOrders(t *testing.T) {
+	n, m := 12, 8
+	tm := matrix.RandomUpperTriangular(n, 7)
+	x := matrix.Random(n, m, 8)
+	rhs := matrix.Mul(tm, x)
+	for _, order := range []Order{OrderWA, OrderNonWA} {
+		b := rhs.Clone()
+		p := planFor(4, order)
+		if err := TRSM(p, tm, b); err != nil {
+			t.Fatalf("%v: %v", order, err)
+		}
+		if matrix.MaxAbsDiff(b, x) > 1e-8 {
+			t.Fatalf("%v: TRSM wrong, diff %g", order, matrix.MaxAbsDiff(b, x))
+		}
+	}
+}
+
+func TestTRSMCorrectThreeLevel(t *testing.T) {
+	n, m := 16, 16
+	tm := matrix.RandomUpperTriangular(n, 9)
+	x := matrix.Random(n, m, 10)
+	b := matrix.Mul(tm, x)
+	p := plan3L(2, 8, OrderWA)
+	if err := TRSM(p, tm, b); err != nil {
+		t.Fatal(err)
+	}
+	if matrix.MaxAbsDiff(b, x) > 1e-8 {
+		t.Fatalf("diff %g", matrix.MaxAbsDiff(b, x))
+	}
+}
+
+func TestTRSMExactCounts(t *testing.T) {
+	n, m, b := 16, 12, 4
+	p := planFor(b, OrderWA)
+	tm := matrix.RandomUpperTriangular(n, 7)
+	rhs := matrix.Random(n, m, 8)
+	if err := TRSM(p, tm, rhs); err != nil {
+		t.Fatal(err)
+	}
+	wantL, wantS := PredictTRSM(n, m, b)
+	got := p.H.Interface(0)
+	if got.LoadWords != wantL || got.StoreWords != wantS {
+		t.Fatalf("got (%d,%d) want (%d,%d)", got.LoadWords, got.StoreWords, wantL, wantS)
+	}
+	if got.StoreWords != int64(n*m) {
+		t.Fatalf("WA TRSM must store exactly the output: %d vs %d", got.StoreWords, n*m)
+	}
+}
+
+func TestTRSMNonWAStoresMore(t *testing.T) {
+	n, m, b := 16, 12, 4
+	p := planFor(b, OrderNonWA)
+	tm := matrix.RandomUpperTriangular(n, 7)
+	rhs := matrix.Random(n, m, 8)
+	if err := TRSM(p, tm, rhs); err != nil {
+		t.Fatal(err)
+	}
+	wantL, wantS := PredictTRSMNonWA(n, m, b)
+	got := p.H.Interface(0)
+	if got.LoadWords != wantL || got.StoreWords != wantS {
+		t.Fatalf("got (%d,%d) want (%d,%d)", got.LoadWords, got.StoreWords, wantL, wantS)
+	}
+	if got.StoreWords <= int64(n*m) {
+		t.Fatal("non-WA TRSM should store more than the output")
+	}
+}
+
+func TestCholeskyCorrectBothOrders(t *testing.T) {
+	n := 16
+	for _, order := range []Order{OrderWA, OrderNonWA} {
+		a := matrix.RandomSPD(n, 5)
+		want := a.Clone()
+		if err := matrix.CholeskyInPlace(want); err != nil {
+			t.Fatal(err)
+		}
+		p := planFor(4, order)
+		if err := Cholesky(p, a); err != nil {
+			t.Fatalf("%v: %v", order, err)
+		}
+		// Compare lower triangles only.
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				d := a.At(i, j) - want.At(i, j)
+				if d < -1e-8 || d > 1e-8 {
+					t.Fatalf("%v: L(%d,%d) differs by %g", order, i, j, d)
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyCorrectThreeLevel(t *testing.T) {
+	n := 16
+	a := matrix.RandomSPD(n, 6)
+	want := a.Clone()
+	if err := matrix.CholeskyInPlace(want); err != nil {
+		t.Fatal(err)
+	}
+	p := plan3L(2, 8, OrderWA)
+	if err := Cholesky(p, a); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			d := a.At(i, j) - want.At(i, j)
+			if d < -1e-8 || d > 1e-8 {
+				t.Fatalf("L(%d,%d) differs by %g", i, j, d)
+			}
+		}
+	}
+}
+
+func TestCholeskyExactCounts(t *testing.T) {
+	n, b := 20, 4
+	p := planFor(b, OrderWA)
+	a := matrix.RandomSPD(n, 5)
+	if err := Cholesky(p, a); err != nil {
+		t.Fatal(err)
+	}
+	wantL, wantS := PredictCholesky(n, b)
+	got := p.H.Interface(0)
+	if got.LoadWords != wantL || got.StoreWords != wantS {
+		t.Fatalf("got (%d,%d) want (%d,%d)", got.LoadWords, got.StoreWords, wantL, wantS)
+	}
+	// Left-looking stores exactly the lower triangle (in block form).
+	tBlocks := int64(n / b)
+	tri := int64(b) * int64(b+1) / 2
+	wantOut := tBlocks*tri + int64(b*b)*tBlocks*(tBlocks-1)/2
+	if got.StoreWords != wantOut {
+		t.Fatalf("WA Cholesky stores %d want output triangle %d", got.StoreWords, wantOut)
+	}
+}
+
+func TestCholeskyRightLookingWritesMore(t *testing.T) {
+	n, b := 24, 4
+	run := func(order Order) int64 {
+		p := planFor(b, order)
+		a := matrix.RandomSPD(n, 9)
+		if err := Cholesky(p, a); err != nil {
+			t.Fatal(err)
+		}
+		return p.H.Interface(0).StoreWords
+	}
+	left := run(OrderWA)
+	right := run(OrderNonWA)
+	if right <= 2*left {
+		t.Fatalf("right-looking should write much more: left=%d right=%d", left, right)
+	}
+}
+
+func TestCholeskySingularityPropagates(t *testing.T) {
+	a := matrix.New(8, 8) // all-zero: not SPD
+	p := planFor(4, OrderWA)
+	if err := Cholesky(p, a); err == nil {
+		t.Fatal("want error for non-SPD input")
+	}
+}
+
+func TestTwoLevelPlanDefaultBlock(t *testing.T) {
+	p := TwoLevelPlan(300, 0, OrderWA)
+	if p.BlockSizes[0] != 10 {
+		t.Fatalf("default block %d want 10 (=sqrt(300/3))", p.BlockSizes[0])
+	}
+}
+
+func TestOrderString(t *testing.T) {
+	if OrderWA.String() != "WA" || OrderNonWA.String() != "nonWA" {
+		t.Fatal("order names")
+	}
+}
+
+// The paper's Section 4.1 multi-level induction: adding a smaller level L0
+// must (1) not change writes to the levels above, (2) keep writes to L1
+// within a constant factor, (3) do O(mnl/b0) writes to L0.
+func TestMatMulMultiLevelInduction(t *testing.T) {
+	m, n, l := 16, 16, 16
+	p2 := planFor(8, OrderWA)
+	c := matrix.New(m, l)
+	if err := MatMul(p2, c, matrix.Random(m, n, 1), matrix.Random(n, l, 2)); err != nil {
+		t.Fatal(err)
+	}
+	p3 := plan3L(2, 8, OrderWA)
+	c3 := matrix.New(m, l)
+	if err := MatMul(p3, c3, matrix.Random(m, n, 1), matrix.Random(n, l, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// (1) writes to the bottom level unchanged.
+	if p3.H.WritesTo(2) != p2.H.WritesTo(1) {
+		t.Errorf("adding a level changed slow-memory writes: %d vs %d",
+			p3.H.WritesTo(2), p2.H.WritesTo(1))
+	}
+	// (2) writes to the middle level at most a constant factor above the
+	// two-level fast-memory writes (paper proves factor ~2; the extra
+	// stores from L0 contribute one more mnl/b1 term).
+	if w3, w2 := p3.H.WritesTo(1), p2.H.WritesTo(0); w3 > 3*w2 {
+		t.Errorf("middle-level writes blew up: %d vs %d", w3, w2)
+	}
+	// (3) L0 writes are Θ(mnl/b0): here exactly mnl/b1 + 2mnl/b0 loads.
+	pred := PredictMatMul(m, n, l, []int{2, 8})
+	if p3.H.WritesTo(0) != pred.LoadWords[0] {
+		t.Errorf("L0 writes %d want %d", p3.H.WritesTo(0), pred.LoadWords[0])
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"writeavoid/internal/matrix"
+)
+
+func domMatrix(n int, seed uint64) *matrix.Dense {
+	a := matrix.Random(n, n, seed)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n)+2)
+	}
+	return a
+}
+
+func TestLUCorrectBothOrders(t *testing.T) {
+	n := 16
+	for _, order := range []Order{OrderWA, OrderNonWA} {
+		a := domMatrix(n, 3)
+		want := a.Clone()
+		if err := matrix.LUInPlace(want); err != nil {
+			t.Fatal(err)
+		}
+		p := planFor(4, order)
+		if err := LU(p, a); err != nil {
+			t.Fatalf("%v: %v", order, err)
+		}
+		if d := matrix.MaxAbsDiff(a, want); d > 1e-9 {
+			t.Fatalf("%v: packed LU differs by %g", order, d)
+		}
+	}
+}
+
+func TestLUCorrectThreeLevel(t *testing.T) {
+	n := 16
+	a := domMatrix(n, 4)
+	want := a.Clone()
+	if err := matrix.LUInPlace(want); err != nil {
+		t.Fatal(err)
+	}
+	p := plan3L(2, 8, OrderWA)
+	if err := LU(p, a); err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(a, want); d > 1e-9 {
+		t.Fatalf("multi-level LU differs by %g", d)
+	}
+}
+
+func TestLUFactorsReconstruct(t *testing.T) {
+	n := 24
+	a := domMatrix(n, 5)
+	orig := a.Clone()
+	p := planFor(4, OrderWA)
+	if err := LU(p, a); err != nil {
+		t.Fatal(err)
+	}
+	l, u := matrix.SplitLU(a)
+	if d := matrix.MaxAbsDiff(matrix.Mul(l, u), orig); d > 1e-8 {
+		t.Fatalf("L*U residual %g", d)
+	}
+}
+
+func TestLUExactCounts(t *testing.T) {
+	n, b := 16, 4
+	p := planFor(b, OrderWA)
+	a := domMatrix(n, 6)
+	if err := LU(p, a); err != nil {
+		t.Fatal(err)
+	}
+	wantL, wantS := PredictLU(n, b)
+	got := p.H.Interface(0)
+	if got.LoadWords != wantL || got.StoreWords != wantS {
+		t.Fatalf("got (%d,%d) want (%d,%d)", got.LoadWords, got.StoreWords, wantL, wantS)
+	}
+	if got.StoreWords != int64(n*n) {
+		t.Fatalf("WA LU must store exactly the matrix once: %d vs %d", got.StoreWords, n*n)
+	}
+}
+
+func TestLURightLookingWritesMore(t *testing.T) {
+	n, b := 24, 4
+	run := func(order Order) int64 {
+		p := planFor(b, order)
+		a := domMatrix(n, 7)
+		if err := LU(p, a); err != nil {
+			t.Fatal(err)
+		}
+		return p.H.Interface(0).StoreWords
+	}
+	left, right := run(OrderWA), run(OrderNonWA)
+	if left != int64(n*n) {
+		t.Fatalf("left-looking stores %d want %d", left, n*n)
+	}
+	if right <= 2*left {
+		t.Fatalf("right-looking should write much more: %d vs %d", right, left)
+	}
+}
+
+func TestLUZeroPivotPropagates(t *testing.T) {
+	a := matrix.New(8, 8)
+	p := planFor(4, OrderWA)
+	if err := LU(p, a); err == nil {
+		t.Fatal("want zero-pivot error")
+	}
+}
+
+func TestLUModelInvariants(t *testing.T) {
+	p := planFor(4, OrderWA)
+	a := domMatrix(16, 8)
+	if err := LU(p, a); err != nil {
+		t.Fatal(err)
+	}
+	if !p.H.Theorem1Holds(0) || !p.H.ResidencyBalanced(0) {
+		t.Fatal("model invariants violated")
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"writeavoid/internal/machine"
+	"writeavoid/internal/matrix"
+)
+
+// QR computes a thin QR factorization A = Q*R by blocked modified
+// Gram-Schmidt, overwriting A with the orthonormal Q and filling R (upper
+// triangular). The paper's Section 4.3 conjectures that the left-/right-
+// looking write contrast of Cholesky extends to QR; this confirms it:
+//
+//   - OrderWA (left-looking MGS): each block column of A is staged into fast
+//     memory once, orthogonalized against all previously finished Q panels
+//     (read tile by tile), factored, and written back once. Writes to slow
+//     memory equal the output size (n*m for Q plus the R triangle).
+//
+//   - OrderNonWA (right-looking MGS): after each panel is finished it is
+//     immediately applied to every trailing panel, which is re-loaded and
+//     re-stored once per step — Theta(n*m^2/b) writes.
+//
+// Both variants keep a full m x b panel resident, so fast memory must hold
+// m*b + 2*b^2 words (checked); with M ~ 3b^2 column residency is impossible,
+// which is why — unlike matmul/TRSM/Cholesky/LU — write-avoiding QR here
+// trades some read-optimality for write-optimality, the same trade the
+// paper's LL-LUNP makes in the parallel setting.
+func QR(h *machine.Hierarchy, b int, order Order, a, r *matrix.Dense) error {
+	m, n := a.Rows, a.Cols
+	if r.Rows != n || r.Cols != n {
+		return fmt.Errorf("core: QR needs %dx%d R, got %dx%d", n, n, r.Rows, r.Cols)
+	}
+	if n%b != 0 || m%b != 0 {
+		return fmt.Errorf("core: QR dims %dx%d not multiples of block %d", m, n, b)
+	}
+	need := int64(m*b + 2*b*b)
+	if order == OrderNonWA {
+		need = int64(2*m*b + 2*b*b) // the updated trailing panel is co-resident
+	}
+	if sz := h.LevelInfo(0).Size; sz > 0 && need > sz {
+		return fmt.Errorf("core: QR panel residency needs %d words, fast memory has %d", need, sz)
+	}
+	r.Zero()
+	if order == OrderWA {
+		qrLeft(h, b, a, r)
+	} else {
+		qrRight(h, b, a, r)
+	}
+	return nil
+}
+
+// panel returns the m x b view of block column i.
+func panel(a *matrix.Dense, i, b int) *matrix.Dense {
+	return a.Block(0, i*b, a.Rows, b)
+}
+
+func qrLeft(h *machine.Hierarchy, b int, a, r *matrix.Dense) {
+	m, n := a.Rows, a.Cols
+	nb := n / b
+	pw := int64(m * b) // panel words
+
+	for i := 0; i < nb; i++ {
+		pi := panel(a, i, b)
+		h.Load(0, pw)
+		// Orthogonalize against every finished panel K < i, reading Q
+		// tiles twice (once to form R(K,i), once to apply it).
+		for k := 0; k < i; k++ {
+			rki := r.Block(k*b, i*b, b, b)
+			h.Init(0, int64(b*b))
+			// R(K,i) = Q(:,K)^T * A(:,i), accumulated tile by tile.
+			for t0 := 0; t0 < m; t0 += b {
+				qt := a.Block(t0, k*b, b, b)
+				h.Load(0, int64(b*b))
+				matrix.MulSubTrans(rki, qt.Transpose(), pi.Block(t0, 0, b, b).Transpose())
+				h.Flops(2 * int64(b) * int64(b) * int64(b))
+				h.Discard(0, int64(b*b))
+			}
+			rki.Scale(-1) // MulSubTrans accumulated the negation
+			// A(:,i) -= Q(:,K) * R(K,i), tile by tile; the panel
+			// stays resident so nothing is written to slow memory.
+			for t0 := 0; t0 < m; t0 += b {
+				qt := a.Block(t0, k*b, b, b)
+				h.Load(0, int64(b*b))
+				matrix.MulSub(pi.Block(t0, 0, b, b), qt, rki)
+				h.Flops(2 * int64(b) * int64(b) * int64(b))
+				h.Discard(0, int64(b*b))
+			}
+			h.Store(0, int64(b*b)) // R(K,i), once
+		}
+		// Factor the panel in fast memory (column MGS within the panel).
+		h.Init(0, int64(b*b))
+		mgsPanel(h, pi, r.Block(i*b, i*b, b, b))
+		h.Store(0, int64(b*b)) // R(i,i)
+		h.Store(0, pw)         // finished Q panel, once
+	}
+}
+
+func qrRight(h *machine.Hierarchy, b int, a, r *matrix.Dense) {
+	m, n := a.Rows, a.Cols
+	nb := n / b
+	pw := int64(m * b)
+
+	for k := 0; k < nb; k++ {
+		pk := panel(a, k, b)
+		h.Load(0, pw)
+		h.Init(0, int64(b*b))
+		mgsPanel(h, pk, r.Block(k*b, k*b, b, b))
+		h.Store(0, int64(b*b))
+		// Immediately apply Q(:,k) to every trailing panel: each is
+		// loaded and stored once per k — the write amplification.
+		for j := k + 1; j < nb; j++ {
+			pj := panel(a, j, b)
+			h.Load(0, pw)
+			rkj := r.Block(k*b, j*b, b, b)
+			h.Init(0, int64(b*b))
+			for t0 := 0; t0 < m; t0 += b {
+				matrix.MulSubTrans(rkj, pk.Block(t0, 0, b, b).Transpose(), pj.Block(t0, 0, b, b).Transpose())
+				h.Flops(2 * int64(b) * int64(b) * int64(b))
+			}
+			rkj.Scale(-1)
+			for t0 := 0; t0 < m; t0 += b {
+				matrix.MulSub(pj.Block(t0, 0, b, b), pk.Block(t0, 0, b, b), rkj)
+				h.Flops(2 * int64(b) * int64(b) * int64(b))
+			}
+			h.Store(0, int64(b*b))
+			h.Store(0, pw)
+		}
+		h.Store(0, pw) // finished Q panel
+	}
+}
+
+// mgsPanel orthonormalizes an in-fast-memory m x b panel by modified
+// Gram-Schmidt, writing the b x b triangle rd.
+func mgsPanel(h *machine.Hierarchy, p *matrix.Dense, rd *matrix.Dense) {
+	m, b := p.Rows, p.Cols
+	for j := 0; j < b; j++ {
+		s := 0.0
+		for t := 0; t < m; t++ {
+			v := p.At(t, j)
+			s += v * v
+		}
+		nrm := math.Sqrt(s)
+		if nrm == 0 {
+			panic("core: rank-deficient panel in QR")
+		}
+		rd.Set(j, j, nrm)
+		inv := 1 / nrm
+		for t := 0; t < m; t++ {
+			p.Set(t, j, p.At(t, j)*inv)
+		}
+		for c := j + 1; c < b; c++ {
+			d := 0.0
+			for t := 0; t < m; t++ {
+				d += p.At(t, j) * p.At(t, c)
+			}
+			rd.Set(j, c, d)
+			for t := 0; t < m; t++ {
+				p.Set(t, c, p.At(t, c)-d*p.At(t, j))
+			}
+		}
+	}
+	h.Flops(2 * int64(m) * int64(b) * int64(b))
+}
+
+// PredictQR returns the exact top-interface counts of the left-looking
+// (OrderWA) QR of an m x n matrix with block size B (T = n/B):
+//
+//	stores = m*n (Q, once) + B^2*T(T+1)/2 (R tiles)
+//	loads  = m*n (the panels) + 2*m*B*B^2-tile reads ... = m*n + 2*m*B*T(T-1)/2... computed below.
+func PredictQR(m, n, blockSize int) (loadWords, storeWords int64) {
+	b := int64(blockSize)
+	t := int64(n) / b
+	M := int64(m)
+	pairs := t * (t - 1) / 2 // (K,i) panel pairs
+	loadWords = M*b*t + pairs*2*M*b
+	storeWords = M*b*t + b*b*pairs + b*b*t // Q + off-diag R tiles + diagonal R tiles
+	return loadWords, storeWords
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"writeavoid/internal/machine"
+	"writeavoid/internal/matrix"
+)
+
+func qrMachine(m, b int, order Order) *machine.Hierarchy {
+	need := int64(m*b + 2*b*b)
+	if order == OrderNonWA {
+		need = int64(2*m*b + 2*b*b)
+	}
+	return machine.TwoLevel(need)
+}
+
+func checkQR(t *testing.T, q, r, a *matrix.Dense, tag string) {
+	t.Helper()
+	// Q*R == A.
+	if d := matrix.MaxAbsDiff(matrix.Mul(q, r), a); d > 1e-9 {
+		t.Fatalf("%s: Q*R differs from A by %g", tag, d)
+	}
+	// Q^T Q == I.
+	qtq := matrix.Mul(q.Transpose(), q)
+	if d := matrix.MaxAbsDiff(qtq, matrix.Identity(q.Cols)); d > 1e-9 {
+		t.Fatalf("%s: Q not orthonormal, deviation %g", tag, d)
+	}
+	// R upper triangular.
+	for i := 0; i < r.Rows; i++ {
+		for j := 0; j < i; j++ {
+			if r.At(i, j) != 0 {
+				t.Fatalf("%s: R(%d,%d) = %g below diagonal", tag, i, j, r.At(i, j))
+			}
+		}
+	}
+}
+
+func TestQRCorrectBothOrders(t *testing.T) {
+	m, n, b := 24, 16, 4
+	for _, order := range []Order{OrderWA, OrderNonWA} {
+		a := matrix.Random(m, n, 11)
+		q := a.Clone()
+		r := matrix.New(n, n)
+		h := qrMachine(m, b, order)
+		if err := QR(h, b, order, q, r); err != nil {
+			t.Fatalf("%v: %v", order, err)
+		}
+		checkQR(t, q, r, a, order.String())
+	}
+}
+
+func TestQRSquare(t *testing.T) {
+	n, b := 16, 4
+	a := matrix.Random(n, n, 12)
+	q := a.Clone()
+	r := matrix.New(n, n)
+	h := qrMachine(n, b, OrderWA)
+	if err := QR(h, b, OrderWA, q, r); err != nil {
+		t.Fatal(err)
+	}
+	checkQR(t, q, r, a, "square")
+}
+
+func TestQRExactCounts(t *testing.T) {
+	m, n, b := 24, 16, 4
+	a := matrix.Random(m, n, 13)
+	q := a.Clone()
+	r := matrix.New(n, n)
+	h := qrMachine(m, b, OrderWA)
+	if err := QR(h, b, OrderWA, q, r); err != nil {
+		t.Fatal(err)
+	}
+	wantL, wantS := PredictQR(m, n, b)
+	got := h.Interface(0)
+	if got.LoadWords != wantL || got.StoreWords != wantS {
+		t.Fatalf("got (%d,%d) want (%d,%d)", got.LoadWords, got.StoreWords, wantL, wantS)
+	}
+	if !h.Theorem1Holds(0) || !h.ResidencyBalanced(0) {
+		t.Fatal("model invariants violated")
+	}
+}
+
+func TestQRLeftLookingWriteAvoiding(t *testing.T) {
+	m, n, b := 32, 24, 4
+	run := func(order Order) int64 {
+		a := matrix.Random(m, n, 14)
+		q := a.Clone()
+		r := matrix.New(n, n)
+		h := qrMachine(m, b, order)
+		if err := QR(h, b, order, q, r); err != nil {
+			t.Fatal(err)
+		}
+		return h.Interface(0).StoreWords
+	}
+	left, right := run(OrderWA), run(OrderNonWA)
+	// Left-looking stores ~ output (Q plus R tiles).
+	output := int64(m*n) + int64(n/b)*int64(n/b+1)/2*int64(b*b)
+	if left > output {
+		t.Fatalf("WA QR stores %d exceed output %d", left, output)
+	}
+	if right <= 2*left {
+		t.Fatalf("right-looking should write much more: %d vs %d", right, left)
+	}
+}
+
+func TestQRValidation(t *testing.T) {
+	h := machine.TwoLevel(100)
+	if err := QR(h, 4, OrderWA, matrix.Random(24, 16, 1), matrix.New(16, 16)); err == nil {
+		t.Fatal("want panel-capacity error")
+	}
+	h2 := qrMachine(24, 4, OrderWA)
+	if err := QR(h2, 4, OrderWA, matrix.Random(24, 16, 1), matrix.New(8, 8)); err == nil {
+		t.Fatal("want R-shape error")
+	}
+	if err := QR(h2, 5, OrderWA, matrix.Random(24, 16, 1), matrix.New(16, 16)); err == nil {
+		t.Fatal("want divisibility error")
+	}
+}
+
+func TestQRRankDeficientPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h := qrMachine(8, 4, OrderWA)
+	QR(h, 4, OrderWA, matrix.New(8, 8), matrix.New(8, 8)) //nolint:errcheck
+}

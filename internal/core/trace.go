@@ -1,0 +1,197 @@
+package core
+
+import (
+	"writeavoid/internal/access"
+)
+
+// This file contains the element-granularity address-trace emitters behind
+// the Section 6 experiments (Figures 2 and 5): the same blocked matrix
+// multiplication instruction orders as Figure 4 of the paper, but instead of
+// driving explicit Load/Store counters they emit every element access so a
+// simulated cache with a real replacement policy (internal/cache) decides
+// what moves.
+//
+// The emitters do not compute; they only generate the access stream, which
+// is what the hardware counters of the paper observe.
+
+// TraceLevel is one level of blocking in a traced matmul.
+type TraceLevel struct {
+	// Block is the tile edge at this level.
+	Block int
+	// ContractionInner selects the loop order: true is the write-avoiding
+	// order of the paper's Fig. 4a WAMatMul (output-block loops outside,
+	// contraction innermost); false is Fig. 4b's ABMatMul order
+	// (contraction outermost).
+	ContractionInner bool
+}
+
+// MatMulTrace describes a traced multiplication C(m×l) += A(m×n)*B(n×l),
+// with blocking levels ordered coarsest (L3) first. An empty Levels list goes
+// straight to the element kernel.
+type MatMulTrace struct {
+	M, N, L int
+	Levels  []TraceLevel
+
+	A, B, C access.Region
+}
+
+// NewMatMulTrace lays out A, B and C in a fresh line-aligned address space.
+func NewMatMulTrace(m, n, l int, lineBytes int, levels ...TraceLevel) *MatMulTrace {
+	lay := access.NewLayout(uint64(lineBytes))
+	return &MatMulTrace{
+		M: m, N: n, L: l,
+		Levels: levels,
+		A:      lay.NewRegion(m, n),
+		B:      lay.NewRegion(n, l),
+		C:      lay.NewRegion(m, l),
+	}
+}
+
+// Run emits the full access stream into sink.
+func (t *MatMulTrace) Run(sink access.Sink) {
+	t.recurse(sink, t.Levels, 0, 0, 0, t.M, t.L, t.N)
+}
+
+// recurse multiplies the (ci,cj) anchored sub-problem of extent (m rows of C,
+// l cols of C, n contraction) at the given blocking depth. ck is the
+// contraction offset.
+func (t *MatMulTrace) recurse(sink access.Sink, levels []TraceLevel, ci, cj, ck, m, l, n int) {
+	if len(levels) == 0 {
+		t.kernel(sink, ci, cj, ck, m, l, n)
+		return
+	}
+	lv := levels[0]
+	b := lv.Block
+	mb, lb, nb := ceilDiv(m, b), ceilDiv(l, b), ceilDiv(n, b)
+	step := func(i, j, k int) {
+		t.recurse(sink, levels[1:],
+			ci+i*b, cj+j*b, ck+k*b,
+			min(b, m-i*b), min(b, l-j*b), min(b, n-k*b))
+	}
+	if lv.ContractionInner {
+		// Fig. 4a order: all contributions to one C block execute
+		// consecutively.
+		for i := 0; i < mb; i++ {
+			for j := 0; j < lb; j++ {
+				for k := 0; k < nb; k++ {
+					step(i, j, k)
+				}
+			}
+		}
+	} else {
+		// Fig. 4b order: contraction outermost (slabs parallel to C).
+		for k := 0; k < nb; k++ {
+			for i := 0; i < mb; i++ {
+				for j := 0; j < lb; j++ {
+					step(i, j, k)
+				}
+			}
+		}
+	}
+}
+
+// kernel is the innermost element loop with register accumulation of each C
+// element: read C once, stream the dot product, write C once.
+func (t *MatMulTrace) kernel(sink access.Sink, ci, cj, ck, m, l, n int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < l; j++ {
+			sink.Access(t.C.Addr(ci+i, cj+j), false)
+			for k := 0; k < n; k++ {
+				sink.Access(t.A.Addr(ci+i, ck+k), false)
+				sink.Access(t.B.Addr(ck+k, cj+j), false)
+			}
+			sink.Access(t.C.Addr(ci+i, cj+j), true)
+		}
+	}
+}
+
+// PredictTraceOps returns the exact number of reads and writes the trace will
+// emit when all dims divide the finest block evenly: every base-kernel call
+// reads and writes each of its C elements once and streams A and B.
+func (t *MatMulTrace) PredictTraceOps() (reads, writes int64) {
+	fin := t.finestBlock()
+	M, N, L := int64(t.M), int64(t.N), int64(t.L)
+	cVisits := M * L * (N / int64(fin))
+	return 2*M*N*L + cVisits, cVisits
+}
+
+func (t *MatMulTrace) finestBlock() int {
+	if len(t.Levels) == 0 {
+		return t.N
+	}
+	return t.Levels[len(t.Levels)-1].Block
+}
+
+// COMatMulTrace is the cache-oblivious recursive order of Figure 2a (Frigo et
+// al.): split the largest of the three dimensions in half, recurse, and run
+// the element kernel below a base threshold. Splitting the contraction
+// dimension executes the two halves in sequence on the same C block.
+type COMatMulTrace struct {
+	M, N, L int
+	Base    int
+	A, B, C access.Region
+}
+
+// NewCOMatMulTrace lays out the operands in a fresh address space.
+func NewCOMatMulTrace(m, n, l, base, lineBytes int) *COMatMulTrace {
+	lay := access.NewLayout(uint64(lineBytes))
+	return &COMatMulTrace{
+		M: m, N: n, L: l, Base: base,
+		A: lay.NewRegion(m, n),
+		B: lay.NewRegion(n, l),
+		C: lay.NewRegion(m, l),
+	}
+}
+
+// Run emits the access stream.
+func (t *COMatMulTrace) Run(sink access.Sink) {
+	t.rec(sink, 0, 0, 0, t.M, t.L, t.N)
+}
+
+func (t *COMatMulTrace) rec(sink access.Sink, ci, cj, ck, m, l, n int) {
+	if m <= t.Base && l <= t.Base && n <= t.Base {
+		for i := 0; i < m; i++ {
+			for j := 0; j < l; j++ {
+				sink.Access(t.C.Addr(ci+i, cj+j), false)
+				for k := 0; k < n; k++ {
+					sink.Access(t.A.Addr(ci+i, ck+k), false)
+					sink.Access(t.B.Addr(ck+k, cj+j), false)
+				}
+				sink.Access(t.C.Addr(ci+i, cj+j), true)
+			}
+		}
+		return
+	}
+	switch {
+	case m >= l && m >= n:
+		h := m / 2
+		t.rec(sink, ci, cj, ck, h, l, n)
+		t.rec(sink, ci+h, cj, ck, m-h, l, n)
+	case l >= n:
+		h := l / 2
+		t.rec(sink, ci, cj, ck, m, h, n)
+		t.rec(sink, ci, cj+h, ck, m, l-h, n)
+	default:
+		h := n / 2
+		t.rec(sink, ci, cj, ck, m, l, h)
+		t.rec(sink, ci, cj, ck+h, m, l, n-h)
+	}
+}
+
+// IdealCacheMisses is the Frigo et al. ideal-cache miss estimate for the
+// cache-oblivious multiplication — the "Misses on Ideal Cache" reference line
+// of Figure 2a — in cache lines:
+//
+//	( m*n*ceil(l/s) + l*n*ceil(m/s) + l*m*ceil(n/s) ) * elemBytes/lineBytes
+//
+// with s = sqrt(M/(3*elemBytes)) the largest square tile edge fitting in a
+// cache of M bytes.
+func IdealCacheMisses(l, m, n int, cacheBytes, lineBytes int) int64 {
+	s := isqrt(int64(cacheBytes) / (3 * 8))
+	if s < 1 {
+		s = 1
+	}
+	ceil := func(a int) int64 { return int64((a + s - 1) / s) }
+	elems := int64(m)*int64(n)*ceil(l) + int64(l)*int64(n)*ceil(m) + int64(l)*int64(m)*ceil(n)
+	return elems * 8 / int64(lineBytes)
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"writeavoid/internal/access"
+)
+
+// Element-granularity trace emitters for the remaining Proposition 6.2
+// kernels: blocked TRSM (Algorithm 2 order), left-looking blocked Cholesky
+// (Algorithm 3 order), and the blocked direct (N,2)-body (Algorithm 4
+// order). Replayed through a fully-associative LRU cache with five blocks
+// resident, each writes back exactly its output — the Prop 6.2 statement.
+
+// TRSMTrace traces the two-level blocked triangular solve T*X = B
+// (T n x n upper, B n x m, X overwrites B) in the write-avoiding order.
+type TRSMTrace struct {
+	N, M, Block int
+	T, B        access.Region
+}
+
+// NewTRSMTrace lays out T and B in a fresh address space.
+func NewTRSMTrace(n, m, block, lineBytes int) *TRSMTrace {
+	lay := access.NewLayout(uint64(lineBytes))
+	return &TRSMTrace{N: n, M: m, Block: block, T: lay.NewRegion(n, n), B: lay.NewRegion(n, m)}
+}
+
+// Run emits the access stream.
+func (t *TRSMTrace) Run(sink access.Sink) {
+	b := t.Block
+	nb, mb := ceilDiv(t.N, b), ceilDiv(t.M, b)
+	for j := 0; j < mb; j++ {
+		jw := min(b, t.M-j*b)
+		for i := nb - 1; i >= 0; i-- {
+			iw := min(b, t.N-i*b)
+			// Updates: B(i,j) -= T(i,k) * X(k,j), k > i.
+			for k := i + 1; k < nb; k++ {
+				kw := min(b, t.N-k*b)
+				for r := 0; r < iw; r++ {
+					for c := 0; c < jw; c++ {
+						sink.Access(t.B.Addr(i*b+r, j*b+c), false)
+						for x := 0; x < kw; x++ {
+							sink.Access(t.T.Addr(i*b+r, k*b+x), false)
+							sink.Access(t.B.Addr(k*b+x, j*b+c), false)
+						}
+						sink.Access(t.B.Addr(i*b+r, j*b+c), true)
+					}
+				}
+			}
+			// Diagonal solve with T(i,i): back substitution within
+			// the block.
+			for c := 0; c < jw; c++ {
+				for r := iw - 1; r >= 0; r-- {
+					sink.Access(t.B.Addr(i*b+r, j*b+c), false)
+					for x := r + 1; x < iw; x++ {
+						sink.Access(t.T.Addr(i*b+r, i*b+x), false)
+						sink.Access(t.B.Addr(i*b+x, j*b+c), false)
+					}
+					sink.Access(t.T.Addr(i*b+r, i*b+r), false)
+					sink.Access(t.B.Addr(i*b+r, j*b+c), true)
+				}
+			}
+		}
+	}
+}
+
+// CholeskyTrace traces the two-level left-looking blocked Cholesky
+// (Algorithm 3 order) on an n x n SPD matrix.
+type CholeskyTrace struct {
+	N, Block int
+	A        access.Region
+}
+
+// NewCholeskyTrace lays out A in a fresh address space.
+func NewCholeskyTrace(n, block, lineBytes int) *CholeskyTrace {
+	lay := access.NewLayout(uint64(lineBytes))
+	return &CholeskyTrace{N: n, Block: block, A: lay.NewRegion(n, n)}
+}
+
+// Run emits the access stream.
+func (t *CholeskyTrace) Run(sink access.Sink) {
+	b := t.Block
+	nb := ceilDiv(t.N, b)
+	bw := func(i int) int { return min(b, t.N-i*b) }
+
+	// kernelSubABt streams C(ci,cj) -= A(ai,k) * A(bi,k)^T at element
+	// granularity (each C element register-accumulated per call).
+	kernelSubABt := func(ci, cj, ai, bi, k, rows, cols, inner int) {
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				sink.Access(t.A.Addr(ci*b+r, cj*b+c), false)
+				for x := 0; x < inner; x++ {
+					sink.Access(t.A.Addr(ai*b+r, k*b+x), false)
+					sink.Access(t.A.Addr(bi*b+c, k*b+x), false)
+				}
+				sink.Access(t.A.Addr(ci*b+r, cj*b+c), true)
+			}
+		}
+	}
+
+	for i := 0; i < nb; i++ {
+		iw := bw(i)
+		// Diagonal: A(i,i) -= sum_k A(i,k) A(i,k)^T, then factor.
+		for k := 0; k < i; k++ {
+			kw := bw(k)
+			for r := 0; r < iw; r++ {
+				for c := 0; c <= r; c++ {
+					sink.Access(t.A.Addr(i*b+r, i*b+c), false)
+					for x := 0; x < kw; x++ {
+						sink.Access(t.A.Addr(i*b+r, k*b+x), false)
+						sink.Access(t.A.Addr(i*b+c, k*b+x), false)
+					}
+					sink.Access(t.A.Addr(i*b+r, i*b+c), true)
+				}
+			}
+		}
+		// In-block factorization (lower triangle).
+		for c := 0; c < iw; c++ {
+			for r := c; r < iw; r++ {
+				sink.Access(t.A.Addr(i*b+r, i*b+c), false)
+				for x := 0; x < c; x++ {
+					sink.Access(t.A.Addr(i*b+r, i*b+x), false)
+					sink.Access(t.A.Addr(i*b+c, i*b+x), false)
+				}
+				sink.Access(t.A.Addr(i*b+r, i*b+c), true)
+			}
+		}
+		// Off-diagonal block column: updates then TRSM with A(i,i).
+		for j := i + 1; j < nb; j++ {
+			jw := bw(j)
+			for k := 0; k < i; k++ {
+				kernelSubABt(j, i, j, i, k, jw, iw, bw(k))
+			}
+			// TRSM: solve Tmp * A(i,i)^T = A(j,i) column by column.
+			for r := 0; r < jw; r++ {
+				for c := 0; c < iw; c++ {
+					sink.Access(t.A.Addr(j*b+r, i*b+c), false)
+					for x := 0; x < c; x++ {
+						sink.Access(t.A.Addr(j*b+r, i*b+x), false)
+						sink.Access(t.A.Addr(i*b+c, i*b+x), false)
+					}
+					sink.Access(t.A.Addr(i*b+c, i*b+c), false)
+					sink.Access(t.A.Addr(j*b+r, i*b+c), true)
+				}
+			}
+		}
+	}
+}
+
+// NBodyTrace traces the two-level blocked direct (N,2)-body (Algorithm 4):
+// particle and force arrays of N one-word elements.
+type NBodyTrace struct {
+	N, Block int
+	P, F     access.Region
+}
+
+// NewNBodyTrace lays out the particle and force arrays.
+func NewNBodyTrace(n, block, lineBytes int) *NBodyTrace {
+	lay := access.NewLayout(uint64(lineBytes))
+	return &NBodyTrace{N: n, Block: block, P: lay.NewRegion(1, n), F: lay.NewRegion(1, n)}
+}
+
+// Run emits the access stream.
+func (t *NBodyTrace) Run(sink access.Sink) {
+	b := t.Block
+	for i0 := 0; i0 < t.N; i0 += b {
+		ih := min(b, t.N-i0)
+		// F block initialized in place (writes), P1 block read.
+		for i := 0; i < ih; i++ {
+			sink.Access(t.F.Addr(0, i0+i), true)
+			sink.Access(t.P.Addr(0, i0+i), false)
+		}
+		for j0 := 0; j0 < t.N; j0 += b {
+			jh := min(b, t.N-j0)
+			for i := 0; i < ih; i++ {
+				sink.Access(t.F.Addr(0, i0+i), false)
+				sink.Access(t.P.Addr(0, i0+i), false)
+				for j := 0; j < jh; j++ {
+					sink.Access(t.P.Addr(0, j0+j), false)
+				}
+				sink.Access(t.F.Addr(0, i0+i), true)
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"writeavoid/internal/access"
+	"writeavoid/internal/cache"
+)
+
+const lineB = 64
+
+// lruFiveFit builds the Proposition 6.1/6.2 cache: five b x b blocks of
+// doubles plus one line, fully associative, true LRU.
+func lruFiveFit(b int) *cache.FALRU {
+	return cache.NewFALRU(5*b*b*8+lineB, lineB)
+}
+
+// Proposition 6.2, TRSM: write-backs equal the output (n*m words in lines).
+func TestProp62TRSMExactWritebacks(t *testing.T) {
+	n, m, b := 64, 64, 16
+	tr := NewTRSMTrace(n, m, b, lineB)
+	c := lruFiveFit(b)
+	tr.Run(access.SinkFunc(c.Access))
+	c.FlushDirty()
+	outLines := int64(n * m * 8 / lineB)
+	if got := c.Stats().VictimsM; got != outLines {
+		t.Fatalf("TRSM write-backs %d != output %d lines", got, outLines)
+	}
+}
+
+// Proposition 6.2, Cholesky: write-backs equal the touched lower-triangle
+// blocks (the output, in block granularity).
+func TestProp62CholeskyExactWritebacks(t *testing.T) {
+	n, b := 64, 16
+	tr := NewCholeskyTrace(n, b, lineB)
+	c := lruFiveFit(b)
+	tr.Run(access.SinkFunc(c.Access))
+	c.FlushDirty()
+	// The trace dirties the lower-triangle blocks, and within each
+	// diagonal block only the lower-triangle lines: off-diagonal blocks
+	// contribute b^2 words each, diagonal blocks sum ceil((r+1)*8/lineB)
+	// lines over their rows.
+	tBlocks := int64(n / b)
+	elemsPerLine := lineB / 8
+	diagLines := int64(0)
+	for r := 0; r < b; r++ {
+		diagLines += int64((r + elemsPerLine) / elemsPerLine) // ceil((r+1)/epl)
+	}
+	outLines := tBlocks*(tBlocks-1)/2*int64(b*b)/int64(elemsPerLine) + tBlocks*diagLines
+	if got := c.Stats().VictimsM; got != outLines {
+		t.Fatalf("Cholesky write-backs %d != touched output %d lines", got, outLines)
+	}
+}
+
+// Proposition 6.2, N-body: write-backs equal the force array.
+func TestProp62NBodyExactWritebacks(t *testing.T) {
+	n, b := 1024, 128
+	tr := NewNBodyTrace(n, b, lineB)
+	// Footprint is three length-b vectors, so five-fit is generous:
+	// 5 blocks of b words.
+	c := cache.NewFALRU(5*b*8+lineB, lineB)
+	tr.Run(access.SinkFunc(c.Access))
+	c.FlushDirty()
+	outLines := int64(n * 8 / lineB)
+	if got := c.Stats().VictimsM; got != outLines {
+		t.Fatalf("N-body write-backs %d != force array %d lines", got, outLines)
+	}
+}
+
+// The non-geometric sanity side: the same traces through a cache holding
+// fewer than the required blocks must write back more.
+func TestProp62SmallCacheWritesMore(t *testing.T) {
+	n, m, b := 64, 64, 16
+	tr := NewTRSMTrace(n, m, b, lineB)
+	small := cache.NewFALRU(2*b*b*8, lineB)
+	tr.Run(access.SinkFunc(small.Access))
+	small.FlushDirty()
+	outLines := int64(n * m * 8 / lineB)
+	if got := small.Stats().VictimsM; got <= outLines {
+		t.Fatalf("2-fit cache should exceed the bound: %d vs %d", got, outLines)
+	}
+}
+
+// The traces touch every element of their operands.
+func TestTracesTouchOperands(t *testing.T) {
+	tr := NewTRSMTrace(16, 8, 4, lineB)
+	seen := map[uint64]bool{}
+	tr.Run(access.SinkFunc(func(a uint64, _ bool) { seen[a] = true }))
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 8; j++ {
+			if !seen[tr.B.Addr(i, j)] {
+				t.Fatalf("B(%d,%d) untouched", i, j)
+			}
+		}
+		for j := i; j < 16; j++ {
+			if !seen[tr.T.Addr(i, j)] {
+				t.Fatalf("T(%d,%d) untouched", i, j)
+			}
+		}
+	}
+
+	ch := NewCholeskyTrace(16, 4, lineB)
+	seen = map[uint64]bool{}
+	ch.Run(access.SinkFunc(func(a uint64, _ bool) { seen[a] = true }))
+	for i := 0; i < 16; i++ {
+		for j := 0; j <= i; j++ {
+			if !seen[ch.A.Addr(i, j)] {
+				t.Fatalf("A(%d,%d) untouched", i, j)
+			}
+		}
+	}
+
+	nb := NewNBodyTrace(64, 8, lineB)
+	var cnt access.Counter
+	nb.Run(&cnt)
+	// Writes: init N + one per (i, j-block) visit = N + N*(N/b).
+	if want := int64(64 + 64*8); cnt.Writes != want {
+		t.Fatalf("N-body trace writes %d want %d", cnt.Writes, want)
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+
+	"writeavoid/internal/access"
+	"writeavoid/internal/cache"
+)
+
+func TestTraceOpCountsMatchPrediction(t *testing.T) {
+	tr := NewMatMulTrace(16, 32, 16, 64,
+		TraceLevel{Block: 8, ContractionInner: true},
+		TraceLevel{Block: 4, ContractionInner: false})
+	var c access.Counter
+	tr.Run(&c)
+	wantR, wantW := tr.PredictTraceOps()
+	if c.Reads != wantR || c.Writes != wantW {
+		t.Fatalf("got (%d,%d) want (%d,%d)", c.Reads, c.Writes, wantR, wantW)
+	}
+}
+
+func TestTraceTouchesEveryOperandElement(t *testing.T) {
+	m, n, l := 8, 8, 8
+	tr := NewMatMulTrace(m, n, l, 64, TraceLevel{Block: 4, ContractionInner: true})
+	seen := map[uint64]bool{}
+	tr.Run(access.SinkFunc(func(a uint64, _ bool) { seen[a] = true }))
+	for i := 0; i < m; i++ {
+		for k := 0; k < n; k++ {
+			if !seen[tr.A.Addr(i, k)] {
+				t.Fatalf("A(%d,%d) never touched", i, k)
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for j := 0; j < l; j++ {
+			if !seen[tr.B.Addr(k, j)] {
+				t.Fatalf("B(%d,%d) never touched", k, j)
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < l; j++ {
+			if !seen[tr.C.Addr(i, j)] {
+				t.Fatalf("C(%d,%d) never touched", i, j)
+			}
+		}
+	}
+}
+
+func TestTraceWritesOnlyC(t *testing.T) {
+	tr := NewMatMulTrace(8, 8, 8, 64, TraceLevel{Block: 4, ContractionInner: false})
+	tr.Run(access.SinkFunc(func(a uint64, w bool) {
+		if w && (a < tr.C.Base || a >= tr.C.Base+uint64(8*8*8)) {
+			t.Fatalf("write outside C at %d", a)
+		}
+	}))
+}
+
+func TestTraceRaggedDimensions(t *testing.T) {
+	// Dims not divisible by the block must still touch everything exactly.
+	tr := NewMatMulTrace(10, 7, 13, 64, TraceLevel{Block: 4, ContractionInner: true})
+	var c access.Counter
+	tr.Run(&c)
+	// Reads of A and B are exactly 2*m*n*l regardless of blocking.
+	abReads := int64(2 * 10 * 7 * 13)
+	if c.Reads < abReads {
+		t.Fatalf("reads %d < A/B stream %d", c.Reads, abReads)
+	}
+	if c.Writes < 10*13 {
+		t.Fatalf("writes %d < output size", c.Writes)
+	}
+}
+
+func TestCOTraceTotalWork(t *testing.T) {
+	co := NewCOMatMulTrace(16, 16, 16, 4, 64)
+	var c access.Counter
+	co.Run(&c)
+	// A and B are each read exactly once per inner-loop iteration.
+	if c.Reads < 2*16*16*16 {
+		t.Fatalf("CO reads %d too low", c.Reads)
+	}
+	if c.Writes <= 0 {
+		t.Fatal("CO trace emitted no writes")
+	}
+}
+
+// The central Section 6 comparison in miniature: through the same simulated
+// LRU cache, the WA instruction order must cause write-backs close to the
+// output size, while the CO order's write-backs grow with the contraction
+// dimension.
+func TestWAOrderBeatsCOOnWritebacks(t *testing.T) {
+	const lineB = 64
+	m, l := 32, 32
+	n := 256
+	// Cache: 3 blocks of 16x16 doubles = 6KB -> 8KB cache.
+	mkCache := func() *cache.FALRU { return cache.NewFALRU(8*1024, lineB) }
+
+	wa := NewMatMulTrace(m, n, l, lineB, TraceLevel{Block: 16, ContractionInner: true})
+	cWA := mkCache()
+	wa.Run(access.SinkFunc(cWA.Access))
+	cWA.FlushDirty()
+
+	co := NewCOMatMulTrace(m, n, l, 8, lineB)
+	cCO := mkCache()
+	co.Run(access.SinkFunc(cCO.Access))
+	cCO.FlushDirty()
+
+	outLines := int64(m * l * 8 / lineB)
+	if got := cWA.Stats().VictimsM; got > 3*outLines {
+		t.Fatalf("WA write-backs %d far above output %d lines", got, outLines)
+	}
+	if got := cCO.Stats().VictimsM; got < 4*outLines {
+		t.Fatalf("CO write-backs %d unexpectedly low (output %d lines)", got, outLines)
+	}
+}
+
+func TestIdealCacheMissesFormula(t *testing.T) {
+	// With cache 3*8*s^2 bytes, s=16: misses = 3*n^3/16 elements / 8 per line.
+	got := IdealCacheMisses(64, 64, 64, 3*8*16*16, 64)
+	want := int64(3*64*64*(64/16)) * 8 / 64
+	if got != want {
+		t.Fatalf("got %d want %d", got, want)
+	}
+	if IdealCacheMisses(8, 8, 8, 1, 64) <= 0 {
+		t.Fatal("degenerate cache should still give positive misses")
+	}
+}
+
+// Proposition 6.1: with the two-level WA order and a fully-associative LRU
+// fast memory holding at least five blocks plus a line, the number of
+// write-backs equals the number of C lines exactly (no write is wasted),
+// independent of the instruction order inside the block kernel.
+func TestProp61MatMulExactWritebacks(t *testing.T) {
+	const lineB = 64
+	b := 16
+	m, n, l := 64, 64, 64
+	capBytes := 5*b*b*8 + lineB
+	for _, inner := range []bool{true, false} {
+		c := cache.NewFALRU(capBytes, lineB)
+		tr := NewMatMulTrace(m, n, l, lineB,
+			TraceLevel{Block: b, ContractionInner: true},
+			TraceLevel{Block: 4, ContractionInner: inner})
+		tr.Run(access.SinkFunc(c.Access))
+		c.FlushDirty()
+		outLines := int64(m * l * 8 / lineB)
+		if got := c.Stats().VictimsM; got != outLines {
+			t.Fatalf("inner=%v: write-backs %d != C lines %d", inner, got, outLines)
+		}
+	}
+}
+
+// The same configuration with only three blocks fitting (the Fig. 5 left
+// column with block 1023) and the multi-level WA order must cause extra
+// write-backs: parts of the C block fall to low LRU priority and get evicted
+// repeatedly.
+func TestThreeFitMultiLevelOrderWritesMore(t *testing.T) {
+	const lineB = 64
+	b := 16
+	m, n, l := 64, 64, 64
+	capBytes := 3 * b * b * 8 // just under three blocks plus nothing spare
+	tr := NewMatMulTrace(m, n, l, lineB,
+		TraceLevel{Block: b, ContractionInner: true},
+		TraceLevel{Block: 4, ContractionInner: true}) // Fig 4a: subcolumn order
+	c := cache.NewFALRU(capBytes, lineB)
+	tr.Run(access.SinkFunc(c.Access))
+	c.FlushDirty()
+	outLines := int64(m * l * 8 / lineB)
+	if got := c.Stats().VictimsM; got <= outLines {
+		t.Fatalf("3-fit multi-level order should exceed the write lower bound: %d vs %d",
+			got, outLines)
+	}
+}

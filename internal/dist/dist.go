@@ -1,0 +1,393 @@
+// Package dist is the distributed-memory substrate for the parallel
+// algorithms of Section 7 of "Write-Avoiding Algorithms" (Carson et al.,
+// 2015): a homogeneous SPMD machine of P processors, each with its own
+// multi-level machine.Hierarchy, connected by a message-counting network.
+//
+// Processors run as goroutines; point-to-point messages travel over
+// per-ordered-pair buffered channels, so matching is deterministic in
+// program order regardless of scheduling. All counters are per-processor and
+// only mutated by the owning goroutine, so the counts are exact and
+// reproducible.
+//
+// Network word and message counts follow the paper's model: one Send of w
+// words costs one message (or ceil(w/MaxMsgWords) when the machine caps
+// message size — how 2.5DMML3's "c3/c2 times as many messages" arises) and w
+// words on both the sender's and receiver's meters. What the transfer does
+// to the local hierarchies (network reads from / writes to L2) is charged
+// explicitly by the algorithms via the Stage* helpers.
+package dist
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"writeavoid/internal/machine"
+)
+
+// NetCounters meters one processor's network activity.
+type NetCounters struct {
+	WordsSent int64
+	WordsRecv int64
+	MsgsSent  int64
+	MsgsRecv  int64
+}
+
+// Config describes the homogeneous machine.
+type Config struct {
+	P int
+	// Levels of each processor's local hierarchy, fastest first (the last
+	// level is the big one: DRAM or NVM).
+	Levels []machine.Level
+	// MaxMsgWords caps the words per network message; 0 = unlimited.
+	// Larger transfers are split and charged multiple messages.
+	MaxMsgWords int64
+	// ChanCap is the per-pair channel buffer (default 16 messages; the
+	// algorithms here keep at most a few messages in flight per pair).
+	ChanCap int
+}
+
+// Machine is a P-processor distributed machine.
+type Machine struct {
+	cfg       Config
+	procs     []*Proc
+	links     [][]chan []float64 // links[from][to]
+	bar       *barrier
+	abort     chan struct{}
+	abortOnce sync.Once
+}
+
+// New builds the machine.
+func New(cfg Config) *Machine {
+	if cfg.P < 1 {
+		panic("dist: need at least one processor")
+	}
+	if len(cfg.Levels) < 2 {
+		panic("dist: processors need at least two memory levels")
+	}
+	if cfg.ChanCap == 0 {
+		cfg.ChanCap = 16
+	}
+	m := &Machine{cfg: cfg, bar: newBarrier(cfg.P), abort: make(chan struct{})}
+	m.links = make([][]chan []float64, cfg.P)
+	for i := range m.links {
+		m.links[i] = make([]chan []float64, cfg.P)
+		for j := range m.links[i] {
+			m.links[i][j] = make(chan []float64, cfg.ChanCap)
+		}
+	}
+	for r := 0; r < cfg.P; r++ {
+		m.procs = append(m.procs, &Proc{
+			Rank: r,
+			// Non-strict: network traffic lands in levels without
+			// explicit residency bookkeeping.
+			H: machine.New(false, cfg.Levels...),
+			m: m,
+		})
+	}
+	return m
+}
+
+// P returns the processor count.
+func (m *Machine) P() int { return m.cfg.P }
+
+// Proc returns processor r's state (for post-run inspection).
+func (m *Machine) Proc(r int) *Proc { return m.procs[r] }
+
+// Run executes body as P concurrent SPMD processes and waits for all of
+// them. A panic in any process is re-raised in the caller.
+func (m *Machine) Run(body func(p *Proc)) {
+	var wg sync.WaitGroup
+	panics := make([]any, m.cfg.P)
+	for r := 0; r < m.cfg.P; r++ {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					panics[p.Rank] = e
+					// Unblock peers stuck in the barrier or in
+					// channel operations.
+					m.bar.poison()
+					m.abortOnce.Do(func() { close(m.abort) })
+				}
+			}()
+			body(p)
+		}(m.procs[r])
+	}
+	wg.Wait()
+	// Prefer the root-cause panic over secondary "aborted by peer" ones.
+	for r, e := range panics {
+		if e != nil {
+			if _, secondary := e.(abortError); !secondary {
+				panic(fmt.Sprintf("dist: processor %d panicked: %v", r, e))
+			}
+		}
+	}
+	for r, e := range panics {
+		if e != nil {
+			panic(fmt.Sprintf("dist: processor %d panicked: %v", r, e))
+		}
+	}
+}
+
+// abortError marks the secondary panics raised in peers when one processor
+// fails, so Run can report the original failure instead.
+type abortError struct{}
+
+func (abortError) Error() string { return "dist: aborted by peer panic" }
+
+// MaxNet returns the critical-path network counters: max over processors.
+func (m *Machine) MaxNet() NetCounters {
+	var out NetCounters
+	for _, p := range m.procs {
+		if p.Net.WordsSent > out.WordsSent {
+			out.WordsSent = p.Net.WordsSent
+		}
+		if p.Net.WordsRecv > out.WordsRecv {
+			out.WordsRecv = p.Net.WordsRecv
+		}
+		if p.Net.MsgsSent > out.MsgsSent {
+			out.MsgsSent = p.Net.MsgsSent
+		}
+		if p.Net.MsgsRecv > out.MsgsRecv {
+			out.MsgsRecv = p.Net.MsgsRecv
+		}
+	}
+	return out
+}
+
+// MaxWritesTo returns the max over processors of words written into local
+// level lvl (the quantity the Section 7 write bounds govern).
+func (m *Machine) MaxWritesTo(lvl int) int64 {
+	var w int64
+	for _, p := range m.procs {
+		if v := p.H.WritesTo(lvl); v > w {
+			w = v
+		}
+	}
+	return w
+}
+
+// TotalNet sums network words sent over all processors.
+func (m *Machine) TotalNet() int64 {
+	var w int64
+	for _, p := range m.procs {
+		w += p.Net.WordsSent
+	}
+	return w
+}
+
+// Proc is one SPMD process.
+type Proc struct {
+	Rank int
+	H    *machine.Hierarchy
+	Net  NetCounters
+	m    *Machine
+}
+
+// P returns the machine's processor count.
+func (p *Proc) P() int { return p.m.cfg.P }
+
+// Send transmits data to processor `to`, charging words and (size-capped)
+// messages. The slice is copied, so the sender may reuse it.
+func (p *Proc) Send(to int, data []float64) {
+	if to == p.Rank {
+		panic("dist: self send")
+	}
+	w := int64(len(data))
+	p.Net.WordsSent += w
+	p.Net.MsgsSent += p.m.msgCount(w)
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	select {
+	case p.m.links[p.Rank][to] <- cp:
+	case <-p.m.abort:
+		panic(abortError{})
+	}
+}
+
+// Recv receives the next message from processor `from` in program order.
+func (p *Proc) Recv(from int) []float64 {
+	var data []float64
+	select {
+	case data = <-p.m.links[from][p.Rank]:
+	case <-p.m.abort:
+		// Drain a message if one is already queued; otherwise give up.
+		select {
+		case data = <-p.m.links[from][p.Rank]:
+		default:
+			panic(abortError{})
+		}
+	}
+	w := int64(len(data))
+	p.Net.WordsRecv += w
+	p.Net.MsgsRecv += p.m.msgCount(w)
+	return data
+}
+
+func (m *Machine) msgCount(words int64) int64 {
+	if m.cfg.MaxMsgWords <= 0 || words <= m.cfg.MaxMsgWords {
+		return 1
+	}
+	return (words + m.cfg.MaxMsgWords - 1) / m.cfg.MaxMsgWords
+}
+
+// Barrier blocks until every processor reaches it.
+func (p *Proc) Barrier() { p.m.bar.wait() }
+
+// --- collectives -------------------------------------------------------------
+
+// indexOf locates rank within group.
+func indexOf(group []int, rank int) int {
+	for i, r := range group {
+		if r == rank {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("dist: rank %d not in group %v", rank, group))
+}
+
+// Bcast broadcasts root's data to every processor in group along a binomial
+// tree (log |group| rounds on the critical path). Every group member must
+// call it; non-roots pass nil and receive the payload.
+func (p *Proc) Bcast(group []int, root int, data []float64) []float64 {
+	n := len(group)
+	me := indexOf(group, p.Rank)
+	rootIdx := indexOf(group, root)
+	rel := (me - rootIdx + n) % n // position in the tree, root at 0
+	if rel != 0 {
+		// Receive from the parent: clear the highest set bit.
+		data = p.Recv(group[(treeParent(rel)+rootIdx)%n])
+	}
+	// Forward to children: set bits above my lowest set bit (or all bits
+	// for the root).
+	for bit := nextPow2(rel + 1); rel+bit < n; bit <<= 1 {
+		p.Send(group[(rel+bit+rootIdx)%n], data)
+	}
+	return data
+}
+
+func nextPow2(v int) int {
+	b := 1
+	for b < v {
+		b <<= 1
+	}
+	return b
+}
+
+// Reduce sums everyone's data onto root along the reversed binomial tree and
+// returns the sum at root (nil elsewhere).
+func (p *Proc) Reduce(group []int, root int, data []float64) []float64 {
+	n := len(group)
+	me := indexOf(group, p.Rank)
+	rootIdx := indexOf(group, root)
+	rel := (me - rootIdx + n) % n
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	// Mirror of the broadcast tree: receive from each child, then send to
+	// the parent.
+	for bit := nextPow2(rel + 1); rel+bit < n; bit <<= 1 {
+		child := p.Recv(group[(rel+bit+rootIdx)%n])
+		if len(child) != len(acc) {
+			panic("dist: reduce length mismatch")
+		}
+		for i := range acc {
+			acc[i] += child[i]
+		}
+		p.H.Flops(int64(len(acc)))
+	}
+	if rel != 0 {
+		p.Send(group[(treeParent(rel)+rootIdx)%n], acc)
+		return nil
+	}
+	return acc
+}
+
+// treeParent clears the highest set bit: the binomial-tree parent of a
+// nonzero relative rank.
+func treeParent(rel int) int {
+	return rel &^ (1 << (bits.Len(uint(rel)) - 1))
+}
+
+// Shift sends data to `to` and receives from `from`, the Cannon-step
+// primitive. A self-shift (to == from == this rank, e.g. a 1x1 grid) is a
+// free local no-op. Buffered links make the exchange deadlock-free.
+func (p *Proc) Shift(to, from int, data []float64) []float64 {
+	if to == p.Rank && from == p.Rank {
+		return data
+	}
+	p.Send(to, data)
+	return p.Recv(from)
+}
+
+// --- staging helpers (local-hierarchy charges for network transfers) --------
+
+// StageUpFromLevel charges the local cost of sending words that live in
+// level lvl: they are read up through every interface below lvl-1... in this
+// model, sending from L2 (level index len-2) is free locally, while sending
+// data resident in a lower level first loads it into the level above.
+func (p *Proc) StageUpFromLevel(lvl int, words int64) {
+	// Moving from level lvl upward to the network-facing level (len-2).
+	for i := lvl - 1; i >= p.networkLevel(); i-- {
+		p.H.Load(i, words)
+	}
+}
+
+// StageDownToLevel charges the local cost of storing received words from the
+// network-facing level down into level lvl.
+func (p *Proc) StageDownToLevel(lvl int, words int64) {
+	for i := p.networkLevel(); i < lvl; i++ {
+		p.H.Store(i, words)
+	}
+}
+
+// networkLevel is the index of the level the network reads from and writes
+// to: the second-lowest level (DRAM in Model 2, L2 in Model 1).
+func (p *Proc) networkLevel() int { return p.H.NumLevels() - 2 }
+
+// --- barrier -----------------------------------------------------------------
+
+type barrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	phase  int
+	broken bool
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.broken {
+		panic("dist: barrier poisoned by a peer panic")
+	}
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+		return
+	}
+	for b.phase == phase && !b.broken {
+		b.cond.Wait()
+	}
+	if b.broken {
+		panic("dist: barrier poisoned by a peer panic")
+	}
+}
+
+func (b *barrier) poison() {
+	b.mu.Lock()
+	b.broken = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

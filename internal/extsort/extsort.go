@@ -1,0 +1,171 @@
+// Package extsort implements external-memory multiway mergesort over the
+// explicit machine model — the exhibit for the paper's Section 9 conjecture
+// that no algorithm for sorting can perform o(n log_M n) writes while
+// keeping O(n log_M n) reads: the standard I/O-optimal algorithm writes as
+// much as it reads in every pass, for every fast-memory size.
+package extsort
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"writeavoid/internal/machine"
+)
+
+// run is a sorted contiguous segment [lo, hi).
+type run struct{ lo, hi int }
+
+// Sort sorts data ascending with run formation plus multiway merge passes on
+// a two-level machine whose fast memory holds m words, driving h's counters.
+// The merge fanout is chosen so each input run gets a fast-memory buffer of
+// at least 8 words (plus one output buffer).
+func Sort(h *machine.Hierarchy, m int, data []float64) ([]float64, error) {
+	n := len(data)
+	if m < 32 {
+		return nil, fmt.Errorf("extsort: fast memory %d too small (need >= 32 words)", m)
+	}
+	out := append([]float64(nil), data...)
+	if n <= m {
+		// Degenerate: a single in-memory run.
+		h.Load(0, int64(n))
+		sort.Float64s(out)
+		h.Flops(int64(n) * log2ceil(n))
+		h.Store(0, int64(n))
+		return out, nil
+	}
+
+	// Phase 1: run formation. Read fast-memory-sized chunks, sort, write.
+	var runs []run
+	for lo := 0; lo < n; lo += m {
+		hi := min(n, lo+m)
+		h.Load(0, int64(hi-lo))
+		sort.Float64s(out[lo:hi])
+		h.Flops(int64(hi-lo) * log2ceil(hi-lo))
+		h.Store(0, int64(hi-lo))
+		runs = append(runs, run{lo, hi})
+	}
+
+	// Phase 2: multiway merge passes with per-run buffers of size buf.
+	buf := 8
+	fanout := m/buf - 1
+	if fanout < 2 {
+		fanout = 2
+	}
+	scratch := make([]float64, n)
+	src, dst := out, scratch
+	for len(runs) > 1 {
+		var next []run
+		for g := 0; g < len(runs); g += fanout {
+			ge := min(len(runs), g+fanout)
+			mergeRuns(h, src, dst, runs[g:ge], buf)
+			next = append(next, run{runs[g].lo, runs[ge-1].hi})
+		}
+		runs = next
+		src, dst = dst, src
+	}
+	return src, nil
+}
+
+// mergeRuns merges the given runs of src into dst over the same index range,
+// charging buffered traffic: every word is loaded once (in buf-word blocks)
+// and stored once (in buf-word blocks).
+func mergeRuns(h *machine.Hierarchy, src, dst []float64, runs []run, buf int) {
+	type cursor struct {
+		pos, hi  int
+		buffered int // words of the current buffer block already consumed
+	}
+	cur := make([]cursor, len(runs))
+	for i, r := range runs {
+		cur[i] = cursor{pos: r.lo, hi: r.hi}
+	}
+	hp := &mergeHeap{src: src}
+	for i := range cur {
+		if cur[i].pos < cur[i].hi {
+			h.Load(0, int64(min(buf, cur[i].hi-cur[i].pos)))
+			cur[i].buffered = min(buf, cur[i].hi-cur[i].pos)
+			heap.Push(hp, mergeItem{run: i, idx: cur[i].pos})
+		}
+	}
+	outBase := runs[0].lo
+	pending := 0 // words accumulated in the fast-memory output buffer
+	for hp.Len() > 0 {
+		it := heap.Pop(hp).(mergeItem)
+		dst[outBase] = src[it.idx]
+		outBase++
+		pending++
+		h.Flops(int64(log2ceil(len(runs))))
+		if pending == buf {
+			h.Store(0, int64(buf))
+			pending = 0
+		}
+		c := &cur[it.run]
+		c.pos++
+		c.buffered--
+		if c.pos < c.hi {
+			if c.buffered == 0 {
+				refill := min(buf, c.hi-c.pos)
+				h.Load(0, int64(refill))
+				c.buffered = refill
+			}
+			heap.Push(hp, mergeItem{run: it.run, idx: c.pos})
+		} else if c.buffered > 0 {
+			h.Discard(0, int64(c.buffered))
+			c.buffered = 0
+		}
+	}
+	if pending > 0 {
+		h.Store(0, int64(pending))
+	}
+}
+
+type mergeItem struct {
+	run, idx int
+}
+
+type mergeHeap struct {
+	src   []float64
+	items []mergeItem
+}
+
+func (h *mergeHeap) Len() int           { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool { return h.src[h.items[i].idx] < h.src[h.items[j].idx] }
+func (h *mergeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x interface{}) { h.items = append(h.items, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := h.items
+	x := old[len(old)-1]
+	h.items = old[:len(old)-1]
+	return x
+}
+
+func log2ceil(n int) int64 {
+	v := int64(0)
+	for p := 1; p < n; p <<= 1 {
+		v++
+	}
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+// PredictTraffic returns the Aggarwal-Vitter-shaped word traffic of the
+// algorithm: (1 + ceil(log_fanout(#runs))) full passes, each reading and
+// writing all n words.
+func PredictTraffic(n, m int) (loads, stores int64) {
+	if n <= m {
+		return int64(n), int64(n)
+	}
+	runs := (n + m - 1) / m
+	fanout := m/8 - 1
+	if fanout < 2 {
+		fanout = 2
+	}
+	passes := int64(1) // run formation
+	for runs > 1 {
+		runs = (runs + fanout - 1) / fanout
+		passes++
+	}
+	return passes * int64(n), passes * int64(n)
+}

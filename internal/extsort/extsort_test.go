@@ -1,0 +1,137 @@
+package extsort
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"writeavoid/internal/machine"
+)
+
+func randData(n int, seed uint64) []float64 {
+	rng := rand.New(rand.NewPCG(seed, 5))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()*2000 - 1000
+	}
+	return v
+}
+
+func TestSortCorrect(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := int(seed%2000) + 10
+		data := randData(n, seed)
+		h := machine.TwoLevel(64)
+		got, err := Sort(h, 64, data)
+		if err != nil {
+			return false
+		}
+		want := append([]float64(nil), data...)
+		sort.Float64s(want)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortDoesNotMutateInput(t *testing.T) {
+	data := randData(500, 3)
+	orig := append([]float64(nil), data...)
+	h := machine.TwoLevel(64)
+	if _, err := Sort(h, 64, data); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if data[i] != orig[i] {
+			t.Fatal("input mutated")
+		}
+	}
+}
+
+func TestSortTrafficMatchesPrediction(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{
+		{100, 256}, // fits: one pass
+		{4096, 64},
+		{20000, 128},
+	} {
+		h := machine.TwoLevel(int64(tc.m))
+		if _, err := Sort(h, tc.m, randData(tc.n, uint64(tc.n))); err != nil {
+			t.Fatal(err)
+		}
+		wantL, wantS := PredictTraffic(tc.n, tc.m)
+		c := h.Interface(0)
+		if c.LoadWords != wantL || c.StoreWords != wantS {
+			t.Fatalf("n=%d m=%d: got (%d,%d) want (%d,%d)",
+				tc.n, tc.m, c.LoadWords, c.StoreWords, wantL, wantS)
+		}
+	}
+}
+
+// The Section 9 conjecture's exhibit: the I/O-optimal sort's stores equal
+// its loads for every fast-memory size — writes are never avoided.
+func TestSortStoresEqualLoads(t *testing.T) {
+	n := 8192
+	data := randData(n, 9)
+	for _, m := range []int{32, 128, 1024} {
+		h := machine.TwoLevel(int64(m))
+		if _, err := Sort(h, m, data); err != nil {
+			t.Fatal(err)
+		}
+		c := h.Interface(0)
+		if c.LoadWords != c.StoreWords {
+			t.Fatalf("m=%d: loads %d != stores %d", m, c.LoadWords, c.StoreWords)
+		}
+		if !h.Theorem1Holds(0) || !h.ResidencyBalanced(0) {
+			t.Fatalf("m=%d: model invariants violated", m)
+		}
+	}
+}
+
+// Larger fast memory means fewer passes, hence less total traffic.
+func TestSortTrafficShrinksWithMemory(t *testing.T) {
+	n := 16384
+	data := randData(n, 11)
+	prev := int64(1 << 62)
+	for _, m := range []int{32, 256, 4096} {
+		h := machine.TwoLevel(int64(m))
+		if _, err := Sort(h, m, data); err != nil {
+			t.Fatal(err)
+		}
+		tr := h.Traffic(0)
+		if tr > prev {
+			t.Fatalf("m=%d: traffic %d should not exceed smaller-memory %d", m, tr, prev)
+		}
+		prev = tr
+	}
+}
+
+func TestSortTinyMemoryRejected(t *testing.T) {
+	h := machine.TwoLevel(8)
+	if _, err := Sort(h, 8, randData(100, 1)); err == nil {
+		t.Fatal("want too-small error")
+	}
+}
+
+func TestSortDuplicatesAndSortedInput(t *testing.T) {
+	h := machine.TwoLevel(64)
+	data := make([]float64, 1000)
+	for i := range data {
+		data[i] = float64(i % 7)
+	}
+	got, err := Sort(h, 64, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] > got[i] {
+			t.Fatal("not sorted")
+		}
+	}
+}

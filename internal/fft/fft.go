@@ -1,0 +1,210 @@
+// Package fft implements the radix-2 Cooley-Tukey fast Fourier transform, a
+// naive DFT reference, an external-memory (four-step) FFT driver over the
+// explicit machine model, and the FFT's CDAG — the running example of
+// Section 3 of "Write-Avoiding Algorithms" (Carson et al., 2015), where the
+// out-degree-2 butterfly network makes write-avoidance impossible
+// (Corollary 2).
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+
+	"writeavoid/internal/cdag"
+	"writeavoid/internal/machine"
+)
+
+// InPlace performs an in-place forward FFT of x; len(x) must be a power of
+// two. The sign convention is X[k] = sum_j x[j] * exp(-2*pi*i*j*k/n).
+func InPlace(x []complex128) {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("fft: length %d not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterfly stages.
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := -2 * math.Pi / float64(size)
+		wBase := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a, b := x[start+k], x[start+k+half]*w
+				x[start+k], x[start+k+half] = a+b, a-b
+				w *= wBase
+			}
+		}
+	}
+}
+
+// Inverse performs the in-place inverse FFT (including the 1/n scaling).
+func Inverse(x []complex128) {
+	n := len(x)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	InPlace(x)
+	inv := complex(1/float64(n), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * inv
+	}
+}
+
+// DFTReference is the O(n^2) definition, used as ground truth.
+func DFTReference(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(j) * float64(k) / float64(n)
+			s += x[j] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// MaxDiff returns max_k |a[k]-b[k]|.
+func MaxDiff(a, b []complex128) float64 {
+	d := 0.0
+	for i := range a {
+		if v := cmplx.Abs(a[i] - b[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// External computes the FFT of x with the four-step (Bailey) external-memory
+// algorithm on a two-level machine whose fast memory holds m complex
+// elements, driving h's counters (one "word" = one complex element). It
+// returns the transform in natural order.
+//
+// Every pass over the data loads and stores all n elements, and there are
+// Θ(log n / log m) passes, so stores are a constant fraction of total
+// traffic for every m — the behaviour Corollary 2 proves unavoidable.
+func External(h *machine.Hierarchy, m int, x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("fft: length %d not a power of two", n))
+	}
+	if m < 4 {
+		panic("fft: fast memory must hold at least 4 elements")
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	externalRec(h, m, out)
+	return out
+}
+
+func externalRec(h *machine.Hierarchy, m int, buf []complex128) {
+	n := len(buf)
+	if n <= m {
+		// Base case: one load, in-core FFT, one store.
+		h.Load(0, int64(n))
+		InPlace(buf)
+		h.Flops(5 * int64(n) * int64(bits.TrailingZeros(uint(n)))) // ~5 n log n
+		h.Store(0, int64(n))
+		return
+	}
+	// Factor n = n1*n2 with n1 the smaller power-of-two half.
+	lg := bits.TrailingZeros(uint(n))
+	n1 := 1 << (lg / 2)
+	n2 := n / n1
+
+	// Step 1: transpose the n1 x n2 row-major view into n2 x n1 so the
+	// length-n1 column transforms become contiguous rows.
+	tmp := make([]complex128, n)
+	transposeCounted(h, m, buf, tmp, n1, n2)
+	// Step 2: n2 contiguous FFTs of length n1 producing Y[j2,k1], then a
+	// counted twiddle pass multiplying Y[j2,k1] by w_n^(j2*k1).
+	for j2 := 0; j2 < n2; j2++ {
+		row := tmp[j2*n1 : (j2+1)*n1]
+		externalRec(h, m, row)
+		for k0 := 0; k0 < n1; k0 += m {
+			chunk := min(m, n1-k0)
+			h.Load(0, int64(chunk))
+			for k := k0; k < k0+chunk; k++ {
+				ang := -2 * math.Pi * float64(j2) * float64(k) / float64(n)
+				row[k] *= cmplx.Exp(complex(0, ang))
+			}
+			h.Flops(int64(chunk) * 6)
+			h.Store(0, int64(chunk))
+		}
+	}
+	// Step 3: transpose back so the length-n2 transforms act on rows:
+	// buf[k1*n2+j2] = Y'[j2,k1].
+	transposeCounted(h, m, tmp, buf, n2, n1)
+	// Step 4: n1 contiguous FFTs of length n2 give Z[k1,k2].
+	for k1 := 0; k1 < n1; k1++ {
+		externalRec(h, m, buf[k1*n2:(k1+1)*n2])
+	}
+	// Step 5: final transpose delivers natural order X[k2*n1+k1].
+	transposeCounted(h, m, buf, tmp, n1, n2)
+	copy(buf, tmp)
+}
+
+// transposeCounted transposes src (r x c, row-major) into dst (c x r) with
+// square tiles sized so two tiles fit in fast memory, counting the traffic.
+func transposeCounted(h *machine.Hierarchy, m int, src, dst []complex128, r, c int) {
+	t := 1
+	for 2*(t*2)*(t*2) <= m {
+		t *= 2
+	}
+	for i0 := 0; i0 < r; i0 += t {
+		for j0 := 0; j0 < c; j0 += t {
+			ih := min(t, r-i0)
+			jh := min(t, c-j0)
+			h.Load(0, int64(ih)*int64(jh))
+			for i := i0; i < i0+ih; i++ {
+				for j := j0; j < j0+jh; j++ {
+					dst[j*r+i] = src[i*c+j]
+				}
+			}
+			h.Store(0, int64(ih)*int64(jh))
+		}
+	}
+}
+
+// BuildCDAG constructs the radix-2 butterfly CDAG for an n-point transform:
+// log2(n) stages of n vertices. Every vertex, inputs included, has
+// out-degree exactly 2 (final outputs have 0), which is the d of Corollary 2.
+func BuildCDAG(n int) *cdag.Graph {
+	if n == 0 || n&(n-1) != 0 {
+		panic("fft: CDAG size must be a power of two")
+	}
+	g := cdag.New()
+	stages := bits.TrailingZeros(uint(n))
+	prev := make([]int, n)
+	for i := 0; i < n; i++ {
+		prev[i] = g.AddVertex(cdag.Input)
+	}
+	for s := 1; s <= stages; s++ {
+		cur := make([]int, n)
+		for i := 0; i < n; i++ {
+			k := cdag.Intermediate
+			if s == stages {
+				k = cdag.Output
+			}
+			cur[i] = g.AddVertex(k)
+		}
+		bit := 1 << (s - 1)
+		for i := 0; i < n; i++ {
+			g.AddEdge(prev[i], cur[i])
+			g.AddEdge(prev[i], cur[i^bit])
+		}
+		prev = cur
+	}
+	return g
+}

@@ -1,0 +1,172 @@
+package fft
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"writeavoid/internal/cdag"
+	"writeavoid/internal/machine"
+)
+
+func randSignal(n int, seed uint64) []complex128 {
+	rng := rand.New(rand.NewPCG(seed, seed+13))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(2*rng.Float64()-1, 2*rng.Float64()-1)
+	}
+	return x
+}
+
+func TestInPlaceMatchesDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 32, 128} {
+		x := randSignal(n, uint64(n))
+		want := DFTReference(x)
+		InPlace(x)
+		if d := MaxDiff(x, want); d > 1e-9 {
+			t.Fatalf("n=%d: diff %g", n, d)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		x := randSignal(64, seed)
+		orig := append([]complex128(nil), x...)
+		InPlace(x)
+		Inverse(x)
+		return MaxDiff(x, orig) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInPlaceRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	InPlace(make([]complex128, 12))
+}
+
+func TestExternalMatchesDFT(t *testing.T) {
+	cases := []struct{ n, m int }{
+		{16, 32},  // fits entirely: single base case
+		{64, 16},  // one four-step level
+		{256, 8},  // nested recursion (n > m^2)
+		{128, 16}, // non-square factorization
+	}
+	for _, tc := range cases {
+		x := randSignal(tc.n, uint64(tc.n))
+		want := DFTReference(x)
+		h := machine.TwoLevel(int64(tc.m))
+		got := External(h, tc.m, x)
+		if d := MaxDiff(got, want); d > 1e-8 {
+			t.Fatalf("n=%d m=%d: diff %g", tc.n, tc.m, d)
+		}
+	}
+}
+
+// Corollary 2: for the Cooley-Tukey FFT, stores are a constant fraction of
+// total traffic for every fast-memory size — writes cannot be avoided.
+func TestExternalStoresAreConstantFraction(t *testing.T) {
+	n := 4096
+	x := randSignal(n, 3)
+	for _, m := range []int{8, 32, 128, 1024} {
+		h := machine.TwoLevel(int64(m))
+		External(h, m, x)
+		c := h.Interface(0)
+		total := c.LoadWords + c.StoreWords
+		if frac := float64(c.StoreWords) / float64(total); frac < 0.33 {
+			t.Errorf("m=%d: store fraction %.3f below 1/3", m, frac)
+		}
+		// Theorem 2 with the FFT's d=2 (inputs included, so the traffic
+		// corollary uses N = n input loads).
+		bound := cdag.Theorem2TrafficBound(total, int64(n), 2)
+		if c.StoreWords < bound {
+			t.Errorf("m=%d: stores %d below Theorem 2 bound %d", m, c.StoreWords, bound)
+		}
+	}
+}
+
+// Smaller fast memory must increase traffic: the Hong-Kung Omega(n log n /
+// log m) bound is decreasing in m.
+func TestExternalTrafficGrowsAsMemoryShrinks(t *testing.T) {
+	n := 4096
+	x := randSignal(n, 4)
+	prev := int64(-1)
+	for _, m := range []int{1024, 64, 8} {
+		h := machine.TwoLevel(int64(m))
+		External(h, m, x)
+		tr := h.Traffic(0)
+		if prev >= 0 && tr < prev {
+			t.Errorf("traffic should not shrink with smaller memory: m=%d traffic=%d prev=%d", m, tr, prev)
+		}
+		prev = tr
+	}
+}
+
+func TestExternalModelInvariants(t *testing.T) {
+	n := 256
+	x := randSignal(n, 5)
+	h := machine.TwoLevel(16)
+	External(h, 16, x)
+	if !h.Theorem1Holds(0) {
+		t.Error("Theorem 1 violated")
+	}
+	if !h.ResidencyBalanced(0) {
+		t.Error("residency imbalance")
+	}
+}
+
+func TestBuildCDAGShape(t *testing.T) {
+	n := 16
+	g := BuildCDAG(n)
+	lg := 4
+	if got, want := g.NumVertices(), n*(lg+1); got != want {
+		t.Fatalf("vertices %d want %d", got, want)
+	}
+	if got, want := g.NumEdges(), int64(2*n*lg); got != want {
+		t.Fatalf("edges %d want %d", got, want)
+	}
+	if g.Count(cdag.Input) != n || g.Count(cdag.Output) != n {
+		t.Fatal("input/output counts")
+	}
+}
+
+// The paper's d for Cooley-Tukey: out-degree bounded by 2, inputs included.
+func TestFFTCDAGOutDegreeTwo(t *testing.T) {
+	for _, n := range []int{4, 16, 64, 256} {
+		g := BuildCDAG(n)
+		if d := g.MaxOutDegree(nil); d != 2 {
+			t.Fatalf("n=%d: max out-degree %d want 2", n, d)
+		}
+		// Every non-output vertex has out-degree exactly 2.
+		for v := 0; v < g.NumVertices(); v++ {
+			if g.KindOf(v) != cdag.Output && g.OutDegree(v) != 2 {
+				t.Fatalf("vertex %d kind %v out-degree %d", v, g.KindOf(v), g.OutDegree(v))
+			}
+			if g.KindOf(v) == cdag.Output && g.OutDegree(v) != 0 {
+				t.Fatalf("output %d has out-degree %d", v, g.OutDegree(v))
+			}
+		}
+	}
+}
+
+func TestFFTCDAGInDegrees(t *testing.T) {
+	g := BuildCDAG(8)
+	for v := 0; v < g.NumVertices(); v++ {
+		switch g.KindOf(v) {
+		case cdag.Input:
+			if g.InDegree(v) != 0 {
+				t.Fatalf("input %d has in-degree %d", v, g.InDegree(v))
+			}
+		default:
+			if g.InDegree(v) != 2 {
+				t.Fatalf("butterfly vertex %d has in-degree %d", v, g.InDegree(v))
+			}
+		}
+	}
+}

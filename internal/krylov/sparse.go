@@ -1,0 +1,198 @@
+// Package krylov implements Section 8 of "Write-Avoiding Algorithms"
+// (Carson et al., 2015): the conjugate gradient method (Algorithm 6), its
+// communication-avoiding s-step variant CA-CG (Algorithm 7) with a monomial
+// basis, and the *streaming matrix powers* reorganization that reduces
+// writes to slow memory by Theta(s) at the cost of computing the Krylov
+// basis twice.
+//
+// Vector traffic between fast memory (size M1) and slow memory is metered by
+// an explicit Traffic counter: the quantity W12 of the paper.
+package krylov
+
+import (
+	"fmt"
+	"math"
+)
+
+// CSR is a compressed-sparse-row square matrix.
+type CSR struct {
+	N      int
+	RowPtr []int
+	Col    []int
+	Val    []float64
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// MulVec computes dst = m*x.
+func (m *CSR) MulVec(dst, x []float64) {
+	if len(dst) != m.N || len(x) != m.N {
+		panic("krylov: MulVec length mismatch")
+	}
+	for i := 0; i < m.N; i++ {
+		s := 0.0
+		for idx := m.RowPtr[i]; idx < m.RowPtr[i+1]; idx++ {
+			s += m.Val[idx] * x[m.Col[idx]]
+		}
+		dst[i] = s
+	}
+}
+
+// Ring is a (2b+1)-point stencil on a 1-D periodic mesh of n points: the
+// paper's model operator for the matrix-powers analysis (d=1). Row i has
+// Diag on the diagonal and Off at the 2b neighbors within distance b
+// (wrapping). With Diag > 2b*|Off| it is symmetric positive definite.
+type Ring struct {
+	N, B      int
+	Diag, Off float64
+}
+
+// NewRing builds a diagonally-dominant SPD ring stencil.
+func NewRing(n, b int) Ring {
+	if n < 2*b+1 {
+		panic(fmt.Sprintf("krylov: ring n=%d too small for bandwidth %d", n, b))
+	}
+	return Ring{N: n, B: b, Diag: float64(2*b) + 1, Off: -0.5}
+}
+
+// Size returns the number of mesh points (implements Operator).
+func (r Ring) Size() int { return r.N }
+
+// Matrix returns the CSR form (implements Operator).
+func (r Ring) Matrix() *CSR { return r.CSR() }
+
+// NormBound returns a Gershgorin upper bound on ||A||_2, used to scale the
+// monomial Krylov basis (rho_j(A) = (A/sigma)^j) so its conditioning stays
+// manageable at larger s — the basis-choice remedy the paper alludes to.
+func (r Ring) NormBound() float64 {
+	off := r.Off
+	if off < 0 {
+		off = -off
+	}
+	return r.Diag + 2*float64(r.B)*off
+}
+
+// SpectrumBounds returns Gershgorin bounds [lo, hi] on the ring's (real,
+// symmetric) spectrum, used to place the Newton-basis shifts.
+func (r Ring) SpectrumBounds() (lo, hi float64) {
+	off := r.Off
+	if off < 0 {
+		off = -off
+	}
+	return r.Diag - 2*float64(r.B)*off, r.Diag + 2*float64(r.B)*off
+}
+
+// CSR materializes the stencil as a general sparse matrix.
+func (r Ring) CSR() *CSR {
+	m := &CSR{N: r.N, RowPtr: make([]int, r.N+1)}
+	for i := 0; i < r.N; i++ {
+		for off := -r.B; off <= r.B; off++ {
+			j := ((i+off)%r.N + r.N) % r.N
+			v := r.Off
+			if off == 0 {
+				v = r.Diag
+			}
+			m.Col = append(m.Col, j)
+			m.Val = append(m.Val, v)
+		}
+		m.RowPtr[i+1] = len(m.Val)
+	}
+	return m
+}
+
+// Apply computes one stencil application on an interval working array: given
+// src covering mesh indices [lo-b, hi+b) (without wraparound in the array,
+// the caller supplies ghost values), it writes A*src into dst covering
+// [lo, hi). len(src) must be hi-lo+2b and len(dst) hi-lo.
+func (r Ring) Apply(dst, src []float64) {
+	w := len(dst)
+	if len(src) != w+2*r.B {
+		panic("krylov: Apply ghost width mismatch")
+	}
+	for i := 0; i < w; i++ {
+		s := r.Diag * src[i+r.B]
+		for off := 1; off <= r.B; off++ {
+			s += r.Off * (src[i+r.B-off] + src[i+r.B+off])
+		}
+		dst[i] = s
+	}
+}
+
+// Gather copies mesh interval [lo, hi) of x (periodic) into dst.
+func (r Ring) Gather(dst, x []float64, lo int) {
+	n := r.N
+	for i := range dst {
+		dst[i] = x[((lo+i)%n+n)%n]
+	}
+}
+
+// Mesh2D is a (2b+1)^2-point (box) stencil on a k x k periodic mesh,
+// materialized as CSR; used by the Poisson-style examples.
+func Mesh2D(k, b int) *CSR {
+	n := k * k
+	m := &CSR{N: n, RowPtr: make([]int, n+1)}
+	pts := (2*b + 1) * (2*b + 1)
+	diag := float64(pts) // strictly dominant over (pts-1) off entries of -1
+	for i := 0; i < n; i++ {
+		ix, iy := i%k, i/k
+		for dy := -b; dy <= b; dy++ {
+			for dx := -b; dx <= b; dx++ {
+				jx := ((ix+dx)%k + k) % k
+				jy := ((iy+dy)%k + k) % k
+				v := -1.0
+				if dx == 0 && dy == 0 {
+					v = diag
+				}
+				m.Col = append(m.Col, jy*k+jx)
+				m.Val = append(m.Val, v)
+			}
+		}
+		m.RowPtr[i+1] = len(m.Val)
+	}
+	return m
+}
+
+// Traffic counts vector words moved between fast and slow memory; Writes is
+// the paper's W12.
+type Traffic struct {
+	Reads  int64
+	Writes int64
+}
+
+// R charges n words read from slow memory.
+func (t *Traffic) R(n int) { t.Reads += int64(n) }
+
+// W charges n words written to slow memory.
+func (t *Traffic) W(n int) { t.Writes += int64(n) }
+
+// Dot is an instrumented dot product (2n reads, no slow writes).
+func Dot(t *Traffic, a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	t.R(2 * len(a))
+	return s
+}
+
+// Axpy computes y += alpha*x (reads x and y, writes y).
+func Axpy(t *Traffic, alpha float64, x, y []float64) {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+	t.R(2 * len(y))
+	t.W(len(y))
+}
+
+// XpbyInto computes y = x + beta*y (reads both, writes y).
+func XpbyInto(t *Traffic, x []float64, beta float64, y []float64) {
+	for i := range y {
+		y[i] = x[i] + beta*y[i]
+	}
+	t.R(2 * len(y))
+	t.W(len(y))
+}
+
+// Norm2 returns the Euclidean norm (counted as one dot).
+func Norm2(t *Traffic, x []float64) float64 { return math.Sqrt(Dot(t, x, x)) }

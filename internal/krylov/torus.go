@@ -1,0 +1,186 @@
+package krylov
+
+import "fmt"
+
+// Torus is a (2b+1)^2-point box stencil on a K x K periodic mesh — the d=2
+// instance of the paper's Section 8 example, where the streaming matrix
+// powers achieve f(s) = Theta(s) for s = Theta(M1^(1/d)/b). Mesh point (y,x)
+// has linear index y*K+x.
+type Torus struct {
+	K, B      int
+	Diag, Off float64
+}
+
+// NewTorus builds a diagonally-dominant SPD box-stencil torus.
+func NewTorus(k, b int) Torus {
+	if k < 2*b+1 {
+		panic(fmt.Sprintf("krylov: torus k=%d too small for bandwidth %d", k, b))
+	}
+	pts := (2*b + 1) * (2*b + 1)
+	return Torus{K: k, B: b, Diag: float64(pts), Off: -0.5}
+}
+
+// Size returns K*K (implements Operator).
+func (t Torus) Size() int { return t.K * t.K }
+
+// Matrix materializes the CSR form (implements Operator).
+func (t Torus) Matrix() *CSR {
+	n := t.K * t.K
+	m := &CSR{N: n, RowPtr: make([]int, n+1)}
+	for i := 0; i < n; i++ {
+		ix, iy := i%t.K, i/t.K
+		for dy := -t.B; dy <= t.B; dy++ {
+			for dx := -t.B; dx <= t.B; dx++ {
+				jx := ((ix+dx)%t.K + t.K) % t.K
+				jy := ((iy+dy)%t.K + t.K) % t.K
+				v := t.Off
+				if dx == 0 && dy == 0 {
+					v = t.Diag
+				}
+				m.Col = append(m.Col, jy*t.K+jx)
+				m.Val = append(m.Val, v)
+			}
+		}
+		m.RowPtr[i+1] = len(m.Val)
+	}
+	return m
+}
+
+// NormBound is the Gershgorin bound on ||A||_2 (implements Operator).
+func (t Torus) NormBound() float64 {
+	off := t.Off
+	if off < 0 {
+		off = -off
+	}
+	pts := (2*t.B+1)*(2*t.B+1) - 1
+	return t.Diag + float64(pts)*off
+}
+
+// SpectrumBounds returns Gershgorin interval bounds (implements Operator).
+func (t Torus) SpectrumBounds() (lo, hi float64) {
+	off := t.Off
+	if off < 0 {
+		off = -off
+	}
+	pts := float64((2*t.B+1)*(2*t.B+1) - 1)
+	return t.Diag - pts*off, t.Diag + pts*off
+}
+
+// gatherBox copies the periodic (h x w) box anchored at mesh (y0,x0) into a
+// row-major local array.
+func (t Torus) gatherBox(dst, x []float64, y0, x0, h, w int) {
+	k := t.K
+	for iy := 0; iy < h; iy++ {
+		gy := ((y0+iy)%k + k) % k
+		for ix := 0; ix < w; ix++ {
+			gx := ((x0+ix)%k + k) % k
+			dst[iy*w+ix] = x[gy*k+gx]
+		}
+	}
+}
+
+// applyBox applies the stencil: src is (h+2b) x (w+2b) row-major covering
+// the halo-inflated box; dst is h x w.
+func (t Torus) applyBox(dst, src []float64, h, w int) {
+	b := t.B
+	sw := w + 2*b
+	for iy := 0; iy < h; iy++ {
+		for ix := 0; ix < w; ix++ {
+			s := t.Diag * src[(iy+b)*sw+(ix+b)]
+			for dy := -b; dy <= b; dy++ {
+				row := (iy + b + dy) * sw
+				for dx := -b; dx <= b; dx++ {
+					if dy == 0 && dx == 0 {
+						continue
+					}
+					s += t.Off * src[row+(ix+b+dx)]
+				}
+			}
+			dst[iy*w+ix] = s
+		}
+	}
+}
+
+// basisBlocks computes the 2s+1 basis columns tile by tile (implements
+// Operator): each tile of edge `block` is inflated by a halo of s*b mesh
+// points on every side, read from slow memory, and the powers are computed
+// locally with the halo shrinking by b per application. The redundant halo
+// reads are exactly the paper's "ghost zone" surface-to-volume overhead.
+func (t Torus) basisBlocks(p, r []float64, s int, rec basisRecurrence, block int, traffic *Traffic, flops *int64, fn func(idx []int, cols [][]float64)) {
+	k := t.K
+	bw := t.B
+	if block > k {
+		block = k
+	}
+	inv := 1 / rec.sigma
+	ghost := s * bw
+
+	powersOf := func(src []float64, y0, x0, h, w, steps int) [][]float64 {
+		// src covers (h+2*ghost) x (w+2*ghost); produce steps+1 columns
+		// of the centered h x w window.
+		cols := make([][]float64, 0, steps+1)
+		cols = append(cols, trimBox(src, ghost, ghost, h, w, w+2*ghost))
+		cur := src
+		cg := ghost // current halo of cur
+		for j := 1; j <= steps; j++ {
+			ng := ghost - j*bw
+			nh, nw := h+2*ng, w+2*ng
+			next := make([]float64, nh*nw)
+			t.applyBox(next, viewBox(cur, cg-ng-bw, cg-ng-bw, nh+2*bw, nw+2*bw, w+2*cg), nh, nw)
+			theta := rec.thetas[j-1]
+			// Shift by theta*cur on the matching window, then scale.
+			curWin := trimBox(cur, cg-ng, cg-ng, nh, nw, w+2*cg)
+			for i := range next {
+				next[i] = (next[i] - theta*curWin[i]) * inv
+			}
+			*flops += int64(nh * nw * ((2*bw+1)*(2*bw+1) + 2))
+			cols = append(cols, trimBox(next, ng, ng, h, w, nw))
+			cur = next
+			cg = ng
+		}
+		return cols
+	}
+
+	for y0 := 0; y0 < k; y0 += block {
+		h := min(block, k-y0)
+		for x0 := 0; x0 < k; x0 += block {
+			w := min(block, k-x0)
+			eh, ew := h+2*ghost, w+2*ghost
+
+			srcP := make([]float64, eh*ew)
+			t.gatherBox(srcP, p, y0-ghost, x0-ghost, eh, ew)
+			traffic.R(eh * ew)
+			colsP := powersOf(srcP, y0, x0, h, w, s)
+
+			srcR := make([]float64, eh*ew)
+			t.gatherBox(srcR, r, y0-ghost, x0-ghost, eh, ew)
+			traffic.R(eh * ew)
+			colsR := powersOf(srcR, y0, x0, h, w, s-1)
+
+			cols := append(colsP, colsR...)
+			idx := make([]int, h*w)
+			for iy := 0; iy < h; iy++ {
+				for ix := 0; ix < w; ix++ {
+					idx[iy*w+ix] = (y0+iy)*k + (x0 + ix)
+				}
+			}
+			fn(idx, cols)
+		}
+	}
+}
+
+// trimBox extracts the (h x w) window at offset (oy,ox) from a row-major
+// array of row width stride, copied into a fresh dense slice.
+func trimBox(src []float64, oy, ox, h, w, stride int) []float64 {
+	out := make([]float64, h*w)
+	for iy := 0; iy < h; iy++ {
+		copy(out[iy*w:(iy+1)*w], src[(oy+iy)*stride+ox:(oy+iy)*stride+ox+w])
+	}
+	return out
+}
+
+// viewBox is like trimBox (the cache-simulated machine would index in
+// place; the copy keeps the Go code simple and the counts unchanged).
+func viewBox(src []float64, oy, ox, h, w, stride int) []float64 {
+	return trimBox(src, oy, ox, h, w, stride)
+}

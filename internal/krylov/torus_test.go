@@ -1,0 +1,161 @@
+package krylov
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTorusMatrixSymmetricDominant(t *testing.T) {
+	tor := NewTorus(8, 1)
+	m := tor.Matrix()
+	if m.N != 64 || m.NNZ() != 64*9 {
+		t.Fatalf("shape: n=%d nnz=%d", m.N, m.NNZ())
+	}
+	// Spot-check symmetry via random probes x^T A y == y^T A x.
+	x := randVec(64, 1)
+	y := randVec(64, 2)
+	ax := make([]float64, 64)
+	ay := make([]float64, 64)
+	m.MulVec(ax, x)
+	m.MulVec(ay, y)
+	if math.Abs(dotPlain(y, ax)-dotPlain(x, ay)) > 1e-10 {
+		t.Fatal("torus operator not symmetric")
+	}
+}
+
+func TestTorusApplyMatchesCSR(t *testing.T) {
+	tor := NewTorus(7, 1)
+	m := tor.Matrix()
+	x := randVec(49, 3)
+	want := make([]float64, 49)
+	m.MulVec(want, x)
+
+	// applyBox on the full torus with explicit periodic halo.
+	b := tor.B
+	src := make([]float64, (7+2*b)*(7+2*b))
+	tor.gatherBox(src, x, -b, -b, 7+2*b, 7+2*b)
+	got := make([]float64, 49)
+	tor.applyBox(got, src, 7, 7)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("element %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCGSolvesTorus(t *testing.T) {
+	tor := NewTorus(10, 1)
+	b := randVec(100, 4)
+	var tr Traffic
+	res := CG(tor.Matrix(), b, make([]float64, 100), 300, 1e-10, &tr)
+	if res.Residual > 1e-8 {
+		t.Fatalf("residual %g", res.Residual)
+	}
+}
+
+// The 2-D streaming CA-CG reproduces CG and keeps the Theta(s) write
+// reduction — the paper's d=2 stencil case.
+func TestTorusCACGMatchesCG(t *testing.T) {
+	tor := NewTorus(12, 1)
+	n := tor.Size()
+	b := randVec(n, 5)
+	x0 := make([]float64, n)
+	iters := 16
+
+	var trCG Traffic
+	ref := CG(tor.Matrix(), b, x0, iters, 0, &trCG)
+
+	for _, s := range []int{2, 4} {
+		for _, mode := range []CACGMode{CACGStored, CACGStreaming} {
+			var tr Traffic
+			got, err := CACG(tor, b, x0, iters/s, CACGConfig{S: s, Mode: mode, Block: 4}, &tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var maxd float64
+			for i := range ref.X {
+				if d := math.Abs(ref.X[i] - got.X[i]); d > maxd {
+					maxd = d
+				}
+			}
+			if maxd > 1e-7 {
+				t.Fatalf("s=%d mode=%d: diverges from CG by %g", s, mode, maxd)
+			}
+		}
+	}
+}
+
+func TestTorusStreamingWriteReduction(t *testing.T) {
+	tor := NewTorus(64, 1) // n = 4096
+	n := tor.Size()
+	b := randVec(n, 6)
+	x0 := make([]float64, n)
+	iters := 16
+
+	var trCG Traffic
+	CG(tor.Matrix(), b, x0, iters, 0, &trCG)
+
+	for _, s := range []int{2, 4} {
+		var tr Traffic
+		if _, err := CACG(tor, b, x0, iters/s,
+			CACGConfig{S: s, Mode: CACGStreaming, Block: 16}, &tr); err != nil {
+			t.Fatal(err)
+		}
+		if ratio := float64(trCG.Writes) / float64(tr.Writes); ratio < float64(s)/2 {
+			t.Fatalf("s=%d: 2-D write reduction only %.2f", s, ratio)
+		}
+	}
+}
+
+// Ghost-zone overhead: the streaming reads grow with s (surface-to-volume),
+// but stay within the paper's <= 2x-of-useful-data corridor when the tile is
+// large relative to s*b.
+func TestTorusGhostOverheadBounded(t *testing.T) {
+	tor := NewTorus(64, 1)
+	n := tor.Size()
+	b := randVec(n, 7)
+	x0 := make([]float64, n)
+	s := 4
+	var tr Traffic
+	if _, err := CACG(tor, b, x0, 1, CACGConfig{S: s, Mode: CACGStreaming, Block: 32}, &tr); err != nil {
+		t.Fatal(err)
+	}
+	// Two basisBlocks passes read p and r with halo (32+8)^2/32^2 = 1.56x
+	// inflation; the total reads must stay within a small multiple of n.
+	if tr.Reads > int64(30*n) {
+		t.Fatalf("streaming reads %d implausibly high for n=%d", tr.Reads, n)
+	}
+}
+
+func TestTorusNewtonBasis(t *testing.T) {
+	tor := NewTorus(16, 1)
+	n := tor.Size()
+	b := randVec(n, 8)
+	x0 := make([]float64, n)
+	iters := 16
+	var trCG Traffic
+	ref := CG(tor.Matrix(), b, x0, iters, 0, &trCG)
+	var tr Traffic
+	got, err := CACG(tor, b, x0, 2, CACGConfig{S: 8, Mode: CACGStreaming, Basis: BasisNewton, Block: 8}, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxd float64
+	for i := range ref.X {
+		if d := math.Abs(ref.X[i] - got.X[i]); d > maxd {
+			maxd = d
+		}
+	}
+	if maxd > 1e-6 {
+		t.Fatalf("2-D Newton s=8 diverges by %g", maxd)
+	}
+}
+
+func TestTorusTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTorus(2, 1)
+}

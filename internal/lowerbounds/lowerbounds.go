@@ -1,0 +1,118 @@
+// Package lowerbounds collects the communication and write lower bounds that
+// "Write-Avoiding Algorithms" (Carson et al., 2015) builds on, in the
+// W = Omega(#flops / f(M)) form of Section 2.1, plus the parallel bounds W1,
+// W2, W3 of Section 7 and the Theorem 4 exclusion check.
+//
+// These are asymptotic bounds; the functions return the bound expression
+// without the hidden constant, and the checker helpers compare measurements
+// against them with an explicit slack factor.
+package lowerbounds
+
+import "math"
+
+// Omega0 is log2(7), Strassen's exponent.
+const Omega0 = 2.8073549220576042 // log2 7
+
+// ClassicalMatMulTraffic is the Hong-Kung / Irony-Toledo-Tiskin bound on
+// loads+stores for classical (three-nested-loop) m x n x l matrix
+// multiplication with fast memory M: Omega(m*n*l / sqrt(M)).
+func ClassicalMatMulTraffic(m, n, l int, M int64) float64 {
+	return float64(m) * float64(n) * float64(l) / math.Sqrt(float64(M))
+}
+
+// StrassenTraffic is the Ballard-Demmel-Holtz-Schwartz bound for Strassen:
+// Omega(n^omega0 / M^(omega0/2 - 1)).
+func StrassenTraffic(n int, M int64) float64 {
+	return math.Pow(float64(n), Omega0) / math.Pow(float64(M), Omega0/2-1)
+}
+
+// NBodyTraffic is the bound for the direct (N,k)-body problem:
+// Omega(N^k / M^(k-1)).
+func NBodyTraffic(n, k int, M int64) float64 {
+	return math.Pow(float64(n), float64(k)) / math.Pow(float64(M), float64(k-1))
+}
+
+// FFTTraffic is the Hong-Kung bound for the FFT:
+// Omega(n*log(n) / log(M)).
+func FFTTraffic(n int, M int64) float64 {
+	if M < 2 {
+		M = 2
+	}
+	return float64(n) * math.Log2(float64(n)) / math.Log2(float64(M))
+}
+
+// WriteBoundSlow is the trivial but tight lower bound on writes to the
+// lowest memory level: the output must land there.
+func WriteBoundSlow(outputWords int64) int64 { return outputWords }
+
+// Parallel bounds of Section 7 for n x n classical linear algebra on P
+// processors.
+
+// W1 is the per-processor output bound: n^2/P words must be written to the
+// lowest local level (assuming balanced output).
+func W1(n, p int) float64 { return float64(n) * float64(n) / float64(p) }
+
+// W2 is the interprocessor bandwidth bound with replication factor c:
+// Omega(n^2 / sqrt(P*c)), valid for 1 <= c <= P^(1/3).
+func W2(n, p int, c float64) float64 {
+	return float64(n) * float64(n) / math.Sqrt(float64(p)*c)
+}
+
+// W3 is the per-processor fast-memory traffic bound:
+// Omega((n^3/P)/sqrt(M1)).
+func W3(n, p int, m1 int64) float64 {
+	return float64(n) * float64(n) * float64(n) / float64(p) / math.Sqrt(float64(m1))
+}
+
+// MaxReplication is the 2.5D limit c <= P^(1/3).
+func MaxReplication(p int) float64 { return math.Cbrt(float64(p)) }
+
+// Theorem4MinL3Writes is the paper's Theorem 4: if an algorithm attains the
+// interprocessor bound W2 (so its L2 fills come from local L3), then at
+// least ~n^2/P^(2/3) words must be written to L3 from L2 — strictly more
+// than the W1 = n^2/P floor.
+func Theorem4MinL3Writes(n, p int) float64 {
+	return float64(n) * float64(n) / math.Pow(float64(p), 2.0/3.0)
+}
+
+// Theorem4Excludes reports whether a measured execution respects the
+// Theorem 4 exclusion: it must NOT simultaneously be within slack of both
+// the network bound W2 (taking the most favorable c = P^(1/3)) and the
+// L3-write bound W1. Returns true when the exclusion holds (i.e. at least
+// one bound is exceeded by more than the slack factor).
+func Theorem4Excludes(n, p int, networkWords, l3Writes float64, slack float64) bool {
+	attainsW2 := networkWords <= slack*W2(n, p, MaxReplication(p))
+	attainsW1 := l3Writes <= slack*W1(n, p)
+	return !(attainsW2 && attainsW1)
+}
+
+// FofM returns the f(M) of the W = Omega(#flops/f(M)) formulation for the
+// algorithm classes treated in the paper.
+type FofM func(M int64) float64
+
+// FClassical is f(M) = sqrt(M) (classical linear algebra).
+func FClassical(M int64) float64 { return math.Sqrt(float64(M)) }
+
+// FStrassen is f(M) = M^(omega0/2 - 1).
+func FStrassen(M int64) float64 { return math.Pow(float64(M), Omega0/2-1) }
+
+// FNBody2 is f(M) = M (direct 2-body).
+func FNBody2(M int64) float64 { return float64(M) }
+
+// FFFT is f(M) = log2(M).
+func FFFT(M int64) float64 {
+	if M < 2 {
+		M = 2
+	}
+	return math.Log2(float64(M))
+}
+
+// MultiLevelWriteBound gives the Section 2.1 WA target for level s of an
+// r-level hierarchy: a WA algorithm performs Theta(#flops/f(M_s)) writes to
+// L_s for s < r but only Theta(output) writes to the lowest level L_r.
+func MultiLevelWriteBound(flops int64, f FofM, levelSize int64, lowest bool, outputWords int64) float64 {
+	if lowest {
+		return float64(outputWords)
+	}
+	return float64(flops) / f(levelSize)
+}

@@ -1,0 +1,122 @@
+package lowerbounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassicalMatMulTraffic(t *testing.T) {
+	// n^3 / sqrt(M): 64^3 / sqrt(16) = 262144/4.
+	if got := ClassicalMatMulTraffic(64, 64, 64, 16); got != 65536 {
+		t.Fatalf("got %g", got)
+	}
+}
+
+func TestBoundsDecreaseInM(t *testing.T) {
+	f := func(seed uint64) bool {
+		m1 := int64(seed%1000 + 4)
+		m2 := m1 * 4
+		return ClassicalMatMulTraffic(128, 128, 128, m1) > ClassicalMatMulTraffic(128, 128, 128, m2) &&
+			StrassenTraffic(128, m1) > StrassenTraffic(128, m2) &&
+			NBodyTraffic(128, 2, m1) > NBodyTraffic(128, 2, m2) &&
+			FFTTraffic(128, m1) > FFTTraffic(128, m2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrassenBelowClassical(t *testing.T) {
+	// Strassen's bound is asymptotically smaller than classical for the
+	// same n and M (when n^2 >> M).
+	if StrassenTraffic(4096, 1024) >= ClassicalMatMulTraffic(4096, 4096, 4096, 1024) {
+		t.Fatal("Strassen bound should be below classical")
+	}
+}
+
+func TestOmega0(t *testing.T) {
+	if math.Abs(Omega0-math.Log2(7)) > 1e-12 {
+		t.Fatalf("omega0 %v vs log2(7) %v", Omega0, math.Log2(7))
+	}
+}
+
+func TestFofMCatalogue(t *testing.T) {
+	if FClassical(64) != 8 {
+		t.Fatal("FClassical")
+	}
+	if FNBody2(64) != 64 {
+		t.Fatal("FNBody2")
+	}
+	if FFFT(64) != 6 {
+		t.Fatal("FFFT")
+	}
+	if math.Abs(FStrassen(4)-math.Pow(4, Omega0/2-1)) > 1e-12 {
+		t.Fatal("FStrassen")
+	}
+	if FFFT(1) <= 0 {
+		t.Fatal("FFFT must clamp M<2")
+	}
+}
+
+func TestParallelBoundsOrdering(t *testing.T) {
+	// W1 <= W2 <= W3 for n >> sqrt(P) >> 1 (paper Section 7).
+	n, p := 1<<14, 64
+	m1 := int64(1 << 10)
+	w1, w2, w3 := W1(n, p), W2(n, p, 1), W3(n, p, m1)
+	if !(w1 < w2 && w2 < w3) {
+		t.Fatalf("expected W1 < W2 < W3: %g %g %g", w1, w2, w3)
+	}
+}
+
+func TestW2ReplicationHelps(t *testing.T) {
+	n, p := 4096, 64
+	if W2(n, p, MaxReplication(p)) >= W2(n, p, 1) {
+		t.Fatal("replication should lower the network bound")
+	}
+	if math.Abs(MaxReplication(64)-4) > 1e-12 {
+		t.Fatalf("P^(1/3) for 64 should be 4, got %g", MaxReplication(64))
+	}
+}
+
+func TestTheorem4MinL3WritesAboveW1(t *testing.T) {
+	n, p := 4096, 64
+	if Theorem4MinL3Writes(n, p) <= W1(n, p) {
+		t.Fatal("Theorem 4's floor must exceed the trivial output bound")
+	}
+}
+
+func TestTheorem4Excludes(t *testing.T) {
+	n, p := 4096, 64
+	w1 := W1(n, p)
+	w2 := W2(n, p, MaxReplication(p))
+	// Attaining both must be flagged as violating the exclusion.
+	if Theorem4Excludes(n, p, w2, w1, 2) {
+		t.Fatal("attaining both bounds should violate the exclusion")
+	}
+	// Attaining only the network bound (like 2.5DMML3ooL2) is fine.
+	if !Theorem4Excludes(n, p, w2, 100*w1, 2) {
+		t.Fatal("network-optimal algorithm should satisfy the exclusion")
+	}
+	// Attaining only the write bound (like SUMMAL3ooL2) is fine.
+	if !Theorem4Excludes(n, p, 100*w2, w1, 2) {
+		t.Fatal("write-optimal algorithm should satisfy the exclusion")
+	}
+}
+
+func TestMultiLevelWriteBound(t *testing.T) {
+	// Lowest level: just the output.
+	if got := MultiLevelWriteBound(1000000, FClassical, 64, true, 4096); got != 4096 {
+		t.Fatalf("lowest: %g", got)
+	}
+	// Intermediate level: flops/f(M).
+	if got := MultiLevelWriteBound(1000000, FClassical, 64, false, 4096); got != 125000 {
+		t.Fatalf("intermediate: %g", got)
+	}
+}
+
+func TestWriteBoundSlow(t *testing.T) {
+	if WriteBoundSlow(42) != 42 {
+		t.Fatal("output bound is the output size")
+	}
+}

@@ -1,0 +1,119 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// CostParams gives the alpha-beta communication cost coefficients for one
+// interface, split by direction because the paper's whole point is that the
+// two directions can have very different costs (NVM writes vs reads).
+//
+// All times are in arbitrary consistent units (e.g. seconds): alpha is the
+// per-message latency, beta the per-word reciprocal bandwidth.
+type CostParams struct {
+	AlphaLoad  float64 // latency of a message moving slow->fast
+	BetaLoad   float64 // per-word cost of reading slow / writing fast
+	AlphaStore float64 // latency of a message moving fast->slow
+	BetaStore  float64 // per-word cost of writing slow (the expensive one)
+}
+
+// CostModel assigns CostParams to each interface of a hierarchy, plus a
+// per-flop cost.
+//
+// WriteBuffer models the burst buffers of the paper's Section 2.2: when set,
+// writes at an interface are assumed to overlap perfectly with reads, so the
+// interface's time is max(load cost, store cost) rather than their sum — at
+// best a 2x improvement, which (as the paper notes) changes no asymptotic
+// conclusion and does not remove the per-word energy cost of writes.
+type CostModel struct {
+	Iface       []CostParams
+	PerFlop     float64
+	WriteBuffer bool
+}
+
+// SymmetricDRAM returns a cost model where reads and writes cost the same at
+// every interface; useful as a baseline.
+func SymmetricDRAM(nIfaces int, alpha, beta float64) CostModel {
+	cm := CostModel{Iface: make([]CostParams, nIfaces)}
+	for i := range cm.Iface {
+		cm.Iface[i] = CostParams{AlphaLoad: alpha, BetaLoad: beta, AlphaStore: alpha, BetaStore: beta}
+	}
+	return cm
+}
+
+// NVMBacked returns a cost model whose lowest interface has writes a factor
+// writePenalty more expensive than reads, modeling an NVM bottom level, with
+// the upper interfaces symmetric and a factor speedup faster per level going
+// up.
+func NVMBacked(nIfaces int, alpha, beta, writePenalty, speedup float64) CostModel {
+	cm := CostModel{Iface: make([]CostParams, nIfaces)}
+	scale := 1.0
+	for i := nIfaces - 1; i >= 0; i-- {
+		p := CostParams{
+			AlphaLoad:  alpha * scale,
+			BetaLoad:   beta * scale,
+			AlphaStore: alpha * scale,
+			BetaStore:  beta * scale,
+		}
+		if i == nIfaces-1 {
+			p.AlphaStore *= writePenalty
+			p.BetaStore *= writePenalty
+		}
+		cm.Iface[i] = p
+		scale /= speedup
+	}
+	return cm
+}
+
+// Time evaluates the model against a hierarchy's measured counters.
+func (cm CostModel) Time(h *Hierarchy) float64 {
+	if len(cm.Iface) != h.NumLevels()-1 {
+		panic(fmt.Sprintf("machine: cost model has %d interfaces, hierarchy has %d",
+			len(cm.Iface), h.NumLevels()-1))
+	}
+	t := cm.PerFlop * float64(h.FlopCount())
+	for i, p := range cm.Iface {
+		c := h.Interface(i)
+		load := p.AlphaLoad*float64(c.LoadMsgs) + p.BetaLoad*float64(c.LoadWords)
+		store := p.AlphaStore*float64(c.StoreMsgs) + p.BetaStore*float64(c.StoreWords)
+		if cm.WriteBuffer {
+			t += math.Max(load, store)
+		} else {
+			t += load + store
+		}
+	}
+	return t
+}
+
+// WriteEnergy returns the per-word write cost summed over all interfaces
+// (messages excluded): the quantity a write-buffer cannot hide.
+func (cm CostModel) WriteEnergy(h *Hierarchy) float64 {
+	if len(cm.Iface) != h.NumLevels()-1 {
+		panic(fmt.Sprintf("machine: cost model has %d interfaces, hierarchy has %d",
+			len(cm.Iface), h.NumLevels()-1))
+	}
+	var e float64
+	for i, p := range cm.Iface {
+		c := h.Interface(i)
+		e += p.BetaStore*float64(c.StoreWords) + p.BetaLoad*float64(c.LoadWords)
+	}
+	return e
+}
+
+// Breakdown renders the per-interface cost contributions.
+func (cm CostModel) Breakdown(h *Hierarchy) string {
+	var b strings.Builder
+	for i, p := range cm.Iface {
+		c := h.Interface(i)
+		load := p.AlphaLoad*float64(c.LoadMsgs) + p.BetaLoad*float64(c.LoadWords)
+		store := p.AlphaStore*float64(c.StoreMsgs) + p.BetaStore*float64(c.StoreWords)
+		fmt.Fprintf(&b, "iface %d (%s<->%s): load %.4g store %.4g\n",
+			i, h.LevelInfo(i).Name, h.LevelInfo(i+1).Name, load, store)
+	}
+	if cm.PerFlop > 0 {
+		fmt.Fprintf(&b, "flops: %.4g\n", cm.PerFlop*float64(h.FlopCount()))
+	}
+	return b.String()
+}

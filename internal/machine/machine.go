@@ -1,0 +1,295 @@
+// Package machine implements the explicit memory-hierarchy model of Section 2
+// of "Write-Avoiding Algorithms" (Carson et al., 2015).
+//
+// A Hierarchy is an ordered list of levels, fastest first: level 0 is the
+// highest level (e.g. L1), level len-1 the lowest and largest (e.g. DRAM or
+// NVM). Interface i sits between level i and level i+1. Following the paper:
+//
+//   - a Load across interface i reads words from level i+1 and writes them to
+//     level i;
+//   - a Store across interface i reads words from level i and writes them to
+//     level i+1;
+//   - arithmetic touches only the fastest level and causes no interface
+//     traffic.
+//
+// Word-granularity counters are kept per interface and per direction, which
+// is exactly the accounting the paper's lower bounds and write-avoiding
+// algorithms are stated in. The hierarchy also tracks per-level occupancy so
+// tests can verify that an algorithm's working set honestly fits in the fast
+// memory it claims to use, and classifies every residency into the paper's
+// R1/R2 x D1/D2 taxonomy.
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Level describes one memory level.
+type Level struct {
+	Name string
+	// Size is the capacity in words. Size <= 0 means unbounded (the
+	// lowest level, or a level whose capacity is irrelevant to the
+	// experiment).
+	Size int64
+}
+
+// InterfaceCounters accumulates traffic across one interface (between level i
+// and level i+1).
+type InterfaceCounters struct {
+	LoadWords  int64 // words moved slow->fast (each word: read slow, write fast)
+	LoadMsgs   int64 // number of Load operations (messages)
+	StoreWords int64 // words moved fast->slow (each word: read fast, write slow)
+	StoreMsgs  int64
+}
+
+// LevelCounters accumulates per-level residency bookkeeping.
+type LevelCounters struct {
+	InitWords     int64 // R2 residency beginnings: words created in-level by computation
+	DiscardWords  int64 // D2 residency endings: words dropped without a store
+	Occupancy     int64 // words currently resident
+	PeakOccupancy int64
+}
+
+// Hierarchy is a concrete machine with explicit, programmer-controlled data
+// movement. The zero value is not usable; construct with New.
+type Hierarchy struct {
+	levels []Level
+	iface  []InterfaceCounters // len(levels)-1 entries
+	lvl    []LevelCounters     // len(levels) entries
+	flops  int64
+	strict bool
+}
+
+// New builds a hierarchy from levels listed fastest first. With strict
+// enabled, occupancy overflow and underflow panic instead of being recorded,
+// which is what the tests use to prove block-size choices actually fit.
+func New(strict bool, levels ...Level) *Hierarchy {
+	if len(levels) < 2 {
+		panic("machine: a hierarchy needs at least two levels")
+	}
+	h := &Hierarchy{
+		levels: append([]Level(nil), levels...),
+		iface:  make([]InterfaceCounters, len(levels)-1),
+		lvl:    make([]LevelCounters, len(levels)),
+		strict: strict,
+	}
+	// The lowest level starts holding the problem data; occupancy tracking
+	// there is not meaningful, so it is left unbounded by convention.
+	return h
+}
+
+// TwoLevel is the common two-level machine of the paper's Section 4: a fast
+// memory of m words ("L1") over an unbounded slow memory ("L2").
+func TwoLevel(m int64) *Hierarchy {
+	return New(true, Level{Name: "fast", Size: m}, Level{Name: "slow"})
+}
+
+// NumLevels returns the number of levels.
+func (h *Hierarchy) NumLevels() int { return len(h.levels) }
+
+// LevelInfo returns the static description of level i.
+func (h *Hierarchy) LevelInfo(i int) Level { return h.levels[i] }
+
+// Load moves words from level i+1 into level i across interface i as one
+// message.
+func (h *Hierarchy) Load(iface int, words int64) {
+	h.checkIface(iface)
+	if words < 0 {
+		panic("machine: negative Load")
+	}
+	if words == 0 {
+		return
+	}
+	h.iface[iface].LoadWords += words
+	h.iface[iface].LoadMsgs++
+	h.addOccupancy(iface, words)
+}
+
+// Store moves words from level i into level i+1 across interface i as one
+// message, ending their residency in level i (a D1 ending).
+func (h *Hierarchy) Store(iface int, words int64) {
+	h.checkIface(iface)
+	if words < 0 {
+		panic("machine: negative Store")
+	}
+	if words == 0 {
+		return
+	}
+	h.iface[iface].StoreWords += words
+	h.iface[iface].StoreMsgs++
+	h.addOccupancy(iface, -words)
+}
+
+// Init begins an R2 residency: words are created in level i by computation
+// (e.g. zeroing an accumulator) without touching slower levels.
+func (h *Hierarchy) Init(level int, words int64) {
+	h.checkLevel(level)
+	if words < 0 {
+		panic("machine: negative Init")
+	}
+	if words == 0 {
+		return
+	}
+	h.lvl[level].InitWords += words
+	h.bumpOccupancy(level, words)
+}
+
+// Discard ends a D2 residency: words in level i are dropped without a store.
+func (h *Hierarchy) Discard(level int, words int64) {
+	h.checkLevel(level)
+	if words < 0 {
+		panic("machine: negative Discard")
+	}
+	if words == 0 {
+		return
+	}
+	h.lvl[level].DiscardWords += words
+	h.bumpOccupancy(level, -words)
+}
+
+// Flops records arithmetic work (no data movement).
+func (h *Hierarchy) Flops(n int64) { h.flops += n }
+
+// FlopCount returns the accumulated arithmetic count.
+func (h *Hierarchy) FlopCount() int64 { return h.flops }
+
+// Interface returns a copy of the counters for interface i.
+func (h *Hierarchy) Interface(i int) InterfaceCounters {
+	h.checkIface(i)
+	return h.iface[i]
+}
+
+// LevelCounters returns a copy of the residency counters for level i.
+func (h *Hierarchy) LevelCounters(i int) LevelCounters {
+	h.checkLevel(i)
+	return h.lvl[i]
+}
+
+// WritesTo returns the number of words written INTO level i from any
+// direction: loads arriving from below (interface i), stores arriving from
+// above (interface i-1), and in-level R2 initializations. This is the
+// quantity the paper's write lower bounds are about.
+func (h *Hierarchy) WritesTo(i int) int64 {
+	h.checkLevel(i)
+	w := h.lvl[i].InitWords
+	if i < len(h.iface) {
+		w += h.iface[i].LoadWords // load across interface i writes level i
+	}
+	if i > 0 {
+		w += h.iface[i-1].StoreWords // store across interface i-1 writes level i
+	}
+	return w
+}
+
+// ReadsFrom returns the number of words read FROM level i: loads departing to
+// the level above (interface i-1) and stores departing to the level below
+// (interface i).
+func (h *Hierarchy) ReadsFrom(i int) int64 {
+	h.checkLevel(i)
+	var r int64
+	if i > 0 {
+		r += h.iface[i-1].LoadWords // load across interface i-1 reads level i
+	}
+	if i < len(h.iface) {
+		r += h.iface[i].StoreWords // store across interface i reads level i
+	}
+	return r
+}
+
+// Traffic returns total words moved across interface i in both directions.
+func (h *Hierarchy) Traffic(i int) int64 {
+	h.checkIface(i)
+	return h.iface[i].LoadWords + h.iface[i].StoreWords
+}
+
+// Theorem1Holds checks the paper's Theorem 1 at interface i: the number of
+// writes to the fast side (level i) must be at least half the total loads and
+// stores crossing the interface. In this explicit model writes to the fast
+// side are loads plus R2 initializations.
+func (h *Hierarchy) Theorem1Holds(i int) bool {
+	h.checkIface(i)
+	writesFast := h.iface[i].LoadWords + h.lvl[i].InitWords
+	return 2*writesFast >= h.Traffic(i)
+}
+
+// ResidencyBalanced reports whether, for level i, every residency that began
+// (R1 loads in + R2 inits) has either ended (D1 stores out + D2 discards) or
+// is still resident. Stores departing downward and loads departing upward do
+// not end residency of level i in this simplified accounting, so balance is
+// checked only against interface i (below) traffic, which is how the
+// Section 4 algorithms drive the model.
+func (h *Hierarchy) ResidencyBalanced(i int) bool {
+	h.checkLevel(i)
+	if i >= len(h.iface) {
+		return true // lowest level holds everything by convention
+	}
+	began := h.iface[i].LoadWords + h.lvl[i].InitWords
+	ended := h.iface[i].StoreWords + h.lvl[i].DiscardWords
+	return began == ended+h.lvl[i].Occupancy
+}
+
+// Reset zeroes all counters but keeps the level configuration.
+func (h *Hierarchy) Reset() {
+	for i := range h.iface {
+		h.iface[i] = InterfaceCounters{}
+	}
+	for i := range h.lvl {
+		h.lvl[i] = LevelCounters{}
+	}
+	h.flops = 0
+}
+
+// Report renders all counters as an aligned table.
+func (h *Hierarchy) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %12s %12s %12s %12s %12s\n", "level", "writesTo", "readsFrom", "init", "discard", "peakOcc")
+	for i := range h.levels {
+		fmt.Fprintf(&b, "%-8s %12d %12d %12d %12d %12d\n",
+			h.levels[i].Name, h.WritesTo(i), h.ReadsFrom(i),
+			h.lvl[i].InitWords, h.lvl[i].DiscardWords, h.lvl[i].PeakOccupancy)
+	}
+	fmt.Fprintf(&b, "%-8s %12s %12s %12s %12s\n", "iface", "loadWords", "loadMsgs", "storeWords", "storeMsgs")
+	for i := range h.iface {
+		fmt.Fprintf(&b, "%s<->%-4s %12d %12d %12d %12d\n",
+			h.levels[i].Name, h.levels[i+1].Name,
+			h.iface[i].LoadWords, h.iface[i].LoadMsgs, h.iface[i].StoreWords, h.iface[i].StoreMsgs)
+	}
+	fmt.Fprintf(&b, "flops %d\n", h.flops)
+	return b.String()
+}
+
+func (h *Hierarchy) checkIface(i int) {
+	if i < 0 || i >= len(h.iface) {
+		panic(fmt.Sprintf("machine: interface %d out of range (have %d)", i, len(h.iface)))
+	}
+}
+
+func (h *Hierarchy) checkLevel(i int) {
+	if i < 0 || i >= len(h.levels) {
+		panic(fmt.Sprintf("machine: level %d out of range (have %d)", i, len(h.levels)))
+	}
+}
+
+// addOccupancy adjusts occupancy of the fast side of interface i.
+func (h *Hierarchy) addOccupancy(iface int, delta int64) {
+	h.bumpOccupancy(iface, delta)
+}
+
+func (h *Hierarchy) bumpOccupancy(level int, delta int64) {
+	lc := &h.lvl[level]
+	lc.Occupancy += delta
+	if lc.Occupancy < 0 {
+		if h.strict {
+			panic(fmt.Sprintf("machine: level %s occupancy underflow (%d)", h.levels[level].Name, lc.Occupancy))
+		}
+		lc.Occupancy = 0
+	}
+	if lc.Occupancy > lc.PeakOccupancy {
+		lc.PeakOccupancy = lc.Occupancy
+	}
+	if h.strict && h.levels[level].Size > 0 && lc.Occupancy > h.levels[level].Size {
+		panic(fmt.Sprintf("machine: level %s overflow: occupancy %d > size %d",
+			h.levels[level].Name, lc.Occupancy, h.levels[level].Size))
+	}
+}

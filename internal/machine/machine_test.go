@@ -1,0 +1,307 @@
+package machine
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTwoLevelBasicAccounting(t *testing.T) {
+	h := TwoLevel(100)
+	h.Load(0, 30)  // bring 30 words into fast
+	h.Store(0, 10) // push 10 back
+	h.Discard(0, 20)
+
+	c := h.Interface(0)
+	if c.LoadWords != 30 || c.StoreWords != 10 || c.LoadMsgs != 1 || c.StoreMsgs != 1 {
+		t.Fatalf("bad counters: %+v", c)
+	}
+	if got := h.WritesTo(0); got != 30 {
+		t.Fatalf("WritesTo(fast)=%d want 30", got)
+	}
+	if got := h.WritesTo(1); got != 10 {
+		t.Fatalf("WritesTo(slow)=%d want 10", got)
+	}
+	if got := h.ReadsFrom(1); got != 30 {
+		t.Fatalf("ReadsFrom(slow)=%d want 30", got)
+	}
+	if got := h.ReadsFrom(0); got != 10 {
+		t.Fatalf("ReadsFrom(fast)=%d want 10", got)
+	}
+	if got := h.Traffic(0); got != 40 {
+		t.Fatalf("Traffic=%d want 40", got)
+	}
+}
+
+func TestInitCountsAsWriteToFast(t *testing.T) {
+	h := TwoLevel(50)
+	h.Init(0, 25)
+	if h.WritesTo(0) != 25 {
+		t.Fatalf("init must count as write to fast, got %d", h.WritesTo(0))
+	}
+	if h.Traffic(0) != 0 {
+		t.Fatal("init must cause no interface traffic")
+	}
+	h.Store(0, 25)
+	if h.WritesTo(1) != 25 {
+		t.Fatal("store after init must write slow")
+	}
+}
+
+func TestOccupancyOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected overflow panic")
+		}
+	}()
+	h := TwoLevel(10)
+	h.Load(0, 11)
+}
+
+func TestOccupancyUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected underflow panic")
+		}
+	}()
+	h := TwoLevel(10)
+	h.Store(0, 1)
+}
+
+func TestNonStrictClamps(t *testing.T) {
+	h := New(false, Level{Name: "fast", Size: 4}, Level{Name: "slow"})
+	h.Load(0, 100) // over capacity, tolerated
+	h.Store(0, 200)
+	if h.LevelCounters(0).Occupancy != 0 {
+		t.Fatal("non-strict underflow should clamp at zero")
+	}
+	if h.LevelCounters(0).PeakOccupancy != 100 {
+		t.Fatalf("peak should record actual high-water mark, got %d", h.LevelCounters(0).PeakOccupancy)
+	}
+}
+
+func TestThreeLevelDirections(t *testing.T) {
+	h := New(true,
+		Level{Name: "L1", Size: 100},
+		Level{Name: "L2", Size: 1000},
+		Level{Name: "L3"})
+	h.Load(1, 500) // L3 -> L2
+	h.Load(0, 80)  // L2 -> L1
+	h.Store(0, 80) // L1 -> L2
+	h.Store(1, 80) // L2 -> L3
+
+	if got := h.WritesTo(1); got != 500+80 {
+		t.Fatalf("WritesTo(L2)=%d want 580 (500 loaded up + 80 stored down)", got)
+	}
+	if got := h.ReadsFrom(1); got != 80+80 {
+		t.Fatalf("ReadsFrom(L2)=%d want 160", got)
+	}
+	if got := h.WritesTo(2); got != 80 {
+		t.Fatalf("WritesTo(L3)=%d want 80", got)
+	}
+	// L2 occupancy: +500 (load up) -80 (load to L1 does NOT drain L2: it copies)
+	// Our model tracks the fast side of each interface, so L2 gained 500 and
+	// lost 80 when storing to L3; the load to L1 changes L1, not L2.
+	if got := h.LevelCounters(1).Occupancy; got != 500-80 {
+		t.Fatalf("L2 occupancy=%d want 420", got)
+	}
+	if got := h.LevelCounters(0).Occupancy; got != 0 {
+		t.Fatalf("L1 occupancy=%d want 0", got)
+	}
+}
+
+func TestTheorem1AlwaysHoldsForValidPrograms(t *testing.T) {
+	// Property: any random sequence of valid Load/Init/Store/Discard ops
+	// satisfies Theorem 1 (writes to fast >= half of loads+stores), because
+	// a word can only be stored if it was first loaded or initialized.
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		h := TwoLevel(1000)
+		for op := 0; op < 200; op++ {
+			occ := h.LevelCounters(0).Occupancy
+			switch rng.IntN(4) {
+			case 0:
+				h.Load(0, rng.Int64N(1000-occ+1))
+			case 1:
+				h.Init(0, rng.Int64N(1000-occ+1))
+			case 2:
+				if occ > 0 {
+					h.Store(0, rng.Int64N(occ)+1)
+				}
+			case 3:
+				if occ > 0 {
+					h.Discard(0, rng.Int64N(occ)+1)
+				}
+			}
+			if !h.Theorem1Holds(0) {
+				return false
+			}
+		}
+		return h.ResidencyBalanced(0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResidencyBalanced(t *testing.T) {
+	h := TwoLevel(100)
+	h.Load(0, 40)
+	h.Init(0, 10)
+	h.Store(0, 30)
+	h.Discard(0, 15)
+	if !h.ResidencyBalanced(0) {
+		t.Fatal("40+10 began, 30+15 ended, 5 resident: should balance")
+	}
+	if h.LevelCounters(0).Occupancy != 5 {
+		t.Fatalf("occupancy=%d want 5", h.LevelCounters(0).Occupancy)
+	}
+}
+
+func TestZeroOpsAreNoops(t *testing.T) {
+	h := TwoLevel(10)
+	h.Load(0, 0)
+	h.Store(0, 0)
+	h.Init(0, 0)
+	h.Discard(0, 0)
+	c := h.Interface(0)
+	if c.LoadMsgs != 0 || c.StoreMsgs != 0 {
+		t.Fatal("zero-word ops must not count as messages")
+	}
+}
+
+func TestNegativeOpsPanic(t *testing.T) {
+	for name, f := range map[string]func(*Hierarchy){
+		"load":    func(h *Hierarchy) { h.Load(0, -1) },
+		"store":   func(h *Hierarchy) { h.Store(0, -1) },
+		"init":    func(h *Hierarchy) { h.Init(0, -1) },
+		"discard": func(h *Hierarchy) { h.Discard(0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f(TwoLevel(10))
+		}()
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := TwoLevel(100)
+	h.Load(0, 10)
+	h.Flops(99)
+	h.Reset()
+	if h.Traffic(0) != 0 || h.FlopCount() != 0 || h.LevelCounters(0).Occupancy != 0 {
+		t.Fatal("reset did not clear counters")
+	}
+}
+
+func TestReportMentionsLevels(t *testing.T) {
+	h := New(true, Level{Name: "L1", Size: 10}, Level{Name: "NVM"})
+	h.Load(0, 5)
+	r := h.Report()
+	if !strings.Contains(r, "L1") || !strings.Contains(r, "NVM") {
+		t.Fatalf("report missing level names:\n%s", r)
+	}
+}
+
+func TestSymmetricCostModel(t *testing.T) {
+	h := TwoLevel(100)
+	h.Load(0, 10) // 1 msg, 10 words
+	h.Store(0, 4) // 1 msg, 4 words
+	cm := SymmetricDRAM(1, 2.0, 0.5)
+	want := 2.0*2 + 0.5*14
+	if got := cm.Time(h); got != want {
+		t.Fatalf("time=%g want %g", got, want)
+	}
+}
+
+func TestNVMBackedPenalizesWrites(t *testing.T) {
+	h := New(true, Level{Name: "L2", Size: 100}, Level{Name: "NVM"})
+	cm := NVMBacked(1, 0, 1.0, 10.0, 2.0)
+	h.Load(0, 100)
+	readTime := cm.Time(h)
+	h.Reset()
+	h.Init(0, 100)
+	h.Store(0, 100)
+	writeTime := cm.Time(h)
+	if writeTime <= 9*readTime {
+		t.Fatalf("NVM writes should be ~10x reads: read %g write %g", readTime, writeTime)
+	}
+}
+
+func TestNVMBackedUpperLevelsFaster(t *testing.T) {
+	cm := NVMBacked(3, 1, 1, 5, 4)
+	if cm.Iface[0].BetaLoad >= cm.Iface[1].BetaLoad || cm.Iface[1].BetaLoad >= cm.Iface[2].BetaLoad {
+		t.Fatalf("upper interfaces must be faster: %+v", cm.Iface)
+	}
+}
+
+func TestCostModelMismatchedLevelsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SymmetricDRAM(3, 1, 1).Time(TwoLevel(10))
+}
+
+func TestFlopCost(t *testing.T) {
+	h := TwoLevel(10)
+	h.Flops(1000)
+	cm := SymmetricDRAM(1, 0, 0)
+	cm.PerFlop = 0.001
+	if got := cm.Time(h); got != 1.0 {
+		t.Fatalf("flop time %g want 1", got)
+	}
+}
+
+// Section 2.2: a write-buffer overlaps reads and writes, at best halving the
+// time, and never changes which algorithm wins asymptotically.
+func TestWriteBufferOverlap(t *testing.T) {
+	h := TwoLevel(100)
+	h.Load(0, 40)
+	h.Store(0, 40)
+	cm := SymmetricDRAM(1, 0, 1)
+	plain := cm.Time(h)
+	cm.WriteBuffer = true
+	overlapped := cm.Time(h)
+	if overlapped != plain/2 {
+		t.Fatalf("balanced traffic should halve exactly: %g vs %g", overlapped, plain)
+	}
+	// Asymmetric traffic: overlap hides only the smaller direction.
+	h2 := TwoLevel(100)
+	h2.Load(0, 90)
+	h2.Store(0, 10)
+	cm2 := SymmetricDRAM(1, 0, 1)
+	cm2.WriteBuffer = true
+	if got := cm2.Time(h2); got != 90 {
+		t.Fatalf("overlapped time %g want max(load,store)=90", got)
+	}
+}
+
+func TestWriteEnergyIgnoresOverlap(t *testing.T) {
+	h := TwoLevel(100)
+	h.Load(0, 30)
+	h.Store(0, 20)
+	cm := SymmetricDRAM(1, 5, 2) // alpha must not enter energy
+	cm.WriteBuffer = true
+	if got := cm.WriteEnergy(h); got != 2*50 {
+		t.Fatalf("energy %g want 100", got)
+	}
+}
+
+func TestBreakdownNonEmpty(t *testing.T) {
+	h := TwoLevel(10)
+	h.Load(0, 5)
+	cm := SymmetricDRAM(1, 1, 1)
+	cm.PerFlop = 1
+	h.Flops(3)
+	s := cm.Breakdown(h)
+	if !strings.Contains(s, "iface 0") || !strings.Contains(s, "flops") {
+		t.Fatalf("bad breakdown:\n%s", s)
+	}
+}

@@ -1,0 +1,128 @@
+package nbody
+
+import (
+	"fmt"
+
+	"writeavoid/internal/machine"
+)
+
+// PhiK is a generic symmetric k-tuple force: the contribution to particle
+// idx[0] of the tuple idx[0..k-1]. It generalizes the Axilrod-Teller-style
+// Phi3: sum of displacement vectors from idx[0], scaled by the product of
+// masses over the product of softened squared distances. Degenerate tuples
+// (any repeated index) contribute zero.
+func PhiK(s *System, idx []int) Vec3 {
+	for a := 0; a < len(idx); a++ {
+		for b := a + 1; b < len(idx); b++ {
+			if idx[a] == idx[b] {
+				return Vec3{}
+			}
+		}
+	}
+	p0 := s.Pos[idx[0]]
+	scale := s.Mass[idx[0]]
+	var dir Vec3
+	for _, j := range idx[1:] {
+		d := s.Pos[j].Sub(p0)
+		r2 := d[0]*d[0] + d[1]*d[1] + d[2]*d[2]
+		scale *= s.Mass[j] / (r2 + softening)
+		dir = dir.Add(d)
+	}
+	return dir.Scale(scale)
+}
+
+// ForcesKReference computes the (N,k)-body forces by brute force: for each
+// target particle, sum PhiK over every ordered (k-1)-tuple of other
+// particles. O(N^k); keep N tiny in tests.
+func ForcesKReference(s *System, k int) []Vec3 {
+	n := s.N()
+	f := make([]Vec3, n)
+	idx := make([]int, k)
+	var rec func(d int)
+	for i := 0; i < n; i++ {
+		idx[0] = i
+		rec = func(d int) {
+			if d == k {
+				f[i] = f[i].Add(PhiK(s, idx))
+				return
+			}
+			for j := 0; j < n; j++ {
+				idx[d] = j
+				rec(d + 1)
+			}
+		}
+		rec(1)
+	}
+	return f
+}
+
+// ForcesKWAGeneric is the write-avoiding blocked (N,k)-body loop nest of the
+// end of Section 4.4, for arbitrary k >= 2: k nested loops over blocks of b
+// particles; the j-th loop loads one block of P^(j); the innermost level
+// runs the k-deep particle loops; F(i1) accumulates in fast memory across
+// everything and is stored once. Fast memory must hold k+1 blocks.
+func ForcesKWAGeneric(h *machine.Hierarchy, b, k int, s *System) ([]Vec3, error) {
+	n := s.N()
+	if k < 2 {
+		return nil, fmt.Errorf("nbody: k must be >= 2, got %d", k)
+	}
+	if n%b != 0 {
+		return nil, fmt.Errorf("nbody: N=%d not a multiple of block %d", n, b)
+	}
+	f := make([]Vec3, n)
+	idx := make([]int, k)
+
+	// kernel runs the particle loops for a fixed tuple of blocks.
+	blockLo := make([]int, k)
+	var kernel func(d int)
+	kernel = func(d int) {
+		if d == k {
+			f[idx[0]] = f[idx[0]].Add(PhiK(s, idx))
+			return
+		}
+		for x := blockLo[d]; x < blockLo[d]+b; x++ {
+			idx[d] = x
+			kernel(d + 1)
+		}
+	}
+
+	// blockLoop nests the k block loops, loading one block per level.
+	var blockLoop func(d int)
+	blockLoop = func(d int) {
+		if d == k {
+			kernel(0)
+			pw := int64(1)
+			for t := 0; t < k; t++ {
+				pw *= int64(b)
+			}
+			h.Flops(pw)
+			return
+		}
+		for lo := 0; lo < n; lo += b {
+			blockLo[d] = lo
+			h.Load(0, int64(b)) // P^(d) block
+			if d == 0 {
+				h.Init(0, int64(b)) // F block (R2)
+			}
+			blockLoop(d + 1)
+			if d == 0 {
+				h.Store(0, int64(b)) // F block, once
+			}
+			h.Discard(0, int64(b))
+		}
+	}
+	blockLoop(0)
+	return f, nil
+}
+
+// PredictKWAGeneric returns the exact ForcesKWAGeneric counts:
+// loads = sum_{j=1..k} N^j / b^(j-1), inits = stores = N.
+func PredictKWAGeneric(n, b, k int) (loadWords, storeWords int64) {
+	N, B := int64(n), int64(b)
+	term := N
+	for j := 1; j <= k; j++ {
+		loadWords += term
+		term = term * N / B
+	}
+	return loadWords, N
+}

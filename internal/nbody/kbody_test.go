@@ -1,0 +1,104 @@
+package nbody
+
+import (
+	"testing"
+
+	"writeavoid/internal/machine"
+)
+
+func TestPhiKMatchesReferenceStructure(t *testing.T) {
+	s := RandomSystem(5, 1)
+	// PhiK with a repeated index must vanish.
+	if PhiK(s, []int{0, 1, 1}).Norm() != 0 || PhiK(s, []int{2, 0, 2}).Norm() != 0 {
+		t.Fatal("degenerate tuple must contribute zero")
+	}
+	// k=2 PhiK is nonzero for distinct particles.
+	if PhiK(s, []int{0, 1}).Norm() == 0 {
+		t.Fatal("distinct pair should interact")
+	}
+}
+
+func TestForcesKWAGenericMatchesReference(t *testing.T) {
+	for _, k := range []int{2, 3, 4} {
+		n := 8
+		if k == 4 {
+			n = 4 // N^4 reference
+		}
+		s := RandomSystem(n, uint64(k))
+		h := machine.TwoLevel(int64((k + 1) * 4))
+		got, err := ForcesKWAGeneric(h, 4, k, s)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		want := ForcesKReference(s, k)
+		if d := MaxForceDiff(got, want); d > 1e-10 {
+			t.Fatalf("k=%d: force mismatch %g", k, d)
+		}
+	}
+}
+
+func TestForcesKWAGenericExactCounts(t *testing.T) {
+	for _, k := range []int{2, 3} {
+		n, b := 16, 4
+		s := RandomSystem(n, uint64(10+k))
+		h := machine.TwoLevel(int64((k + 1) * b))
+		if _, err := ForcesKWAGeneric(h, b, k, s); err != nil {
+			t.Fatal(err)
+		}
+		wantL, wantS := PredictKWAGeneric(n, b, k)
+		c := h.Interface(0)
+		if c.LoadWords != wantL || c.StoreWords != wantS {
+			t.Fatalf("k=%d: got (%d,%d) want (%d,%d)", k, c.LoadWords, c.StoreWords, wantL, wantS)
+		}
+		if !h.Theorem1Holds(0) || !h.ResidencyBalanced(0) {
+			t.Fatalf("k=%d: model invariants violated", k)
+		}
+	}
+}
+
+func TestForcesKWAGenericStoresStayAtOutput(t *testing.T) {
+	// The whole point: stores to slow memory are N regardless of k.
+	for _, k := range []int{2, 3} {
+		n, b := 16, 4
+		s := RandomSystem(n, uint64(20+k))
+		h := machine.TwoLevel(int64((k + 1) * b))
+		if _, err := ForcesKWAGeneric(h, b, k, s); err != nil {
+			t.Fatal(err)
+		}
+		if h.Interface(0).StoreWords != int64(n) {
+			t.Fatalf("k=%d: stores %d want N=%d", k, h.Interface(0).StoreWords, n)
+		}
+	}
+}
+
+func TestForcesKWAGenericValidation(t *testing.T) {
+	s := RandomSystem(16, 1)
+	h := machine.TwoLevel(100)
+	if _, err := ForcesKWAGeneric(h, 4, 1, s); err == nil {
+		t.Fatal("want k>=2 error")
+	}
+	if _, err := ForcesKWAGeneric(h, 5, 2, s); err == nil {
+		t.Fatal("want divisibility error")
+	}
+}
+
+// The specialized k=3 implementation and the generic nest agree on counts
+// (they differ in force law only if Phi3 != PhiK for k=3; check counts).
+func TestGenericCountsMatchSpecialized(t *testing.T) {
+	n, b := 16, 4
+	s := RandomSystem(n, 30)
+	h1 := machine.TwoLevel(4 * int64(b))
+	if _, err := ForcesKWA(h1, b, s); err != nil {
+		t.Fatal(err)
+	}
+	h2 := machine.TwoLevel(4 * int64(b))
+	if _, err := ForcesKWAGeneric(h2, b, 3, s); err != nil {
+		t.Fatal(err)
+	}
+	if h1.Interface(0).LoadWords != h2.Interface(0).LoadWords {
+		t.Fatalf("load counts differ: %d vs %d", h1.Interface(0).LoadWords, h2.Interface(0).LoadWords)
+	}
+	if h1.Interface(0).StoreWords != h2.Interface(0).StoreWords {
+		t.Fatalf("store counts differ")
+	}
+}

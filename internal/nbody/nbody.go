@@ -1,0 +1,314 @@
+// Package nbody implements the direct N-body write-avoiding algorithms of
+// Section 4.4 of "Write-Avoiding Algorithms" (Carson et al., 2015): the
+// blocked (N,2)-body Algorithm 4, its multi-level recursion, the general
+// (N,k)-body loop nest, and the force-symmetry (Newton's third law) variant
+// that halves arithmetic but provably forfeits write-avoidance.
+//
+// Following the paper, memory is counted in particle-sized units: a level of
+// size M holds M particles, and a force record is the same size as a
+// particle.
+package nbody
+
+import (
+	"fmt"
+	"math"
+
+	"writeavoid/internal/machine"
+)
+
+// Vec3 is a 3-vector.
+type Vec3 [3]float64
+
+// Add returns v+w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v[0] + w[0], v[1] + w[1], v[2] + w[2]} }
+
+// Sub returns v-w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v[0] - w[0], v[1] - w[1], v[2] - w[2]} }
+
+// Scale returns s*v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v[0], s * v[1], s * v[2]} }
+
+// Norm returns |v|.
+func (v Vec3) Norm() float64 { return math.Sqrt(v[0]*v[0] + v[1]*v[1] + v[2]*v[2]) }
+
+// System is a set of particles with positions and masses.
+type System struct {
+	Pos  []Vec3
+	Mass []float64
+}
+
+// N returns the particle count.
+func (s *System) N() int { return len(s.Pos) }
+
+// RandomSystem builds a deterministic random particle system in the unit box
+// with masses in [0.5, 1.5).
+func RandomSystem(n int, seed uint64) *System {
+	rng := newPCG(seed)
+	s := &System{Pos: make([]Vec3, n), Mass: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		s.Pos[i] = Vec3{rng.f64(), rng.f64(), rng.f64()}
+		s.Mass[i] = 0.5 + rng.f64()
+	}
+	return s
+}
+
+const softening = 1e-2
+
+// Phi2 is the softened gravitational pairwise force of particle j on
+// particle i; it returns zero for identical arguments as the paper assumes.
+func Phi2(pi, pj Vec3, mi, mj float64) Vec3 {
+	d := pj.Sub(pi)
+	r2 := d[0]*d[0] + d[1]*d[1] + d[2]*d[2]
+	if r2 == 0 {
+		return Vec3{}
+	}
+	inv := 1 / math.Pow(r2+softening*softening, 1.5)
+	return d.Scale(mi * mj * inv)
+}
+
+// Phi3 is a simple symmetric three-body correction term (an Axilrod-Teller
+// style triple product of inverse distances applied along the i->j and i->m
+// directions); it returns zero whenever two arguments coincide.
+func Phi3(pi, pj, pm Vec3, mi, mj, mm float64) Vec3 {
+	dij := pj.Sub(pi)
+	dim := pm.Sub(pi)
+	rij2 := dij[0]*dij[0] + dij[1]*dij[1] + dij[2]*dij[2]
+	rim2 := dim[0]*dim[0] + dim[1]*dim[1] + dim[2]*dim[2]
+	if rij2 == 0 || rim2 == 0 {
+		return Vec3{}
+	}
+	s := mi * mj * mm / ((rij2 + softening) * (rim2 + softening))
+	return dij.Add(dim).Scale(s)
+}
+
+// ForcesReference computes all pairwise forces with the plain O(N^2) double
+// loop; the blocked algorithms are validated against it.
+func ForcesReference(s *System) []Vec3 {
+	n := s.N()
+	f := make([]Vec3, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				f[i] = f[i].Add(Phi2(s.Pos[i], s.Pos[j], s.Mass[i], s.Mass[j]))
+			}
+		}
+	}
+	return f
+}
+
+// Forces3Reference computes all (N,3)-body forces with the O(N^3) triple
+// loop over distinct (j,m) pairs.
+func Forces3Reference(s *System) []Vec3 {
+	n := s.N()
+	f := make([]Vec3, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for m := 0; m < n; m++ {
+				if i != j && j != m && i != m {
+					f[i] = f[i].Add(Phi3(s.Pos[i], s.Pos[j], s.Pos[m], s.Mass[i], s.Mass[j], s.Mass[m]))
+				}
+			}
+		}
+	}
+	return f
+}
+
+// Forces2WA runs the paper's Algorithm 4 on a multi-level hierarchy with
+// per-interface block sizes in particles (fastest first, blockSizes[i] for
+// interface i; M_i must hold 3*blockSizes[i]). It returns the forces and
+// drives h's counters.
+func Forces2WA(h *machine.Hierarchy, blockSizes []int, s *System) ([]Vec3, error) {
+	if len(blockSizes) != h.NumLevels()-1 {
+		return nil, fmt.Errorf("nbody: %d block sizes for %d interfaces", len(blockSizes), h.NumLevels()-1)
+	}
+	top := len(blockSizes) - 1
+	n := s.N()
+	if n%blockSizes[top] != 0 {
+		return nil, fmt.Errorf("nbody: N=%d not a multiple of top block %d", n, blockSizes[top])
+	}
+	for i := 1; i <= top; i++ {
+		if blockSizes[i]%blockSizes[i-1] != 0 {
+			return nil, fmt.Errorf("nbody: block %d does not divide block %d", blockSizes[i-1], blockSizes[i])
+		}
+	}
+	f := make([]Vec3, n)
+	forces2Level(h, blockSizes, top, s, f, 0, n, 0, n, true)
+	return f, nil
+}
+
+// forces2Level accumulates into f[i0:i0+ni] the forces from particles
+// [j0,j0+nj). At the top call, force blocks begin life as R2 initializations;
+// at inner recursion levels the partial accumulator is loaded and stored.
+func forces2Level(h *machine.Hierarchy, bs []int, lvl int, s *System, f []Vec3, i0, ni, j0, nj int, fresh bool) {
+	if lvl < 0 {
+		for i := i0; i < i0+ni; i++ {
+			for j := j0; j < j0+nj; j++ {
+				if i != j {
+					f[i] = f[i].Add(Phi2(s.Pos[i], s.Pos[j], s.Mass[i], s.Mass[j]))
+				}
+			}
+		}
+		h.Flops(int64(ni) * int64(nj))
+		return
+	}
+	b := bs[lvl]
+	for i := i0; i < i0+ni; i += b {
+		h.Load(lvl, int64(b)) // P1 block
+		if fresh {
+			h.Init(lvl, int64(b)) // F block starts at zero (R2)
+		} else {
+			h.Load(lvl, int64(b)) // partial F comes down from above
+		}
+		for j := j0; j < j0+nj; j += b {
+			h.Load(lvl, int64(b)) // P2 block
+			// Inner levels always receive a partial accumulator.
+			forces2Level(h, bs, lvl-1, s, f, i, b, j, b, false)
+			h.Discard(lvl, int64(b))
+		}
+		h.Store(lvl, int64(b)) // F block written once
+		h.Discard(lvl, int64(b))
+	}
+}
+
+// Predict2WA returns the exact two-level Algorithm 4 counts: loads into fast
+// memory N + N^2/b particles, R2 inits N, stores to slow memory N.
+func Predict2WA(n, b int) (loadWords, initWords, storeWords int64) {
+	N, B := int64(n), int64(b)
+	return N + N*N/B, N, N
+}
+
+// Forces2Symmetric exploits force symmetry (Newton's third law) to halve the
+// arithmetic: each unordered pair of blocks is visited once and both force
+// blocks are updated. The paper's point is that this cannot be
+// write-avoiding: every pass through the inner loop dirties force blocks for
+// all N particles, producing Θ(N^2/b) stores. Two-level only.
+func Forces2Symmetric(h *machine.Hierarchy, b int, s *System) ([]Vec3, error) {
+	n := s.N()
+	if n%b != 0 {
+		return nil, fmt.Errorf("nbody: N=%d not a multiple of block %d", n, b)
+	}
+	f := make([]Vec3, n)
+	initialized := make([]bool, n/b)
+	loadF := func(blk int) {
+		if initialized[blk] {
+			h.Load(0, int64(b))
+		} else {
+			h.Init(0, int64(b))
+			initialized[blk] = true
+		}
+	}
+	for i := 0; i < n; i += b {
+		h.Load(0, int64(b)) // P(i)
+		loadF(i / b)        // F(i)
+		// Diagonal block: interactions within the block.
+		for x := i; x < i+b; x++ {
+			for y := x + 1; y < i+b; y++ {
+				fxy := Phi2(s.Pos[x], s.Pos[y], s.Mass[x], s.Mass[y])
+				f[x] = f[x].Add(fxy)
+				f[y] = f[y].Sub(fxy)
+			}
+		}
+		h.Flops(int64(b) * int64(b) / 2)
+		for j := i + b; j < n; j += b {
+			h.Load(0, int64(b)) // P(j)
+			loadF(j / b)        // F(j): dirtied every pass -> must be stored
+			for x := i; x < i+b; x++ {
+				for y := j; y < j+b; y++ {
+					fxy := Phi2(s.Pos[x], s.Pos[y], s.Mass[x], s.Mass[y])
+					f[x] = f[x].Add(fxy)
+					f[y] = f[y].Sub(fxy)
+				}
+			}
+			h.Flops(int64(b) * int64(b))
+			h.Store(0, int64(b)) // F(j) back to slow memory
+			h.Discard(0, int64(b))
+		}
+		h.Store(0, int64(b)) // F(i)
+		h.Discard(0, int64(b))
+	}
+	return f, nil
+}
+
+// PredictSymmetric returns the exact store count of Forces2Symmetric:
+// N + N/b * (N/b - 1) / 2 * b stores — asymptotically N^2/(2b), versus N for
+// the write-avoiding version.
+func PredictSymmetric(n, b int) (storeWords int64) {
+	N, B := int64(n), int64(b)
+	nb := N / B
+	return N + nb*(nb-1)/2*B
+}
+
+// ForcesKWA computes the (N,k)-body forces with k nested block loops, the
+// generalization at the end of Section 4.4, for k=3. Each loop level loads a
+// block of b particles; the innermost updates F(i1). Writes to slow memory
+// stay at N while loads are 2N + N^2/b + N^3/b^2.
+func ForcesKWA(h *machine.Hierarchy, b int, s *System) ([]Vec3, error) {
+	n := s.N()
+	if n%b != 0 {
+		return nil, fmt.Errorf("nbody: N=%d not a multiple of block %d", n, b)
+	}
+	f := make([]Vec3, n)
+	for i := 0; i < n; i += b {
+		h.Load(0, int64(b)) // P1 block
+		h.Init(0, int64(b)) // F block
+		for j := 0; j < n; j += b {
+			h.Load(0, int64(b)) // P2 block
+			for m := 0; m < n; m += b {
+				h.Load(0, int64(b)) // P3 block
+				for x := i; x < i+b; x++ {
+					for y := j; y < j+b; y++ {
+						for z := m; z < m+b; z++ {
+							if x != y && y != z && x != z {
+								f[x] = f[x].Add(Phi3(s.Pos[x], s.Pos[y], s.Pos[z], s.Mass[x], s.Mass[y], s.Mass[z]))
+							}
+						}
+					}
+				}
+				h.Flops(int64(b) * int64(b) * int64(b))
+				h.Discard(0, int64(b))
+			}
+			h.Discard(0, int64(b))
+		}
+		h.Store(0, int64(b))
+		h.Discard(0, int64(b))
+	}
+	return f, nil
+}
+
+// PredictKWA returns the exact (N,3)-body counts of ForcesKWA: loads
+// N + N^2/b + N^3/b^2 (the P1, P2 and P3 block streams), and N stores (the
+// output, once). The paper's 2N leading term counts the force block as a
+// load; here it is an R2 init, reported separately by the hierarchy.
+func PredictKWA(n, b int) (loadWords, storeWords int64) {
+	N, B := int64(n), int64(b)
+	return N + N*N/B + N*N*N/(B*B), N
+}
+
+// MaxForceDiff returns the largest per-particle force error between two force
+// sets.
+func MaxForceDiff(a, b []Vec3) float64 {
+	d := 0.0
+	for i := range a {
+		if v := a[i].Sub(b[i]).Norm(); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// pcg is a tiny deterministic generator to avoid importing math/rand in the
+// hot path.
+type pcg struct{ state uint64 }
+
+func newPCG(seed uint64) *pcg { return &pcg{state: seed*6364136223846793005 + 1442695040888963407} }
+
+func (p *pcg) next() uint64 {
+	p.state = p.state*6364136223846793005 + 1442695040888963407
+	x := p.state
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+func (p *pcg) f64() float64 { return float64(p.next()>>11) / (1 << 53) }

@@ -1,0 +1,216 @@
+package nbody
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"writeavoid/internal/machine"
+)
+
+func TestForces2WACorrect(t *testing.T) {
+	s := RandomSystem(32, 1)
+	want := ForcesReference(s)
+	h := machine.TwoLevel(3 * 8)
+	got, err := Forces2WA(h, []int{8}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxForceDiff(got, want); d > 1e-12 {
+		t.Fatalf("force mismatch %g", d)
+	}
+}
+
+func TestForces2WAExactCounts(t *testing.T) {
+	n, b := 64, 8
+	s := RandomSystem(n, 2)
+	h := machine.TwoLevel(3 * int64(b))
+	if _, err := Forces2WA(h, []int{b}, s); err != nil {
+		t.Fatal(err)
+	}
+	wantL, wantI, wantS := Predict2WA(n, b)
+	c := h.Interface(0)
+	if c.LoadWords != wantL {
+		t.Errorf("loads %d want %d", c.LoadWords, wantL)
+	}
+	if h.LevelCounters(0).InitWords != wantI {
+		t.Errorf("inits %d want %d", h.LevelCounters(0).InitWords, wantI)
+	}
+	if c.StoreWords != wantS {
+		t.Errorf("stores %d want output size %d", c.StoreWords, wantS)
+	}
+	if h.FlopCount() != int64(n)*int64(n) {
+		t.Errorf("interactions %d want N^2=%d", h.FlopCount(), n*n)
+	}
+	if !h.Theorem1Holds(0) || !h.ResidencyBalanced(0) {
+		t.Error("model invariants violated")
+	}
+}
+
+func TestForces2WAThreeLevel(t *testing.T) {
+	n := 32
+	s := RandomSystem(n, 3)
+	h := machine.New(true,
+		machine.Level{Name: "L1", Size: 3 * 4},
+		machine.Level{Name: "L2", Size: 3 * 8},
+		machine.Level{Name: "L3"})
+	got, err := Forces2WA(h, []int{4, 8}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxForceDiff(got, ForcesReference(s)); d > 1e-12 {
+		t.Fatalf("force mismatch %g", d)
+	}
+	// Writes to the bottom level stay at the output size.
+	if h.WritesTo(2) != int64(n) {
+		t.Errorf("L3 writes %d want N=%d", h.WritesTo(2), n)
+	}
+	// Writes to L1 are Θ(N^2/b0).
+	if w := h.WritesTo(0); w < int64(n*n/4) {
+		t.Errorf("L1 writes %d suspiciously low", w)
+	}
+}
+
+func TestForces2WAValidation(t *testing.T) {
+	s := RandomSystem(30, 4)
+	h := machine.TwoLevel(3 * 8)
+	if _, err := Forces2WA(h, []int{8}, s); err == nil {
+		t.Fatal("want divisibility error (30 % 8 != 0)")
+	}
+	h2 := machine.New(true, machine.Level{Name: "a", Size: 100},
+		machine.Level{Name: "b", Size: 200}, machine.Level{Name: "c"})
+	if _, err := Forces2WA(h2, []int{3, 8}, RandomSystem(16, 1)); err == nil {
+		t.Fatal("want nesting error (3 does not divide 8)")
+	}
+	if _, err := Forces2WA(h2, []int{8}, RandomSystem(16, 1)); err == nil {
+		t.Fatal("want block-count error")
+	}
+}
+
+func TestSymmetricMatchesReference(t *testing.T) {
+	s := RandomSystem(24, 5)
+	h := machine.TwoLevel(4 * 8)
+	got, err := Forces2Symmetric(h, 8, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxForceDiff(got, ForcesReference(s)); d > 1e-12 {
+		t.Fatalf("force mismatch %g", d)
+	}
+}
+
+func TestSymmetricHalvesFlopsButWritesMore(t *testing.T) {
+	n, b := 64, 8
+	s := RandomSystem(n, 6)
+
+	hWA := machine.TwoLevel(3 * int64(b))
+	if _, err := Forces2WA(hWA, []int{b}, s); err != nil {
+		t.Fatal(err)
+	}
+	hSym := machine.TwoLevel(4 * int64(b))
+	if _, err := Forces2Symmetric(hSym, b, s); err != nil {
+		t.Fatal(err)
+	}
+	// Roughly half the interactions...
+	if f := float64(hSym.FlopCount()) / float64(hWA.FlopCount()); f > 0.6 {
+		t.Errorf("symmetric should halve interactions, ratio %g", f)
+	}
+	// ...but asymptotically more writes to slow memory.
+	if hSym.Interface(0).StoreWords != PredictSymmetric(n, b) {
+		t.Errorf("symmetric stores %d want %d", hSym.Interface(0).StoreWords, PredictSymmetric(n, b))
+	}
+	if hSym.Interface(0).StoreWords <= 2*hWA.Interface(0).StoreWords {
+		t.Errorf("symmetric must write much more: %d vs %d",
+			hSym.Interface(0).StoreWords, hWA.Interface(0).StoreWords)
+	}
+}
+
+func TestForcesKWACorrect(t *testing.T) {
+	s := RandomSystem(16, 7)
+	h := machine.TwoLevel(4 * 4)
+	got, err := ForcesKWA(h, 4, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Forces3Reference(s)
+	// Blocked and reference sums associate differently; allow roundoff.
+	if d := MaxForceDiff(got, want); d > 1e-10 {
+		t.Fatalf("3-body force mismatch %g", d)
+	}
+}
+
+func TestForcesKWAExactCounts(t *testing.T) {
+	n, b := 16, 4
+	s := RandomSystem(n, 8)
+	h := machine.TwoLevel(4 * int64(b))
+	if _, err := ForcesKWA(h, b, s); err != nil {
+		t.Fatal(err)
+	}
+	wantL, wantS := PredictKWA(n, b)
+	c := h.Interface(0)
+	if c.LoadWords != wantL || c.StoreWords != wantS {
+		t.Fatalf("got (%d,%d) want (%d,%d)", c.LoadWords, c.StoreWords, wantL, wantS)
+	}
+}
+
+func TestPhi2Antisymmetric(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := RandomSystem(2, seed)
+		fij := Phi2(s.Pos[0], s.Pos[1], s.Mass[0], s.Mass[1])
+		fji := Phi2(s.Pos[1], s.Pos[0], s.Mass[1], s.Mass[0])
+		return fij.Add(fji).Norm() < 1e-14
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhi2SelfZero(t *testing.T) {
+	p := Vec3{0.3, 0.4, 0.5}
+	if Phi2(p, p, 1, 1).Norm() != 0 {
+		t.Fatal("self-force must be zero")
+	}
+}
+
+func TestPhi3DegenerateZero(t *testing.T) {
+	p, q := Vec3{1, 2, 3}, Vec3{4, 5, 6}
+	if Phi3(p, p, q, 1, 1, 1).Norm() != 0 || Phi3(p, q, p, 1, 1, 1).Norm() != 0 {
+		t.Fatal("degenerate triples must contribute zero")
+	}
+}
+
+func TestMomentumConservation(t *testing.T) {
+	// Total pairwise force over all particles must vanish (Newton's third
+	// law summed).
+	s := RandomSystem(20, 11)
+	f := ForcesReference(s)
+	var tot Vec3
+	for _, v := range f {
+		tot = tot.Add(v)
+	}
+	if tot.Norm() > 1e-11 {
+		t.Fatalf("net force %g should vanish", tot.Norm())
+	}
+}
+
+func TestVecOps(t *testing.T) {
+	v := Vec3{1, 2, 2}
+	if v.Norm() != 3 {
+		t.Fatalf("norm %g", v.Norm())
+	}
+	if got := v.Scale(2).Sub(v); got != (Vec3{1, 2, 2}) {
+		t.Fatalf("2v-v != v: %v", got)
+	}
+	if math.Abs(v.Add(v).Norm()-6) > 1e-15 {
+		t.Fatal("add broken")
+	}
+}
+
+func TestRandomSystemDeterministic(t *testing.T) {
+	a, b := RandomSystem(10, 42), RandomSystem(10, 42)
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] || a.Mass[i] != b.Mass[i] {
+			t.Fatal("same seed must reproduce the system")
+		}
+	}
+}

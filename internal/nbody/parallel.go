@@ -1,0 +1,97 @@
+package nbody
+
+import (
+	"fmt"
+
+	"writeavoid/internal/dist"
+	"writeavoid/internal/machine"
+)
+
+// ParallelConfig describes the distributed (N,2)-body run: a ring of P
+// processors, each owning N/P particles, with the Section 7 Model 1 local
+// hierarchy (L1 cache over L2 memory; sizes in particle units).
+type ParallelConfig struct {
+	P  int
+	M1 int64 // L1 size in particles
+	B  int   // local block size for the blocked kernel
+}
+
+// ParallelForces computes all pairwise forces with the classic ring
+// pipeline: each processor keeps its resident particles and accumulators
+// fixed while a traveling copy of every other processor's particles shifts
+// around the ring, interacting at each stop. Network words per processor are
+// ~5*(P-1)*N/P; within each stop the Section 4.4 blocked WA kernel writes
+// each local force block back to L2 once, so writes to L2 are one chunk per
+// ring round — the Model 1 situation the paper calls "likely good enough in
+// practice": local writes match the interprocessor volume rather than the
+// n/P output floor.
+func ParallelForces(cfg ParallelConfig, s *System) ([]Vec3, *dist.Machine, error) {
+	n := s.N()
+	if cfg.P < 1 || n%cfg.P != 0 {
+		return nil, nil, fmt.Errorf("nbody: N=%d not divisible by P=%d", n, cfg.P)
+	}
+	chunk := n / cfg.P
+	if chunk%cfg.B != 0 {
+		return nil, nil, fmt.Errorf("nbody: chunk %d not a multiple of block %d", chunk, cfg.B)
+	}
+	m := dist.New(dist.Config{
+		P: cfg.P,
+		Levels: []machine.Level{
+			{Name: "L1", Size: cfg.M1},
+			{Name: "L2"},
+		},
+	})
+	forces := make([]Vec3, n)
+
+	m.Run(func(p *dist.Proc) {
+		lo := p.Rank * chunk
+		// The resident block: positions+masses conceptually in L2.
+		local := make([]Vec3, chunk)
+		// Traveling buffer starts as a copy of the resident particles,
+		// flattened as 5 words per particle: position, mass, global id.
+		travel := make([]float64, 5*chunk)
+		for i := 0; i < chunk; i++ {
+			pos := s.Pos[lo+i]
+			travel[5*i], travel[5*i+1], travel[5*i+2] = pos[0], pos[1], pos[2]
+			travel[5*i+3] = s.Mass[lo+i]
+			travel[5*i+4] = float64(lo + i)
+		}
+
+		interact := func(tr []float64) {
+			// Blocked WA kernel: resident F blocks accumulate in L1
+			// across the whole traveling chunk.
+			for i0 := 0; i0 < chunk; i0 += cfg.B {
+				p.H.Load(0, int64(cfg.B)) // resident particle block
+				p.H.Load(0, int64(cfg.B)) // partial F block
+				for j0 := 0; j0 < chunk; j0 += cfg.B {
+					p.H.Load(0, int64(cfg.B)) // traveling block
+					for i := i0; i < i0+cfg.B; i++ {
+						gi := lo + i
+						for j := j0; j < j0+cfg.B; j++ {
+							if int(tr[5*j+4]) == gi {
+								continue // self (first round only)
+							}
+							pj := Vec3{tr[5*j], tr[5*j+1], tr[5*j+2]}
+							local[i] = local[i].Add(Phi2(s.Pos[gi], pj, s.Mass[gi], tr[5*j+3]))
+						}
+					}
+					p.H.Flops(int64(cfg.B) * int64(cfg.B))
+					p.H.Discard(0, int64(cfg.B))
+				}
+				p.H.Store(0, int64(cfg.B)) // partial F back to L2
+				p.H.Discard(0, int64(cfg.B))
+			}
+		}
+
+		// Round 0: self-interactions; rounds 1..P-1: shifted chunks.
+		interact(travel)
+		for r := 1; r < cfg.P; r++ {
+			to := (p.Rank + 1) % cfg.P
+			from := (p.Rank - 1 + cfg.P) % cfg.P
+			travel = p.Shift(to, from, travel)
+			interact(travel)
+		}
+		copy(forces[lo:lo+chunk], local)
+	})
+	return forces, m, nil
+}

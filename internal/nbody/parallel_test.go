@@ -1,0 +1,52 @@
+package nbody
+
+import (
+	"testing"
+)
+
+func TestParallelForcesCorrect(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		n := 32
+		s := RandomSystem(n, uint64(p)+50)
+		got, _, err := ParallelForces(ParallelConfig{P: p, M1: 3 * 4, B: 4}, s)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		want := ForcesReference(s)
+		if d := MaxForceDiff(got, want); d > 1e-11 {
+			t.Fatalf("P=%d: force mismatch %g", p, d)
+		}
+	}
+}
+
+func TestParallelForcesCounters(t *testing.T) {
+	n, p, b := 64, 4, 4
+	s := RandomSystem(n, 60)
+	_, m, err := ParallelForces(ParallelConfig{P: p, M1: 3 * int64(b), B: b}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := n / p
+	// Ring traffic: each processor sends its 5-word-per-particle buffer
+	// P-1 times.
+	wantNet := int64(5 * chunk * (p - 1))
+	for r := 0; r < p; r++ {
+		if got := m.Proc(r).Net.WordsSent; got != wantNet {
+			t.Fatalf("proc %d sent %d want %d", r, got, wantNet)
+		}
+		// Writes to L2 (stores across interface 0): one chunk per round.
+		if got := m.Proc(r).H.Interface(0).StoreWords; got != int64(p*chunk) {
+			t.Fatalf("proc %d L2 writes %d want %d", r, got, p*chunk)
+		}
+	}
+}
+
+func TestParallelForcesValidation(t *testing.T) {
+	s := RandomSystem(30, 61)
+	if _, _, err := ParallelForces(ParallelConfig{P: 4, M1: 12, B: 4}, s); err == nil {
+		t.Fatal("want divisibility error (30 % 4)")
+	}
+	if _, _, err := ParallelForces(ParallelConfig{P: 2, M1: 12, B: 7}, RandomSystem(32, 62)); err == nil {
+		t.Fatal("want block error (16 % 7)")
+	}
+}

@@ -1,0 +1,233 @@
+package plu
+
+import (
+	"fmt"
+
+	"writeavoid/internal/dist"
+	"writeavoid/internal/matrix"
+)
+
+// Parallel Cholesky factorizations, the Section 7.2 remark "the same
+// approach can be used for Cholesky": CholeskyLL minimizes NVM writes (each
+// owned block written once), CholeskyRL minimizes network words but rewrites
+// the trailing Schur complement every step. Same Q x Q block-cyclic layout
+// as the LU routines; only the lower triangle is referenced and produced.
+
+// CholeskyLL factors SPD A = L*L^T left-looking; the lower triangle of the
+// result holds L (upper triangle is left unspecified).
+func CholeskyLL(cfg Config, a *matrix.Dense) (*matrix.Dense, *dist.Machine, error) {
+	return parallelChol(cfg, a, true)
+}
+
+// CholeskyRL factors SPD A = L*L^T right-looking.
+func CholeskyRL(cfg Config, a *matrix.Dense) (*matrix.Dense, *dist.Machine, error) {
+	return parallelChol(cfg, a, false)
+}
+
+func parallelChol(cfg Config, a *matrix.Dense, left bool) (*matrix.Dense, *dist.Machine, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, nil, fmt.Errorf("plu: need square matrix")
+	}
+	if err := cfg.validate(n); err != nil {
+		return nil, nil, err
+	}
+	m := cfg.machineFor()
+	sts := distribute(cfg, a)
+	nb := n / cfg.B
+	bw := int64(cfg.B) * int64(cfg.B)
+
+	m.Run(func(p *dist.Proc) {
+		st := sts[p.Rank]
+		if left {
+			cholLeftBody(cfg, p, st, nb, bw)
+		} else {
+			cholRightBody(cfg, p, st, nb, bw)
+		}
+	})
+	return collect(cfg, sts, n), m, nil
+}
+
+// fetchAlongColumn delivers block (src) from its owner to every processor in
+// the processor column colOf via a relay through the column's diagonal
+// processor: a p2p hop (if needed) plus a column broadcast. All processors
+// must call it with consistent arguments.
+func fetchAlongColumn(cfg Config, p *dist.Proc, owner int, colOf int, pay []float64) []float64 {
+	// The relay is processor (colOf mod Q, colOf mod Q): the member of the
+	// target processor column sitting on the grid diagonal.
+	relayRank := (colOf%cfg.Q)*cfg.Q + colOf%cfg.Q
+	if owner != relayRank {
+		if p.Rank == owner {
+			p.Send(relayRank, pay)
+		} else if p.Rank == relayRank {
+			pay = p.Recv(owner)
+		}
+	}
+	if p.Rank%cfg.Q == colOf%cfg.Q {
+		pay = p.Bcast(cfg.colGroup(colOf%cfg.Q), relayRank, pay)
+	}
+	return pay
+}
+
+func cholRightBody(cfg Config, p *dist.Proc, st *state, nb int, bw int64) {
+	myRow := p.Rank / cfg.Q
+	myCol := p.Rank % cfg.Q
+	b := cfg.B
+
+	for k := 0; k < nb; k++ {
+		ko := cfg.owner(k, k)
+		// Factor the diagonal; broadcast down processor column k (the
+		// panel owners live there).
+		var diag []float64
+		if p.Rank == ko {
+			d := st.blocks[[2]int{k, k}]
+			p.H.Load(1, bw)
+			if err := matrix.CholeskyInPlace(d); err != nil {
+				panic(err)
+			}
+			p.H.Flops(int64(b) * int64(b) * int64(b) / 3)
+			p.H.Store(1, bw)
+			diag = flatten(d)
+		}
+		if myCol == k%cfg.Q {
+			diag = p.Bcast(cfg.colGroup(myCol), ko, diag)
+		}
+
+		// Panel: L(i,k) = A(i,k) * L(k,k)^-T for i > k.
+		panel := map[int][]float64{}
+		if myCol == k%cfg.Q {
+			dm := unflatten(diag, b)
+			for i := k + 1; i < nb; i++ {
+				if cfg.owner(i, k) != p.Rank {
+					continue
+				}
+				blk := st.blocks[[2]int{i, k}]
+				p.H.Load(1, bw)
+				matrix.TRSMLowerTransRight(dm, blk)
+				p.H.Flops(int64(b) * int64(b) * int64(b))
+				p.H.Store(1, bw)
+				panel[i] = flatten(blk)
+			}
+		}
+
+		// Distribute the panel: L(i,k) along processor row i (for the
+		// row-side operand) and along processor column i (for the
+		// transposed operand of the blocks in block column i).
+		myL := map[int][]float64{}  // L(i,k) for my rows
+		myLT := map[int][]float64{} // L(j,k) for my columns
+		for i := k + 1; i < nb; i++ {
+			owner := cfg.owner(i, k)
+			var pay []float64
+			if p.Rank == owner {
+				pay = panel[i]
+			}
+			if i%cfg.Q == myRow {
+				myL[i] = p.Bcast(cfg.rowGroup(myRow), owner, pay)
+			}
+			got := fetchAlongColumn(cfg, p, owner, i, pay)
+			if i%cfg.Q == myCol {
+				myLT[i] = got
+			}
+		}
+
+		// Trailing update on owned lower-triangle blocks (i,j), i>=j>k:
+		// A(i,j) -= L(i,k) * L(j,k)^T.
+		for i := k + 1; i < nb; i++ {
+			if i%cfg.Q != myRow {
+				continue
+			}
+			for j := k + 1; j <= i; j++ {
+				if cfg.owner(i, j) != p.Rank {
+					continue
+				}
+				blk := st.blocks[[2]int{i, j}]
+				p.H.Load(1, bw)
+				matrix.MulSubTrans(blk, unflatten(myL[i], b), unflatten(myLT[j], b))
+				chargeGEMMLocal(p, b, cfg.M1)
+				p.H.Store(1, bw) // the RL write amplification
+			}
+		}
+	}
+}
+
+func cholLeftBody(cfg Config, p *dist.Proc, st *state, nb int, bw int64) {
+	myRow := p.Rank / cfg.Q
+	myCol := p.Rank % cfg.Q
+	b := cfg.B
+
+	for i := 0; i < nb; i++ { // block column I of L
+		inColumn := myCol == i%cfg.Q
+		if inColumn {
+			// Stage my share of column i (rows >= i) into DRAM once.
+			for r := i; r < nb; r++ {
+				if r%cfg.Q == myRow && cfg.owner(r, i) == p.Rank {
+					p.H.Load(1, bw)
+				}
+			}
+		}
+		// Updates from columns k < i: A(r,i) -= L(r,k) * L(i,k)^T for
+		// r >= i. L(i,k) is shipped to processor column i once per k;
+		// L(r,k) moves within processor row r.
+		for k := 0; k < i; k++ {
+			ikOwner := cfg.owner(i, k)
+			var likPay []float64
+			if p.Rank == ikOwner {
+				p.H.Load(1, bw)
+				likPay = flatten(st.blocks[[2]int{i, k}])
+			}
+			likPay = fetchAlongColumn(cfg, p, ikOwner, i, likPay)
+
+			for r := i; r < nb; r++ {
+				owner := cfg.owner(r, i)
+				lOwner := cfg.owner(r, k)
+				switch {
+				case lOwner == owner:
+					if p.Rank == owner {
+						p.H.Load(1, bw)
+						matrix.MulSubTrans(st.blocks[[2]int{r, i}],
+							st.blocks[[2]int{r, k}], unflatten(likPay, b))
+						chargeGEMMLocal(p, b, cfg.M1)
+					}
+				case p.Rank == lOwner:
+					p.H.Load(1, bw)
+					p.Send(owner, flatten(st.blocks[[2]int{r, k}]))
+				case p.Rank == owner:
+					lrk := p.Recv(lOwner)
+					matrix.MulSubTrans(st.blocks[[2]int{r, i}],
+						unflatten(lrk, b), unflatten(likPay, b))
+					chargeGEMMLocal(p, b, cfg.M1)
+				}
+			}
+		}
+		// Finalize: factor the diagonal, solve the blocks below.
+		dOwner := cfg.owner(i, i)
+		var diag []float64
+		if p.Rank == dOwner {
+			d := st.blocks[[2]int{i, i}]
+			if err := matrix.CholeskyInPlace(d); err != nil {
+				panic(err)
+			}
+			p.H.Flops(int64(b) * int64(b) * int64(b) / 3)
+			diag = flatten(d)
+		}
+		if inColumn {
+			diag = p.Bcast(cfg.colGroup(myCol), dOwner, diag)
+			dm := unflatten(diag, b)
+			for r := i + 1; r < nb; r++ {
+				if cfg.owner(r, i) != p.Rank {
+					continue
+				}
+				blk := st.blocks[[2]int{r, i}]
+				matrix.TRSMLowerTransRight(dm, blk)
+				p.H.Flops(int64(b) * int64(b) * int64(b))
+			}
+			// Store my share of the finished column to NVM, once.
+			for r := i; r < nb; r++ {
+				if cfg.owner(r, i) == p.Rank {
+					p.H.Store(1, bw)
+				}
+			}
+		}
+		p.Barrier()
+	}
+}

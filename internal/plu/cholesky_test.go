@@ -1,0 +1,114 @@
+package plu
+
+import (
+	"testing"
+
+	"writeavoid/internal/matrix"
+)
+
+func refChol(a *matrix.Dense) *matrix.Dense {
+	r := a.Clone()
+	if err := matrix.CholeskyInPlace(r); err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func lowerDiff(a, b *matrix.Dense) float64 {
+	d := 0.0
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j <= i; j++ {
+			v := a.At(i, j) - b.At(i, j)
+			if v < 0 {
+				v = -v
+			}
+			if v > d {
+				d = v
+			}
+		}
+	}
+	return d
+}
+
+func TestParallelCholeskyCorrect(t *testing.T) {
+	for _, tc := range []struct{ n, q, b int }{
+		{16, 1, 4},
+		{16, 2, 4},
+		{32, 2, 4},
+		{32, 4, 4},
+		{24, 2, 8},
+	} {
+		a := matrix.RandomSPD(tc.n, uint64(tc.n))
+		want := refChol(a)
+		gotLL, _, err := CholeskyLL(cfgFor(tc.q, tc.b), a.Clone())
+		if err != nil {
+			t.Fatalf("LL %+v: %v", tc, err)
+		}
+		if d := lowerDiff(gotLL, want); d > 1e-8 {
+			t.Fatalf("LL %+v: differs by %g", tc, d)
+		}
+		gotRL, _, err := CholeskyRL(cfgFor(tc.q, tc.b), a.Clone())
+		if err != nil {
+			t.Fatalf("RL %+v: %v", tc, err)
+		}
+		if d := lowerDiff(gotRL, want); d > 1e-8 {
+			t.Fatalf("RL %+v: differs by %g", tc, d)
+		}
+	}
+}
+
+func TestParallelCholeskyReconstructs(t *testing.T) {
+	n := 32
+	a := matrix.RandomSPD(n, 77)
+	got, _, err := CholeskyLL(cfgFor(2, 4), a.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero the upper triangle before reconstructing.
+	l := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			l.Set(i, j, got.At(i, j))
+		}
+	}
+	if d := matrix.MaxAbsDiff(matrix.Mul(l, l.Transpose()), a); d > 1e-7 {
+		t.Fatalf("L*L^T differs from A by %g", d)
+	}
+}
+
+// The write/network trade-off carries over from LU to Cholesky.
+func TestParallelCholeskyWriteTradeoff(t *testing.T) {
+	n, q, b := 32, 2, 4
+	a := matrix.RandomSPD(n, 78)
+
+	_, mLL, err := CholeskyLL(cfgFor(q, b), a.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mRL, err := CholeskyRL(cfgFor(q, b), a.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wLL, wRL := mLL.MaxWritesTo(2), mRL.MaxWritesTo(2)
+	// LL writes each owned lower-triangle block once: well under the
+	// per-processor matrix share.
+	if wLL > int64(n*n/(q*q)) {
+		t.Errorf("LL NVM writes %d exceed per-proc share %d", wLL, n*n/(q*q))
+	}
+	if wRL < 2*wLL {
+		t.Errorf("RL should write much more NVM: RL=%d LL=%d", wRL, wLL)
+	}
+	if mRL.TotalNet() >= mLL.TotalNet() {
+		t.Errorf("RL network %d should be below LL's %d", mRL.TotalNet(), mLL.TotalNet())
+	}
+}
+
+func TestParallelCholeskyRejectsIndefinite(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("indefinite matrix should panic via the SPMD body")
+		}
+	}()
+	a := matrix.New(16, 16)     // zero matrix: not SPD
+	CholeskyRL(cfgFor(2, 4), a) //nolint:errcheck
+}

@@ -1,0 +1,453 @@
+// Package plu implements the Section 7.2 parallel LU factorizations (no
+// pivoting) of "Write-Avoiding Algorithms" (Carson et al., 2015) on the dist
+// substrate:
+//
+//   - LeftLooking (LL-LUNP, the paper's Algorithm 5 in spirit): each block
+//     column is staged into DRAM once, receives all its left-looking updates
+//     there, is factored, and is written back to NVM once — minimizing NVM
+//     writes (O(n^2/P) per processor) at the price of rebroadcasting the
+//     already-computed L and U blocks for every update (more network words).
+//
+//   - RightLooking (RL-LUNP, CALU without pivoting): after each panel
+//     factorization the whole trailing Schur complement is updated, which
+//     keeps network traffic at the O(n^2/sqrt(P) log P) lower bound but
+//     re-writes every trailing block to NVM once per elimination step.
+//
+// The matrix is distributed over a Q x Q grid in b x b blocks, block-cyclic:
+// global block (I,J) lives on processor (I mod Q, J mod Q). All algorithms
+// compute the true factors, validated against the sequential references.
+//
+// cholesky.go extends the same left-/right-looking contrast to parallel
+// Cholesky, per the paper's remark that the approach carries over.
+package plu
+
+import (
+	"fmt"
+
+	"writeavoid/internal/dist"
+	"writeavoid/internal/machine"
+	"writeavoid/internal/matrix"
+)
+
+// Config describes the machine and blocking.
+type Config struct {
+	Q           int   // grid edge; P = Q*Q
+	B           int   // block size
+	M1, M2      int64 // local L1/L2 (DRAM) sizes in words
+	MaxMsgWords int64
+}
+
+// P returns the processor count.
+func (c Config) P() int { return c.Q * c.Q }
+
+func (c Config) validate(n int) error {
+	if c.Q < 1 || c.B < 1 {
+		return fmt.Errorf("plu: bad config Q=%d B=%d", c.Q, c.B)
+	}
+	if n%c.B != 0 {
+		return fmt.Errorf("plu: n=%d not a multiple of B=%d", n, c.B)
+	}
+	if int64(3*c.B*c.B) > c.M2 {
+		return fmt.Errorf("plu: three %d^2 blocks exceed M2=%d", c.B, c.M2)
+	}
+	return nil
+}
+
+func (c Config) machineFor() *dist.Machine {
+	return dist.New(dist.Config{
+		P: c.P(),
+		Levels: []machine.Level{
+			{Name: "L1", Size: c.M1},
+			{Name: "L2", Size: c.M2},
+			{Name: "NVM"},
+		},
+		MaxMsgWords: c.MaxMsgWords,
+	})
+}
+
+// owner maps a global block (I,J) to its processor rank (block-cyclic).
+func (c Config) owner(i, j int) int { return (i%c.Q)*c.Q + (j % c.Q) }
+
+// state is one processor's view of the distributed matrix: the blocks it
+// owns, keyed by global block coordinates, plus the left-looking working set
+// (the U blocks of the active column received so far, and the packed
+// diagonal factor).
+type state struct {
+	blocks map[[2]int]*matrix.Dense
+	uCache []cached
+	diag   []float64
+}
+
+// distribute copies the blocks of a onto their owners (initial layout, not
+// charged, as in the paper's "initially one copy of the data stored in a
+// balanced way").
+func distribute(cfg Config, a *matrix.Dense) []*state {
+	nb := a.Rows / cfg.B
+	sts := make([]*state, cfg.P())
+	for r := range sts {
+		sts[r] = &state{blocks: map[[2]int]*matrix.Dense{}}
+	}
+	for i := 0; i < nb; i++ {
+		for j := 0; j < nb; j++ {
+			blk := matrix.New(cfg.B, cfg.B)
+			blk.CopyFrom(a.Block(i*cfg.B, j*cfg.B, cfg.B, cfg.B))
+			sts[cfg.owner(i, j)].blocks[[2]int{i, j}] = blk
+		}
+	}
+	return sts
+}
+
+// collect reassembles the factored matrix.
+func collect(cfg Config, sts []*state, n int) *matrix.Dense {
+	out := matrix.New(n, n)
+	nb := n / cfg.B
+	for i := 0; i < nb; i++ {
+		for j := 0; j < nb; j++ {
+			out.Block(i*cfg.B, j*cfg.B, cfg.B, cfg.B).CopyFrom(sts[cfg.owner(i, j)].blocks[[2]int{i, j}])
+		}
+	}
+	return out
+}
+
+// rowGroup and colGroup return the ranks of a processor-grid row/column.
+func (c Config) rowGroup(pr int) []int {
+	g := make([]int, c.Q)
+	for j := 0; j < c.Q; j++ {
+		g[j] = pr*c.Q + j
+	}
+	return g
+}
+
+func (c Config) colGroup(pc int) []int {
+	g := make([]int, c.Q)
+	for i := 0; i < c.Q; i++ {
+		g[i] = i*c.Q + pc
+	}
+	return g
+}
+
+// blockKernelFlops charges the arithmetic of a b^3 GEMM-like block update.
+func blockKernelFlops(h *machine.Hierarchy, b int) { h.Flops(2 * int64(b) * int64(b) * int64(b)) }
+
+// chargeGEMMLocal charges the paper's WA local multiply for one b x b block
+// update with operands resident in lvl (the level index whose interface
+// below is lvl-1): O(b^3/sqrt(M1)) L1 traffic; the caller decides where the
+// output block lives and charges its movement.
+func chargeGEMMLocal(p *dist.Proc, b int, m1 int64) {
+	// Traffic across the L1 interface per Algorithm 1 with block size
+	// b1 = sqrt(M1/3): loads b^2 + 2b^3/b1, stores b^2.
+	b1 := int64(1)
+	for (b1+1)*(b1+1)*3 <= m1 {
+		b1++
+	}
+	B := int64(b)
+	p.H.Load(0, B*B+2*B*B*B/b1)
+	p.H.Store(0, B*B)
+	blockKernelFlops(p.H, b)
+}
+
+// RightLooking factors A = L*U without pivoting, right-looking. Each
+// elimination step k: the diagonal owner factors and broadcasts L(k,k)/
+// U(k,k); panel owners compute and broadcast L(i,k) and U(k,j); every
+// processor updates the trailing blocks it owns, loading each from NVM and
+// writing it back — the write-amplified pattern of RL-LUNP.
+func RightLooking(cfg Config, a *matrix.Dense) (*matrix.Dense, *dist.Machine, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, nil, fmt.Errorf("plu: need square matrix")
+	}
+	if err := cfg.validate(n); err != nil {
+		return nil, nil, err
+	}
+	m := cfg.machineFor()
+	sts := distribute(cfg, a)
+	nb := n / cfg.B
+	bw := int64(cfg.B) * int64(cfg.B)
+
+	m.Run(func(p *dist.Proc) {
+		st := sts[p.Rank]
+		myRow := p.Rank / cfg.Q
+		myCol := p.Rank % cfg.Q
+
+		for k := 0; k < nb; k++ {
+			ko := cfg.owner(k, k)
+			// Factor the diagonal block and broadcast it along both
+			// its processor row and column.
+			var diag []float64
+			if p.Rank == ko {
+				d := st.blocks[[2]int{k, k}]
+				p.H.Load(1, bw) // NVM -> DRAM
+				if err := matrix.LUInPlace(d); err != nil {
+					panic(err)
+				}
+				p.H.Flops(2 * int64(cfg.B) * int64(cfg.B) * int64(cfg.B) / 3)
+				p.H.Store(1, bw) // factored diagonal back to NVM
+				diag = flatten(d)
+			}
+			if myRow == k%cfg.Q {
+				diag = p.Bcast(cfg.rowGroup(myRow), ko, diag)
+			}
+			if myCol == k%cfg.Q {
+				// Column broadcast; the owner re-sends (it is in both groups).
+				diag = p.Bcast(cfg.colGroup(myCol), ko, diag)
+			}
+
+			// Panel: owners of L(i,k), i>k solve against U(k,k);
+			// owners of U(k,j), j>k solve against L(k,k).
+			lPanel := map[int][]float64{} // my L(i,k) blocks, by i
+			uPanel := map[int][]float64{} // my U(k,j) blocks, by j
+			if myCol == k%cfg.Q {
+				dm := unflatten(diag, cfg.B)
+				for i := k + 1; i < nb; i++ {
+					if cfg.owner(i, k) != p.Rank {
+						continue
+					}
+					blk := st.blocks[[2]int{i, k}]
+					p.H.Load(1, bw)
+					// L(i,k) = A(i,k) * U(k,k)^-1: triangular solve
+					// on the right by the upper factor.
+					matrix.TRSMUpperRightPacked(dm, blk)
+					p.H.Flops(int64(cfg.B) * int64(cfg.B) * int64(cfg.B))
+					p.H.Store(1, bw)
+					lPanel[i] = flatten(blk)
+				}
+			}
+			if myRow == k%cfg.Q {
+				dm := unflatten(diag, cfg.B)
+				for j := k + 1; j < nb; j++ {
+					if cfg.owner(k, j) != p.Rank {
+						continue
+					}
+					blk := st.blocks[[2]int{k, j}]
+					p.H.Load(1, bw)
+					// U(k,j) = L(k,k)^-1 * A(k,j).
+					matrix.TRSMUnitLowerLeftPacked(dm, blk)
+					p.H.Flops(int64(cfg.B) * int64(cfg.B) * int64(cfg.B))
+					p.H.Store(1, bw)
+					uPanel[j] = flatten(blk)
+				}
+			}
+
+			// Broadcast the panels: L(i,k) along processor row of i;
+			// U(k,j) along processor column of j.
+			myL := map[int][]float64{}
+			myU := map[int][]float64{}
+			for i := k + 1; i < nb; i++ {
+				if i%cfg.Q != myRow {
+					continue
+				}
+				owner := cfg.owner(i, k)
+				var pay []float64
+				if owner == p.Rank {
+					pay = lPanel[i]
+				}
+				myL[i] = p.Bcast(cfg.rowGroup(myRow), owner, pay)
+			}
+			for j := k + 1; j < nb; j++ {
+				if j%cfg.Q != myCol {
+					continue
+				}
+				owner := cfg.owner(k, j)
+				var pay []float64
+				if owner == p.Rank {
+					pay = uPanel[j]
+				}
+				myU[j] = p.Bcast(cfg.colGroup(myCol), owner, pay)
+			}
+
+			// Trailing update: every owned block (i,j), i,j > k is
+			// read from NVM, updated, and written back.
+			for i := k + 1; i < nb; i++ {
+				if i%cfg.Q != myRow {
+					continue
+				}
+				li := unflatten(myL[i], cfg.B)
+				for j := k + 1; j < nb; j++ {
+					if cfg.owner(i, j) != p.Rank {
+						continue
+					}
+					blk := st.blocks[[2]int{i, j}]
+					p.H.Load(1, bw) // NVM -> DRAM
+					matrix.MulSub(blk, li, unflatten(myU[j], cfg.B))
+					chargeGEMMLocal(p, cfg.B, cfg.M1)
+					p.H.Store(1, bw) // the RL write amplification
+				}
+			}
+		}
+	})
+
+	return collect(cfg, sts, n), m, nil
+}
+
+// LeftLooking factors A = L*U without pivoting, left-looking: block column I
+// is staged into DRAM once, all updates from columns K < I are applied while
+// it is resident (receiving the needed L(i,K) and U(K,I) blocks over the
+// network), then the column is panel-factored and written to NVM once.
+// Requires the per-processor share of one block column, (n/Q)*B words, to
+// fit in DRAM alongside two working blocks.
+func LeftLooking(cfg Config, a *matrix.Dense) (*matrix.Dense, *dist.Machine, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, nil, fmt.Errorf("plu: need square matrix")
+	}
+	if err := cfg.validate(n); err != nil {
+		return nil, nil, err
+	}
+	if colWords := int64(n/cfg.Q+cfg.B) * int64(cfg.B); colWords+2*int64(cfg.B*cfg.B) > cfg.M2 {
+		return nil, nil, fmt.Errorf("plu: block column (%d words) plus workspace exceeds M2=%d", colWords, cfg.M2)
+	}
+	m := cfg.machineFor()
+	sts := distribute(cfg, a)
+	nb := n / cfg.B
+	bw := int64(cfg.B) * int64(cfg.B)
+
+	m.Run(func(p *dist.Proc) {
+		st := sts[p.Rank]
+		myRow := p.Rank / cfg.Q
+		myCol := p.Rank % cfg.Q
+
+		for i := 0; i < nb; i++ { // block column index I
+			colProcs := cfg.colGroup(i % cfg.Q)
+			inColumn := myCol == i%cfg.Q
+			if inColumn {
+				// Stage my share of column I into DRAM, once.
+				for r := 0; r < nb; r++ {
+					if r%cfg.Q == myRow {
+						p.H.Load(1, bw)
+					}
+				}
+			}
+
+			// Top-down finalization of column I. All processors walk
+			// the same (r,k) iteration space: owners of L(r,K)
+			// blocks ship them to the column-I owner of row r, who
+			// applies the update in DRAM; once row r is fully
+			// updated it is factored/solved and, for r < I, the
+			// finished U(r,I) is broadcast down the column for the
+			// updates of the rows below it.
+			for r := 0; r < nb; r++ {
+				owner := cfg.owner(r, i)
+				for k := 0; k < min(r, i); k++ {
+					lOwner := cfg.owner(r, k)
+					switch {
+					case lOwner == owner:
+						if p.Rank == owner {
+							p.H.Load(1, bw) // read L(r,K) from NVM
+							applyUpdate(p, st, cfg, r, i, k, st.blocks[[2]int{r, k}])
+						}
+					case p.Rank == lOwner:
+						p.H.Load(1, bw) // read L(r,K) from NVM
+						p.Send(owner, flatten(st.blocks[[2]int{r, k}]))
+					case p.Rank == owner:
+						lPay := p.Recv(lOwner)
+						applyUpdate(p, st, cfg, r, i, k, unflatten(lPay, cfg.B))
+					}
+				}
+				// Finalize block (r, I).
+				switch {
+				case r < i:
+					// U(r,I) = L(r,r)^-1 * A'(r,I): fetch the
+					// packed diagonal factor of row r, solve,
+					// broadcast the result down the column.
+					dOwner := cfg.owner(r, r)
+					var dPay []float64
+					if p.Rank == dOwner {
+						p.H.Load(1, bw)
+						dPay = flatten(st.blocks[[2]int{r, r}])
+					}
+					if dOwner != owner {
+						if p.Rank == dOwner {
+							p.Send(owner, dPay)
+						} else if p.Rank == owner {
+							dPay = p.Recv(dOwner)
+						}
+					}
+					var uPay []float64
+					if p.Rank == owner {
+						blk := st.blocks[[2]int{r, i}]
+						matrix.TRSMUnitLowerLeftPacked(unflatten(dPay, cfg.B), blk)
+						p.H.Flops(int64(cfg.B) * int64(cfg.B) * int64(cfg.B))
+						uPay = flatten(blk)
+					}
+					if inColumn {
+						uPay = p.Bcast(colProcs, owner, uPay)
+						st.uCache = append(st.uCache, cached{k: r, data: uPay})
+					}
+				case r == i:
+					dOwner := cfg.owner(i, i)
+					var dPay []float64
+					if p.Rank == dOwner {
+						blk := st.blocks[[2]int{i, i}]
+						if err := matrix.LUInPlace(blk); err != nil {
+							panic(err)
+						}
+						p.H.Flops(2 * int64(cfg.B) * int64(cfg.B) * int64(cfg.B) / 3)
+						dPay = flatten(blk)
+					}
+					if inColumn {
+						dPay = p.Bcast(colProcs, dOwner, dPay)
+						st.diag = dPay
+					}
+				default:
+					// Below-diagonal: L(r,I) = A'(r,I) * U(I,I)^-1.
+					if p.Rank == owner {
+						blk := st.blocks[[2]int{r, i}]
+						matrix.TRSMUpperRightPacked(unflatten(st.diag, cfg.B), blk)
+						p.H.Flops(int64(cfg.B) * int64(cfg.B) * int64(cfg.B))
+					}
+				}
+			}
+			if inColumn {
+				// Store my share of the finished column to NVM, once.
+				for r := 0; r < nb; r++ {
+					if r%cfg.Q == myRow {
+						p.H.Store(1, bw)
+					}
+				}
+				st.uCache = nil
+				st.diag = nil
+			}
+			p.Barrier()
+		}
+	})
+
+	return collect(cfg, sts, n), m, nil
+}
+
+// applyUpdate performs A(r,I) -= L(r,K) * U(K,I) on the owner of (r,I),
+// fetching U(K,I) from the column-broadcast cache.
+func applyUpdate(p *dist.Proc, st *state, cfg Config, r, i, k int, l *matrix.Dense) {
+	u := st.lookupU(k)
+	if u == nil {
+		panic(fmt.Sprintf("plu: U(%d,%d) not cached on rank %d", k, i, p.Rank))
+	}
+	blk := st.blocks[[2]int{r, i}]
+	matrix.MulSub(blk, l, unflatten(u, cfg.B))
+	chargeGEMMLocal(p, cfg.B, cfg.M1)
+}
+
+type cached struct {
+	k    int
+	data []float64
+}
+
+func (s *state) lookupU(k int) []float64 {
+	for _, c := range s.uCache {
+		if c.k == k {
+			return c.data
+		}
+	}
+	return nil
+}
+
+func flatten(m *matrix.Dense) []float64 {
+	out := make([]float64, m.Rows*m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out[i*m.Cols:(i+1)*m.Cols], m.Data[i*m.Stride:i*m.Stride+m.Cols])
+	}
+	return out
+}
+
+func unflatten(data []float64, n int) *matrix.Dense {
+	return &matrix.Dense{Rows: n, Cols: n, Stride: n, Data: data}
+}

@@ -1,0 +1,171 @@
+package plu
+
+import (
+	"testing"
+
+	"writeavoid/internal/matrix"
+)
+
+// domMatrix returns a diagonally dominant matrix so LU without pivoting is
+// stable.
+func domMatrix(n int, seed uint64) *matrix.Dense {
+	a := matrix.Random(n, n, seed)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n)+2)
+	}
+	return a
+}
+
+func refLU(a *matrix.Dense) *matrix.Dense {
+	r := a.Clone()
+	if err := matrix.LUInPlace(r); err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func cfgFor(q, b int) Config {
+	return Config{Q: q, B: b, M1: 48, M2: 1 << 16}
+}
+
+func TestRightLookingCorrect(t *testing.T) {
+	for _, tc := range []struct{ n, q, b int }{
+		{16, 1, 4},
+		{16, 2, 4},
+		{32, 2, 4},
+		{24, 2, 8},
+	} {
+		a := domMatrix(tc.n, uint64(tc.n))
+		got, _, err := RightLooking(cfgFor(tc.q, tc.b), a)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		want := refLU(a)
+		if d := matrix.MaxAbsDiff(got, want); d > 1e-9 {
+			t.Fatalf("%+v: packed LU differs by %g", tc, d)
+		}
+	}
+}
+
+func TestLeftLookingCorrect(t *testing.T) {
+	for _, tc := range []struct{ n, q, b int }{
+		{16, 1, 4},
+		{16, 2, 4},
+		{32, 2, 4},
+		{32, 4, 4},
+	} {
+		a := domMatrix(tc.n, uint64(tc.n)+7)
+		got, _, err := LeftLooking(cfgFor(tc.q, tc.b), a)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		want := refLU(a)
+		if d := matrix.MaxAbsDiff(got, want); d > 1e-9 {
+			t.Fatalf("%+v: packed LU differs by %g", tc, d)
+		}
+	}
+}
+
+func TestFactorsReconstruct(t *testing.T) {
+	n := 32
+	a := domMatrix(n, 42)
+	packed, _, err := LeftLooking(cfgFor(2, 4), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, u := matrix.SplitLU(packed)
+	if d := matrix.MaxAbsDiff(matrix.Mul(l, u), a); d > 1e-8 {
+		t.Fatalf("L*U differs from A by %g", d)
+	}
+}
+
+// The paper's central contrast: LL-LUNP writes each matrix block to NVM a
+// constant number of times (~n^2/P per processor), while RL-LUNP rewrites
+// the trailing matrix every step (~n^2 * nb / P).
+func TestLeftLookingMinimizesNVMWrites(t *testing.T) {
+	n, q, b := 32, 2, 4
+	a := domMatrix(n, 9)
+
+	_, mLL, err := LeftLooking(cfgFor(q, b), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mRL, err := RightLooking(cfgFor(q, b), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wLL := mLL.MaxWritesTo(2)
+	wRL := mRL.MaxWritesTo(2)
+	perProcMatrix := int64(n * n / (q * q))
+	if wLL > 2*perProcMatrix {
+		t.Errorf("LL NVM writes %d exceed 2x the per-proc matrix share %d", wLL, perProcMatrix)
+	}
+	if wRL < 2*wLL {
+		t.Errorf("RL should write NVM much more than LL: RL=%d LL=%d", wRL, wLL)
+	}
+}
+
+// ...and the price LL pays: more network words (it rebroadcasts the computed
+// L blocks for every later column).
+func TestRightLookingMinimizesNetwork(t *testing.T) {
+	n, q, b := 64, 4, 4
+	a := domMatrix(n, 10)
+
+	_, mLL, err := LeftLooking(cfgFor(q, b), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mRL, err := RightLooking(cfgFor(q, b), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mRL.TotalNet() >= mLL.TotalNet() {
+		t.Errorf("RL total network words %d should be below LL's %d",
+			mRL.TotalNet(), mLL.TotalNet())
+	}
+}
+
+func TestFlopsBalance(t *testing.T) {
+	n, q, b := 32, 2, 4
+	a := domMatrix(n, 11)
+	_, m, err := RightLooking(cfgFor(q, b), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flops int64
+	for r := 0; r < m.P(); r++ {
+		flops += m.Proc(r).H.FlopCount()
+	}
+	// Dense LU is ~(2/3)n^3 flops; the blocked count includes the full
+	// 2b^3 per GEMM charge, so allow a factor-2 corridor around it.
+	ref := 2 * int64(n) * int64(n) * int64(n) / 3
+	if flops < ref/2 || flops > 3*ref {
+		t.Fatalf("total flops %d implausible vs ~%d", flops, ref)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	a := domMatrix(30, 1)
+	if _, _, err := RightLooking(cfgFor(2, 4), a); err == nil {
+		t.Fatal("want divisibility error (30 % 4)")
+	}
+	if _, _, err := LeftLooking(Config{Q: 2, B: 8, M1: 48, M2: 100}, domMatrix(32, 2)); err == nil {
+		t.Fatal("want M2 capacity error")
+	}
+	if _, _, err := RightLooking(Config{Q: 2, B: 8, M1: 48, M2: 100}, domMatrix(32, 2)); err == nil {
+		t.Fatal("want block-capacity error")
+	}
+	if _, _, err := LeftLooking(cfgFor(2, 4), matrix.New(16, 12)); err == nil {
+		t.Fatal("want square error")
+	}
+}
+
+func TestSingularPivotPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero pivot should propagate as panic from the SPMD body")
+		}
+	}()
+	a := matrix.New(16, 16)       // all zeros
+	RightLooking(cfgFor(2, 4), a) //nolint:errcheck
+}

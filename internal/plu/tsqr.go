@@ -1,0 +1,139 @@
+package plu
+
+import (
+	"fmt"
+	"math"
+
+	"writeavoid/internal/dist"
+	"writeavoid/internal/matrix"
+)
+
+// TSQR computes the communication-optimal tall-skinny QR factorization the
+// paper's Section 7.2 mentions as the panel kernel for parallel QR: an
+// m x c matrix (m >> c) distributed by row blocks over P processors is
+// factored by local QRs plus a binary reduction tree that combines pairs of
+// R factors — log P messages of c^2/2 words each on the critical path,
+// versus the c * log P messages of Householder panel factorization.
+//
+// Returns the global R (upper triangular, on every processor via the final
+// broadcast) and the machine for counter inspection. The implicit Q is
+// validated by the tests through ||A^T A - R^T R|| = 0 (R is the Cholesky
+// factor of the Gram matrix) and the residual of re-solving.
+func TSQR(cfg Config, a *matrix.Dense) (*matrix.Dense, *dist.Machine, error) {
+	m, c := a.Rows, a.Cols
+	p := cfg.P()
+	if m%p != 0 {
+		return nil, nil, fmt.Errorf("plu: rows %d not divisible by P=%d", m, p)
+	}
+	if m/p < c {
+		return nil, nil, fmt.Errorf("plu: local blocks (%d rows) must be at least as tall as c=%d", m/p, c)
+	}
+	machineP := cfg.machineFor()
+	chunk := m / p
+	out := make([]*matrix.Dense, p)
+
+	machineP.Run(func(pr *dist.Proc) {
+		// Local QR of the processor's row block: R factor only.
+		local := matrix.New(chunk, c)
+		local.CopyFrom(a.Block(pr.Rank*chunk, 0, chunk, c))
+		pr.H.Load(1, int64(chunk*c)) // NVM -> DRAM once
+		r := qrRFactor(local)
+		pr.H.Flops(2 * int64(chunk) * int64(c) * int64(c))
+
+		// Binary reduction tree over processor ranks: at round d, ranks
+		// with bit d set send their R to rank^(1<<d) and drop out.
+		group := make([]int, p)
+		for i := range group {
+			group[i] = i
+		}
+		active := true
+		for d := 1; d < p; d <<= 1 {
+			if !active {
+				break
+			}
+			partner := pr.Rank ^ d
+			if partner >= p {
+				continue
+			}
+			if pr.Rank&d != 0 {
+				pr.Send(partner, flattenUpper(r, c))
+				active = false
+			} else {
+				other := unflattenUpper(pr.Recv(partner), c)
+				// Stack the two R factors and re-factor.
+				stacked := matrix.New(2*c, c)
+				stacked.Block(0, 0, c, c).CopyFrom(r)
+				stacked.Block(c, 0, c, c).CopyFrom(other)
+				r = qrRFactor(stacked)
+				pr.H.Flops(4 * int64(c) * int64(c) * int64(c))
+			}
+		}
+		// Root broadcasts the final R to everyone.
+		var pay []float64
+		if pr.Rank == 0 {
+			pay = flattenUpper(r, c)
+		}
+		pay = pr.Bcast(group, 0, pay)
+		final := unflattenUpper(pay, c)
+		pr.H.Store(1, int64(c)*int64(c+1)/2) // R back to NVM, once
+		out[pr.Rank] = final
+	})
+	return out[0], machineP, nil
+}
+
+// qrRFactor returns the R factor of a (rows x c) matrix via modified
+// Gram-Schmidt, with the sign convention of a positive diagonal.
+func qrRFactor(a *matrix.Dense) *matrix.Dense {
+	c := a.Cols
+	r := matrix.New(c, c)
+	for j := 0; j < c; j++ {
+		s := 0.0
+		for t := 0; t < a.Rows; t++ {
+			v := a.At(t, j)
+			s += v * v
+		}
+		nrm := math.Sqrt(s)
+		if nrm == 0 {
+			panic("plu: rank-deficient TSQR panel")
+		}
+		r.Set(j, j, nrm)
+		inv := 1 / nrm
+		for t := 0; t < a.Rows; t++ {
+			a.Set(t, j, a.At(t, j)*inv)
+		}
+		for k := j + 1; k < c; k++ {
+			d := 0.0
+			for t := 0; t < a.Rows; t++ {
+				d += a.At(t, j) * a.At(t, k)
+			}
+			r.Set(j, k, d)
+			for t := 0; t < a.Rows; t++ {
+				a.Set(t, k, a.At(t, k)-d*a.At(t, j))
+			}
+		}
+	}
+	return r
+}
+
+// flattenUpper packs the upper triangle (including diagonal) row-major.
+func flattenUpper(r *matrix.Dense, c int) []float64 {
+	out := make([]float64, 0, c*(c+1)/2)
+	for i := 0; i < c; i++ {
+		for j := i; j < c; j++ {
+			out = append(out, r.At(i, j))
+		}
+	}
+	return out
+}
+
+func unflattenUpper(data []float64, c int) *matrix.Dense {
+	r := matrix.New(c, c)
+	idx := 0
+	for i := 0; i < c; i++ {
+		for j := i; j < c; j++ {
+			r.Set(i, j, data[idx])
+			idx++
+		}
+	}
+	return r
+}

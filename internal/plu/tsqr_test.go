@@ -1,0 +1,85 @@
+package plu
+
+import (
+	"testing"
+
+	"writeavoid/internal/matrix"
+)
+
+func TestTSQRMatchesGramCholesky(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		q := 1
+		for q*q < p {
+			q++
+		}
+		// cfg.P() = Q*Q; choose Q so Q*Q == p when possible, else skip.
+		if q*q != p {
+			continue
+		}
+		m, c := 16*p, 4
+		a := matrix.Random(m, c, uint64(p)+70)
+		r, _, err := TSQR(Config{Q: q, B: 4, M1: 48, M2: 1 << 16}, a)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		// R must satisfy R^T R = A^T A (R is the Cholesky factor of the
+		// Gram matrix, with positive diagonal).
+		gram := matrix.Mul(a.Transpose(), a)
+		rtr := matrix.Mul(r.Transpose(), r)
+		if d := matrix.MaxAbsDiff(gram, rtr); d > 1e-9*float64(m) {
+			t.Fatalf("P=%d: R^T R differs from A^T A by %g", p, d)
+		}
+		for i := 0; i < c; i++ {
+			if r.At(i, i) <= 0 {
+				t.Fatalf("P=%d: diagonal %d not positive", p, i)
+			}
+			for j := 0; j < i; j++ {
+				if r.At(i, j) != 0 {
+					t.Fatalf("P=%d: R not upper triangular", p)
+				}
+			}
+		}
+	}
+}
+
+func TestTSQRMatchesSequentialQR(t *testing.T) {
+	m, c := 32, 4
+	a := matrix.Random(m, c, 80)
+	r, _, err := TSQR(Config{Q: 2, B: 4, M1: 48, M2: 1 << 16}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := qrRFactor(a.Clone())
+	if d := matrix.MaxAbsDiff(r, seq); d > 1e-9 {
+		t.Fatalf("TSQR R differs from sequential MGS R by %g", d)
+	}
+}
+
+// The communication shape: log P rounds, c^2/2-word messages — far below
+// the c*(m/P)-word panels a non-TSQR factorization would move.
+func TestTSQRCommunicationLogarithmic(t *testing.T) {
+	m, c := 64, 4
+	a := matrix.Random(m, c, 81)
+	_, mm, err := TSQR(Config{Q: 2, B: 4, M1: 48, M2: 1 << 16}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri := int64(c * (c + 1) / 2)
+	// Tree: P-1 = 3 R-factor messages; broadcast: P-1 = 3 more.
+	if got := mm.TotalNet(); got != 6*tri {
+		t.Fatalf("total words %d want %d", got, 6*tri)
+	}
+	// Critical path: at most log2(P) sends per processor plus bcast.
+	if msgs := mm.MaxNet().MsgsSent; msgs > 4 {
+		t.Fatalf("critical-path messages %d too many", msgs)
+	}
+}
+
+func TestTSQRValidation(t *testing.T) {
+	if _, _, err := TSQR(Config{Q: 2, B: 4, M1: 48, M2: 1 << 16}, matrix.Random(30, 4, 1)); err == nil {
+		t.Fatal("want divisibility error")
+	}
+	if _, _, err := TSQR(Config{Q: 4, B: 4, M1: 48, M2: 1 << 16}, matrix.Random(32, 4, 1)); err == nil {
+		t.Fatal("want too-short-blocks error (32/16 = 2 < 4)")
+	}
+}

@@ -1,0 +1,111 @@
+package pmm
+
+import (
+	"fmt"
+
+	"writeavoid/internal/core"
+	"writeavoid/internal/dist"
+	"writeavoid/internal/matrix"
+)
+
+// CannonHoarded is the Section 7 Model-1 curiosity: it attains all three
+// lower bounds W1 (writes to L2 from L1 = n^2/P), W2 (network words), and
+// W3 (L2->L1 traffic) simultaneously — by hoarding. Every processor first
+// receives and stores ALL the A and B blocks it will ever need (a full block
+// row of A and block column of B, 2n^2/sqrt(P) words of L2 — a factor
+// sqrt(P) more memory than Cannon), and only then performs one local
+// write-avoiding multiplication, so its C block is written to L2 exactly
+// once. The paper's verdict — "this increase in memory size is unlikely to
+// result in a significant speedup" — is visible in the counters: network
+// words do not change, only the L1->L2 writes drop.
+func CannonHoarded(cfg Config, a, b *matrix.Dense) (*matrix.Dense, *dist.Machine, error) {
+	n := a.Rows
+	if a.Cols != n || b.Rows != n || b.Cols != n {
+		return nil, nil, fmt.Errorf("pmm: need square n x n operands")
+	}
+	if cfg.C != 1 {
+		return nil, nil, fmt.Errorf("pmm: CannonHoarded is a 2D algorithm (C must be 1)")
+	}
+	if err := cfg.validate(n); err != nil {
+		return nil, nil, err
+	}
+	q := cfg.Q
+	nb := n / q
+	if int64(2*nb*n+nb*nb) > cfg.M2 {
+		return nil, nil, fmt.Errorf("pmm: hoarding needs %d words of L2, have %d", 2*nb*n+nb*nb, cfg.M2)
+	}
+	m := cfg.machineFor()
+	cOut := make([]*matrix.Dense, q*q)
+
+	m.Run(func(p *dist.Proc) {
+		row := p.Rank / q
+		col := p.Rank % q
+
+		// Gather the full block row of A: each processor broadcasts its
+		// block along its processor row (everyone needs A(row, *)).
+		aRow := make([]*matrix.Dense, q)
+		for k := 0; k < q; k++ {
+			owner := cfg.rank(row, k, 0)
+			var pay []float64
+			if p.Rank == owner {
+				pay = flatten(a.Block(row*nb, k*nb, nb, nb))
+			}
+			pay = p.Bcast(cfg.rowGroupOf(row), owner, pay)
+			aRow[k] = unflatten(pay, nb)
+		}
+		// And the full block column of B along the processor column.
+		bCol := make([]*matrix.Dense, q)
+		for k := 0; k < q; k++ {
+			owner := cfg.rank(k, col, 0)
+			var pay []float64
+			if p.Rank == owner {
+				pay = flatten(b.Block(k*nb, col*nb, nb, nb))
+			}
+			pay = p.Bcast(cfg.colGroupOf(col), owner, pay)
+			bCol[k] = unflatten(pay, nb)
+		}
+
+		// One local write-avoiding multiply over the hoarded panels:
+		// C(row,col) = sum_k A(row,k)*B(k,col), with the C block loaded
+		// once and stored once thanks to the k-innermost plan.
+		cLoc := matrix.New(nb, nb)
+		plan := cfg.localPlan(p.H)
+		// Assemble the panels as nb x n and n x nb operands so the
+		// blocked GEMM's single C pass covers the whole contraction.
+		aPanel := matrix.New(nb, n)
+		bPanel := matrix.New(n, nb)
+		for k := 0; k < q; k++ {
+			aPanel.Block(0, k*nb, nb, nb).CopyFrom(aRow[k])
+			bPanel.Block(k*nb, 0, nb, nb).CopyFrom(bCol[k])
+		}
+		if err := core.MatMul(plan, cLoc, aPanel, bPanel); err != nil {
+			panic(err)
+		}
+		cOut[row*q+col] = cLoc
+	})
+
+	out := matrix.New(n, n)
+	for r := 0; r < q; r++ {
+		for cc := 0; cc < q; cc++ {
+			out.Block(r*nb, cc*nb, nb, nb).CopyFrom(cOut[r*q+cc])
+		}
+	}
+	return out, m, nil
+}
+
+// rowGroupOf and colGroupOf return layer-0 grid groups.
+func (c Config) rowGroupOf(row int) []int {
+	g := make([]int, c.Q)
+	for j := 0; j < c.Q; j++ {
+		g[j] = c.rank(row, j, 0)
+	}
+	return g
+}
+
+func (c Config) colGroupOf(col int) []int {
+	g := make([]int, c.Q)
+	for i := 0; i < c.Q; i++ {
+		g[i] = c.rank(i, col, 0)
+	}
+	return g
+}

@@ -1,0 +1,75 @@
+package pmm
+
+import (
+	"testing"
+
+	"writeavoid/internal/matrix"
+)
+
+func TestCannonHoardedCorrect(t *testing.T) {
+	for _, q := range []int{1, 2, 4} {
+		n := 16 * q
+		a := matrix.Random(n, n, uint64(q)+30)
+		b := matrix.Random(n, n, uint64(q)+31)
+		cfg := Config{Q: q, C: 1, M1: 48, B1: 4, M2: 1 << 20}
+		got, _, err := CannonHoarded(cfg, a, b)
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		if d := matrix.MaxAbsDiff(got, matrix.Mul(a, b)); d > 1e-10 {
+			t.Fatalf("q=%d: diff %g", q, d)
+		}
+	}
+}
+
+// The Model 1 claim: hoarding attains the W1 bound on writes to L2 from L1
+// (n^2/P, the local C block written once), which step-by-step Cannon misses
+// by a factor sqrt(P) — while total network words stay the same order.
+func TestHoardingAttainsW1(t *testing.T) {
+	n, q := 64, 4
+	a := matrix.Random(n, n, 40)
+	b := matrix.Random(n, n, 41)
+
+	cfgH := Config{Q: q, C: 1, M1: 48, B1: 4, M2: 1 << 20}
+	_, mH, err := CannonHoarded(cfgH, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mC, err := MM25D(Config{Q: q, C: 1, M1: 48, B1: 4, M2: 1 << 20}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nb := int64(n / q)
+	var hoardW, cannonW int64
+	for r := 0; r < mH.P(); r++ {
+		if v := mH.Proc(r).H.Interface(0).StoreWords; v > hoardW {
+			hoardW = v
+		}
+		if v := mC.Proc(r).H.Interface(0).StoreWords; v > cannonW {
+			cannonW = v
+		}
+	}
+	if hoardW != nb*nb {
+		t.Fatalf("hoarded L1->L2 writes %d want exactly n^2/P = %d", hoardW, nb*nb)
+	}
+	if cannonW != int64(q)*nb*nb {
+		t.Fatalf("Cannon L1->L2 writes %d want q*n^2/P = %d", cannonW, q*int(nb*nb))
+	}
+	// Total network volume stays the same order (within 2x here).
+	th, tc := mH.TotalNet(), mC.TotalNet()
+	if th > 2*tc || tc > 2*th {
+		t.Fatalf("network volumes diverged: hoarded %d vs Cannon %d", th, tc)
+	}
+}
+
+func TestHoardedValidation(t *testing.T) {
+	a := matrix.Random(16, 16, 1)
+	b := matrix.Random(16, 16, 2)
+	if _, _, err := CannonHoarded(Config{Q: 2, C: 2, M1: 48, B1: 4, M2: 1 << 20}, a, b); err == nil {
+		t.Fatal("want C=1 error")
+	}
+	if _, _, err := CannonHoarded(Config{Q: 2, C: 1, M1: 48, B1: 4, M2: 100}, a, b); err == nil {
+		t.Fatal("want hoard-capacity error")
+	}
+}

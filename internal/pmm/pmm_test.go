@@ -1,0 +1,275 @@
+package pmm
+
+import (
+	"testing"
+
+	"writeavoid/internal/lowerbounds"
+	"writeavoid/internal/matrix"
+)
+
+func cfg2D(q int) Config {
+	return Config{Q: q, C: 1, M1: 48, B1: 4, M2: 4096}
+}
+
+func cfg25D(q, c int, useL3 bool) Config {
+	return Config{Q: q, C: c, M1: 48, B1: 4, M2: 3 * 8 * 8, B2: 8, UseL3: useL3}
+}
+
+func TestCannonCorrect(t *testing.T) {
+	for _, q := range []int{1, 2, 4} {
+		n := 8 * q
+		a := matrix.Random(n, n, uint64(q))
+		b := matrix.Random(n, n, uint64(q)+1)
+		got, _, err := MM25D(cfg2D(q), a, b)
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		want := matrix.Mul(a, b)
+		if d := matrix.MaxAbsDiff(got, want); d > 1e-10 {
+			t.Fatalf("q=%d: diff %g", q, d)
+		}
+	}
+}
+
+func Test25DCorrectAllVariants(t *testing.T) {
+	n := 32
+	a := matrix.Random(n, n, 3)
+	b := matrix.Random(n, n, 4)
+	want := matrix.Mul(a, b)
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"2.5DMML2 c=2", cfg25D(4, 2, false)},
+		{"2.5DMML2 c=4", cfg25D(4, 4, false)},
+		{"2.5DMML3 c=2", cfg25D(4, 2, true)},
+		{"2.5DMML3ooL2 c=4", cfg25D(4, 4, true)},
+	} {
+		got, _, err := MM25D(tc.cfg, a, b)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if d := matrix.MaxAbsDiff(got, want); d > 1e-10 {
+			t.Fatalf("%s: diff %g", tc.name, d)
+		}
+	}
+}
+
+func TestSUMMAooL2Correct(t *testing.T) {
+	n := 32
+	a := matrix.Random(n, n, 5)
+	b := matrix.Random(n, n, 6)
+	cfg := Config{Q: 2, C: 1, M1: 48, B1: 4, M2: 3 * 8 * 8, B2: 8, UseL3: true}
+	got, _, err := SUMMAooL2(cfg, 8, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(got, matrix.Mul(a, b)); d > 1e-10 {
+		t.Fatalf("diff %g", d)
+	}
+}
+
+func TestTotalFlopsConserved(t *testing.T) {
+	n := 32
+	a := matrix.Random(n, n, 7)
+	b := matrix.Random(n, n, 8)
+	_, m, err := MM25D(cfg25D(4, 2, false), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flops int64
+	for r := 0; r < m.P(); r++ {
+		flops += m.Proc(r).H.FlopCount()
+	}
+	// Exactly 2n^3 multiply-add flops, plus the reduction-tree additions
+	// (at most P partial C blocks of (n/Q)^2 words each).
+	mul := 2 * int64(n) * int64(n) * int64(n)
+	reduceMax := int64(m.P()) * int64(n/4) * int64(n/4)
+	if flops < mul || flops > mul+reduceMax {
+		t.Fatalf("total flops %d want in [%d, %d]", flops, mul, mul+reduceMax)
+	}
+}
+
+// Replication reduces per-processor network words by ~sqrt(c) (the 2.5D
+// effect): compare c=1 and c=4 on the same P... they have different P, so
+// compare against the W2 bound instead.
+func TestReplicationReducesNetworkWords(t *testing.T) {
+	n := 64
+	a := matrix.Random(n, n, 9)
+	b := matrix.Random(n, n, 10)
+
+	_, m1, err := MM25D(Config{Q: 8, C: 1, M1: 48, B1: 4, M2: 4096}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m4, err := MM25D(Config{Q: 8, C: 4, M1: 48, B1: 4, M2: 4096}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cannon on an 8x8 grid moves ~2*q*nb^2 words per processor in the
+	// multiply phase; with c=4 layers each processor does q/c steps, so
+	// the shift traffic drops ~4x, paying a bcast/reduce overhead of a
+	// few blocks.
+	w1 := m1.MaxNet().WordsSent
+	w4 := m4.MaxNet().WordsSent
+	if float64(w4) > 0.6*float64(w1) {
+		t.Fatalf("replication should cut shift words: c=1 %d vs c=4 %d", w1, w4)
+	}
+}
+
+func TestCannonNetworkWordsMatchModel(t *testing.T) {
+	n, q := 64, 4
+	a := matrix.Random(n, n, 11)
+	b := matrix.Random(n, n, 12)
+	_, m, err := MM25D(cfg2D(q), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := int64(n / q)
+	// Skew: 2 blocks; steps: 2*(q-1) blocks.
+	want := (2 + 2*int64(q-1)) * nb * nb
+	got := m.MaxNet().WordsSent
+	if got != want {
+		t.Fatalf("per-proc words %d want %d", got, want)
+	}
+}
+
+// Model 2.1 comparison: 2.5DMML3 must add NVM traffic (beta32/beta23 terms)
+// that 2.5DMML2 does not have, while network words stay equal.
+func TestUseL3AddsNVMTraffic(t *testing.T) {
+	n := 32
+	a := matrix.Random(n, n, 13)
+	b := matrix.Random(n, n, 14)
+	_, mL2, err := MM25D(cfg25D(4, 2, false), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mL3, err := MM25D(cfg25D(4, 2, true), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mL2.MaxNet().WordsSent != mL3.MaxNet().WordsSent {
+		t.Fatalf("network words should match: %d vs %d",
+			mL2.MaxNet().WordsSent, mL3.MaxNet().WordsSent)
+	}
+	if mL2.MaxWritesTo(2) != 0 {
+		t.Fatalf("2.5DMML2 must not touch NVM, wrote %d", mL2.MaxWritesTo(2))
+	}
+	if mL3.MaxWritesTo(2) == 0 {
+		t.Fatal("2.5DMML3 must write NVM replicas")
+	}
+}
+
+// Theorem 4 (Model 2.2): 2.5DMML3ooL2 attains the network bound but not the
+// NVM-write bound; SUMMAL3ooL2 attains the NVM-write bound but not the
+// network bound; neither attains both.
+func TestTheorem4Exclusion(t *testing.T) {
+	n := 64
+	a := matrix.Random(n, n, 15)
+	b := matrix.Random(n, n, 16)
+
+	cfg := Config{Q: 4, C: 4, M1: 48, B1: 4, M2: 3 * 8 * 8, B2: 8, UseL3: true}
+	_, m25, err := MM25D(cfg, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p25 := cfg.P()
+
+	sCfg := Config{Q: 4, C: 1, M1: 48, B1: 4, M2: 3 * 8 * 8, B2: 8, UseL3: true}
+	_, mSm, err := SUMMAooL2(sCfg, 8, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pSm := sCfg.P()
+
+	const slack = 8 // generous constant-factor allowance
+
+	// 2.5DMML3ooL2: network near W2, NVM writes far above W1.
+	w2 := lowerbounds.W2(n, p25, float64(cfg.C))
+	if got := float64(m25.MaxNet().WordsSent); got > slack*w2 {
+		t.Errorf("2.5DMML3ooL2 network words %.0f exceed %g x W2=%g", got, float64(slack), w2)
+	}
+	w1 := lowerbounds.W1(n, p25)
+	if got := float64(m25.MaxWritesTo(2)); got <= 2*w1 {
+		t.Errorf("2.5DMML3ooL2 NVM writes %.0f unexpectedly near W1=%g (Theorem 4 violated?)", got, w1)
+	}
+
+	// SUMMAL3ooL2: NVM writes near W1 (exact: one write per C word plus
+	// replica-free operands), network far above W2.
+	w1s := lowerbounds.W1(n, pSm)
+	if got := float64(mSm.MaxWritesTo(2)); got > 2*w1s {
+		t.Errorf("SUMMAL3ooL2 NVM writes %.0f exceed 2x W1=%g", got, w1s)
+	}
+	w2s := lowerbounds.W2(n, pSm, 1)
+	if got := float64(mSm.MaxNet().WordsSent); got <= 2*w2s {
+		t.Errorf("SUMMAL3ooL2 network words %.0f unexpectedly near W2=%g", got, w2s)
+	}
+
+	// The exclusion predicate itself.
+	if !lowerbounds.Theorem4Excludes(n, p25, float64(m25.MaxNet().WordsSent), float64(m25.MaxWritesTo(2)), 2) {
+		t.Error("2.5DMML3ooL2 violates the Theorem 4 exclusion")
+	}
+	if !lowerbounds.Theorem4Excludes(n, pSm, float64(mSm.MaxNet().WordsSent), float64(mSm.MaxWritesTo(2)), 2) {
+		t.Error("SUMMAL3ooL2 violates the Theorem 4 exclusion")
+	}
+}
+
+// SUMMAL3ooL2's defining property, exactly: each processor writes its C
+// block to NVM once (n^2/P words) and nothing else.
+func TestSUMMAWritesExactlyOutput(t *testing.T) {
+	n := 32
+	a := matrix.Random(n, n, 17)
+	b := matrix.Random(n, n, 18)
+	cfg := Config{Q: 2, C: 1, M1: 48, B1: 4, M2: 3 * 8 * 8, B2: 8, UseL3: true}
+	_, m, err := SUMMAooL2(cfg, 8, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(n * n / cfg.P())
+	for r := 0; r < m.P(); r++ {
+		if got := m.Proc(r).H.WritesTo(2); got != want {
+			t.Fatalf("proc %d NVM writes %d want exactly %d", r, got, want)
+		}
+	}
+}
+
+func TestMessageCapMultipliesMsgs(t *testing.T) {
+	n := 32
+	a := matrix.Random(n, n, 19)
+	b := matrix.Random(n, n, 20)
+	base := cfg25D(4, 2, true)
+	capped := base
+	capped.MaxMsgWords = 16 // blocks are 64 words -> 4 msgs each
+
+	_, m1, err := MM25D(base, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m2, err := MM25D(capped, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.MaxNet().MsgsSent != 4*m1.MaxNet().MsgsSent {
+		t.Fatalf("capped msgs %d want 4x uncapped %d", m2.MaxNet().MsgsSent, m1.MaxNet().MsgsSent)
+	}
+	if m1.MaxNet().WordsSent != m2.MaxNet().WordsSent {
+		t.Fatal("word counts must not change with the cap")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	a := matrix.Random(12, 12, 1)
+	b := matrix.Random(12, 12, 2)
+	if _, _, err := MM25D(Config{Q: 5, C: 1, M1: 48, B1: 4}, a, b); err == nil {
+		t.Fatal("want n % Q error")
+	}
+	if _, _, err := MM25D(Config{Q: 4, C: 3, M1: 48, B1: 4}, matrix.Random(16, 16, 1), matrix.Random(16, 16, 2)); err == nil {
+		t.Fatal("want C | Q error")
+	}
+	if _, _, err := SUMMAooL2(Config{Q: 2, C: 2, UseL3: true, M1: 48, B1: 4, M2: 192}, 8, matrix.Random(16, 16, 1), matrix.Random(16, 16, 2)); err == nil {
+		t.Fatal("want C=1 error")
+	}
+	if _, _, err := SUMMAooL2(Config{Q: 2, C: 1, UseL3: true, M1: 48, B1: 4, M2: 10}, 8, matrix.Random(16, 16, 1), matrix.Random(16, 16, 2)); err == nil {
+		t.Fatal("want M2 capacity error")
+	}
+}

@@ -1,0 +1,133 @@
+package smp
+
+import (
+	"testing"
+
+	"writeavoid/internal/access"
+	"writeavoid/internal/cache"
+)
+
+const lineB = 64
+
+func TestMatMulTasksCoverAllTriples(t *testing.T) {
+	tasks, _ := MatMulTasks(16, 16, 16, 8, lineB)
+	if len(tasks) != 2 || len(tasks[0]) != 2 || len(tasks[0][0]) != 2 {
+		t.Fatalf("task grid shape wrong")
+	}
+	var total int64
+	for i := range tasks {
+		for j := range tasks[i] {
+			for k := range tasks[i][j] {
+				if len(tasks[i][j][k].Ops) == 0 {
+					t.Fatalf("empty task (%d,%d,%d)", i, j, k)
+				}
+				total += int64(len(tasks[i][j][k].Ops))
+			}
+		}
+	}
+	// 2*mnl A/B reads + 2 C touches per (element, k-block).
+	want := int64(2*16*16*16 + 2*16*16*2)
+	if total != want {
+		t.Fatalf("total ops %d want %d", total, want)
+	}
+}
+
+func TestSchedulersPartitionAllTasks(t *testing.T) {
+	tasks, _ := MatMulTasks(32, 32, 32, 8, lineB)
+	for _, s := range []Schedule{DepthFirst(tasks, 3), BreadthFirst(tasks, 3)} {
+		count := 0
+		for _, q := range s.Queues {
+			count += len(q)
+		}
+		if count != 4*4*4 {
+			t.Fatalf("schedule covers %d tasks want 64", count)
+		}
+	}
+}
+
+func TestRunExecutesEverything(t *testing.T) {
+	tasks, _ := MatMulTasks(16, 16, 16, 8, lineB)
+	llc := cache.NewFALRU(1<<20, lineB) // everything fits
+	res, err := Run(llc, DepthFirst(tasks, 4), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksRun != 8 {
+		t.Fatalf("tasks run %d want 8", res.TasksRun)
+	}
+	if res.AccessesRun != res.Stats.Accesses {
+		t.Fatal("access bookkeeping mismatch")
+	}
+}
+
+func TestRunQuantumValidation(t *testing.T) {
+	llc := cache.NewFALRU(1<<10, lineB)
+	if _, err := Run(llc, Schedule{Queues: [][]Task{{}}}, 0); err == nil {
+		t.Fatal("want quantum error")
+	}
+}
+
+// The Section 9 shared-memory question, measured: with a shared LLC sized
+// for the workers' active blocks, the depth-first schedule (each worker
+// finishes its C block) writes back ~the output, while the breadth-first
+// schedule re-dirties every C block once per contraction step.
+func TestDepthFirstPreservesWriteAvoidance(t *testing.T) {
+	const (
+		n, b    = 64, 16
+		workers = 4
+		quantum = 32
+	)
+	tasks, _ := MatMulTasks(n, n, n, b, lineB)
+	// LLC holds the workers' active working sets: 3 blocks per worker
+	// plus slack.
+	llcBytes := workers*4*b*b*8 + lineB
+
+	dfLLC := cache.NewFALRU(llcBytes, lineB)
+	df, err := Run(dfLLC, DepthFirst(tasks, workers), quantum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfLLC := cache.NewFALRU(llcBytes, lineB)
+	bf, err := Run(bfLLC, BreadthFirst(tasks, workers), quantum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outLines := int64(n * n * 8 / lineB)
+	if df.Stats.VictimsM > 2*outLines {
+		t.Errorf("depth-first write-backs %d far above output %d", df.Stats.VictimsM, outLines)
+	}
+	if bf.Stats.VictimsM < 2*df.Stats.VictimsM {
+		t.Errorf("breadth-first should write back much more: %d vs %d",
+			bf.Stats.VictimsM, df.Stats.VictimsM)
+	}
+}
+
+// Determinism: the interleaved simulation is reproducible.
+func TestRunDeterministic(t *testing.T) {
+	tasks, _ := MatMulTasks(32, 32, 32, 8, lineB)
+	run := func() cache.Stats {
+		llc := cache.NewFALRU(1<<14, lineB)
+		res, err := Run(llc, BreadthFirst(tasks, 3), 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats
+	}
+	if run() != run() {
+		t.Fatal("simulation must be deterministic")
+	}
+}
+
+func TestTaskLabels(t *testing.T) {
+	tasks, _ := MatMulTasks(16, 16, 16, 8, lineB)
+	if tasks[1][0][1].Label != "C(1,0)+=A(1,1)B(1,0)" {
+		t.Fatalf("label %q", tasks[1][0][1].Label)
+	}
+	var rec access.Recorder
+	for _, op := range tasks[0][0][0].Ops {
+		rec.Access(op.Addr, op.Write)
+	}
+	if len(rec.Ops) != len(tasks[0][0][0].Ops) {
+		t.Fatal("ops copy")
+	}
+}

@@ -1,0 +1,221 @@
+// Package strassen implements Strassen's matrix multiplication over the
+// explicit two-level machine model, together with its CDAG, to validate
+// Corollary 3 of "Write-Avoiding Algorithms" (Carson et al., 2015): the
+// recursive temporaries force the number of writes to slow memory to stay a
+// constant fraction of total traffic, so no write-avoiding reordering exists.
+package strassen
+
+import (
+	"fmt"
+
+	"writeavoid/internal/cdag"
+	"writeavoid/internal/machine"
+	"writeavoid/internal/matrix"
+)
+
+// Multiply computes C = A*B (n-by-n, n a power of two) with Strassen's
+// algorithm on a two-level machine whose fast memory holds m words. The base
+// case switches to the classical kernel when three blocks fit in fast
+// memory. Intermediate sums and the seven products are materialized in slow
+// memory, as any out-of-core Strassen must once n^2 exceeds m.
+func Multiply(h *machine.Hierarchy, m int64, a, b *matrix.Dense) (*matrix.Dense, error) {
+	n := a.Rows
+	if a.Cols != n || b.Rows != n || b.Cols != n {
+		return nil, fmt.Errorf("strassen: need square operands, got %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("strassen: n=%d not a power of two", n)
+	}
+	base := 1
+	for int64(3*(base*2)*(base*2)) <= m {
+		base *= 2
+	}
+	c := matrix.New(n, n)
+	rec(h, m, base, c, a, b)
+	return c, nil
+}
+
+func rec(h *machine.Hierarchy, m int64, base int, c, a, b *matrix.Dense) {
+	n := a.Rows
+	if n <= base {
+		h.Load(0, 2*int64(n)*int64(n))
+		h.Init(0, int64(n)*int64(n))
+		c.Zero()
+		matrix.MulAdd(c, a, b)
+		h.Flops(2 * int64(n) * int64(n) * int64(n))
+		h.Store(0, int64(n)*int64(n))
+		h.Discard(0, 2*int64(n)*int64(n))
+		return
+	}
+	half := n / 2
+	q := func(x *matrix.Dense, i, j int) *matrix.Dense { return x.Block(i*half, j*half, half, half) }
+	a11, a12, a21, a22 := q(a, 0, 0), q(a, 0, 1), q(a, 1, 0), q(a, 1, 1)
+	b11, b12, b21, b22 := q(b, 0, 0), q(b, 0, 1), q(b, 1, 0), q(b, 1, 1)
+	c11, c12, c21, c22 := q(c, 0, 0), q(c, 0, 1), q(c, 1, 0), q(c, 1, 1)
+
+	tmp := func() *matrix.Dense { return matrix.New(half, half) }
+	// Encoding sums (all written to slow memory as streams).
+	s1, s2, s3, s4, s5 := tmp(), tmp(), tmp(), tmp(), tmp()
+	t1, t2, t3, t4, t5 := tmp(), tmp(), tmp(), tmp(), tmp()
+	streamBinary(h, m, s1, a11, a22, +1) // S1 = A11+A22
+	streamBinary(h, m, s2, a21, a22, +1) // S2 = A21+A22
+	streamBinary(h, m, s3, a11, a12, +1) // S3 = A11+A12
+	streamBinary(h, m, s4, a21, a11, -1) // S4 = A21-A11
+	streamBinary(h, m, s5, a12, a22, -1) // S5 = A12-A22
+	streamBinary(h, m, t1, b11, b22, +1) // T1 = B11+B22
+	streamBinary(h, m, t2, b12, b22, -1) // T2 = B12-B22
+	streamBinary(h, m, t3, b21, b11, -1) // T3 = B21-B11
+	streamBinary(h, m, t4, b11, b12, +1) // T4 = B11+B12
+	streamBinary(h, m, t5, b21, b22, +1) // T5 = B21+B22
+
+	m1, m2, m3, m4, m5, m6, m7 := tmp(), tmp(), tmp(), tmp(), tmp(), tmp(), tmp()
+	rec(h, m, base, m1, s1, t1)  // M1 = (A11+A22)(B11+B22)
+	rec(h, m, base, m2, s2, b11) // M2 = (A21+A22)B11
+	rec(h, m, base, m3, a11, t2) // M3 = A11(B12-B22)
+	rec(h, m, base, m4, a22, t3) // M4 = A22(B21-B11)
+	rec(h, m, base, m5, s3, b22) // M5 = (A11+A12)B22
+	rec(h, m, base, m6, s4, t4)  // M6 = (A21-A11)(B11+B12)
+	rec(h, m, base, m7, s5, t5)  // M7 = (A12-A22)(B21+B22)
+
+	// Decoding (the paper's Dec_C subgraph).
+	streamBinary(h, m, c11, m1, m4, +1) // C11 = M1+M4
+	streamAccum(h, m, c11, m5, -1)      //     - M5
+	streamAccum(h, m, c11, m7, +1)      //     + M7
+	streamBinary(h, m, c12, m3, m5, +1) // C12 = M3+M5
+	streamBinary(h, m, c21, m2, m4, +1) // C21 = M2+M4
+	streamBinary(h, m, c22, m1, m2, -1) // C22 = M1-M2
+	streamAccum(h, m, c22, m3, +1)      //     + M3
+	streamAccum(h, m, c22, m6, +1)      //     + M6
+}
+
+// streamBinary computes dst = x + sign*y elementwise, streaming chunks
+// through fast memory: per chunk of c words, 2c loads and c stores.
+func streamBinary(h *machine.Hierarchy, m int64, dst, x, y *matrix.Dense, sign float64) {
+	chunk := int(m / 3)
+	if chunk < 1 {
+		chunk = 1
+	}
+	total := dst.Rows * dst.Cols
+	for off := 0; off < total; off += chunk {
+		cw := min(chunk, total-off)
+		h.Load(0, 2*int64(cw))
+		h.Init(0, int64(cw))
+		for e := off; e < off+cw; e++ {
+			i, j := e/dst.Cols, e%dst.Cols
+			dst.Set(i, j, x.At(i, j)+sign*y.At(i, j))
+		}
+		h.Flops(int64(cw))
+		h.Store(0, int64(cw))
+		h.Discard(0, 2*int64(cw))
+	}
+}
+
+// streamAccum computes dst += sign*y elementwise with the same streaming
+// traffic pattern (dst is both read and written).
+func streamAccum(h *machine.Hierarchy, m int64, dst, y *matrix.Dense, sign float64) {
+	chunk := int(m / 3)
+	if chunk < 1 {
+		chunk = 1
+	}
+	total := dst.Rows * dst.Cols
+	for off := 0; off < total; off += chunk {
+		cw := min(chunk, total-off)
+		h.Load(0, 2*int64(cw))
+		for e := off; e < off+cw; e++ {
+			i, j := e/dst.Cols, e%dst.Cols
+			dst.Set(i, j, dst.At(i, j)+sign*y.At(i, j))
+		}
+		h.Flops(int64(cw))
+		h.Store(0, int64(cw))
+		h.Discard(0, int64(cw))
+	}
+}
+
+// Subgraph tags for the CDAG.
+const (
+	// TagEncode marks the pre-product addition vertices (Enc_A/Enc_B).
+	TagEncode uint8 = 1
+	// TagDecC marks the scalar products and their descendants — the
+	// paper's Dec_C subgraph, whose out-degree bound gives Corollary 3.
+	TagDecC uint8 = 2
+)
+
+// BuildCDAG constructs the CDAG of Strassen's algorithm run fully
+// recursively (base case n=1) on n-by-n matrices.
+func BuildCDAG(n int) *cdag.Graph {
+	if n&(n-1) != 0 || n == 0 {
+		panic("strassen: CDAG size must be a power of two")
+	}
+	g := cdag.New()
+	aIDs := make([]int, n*n)
+	bIDs := make([]int, n*n)
+	for i := range aIDs {
+		aIDs[i] = g.AddVertex(cdag.Input)
+	}
+	for i := range bIDs {
+		bIDs[i] = g.AddVertex(cdag.Input)
+	}
+	// Outputs are the returned C vertices; they are identifiable as the
+	// Dec_C-tagged vertices of out-degree 0, which is what the tests use.
+	cdagRec(g, aIDs, bIDs, n)
+	return g
+}
+
+// cdagRec returns the vertex ids of C = A*B for the sub-problem.
+func cdagRec(g *cdag.Graph, aIDs, bIDs []int, n int) []int {
+	if n == 1 {
+		v := g.AddTagged(cdag.Intermediate, TagDecC)
+		g.AddEdge(aIDs[0], v)
+		g.AddEdge(bIDs[0], v)
+		return []int{v}
+	}
+	half := n / 2
+	quad := func(ids []int, qi, qj int) []int {
+		out := make([]int, half*half)
+		for i := 0; i < half; i++ {
+			for j := 0; j < half; j++ {
+				out[i*half+j] = ids[(qi*half+i)*n+(qj*half+j)]
+			}
+		}
+		return out
+	}
+	add := func(x, y []int, tag uint8) []int {
+		out := make([]int, len(x))
+		for i := range x {
+			v := g.AddTagged(cdag.Intermediate, tag)
+			g.AddEdge(x[i], v)
+			g.AddEdge(y[i], v)
+			out[i] = v
+		}
+		return out
+	}
+	a11, a12, a21, a22 := quad(aIDs, 0, 0), quad(aIDs, 0, 1), quad(aIDs, 1, 0), quad(aIDs, 1, 1)
+	b11, b12, b21, b22 := quad(bIDs, 0, 0), quad(bIDs, 0, 1), quad(bIDs, 1, 0), quad(bIDs, 1, 1)
+
+	m1 := cdagRec(g, add(a11, a22, TagEncode), add(b11, b22, TagEncode), half)
+	m2 := cdagRec(g, add(a21, a22, TagEncode), b11, half)
+	m3 := cdagRec(g, a11, add(b12, b22, TagEncode), half)
+	m4 := cdagRec(g, a22, add(b21, b11, TagEncode), half)
+	m5 := cdagRec(g, add(a11, a12, TagEncode), b22, half)
+	m6 := cdagRec(g, add(a21, a11, TagEncode), add(b11, b12, TagEncode), half)
+	m7 := cdagRec(g, add(a12, a22, TagEncode), add(b21, b22, TagEncode), half)
+
+	c11 := add(add(m1, m4, TagDecC), add(m5, m7, TagDecC), TagDecC) // (M1+M4)+(−M5+M7) signs irrelevant for the DAG
+	c12 := add(m3, m5, TagDecC)
+	c21 := add(m2, m4, TagDecC)
+	c22 := add(add(m1, m2, TagDecC), add(m3, m6, TagDecC), TagDecC)
+
+	out := make([]int, n*n)
+	place := func(ids []int, qi, qj int) {
+		for i := 0; i < half; i++ {
+			for j := 0; j < half; j++ {
+				out[(qi*half+i)*n+(qj*half+j)] = ids[i*half+j]
+			}
+		}
+	}
+	place(c11, 0, 0)
+	place(c12, 0, 1)
+	place(c21, 1, 0)
+	place(c22, 1, 1)
+	return out
+}
