@@ -24,6 +24,7 @@ import (
 	"writeavoid/internal/matrix"
 	"writeavoid/internal/nbody"
 	"writeavoid/internal/plu"
+	"writeavoid/internal/smp"
 	"writeavoid/internal/strassen"
 )
 
@@ -291,6 +292,38 @@ func BenchmarkScheduleSimulation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		order := cdag.RandomTopoOrder(g, rng)
 		if _, err := cdag.Schedule(g, order, 16, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardedRecorderParallel measures concurrent event recording
+// through per-goroutine shard handles (the dist/smp aggregation path):
+// every worker records into its own shard, so the hot path is an
+// uncontended atomic add.
+func BenchmarkShardedRecorderParallel(b *testing.B) {
+	rec := machine.NewShardedRecorder(3)
+	b.RunParallel(func(pb *testing.PB) {
+		h := rec.Handle()
+		e := machine.Event{Kind: machine.EvLoad, Arg: 1, Words: 64}
+		for pb.Next() {
+			h.Record(e)
+		}
+	})
+	if rec.Merge().Iface[1].LoadWords == 0 {
+		b.Fatal("no events recorded")
+	}
+}
+
+// BenchmarkSMPRunParallel times the concurrent shared-memory task replay
+// with sharded counting (8 workers over the blocked-matmul task set).
+func BenchmarkSMPRunParallel(b *testing.B) {
+	tasks, _ := smp.MatMulTasks(64, 64, 64, 16, 64)
+	sched := smp.DepthFirst(tasks, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := machine.NewShardedRecorder(2)
+		if _, err := smp.RunParallel(sched, rec); err != nil {
 			b.Fatal(err)
 		}
 	}

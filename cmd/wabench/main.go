@@ -4,15 +4,17 @@
 //
 // Usage:
 //
-//	wabench [-quick] [section ...]
+//	wabench [-quick] [-json] [section ...]
 //
 // Sections: sec2 sec3 sec4 sec5 fig2 fig5 realcache table1 table2 lu krylov sec9 smp multilevel all
 // (default: all). -quick shrinks problem sizes so the whole run finishes in
 // well under a minute; the full run takes a few minutes, dominated by the
-// Figure 2/5 cache simulations.
+// Figure 2/5 cache simulations. -json skips the text sections and instead
+// emits machine-readable counter snapshots of a fixed counted phase suite.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +27,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run reduced problem sizes")
 	hwKind := flag.String("hw", "nvm", "hardware preset for analytic tables: dram|nvm")
+	jsonOut := flag.Bool("json", false, "emit per-phase recorder snapshots as JSON")
 	flag.Parse()
 
 	sections := flag.Args()
@@ -46,6 +49,16 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -hw %q (want dram|nvm)\n", *hwKind)
 		os.Exit(2)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(buildJSONReport(*quick, *hwKind, hw)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	run := func(name string, f func() string) {

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"writeavoid/internal/costmodel"
+)
+
+// The -json document round-trips: this test consumes the serialized bytes
+// through independent struct tags, the way an external tool would, and
+// checks the counters inside.
+func TestJSONReportCounters(t *testing.T) {
+	raw, err := json.Marshal(buildJSONReport(true, "nvm", costmodel.NVMBacked(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		HW     string `json:"hw"`
+		Phases []struct {
+			Name             string  `json:"name"`
+			PredictedSeconds float64 `json:"predictedSeconds"`
+			Machine          struct {
+				Flops  int64 `json:"flops"`
+				Levels []struct {
+					Name     string `json:"name"`
+					WritesTo int64  `json:"writesTo"`
+				} `json:"levels"`
+				Interfaces []struct {
+					LoadWords     int64 `json:"loadWords"`
+					StoreWords    int64 `json:"storeWords"`
+					Traffic       int64 `json:"traffic"`
+					Theorem1Holds bool  `json:"theorem1Holds"`
+				} `json:"interfaces"`
+			} `json:"machine"`
+		} `json:"phases"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.HW != "nvm" {
+		t.Fatalf("hw = %q", doc.HW)
+	}
+
+	byName := map[string]int{}
+	for i, p := range doc.Phases {
+		byName[p.Name] = i
+		if len(p.Machine.Interfaces) == 0 {
+			t.Fatalf("phase %q has no interfaces", p.Name)
+		}
+		if p.PredictedSeconds <= 0 {
+			t.Fatalf("phase %q predicted %g seconds", p.Name, p.PredictedSeconds)
+		}
+		if !p.Machine.Interfaces[0].Theorem1Holds {
+			t.Fatalf("phase %q violates Theorem 1", p.Name)
+		}
+		if tr := p.Machine.Interfaces[0].Traffic; tr !=
+			p.Machine.Interfaces[0].LoadWords+p.Machine.Interfaces[0].StoreWords {
+			t.Fatalf("phase %q traffic %d inconsistent", p.Name, tr)
+		}
+	}
+
+	wa := doc.Phases[byName["matmul-wa"]]
+	nw := doc.Phases[byName["matmul-nonwa"]]
+	if want := int64(2 * 64 * 64 * 64); wa.Machine.Flops != want {
+		t.Fatalf("matmul-wa flops %d want %d", wa.Machine.Flops, want)
+	}
+	// The write-avoiding order stores less to slow memory than the
+	// contraction-outermost order on the same problem.
+	if wa.Machine.Interfaces[0].StoreWords >= nw.Machine.Interfaces[0].StoreWords {
+		t.Fatalf("WA stores %d not below non-WA stores %d",
+			wa.Machine.Interfaces[0].StoreWords, nw.Machine.Interfaces[0].StoreWords)
+	}
+	// The streaming cost recorder saw the same events, so the cheaper-write
+	// schedule is also predicted faster under write-asymmetric hardware.
+	if wa.PredictedSeconds >= nw.PredictedSeconds {
+		t.Fatalf("WA predicted %g not below non-WA %g", wa.PredictedSeconds, nw.PredictedSeconds)
+	}
+}

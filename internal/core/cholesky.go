@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 
+	"writeavoid/internal/intmath"
+
 	"writeavoid/internal/matrix"
 )
 
@@ -37,7 +39,7 @@ func triWords(b int) int64 { return int64(b) * int64(b+1) / 2 }
 
 func cholLeftLevel(p *Plan, s int, a *matrix.Dense) error {
 	if s < 0 {
-		if err := matrix.CholeskyInPlace(a); err != nil {
+		if err := cholKernel(p, a); err != nil {
 			return err
 		}
 		n := int64(a.Rows)
@@ -46,7 +48,7 @@ func cholLeftLevel(p *Plan, s int, a *matrix.Dense) error {
 	}
 	bs := p.BlockSizes[s]
 	n := a.Rows
-	nb := ceilDiv(n, bs)
+	nb := intmath.CeilDiv(n, bs)
 	blk := func(i, k int) *matrix.Dense {
 		return a.Block(i*bs, k*bs, min(bs, n-i*bs), min(bs, n-k*bs))
 	}
@@ -59,8 +61,9 @@ func cholLeftLevel(p *Plan, s int, a *matrix.Dense) error {
 		for k := 0; k < i; k++ {
 			ak := blk(i, k)
 			p.H.Load(s, words(ak))
-			// A(i,i) -= A(i,k)*A(i,k)^T (SYRK)
-			gemmLevel(p, s-1, di, ak, ak, modeSubABt)
+			// A(i,i) -= A(i,k)*A(i,k)^T (SYRK, lower triangle only: the
+			// factorization never reads above the diagonal)
+			gemmLevel(p, s-1, di, ak, ak, modeSubABtLower)
 			p.H.Discard(s, words(ak))
 		}
 		if err := cholLeftLevel(p, s-1, di); err != nil {
@@ -92,9 +95,18 @@ func cholLeftLevel(p *Plan, s int, a *matrix.Dense) error {
 	return nil
 }
 
+// cholKernel is the shared base case: the in-fast-memory factorization,
+// traced when the plan carries a Tracer.
+func cholKernel(p *Plan, a *matrix.Dense) error {
+	if p.Trace != nil {
+		return p.Trace.CholeskyInPlace(a)
+	}
+	return matrix.CholeskyInPlace(a)
+}
+
 func cholRightLevel(p *Plan, s int, a *matrix.Dense) error {
 	if s < 0 {
-		if err := matrix.CholeskyInPlace(a); err != nil {
+		if err := cholKernel(p, a); err != nil {
 			return err
 		}
 		n := int64(a.Rows)
@@ -103,7 +115,7 @@ func cholRightLevel(p *Plan, s int, a *matrix.Dense) error {
 	}
 	bs := p.BlockSizes[s]
 	n := a.Rows
-	nb := ceilDiv(n, bs)
+	nb := intmath.CeilDiv(n, bs)
 	blk := func(i, k int) *matrix.Dense {
 		return a.Block(i*bs, k*bs, min(bs, n-i*bs), min(bs, n-k*bs))
 	}
@@ -132,15 +144,13 @@ func cholRightLevel(p *Plan, s int, a *matrix.Dense) error {
 				ki := blk(k, i)
 				p.H.Load(s, words(ki))
 				tb := blk(j, k)
-				var w int64
+				w, mode := words(tb), modeSubABt
 				if k == j {
-					w = triWords(tb.Rows)
-				} else {
-					w = words(tb)
+					w, mode = triWords(tb.Rows), modeSubABtLower
 				}
 				p.H.Load(s, w)
 				// A(j,k) -= A(j,i)*A(k,i)^T  (lower triangle only on the diagonal)
-				gemmLevel(p, s-1, tb, ji, ki, modeSubABt)
+				gemmLevel(p, s-1, tb, ji, ki, mode)
 				p.H.Store(s, w)
 				p.H.Discard(s, words(ki))
 			}
@@ -155,13 +165,17 @@ func cholRightLevel(p *Plan, s int, a *matrix.Dense) error {
 // Algorithm 3). Blocked with the k-innermost (WA) order.
 func trsmRightLevel(p *Plan, s int, l, b *matrix.Dense) {
 	if s < 0 {
-		matrix.TRSMLowerTransRight(l, b)
+		if p.Trace != nil {
+			p.Trace.TRSMLowerTransRight(l, b)
+		} else {
+			matrix.TRSMLowerTransRight(l, b)
+		}
 		p.H.Flops(int64(b.Rows) * int64(l.Rows) * int64(l.Rows))
 		return
 	}
 	bs := p.BlockSizes[s]
 	n, m := l.Rows, b.Rows
-	nb, mb := ceilDiv(n, bs), ceilDiv(m, bs)
+	nb, mb := intmath.CeilDiv(n, bs), intmath.CeilDiv(m, bs)
 	blkL := func(i, k int) *matrix.Dense {
 		return l.Block(i*bs, k*bs, min(bs, n-i*bs), min(bs, n-k*bs))
 	}

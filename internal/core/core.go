@@ -22,6 +22,7 @@ package core
 import (
 	"fmt"
 
+	"writeavoid/internal/intmath"
 	"writeavoid/internal/machine"
 )
 
@@ -65,26 +66,34 @@ type Plan struct {
 	H          *machine.Hierarchy
 	BlockSizes []int
 	Order      Order
+	// Orders optionally overrides Order per interface: Orders[i] selects
+	// the block loop nesting used when staging across interface i. Entries
+	// beyond len(Orders) fall back to Order. The Section 6 mixed-order
+	// instruction streams (write-avoiding at the top interface only, or
+	// everywhere but the top) are expressed this way.
+	Orders []Order
+	// Trace, when non-nil, switches the base-case kernels to their traced
+	// twins, which emit every element access through H.Touch in the exact
+	// instruction order of the reference kernels. Word and flop counting
+	// is unchanged. See Tracer.
+	Trace *Tracer
+}
+
+// orderAt returns the loop order used at interface s.
+func (p *Plan) orderAt(s int) Order {
+	if s < len(p.Orders) {
+		return p.Orders[s]
+	}
+	return p.Order
 }
 
 // TwoLevelPlan is the common case: one fast level of m words with block size
 // b = floor(sqrt(m/3)) unless an explicit b is given.
 func TwoLevelPlan(fastWords int64, b int, order Order) *Plan {
 	if b <= 0 {
-		b = isqrt(fastWords / 3)
+		b = intmath.Isqrt(fastWords / 3)
 	}
 	return &Plan{H: machine.TwoLevel(fastWords), BlockSizes: []int{b}, Order: order}
-}
-
-func isqrt(v int64) int {
-	if v < 0 {
-		return 0
-	}
-	r := 0
-	for int64(r+1)*int64(r+1) <= v {
-		r++
-	}
-	return r
 }
 
 // validate checks the plan's internal consistency against the dims it will

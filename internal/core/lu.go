@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 
+	"writeavoid/internal/intmath"
+
 	"writeavoid/internal/matrix"
 )
 
@@ -47,7 +49,7 @@ func luLeftLevel(p *Plan, s int, a *matrix.Dense) error {
 	}
 	bs := p.BlockSizes[s]
 	n := a.Rows
-	nb := ceilDiv(n, bs)
+	nb := intmath.CeilDiv(n, bs)
 	blk := func(i, k int) *matrix.Dense {
 		return a.Block(i*bs, k*bs, min(bs, n-i*bs), min(bs, n-k*bs))
 	}
@@ -103,7 +105,7 @@ func luRightLevel(p *Plan, s int, a *matrix.Dense) error {
 	}
 	bs := p.BlockSizes[s]
 	n := a.Rows
-	nb := ceilDiv(n, bs)
+	nb := intmath.CeilDiv(n, bs)
 	blk := func(i, k int) *matrix.Dense {
 		return a.Block(i*bs, k*bs, min(bs, n-i*bs), min(bs, n-k*bs))
 	}
@@ -159,7 +161,7 @@ func trsmUnitLowerLevel(p *Plan, s int, l, b *matrix.Dense) {
 	}
 	bs := p.BlockSizes[s]
 	n, m := l.Rows, b.Cols
-	nb, mb := ceilDiv(n, bs), ceilDiv(m, bs)
+	nb, mb := intmath.CeilDiv(n, bs), intmath.CeilDiv(m, bs)
 	blkL := func(i, k int) *matrix.Dense {
 		return l.Block(i*bs, k*bs, min(bs, n-i*bs), min(bs, n-k*bs))
 	}
@@ -197,7 +199,7 @@ func trsmUpperRightLevel(p *Plan, s int, u, b *matrix.Dense) {
 	}
 	bs := p.BlockSizes[s]
 	n, m := u.Rows, b.Rows
-	nb, mb := ceilDiv(n, bs), ceilDiv(m, bs)
+	nb, mb := intmath.CeilDiv(n, bs), intmath.CeilDiv(m, bs)
 	blkU := func(k, j int) *matrix.Dense {
 		return u.Block(k*bs, j*bs, min(bs, n-k*bs), min(bs, n-j*bs))
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"writeavoid/internal/intmath"
 	"writeavoid/internal/machine"
 	"writeavoid/internal/matrix"
 )
@@ -10,9 +11,10 @@ import (
 type gemmMode int
 
 const (
-	modeAddAB  gemmMode = iota // C += A*B   (Algorithm 1)
-	modeSubAB                  // C -= A*B   (TRSM updates)
-	modeSubABt                 // C -= A*B^T (Cholesky SYRK/GEMM updates)
+	modeAddAB       gemmMode = iota // C += A*B   (Algorithm 1)
+	modeSubAB                       // C -= A*B   (TRSM updates)
+	modeSubABt                      // C -= A*B^T (Cholesky SYRK/GEMM updates)
+	modeSubABtLower                 // lower triangle of C -= A*B^T (Cholesky diagonal SYRK)
 )
 
 // MatMul computes C += A*B with the plan's blocking and loop order,
@@ -42,13 +44,13 @@ func gemmLevel(p *Plan, s int, c, a, b *matrix.Dense, mode gemmMode) {
 	}
 	bs := p.BlockSizes[s]
 	m, l, n := c.Rows, c.Cols, a.Cols
-	mb, lb, nb := ceilDiv(m, bs), ceilDiv(l, bs), ceilDiv(n, bs)
+	mb, lb, nb := intmath.CeilDiv(m, bs), intmath.CeilDiv(l, bs), intmath.CeilDiv(n, bs)
 
 	blkA := func(i, k int) *matrix.Dense {
 		return a.Block(i*bs, k*bs, min(bs, m-i*bs), min(bs, n-k*bs))
 	}
 	blkB := func(k, j int) *matrix.Dense {
-		if mode == modeSubABt {
+		if mode == modeSubABt || mode == modeSubABtLower {
 			return b.Block(j*bs, k*bs, min(bs, l-j*bs), min(bs, n-k*bs))
 		}
 		return b.Block(k*bs, j*bs, min(bs, n-k*bs), min(bs, l-j*bs))
@@ -58,15 +60,22 @@ func gemmLevel(p *Plan, s int, c, a, b *matrix.Dense, mode gemmMode) {
 	}
 
 	step := func(i, j, k int) {
+		// The triangular mode keeps the full block loops (so the staged
+		// word counts are identical to modeSubABt at every interface) and
+		// narrows to the triangle only for diagonal sub-blocks of C.
+		sub := mode
+		if mode == modeSubABtLower && i != j {
+			sub = modeSubABt
+		}
 		ab, bb, cb := blkA(i, k), blkB(k, j), blkC(i, j)
 		p.H.Load(s, words(ab))
 		p.H.Load(s, words(bb))
-		gemmLevel(p, s-1, cb, ab, bb, mode)
+		gemmLevel(p, s-1, cb, ab, bb, sub)
 		p.H.Discard(s, words(ab))
 		p.H.Discard(s, words(bb))
 	}
 
-	switch p.Order {
+	switch p.orderAt(s) {
 	case OrderWA:
 		// Algorithm 1: the contraction loop k is innermost, so each C
 		// block is loaded and stored exactly once.
@@ -97,18 +106,40 @@ func gemmLevel(p *Plan, s int, c, a, b *matrix.Dense, mode gemmMode) {
 }
 
 // gemmKernel is the base case: the operands are resident in the fastest
-// level, so only arithmetic happens.
+// level, so only arithmetic happens (plus per-element trace emission when the
+// plan carries a Tracer).
 func gemmKernel(p *Plan, c, a, b *matrix.Dense, mode gemmMode) {
+	tr := p.Trace
 	switch mode {
 	case modeAddAB:
-		matrix.MulAdd(c, a, b)
+		if tr != nil {
+			tr.MulAdd(c, a, b)
+		} else {
+			matrix.MulAdd(c, a, b)
+		}
 		p.H.Flops(2 * int64(c.Rows) * int64(c.Cols) * int64(a.Cols))
 	case modeSubAB:
-		matrix.MulSub(c, a, b)
+		if tr != nil {
+			tr.MulSub(c, a, b)
+		} else {
+			matrix.MulSub(c, a, b)
+		}
 		p.H.Flops(2 * int64(c.Rows) * int64(c.Cols) * int64(a.Cols))
 	case modeSubABt:
-		matrix.MulSubTrans(c, a, b)
+		if tr != nil {
+			tr.MulSubTrans(c, a, b)
+		} else {
+			matrix.MulSubTrans(c, a, b)
+		}
 		p.H.Flops(2 * int64(c.Rows) * int64(c.Cols) * int64(a.Cols))
+	case modeSubABtLower:
+		if tr != nil {
+			tr.MulSubTransLower(c, a, b)
+		} else {
+			matrix.MulSubTransLower(c, a, b)
+		}
+		// 2 flops per term over the n(n+1)/2 triangle elements.
+		p.H.Flops(int64(c.Rows) * int64(c.Rows+1) * int64(a.Cols))
 	}
 }
 
@@ -220,8 +251,6 @@ func PredictMatMulNonWA(m, n, l, blockSize int) (loadWords, storeWords int64) {
 }
 
 func words(m *matrix.Dense) int64 { return int64(m.Rows) * int64(m.Cols) }
-
-func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
 func errShape(op string, c, a, b *matrix.Dense) error {
 	return &ShapeError{Op: op, CR: c.Rows, CC: c.Cols, AR: a.Rows, AC: a.Cols, BR: b.Rows, BC: b.Cols}

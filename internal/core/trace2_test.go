@@ -52,21 +52,6 @@ func TestProp62CholeskyExactWritebacks(t *testing.T) {
 	}
 }
 
-// Proposition 6.2, N-body: write-backs equal the force array.
-func TestProp62NBodyExactWritebacks(t *testing.T) {
-	n, b := 1024, 128
-	tr := NewNBodyTrace(n, b, lineB)
-	// Footprint is three length-b vectors, so five-fit is generous:
-	// 5 blocks of b words.
-	c := cache.NewFALRU(5*b*8+lineB, lineB)
-	tr.Run(access.SinkFunc(c.Access))
-	c.FlushDirty()
-	outLines := int64(n * 8 / lineB)
-	if got := c.Stats().VictimsM; got != outLines {
-		t.Fatalf("N-body write-backs %d != force array %d lines", got, outLines)
-	}
-}
-
 // The non-geometric sanity side: the same traces through a cache holding
 // fewer than the required blocks must write back more.
 func TestProp62SmallCacheWritesMore(t *testing.T) {
@@ -108,13 +93,5 @@ func TestTracesTouchOperands(t *testing.T) {
 				t.Fatalf("A(%d,%d) untouched", i, j)
 			}
 		}
-	}
-
-	nb := NewNBodyTrace(64, 8, lineB)
-	var cnt access.Counter
-	nb.Run(&cnt)
-	// Writes: init N + one per (i, j-block) visit = N + N*(N/b).
-	if want := int64(64 + 64*8); cnt.Writes != want {
-		t.Fatalf("N-body trace writes %d want %d", cnt.Writes, want)
 	}
 }

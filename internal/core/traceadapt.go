@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+
+	"writeavoid/internal/access"
+	"writeavoid/internal/machine"
+	"writeavoid/internal/matrix"
+)
+
+// This file is the address-trace façade over the counted algorithm drivers:
+// the Section 6 experiments (Figures 2 and 5, Propositions 6.1 and 6.2) need
+// element-granularity access streams fed into a simulated cache, and they get
+// them by running the same gemmLevel/trsmLevel/cholLeftLevel recursions that
+// drive the word counters, with a Tracer bound to the operands and a
+// machine.TraceRecorder forwarding every Touch to the sink. There is exactly
+// one implementation of each blocked loop nest; these types only configure
+// it: dims, blocking, per-level loop order, operand address layout.
+
+// TraceLevel is one level of blocking in a traced matmul.
+type TraceLevel struct {
+	// Block is the tile edge at this level.
+	Block int
+	// ContractionInner selects the loop order: true is the write-avoiding
+	// order of the paper's Fig. 4a WAMatMul (output-block loops outside,
+	// contraction innermost), i.e. OrderWA; false is Fig. 4b's ABMatMul
+	// order (contraction outermost), i.e. OrderNonWA.
+	ContractionInner bool
+}
+
+// tracePlan assembles the machinery shared by every trace façade: an
+// unbounded non-strict hierarchy with one interface per blocking level, the
+// per-interface loop orders, a Tracer, and a TraceRecorder forwarding to
+// sink. Levels are given coarsest first (interface indices count from the
+// fastest level, so the list is reversed); an empty list degenerates to a
+// single block covering the whole problem, which sends the first recursion
+// step straight to the element kernel.
+func tracePlan(levels []TraceLevel, maxDim int, sink access.Sink) (*Plan, *Tracer) {
+	bs := make([]int, 0, len(levels))
+	orders := make([]Order, 0, len(levels))
+	for i := len(levels) - 1; i >= 0; i-- {
+		bs = append(bs, levels[i].Block)
+		if levels[i].ContractionInner {
+			orders = append(orders, OrderWA)
+		} else {
+			orders = append(orders, OrderNonWA)
+		}
+	}
+	if len(bs) == 0 {
+		if maxDim < 1 {
+			maxDim = 1
+		}
+		bs = append(bs, maxDim)
+		orders = append(orders, OrderWA)
+	}
+	hl := make([]machine.Level, len(bs)+1)
+	for i := range hl {
+		hl[i] = machine.Level{Name: fmt.Sprintf("T%d", i)}
+	}
+	h := machine.New(false, hl...)
+	h.Attach(machine.NewTraceRecorder(sink))
+	tr := NewTracer(h)
+	return &Plan{H: h, BlockSizes: bs, Orders: orders, Trace: tr}, tr
+}
+
+// MatMulTrace describes a traced multiplication C(m×l) += A(m×n)*B(n×l),
+// with blocking levels ordered coarsest (L3) first. An empty Levels list goes
+// straight to the element kernel.
+type MatMulTrace struct {
+	M, N, L int
+	Levels  []TraceLevel
+
+	A, B, C access.Region
+}
+
+// NewMatMulTrace lays out A, B and C in a fresh line-aligned address space.
+func NewMatMulTrace(m, n, l int, lineBytes int, levels ...TraceLevel) *MatMulTrace {
+	lay := access.NewLayout(uint64(lineBytes))
+	return &MatMulTrace{
+		M: m, N: n, L: l,
+		Levels: levels,
+		A:      lay.NewRegion(m, n),
+		B:      lay.NewRegion(n, l),
+		C:      lay.NewRegion(m, l),
+	}
+}
+
+// Run emits the full access stream into sink.
+func (t *MatMulTrace) Run(sink access.Sink) {
+	a, b, c := matrix.New(t.M, t.N), matrix.New(t.N, t.L), matrix.New(t.M, t.L)
+	p, tr := tracePlan(t.Levels, max(t.M, max(t.N, t.L)), sink)
+	tr.Bind(a, t.A)
+	tr.Bind(b, t.B)
+	tr.Bind(c, t.C)
+	gemmLevel(p, p.topInterface(), c, a, b, modeAddAB)
+}
+
+// PredictTraceOps returns the exact number of reads and writes the trace will
+// emit when all dims divide the finest block evenly: every base-kernel call
+// reads and writes each of its C elements once and streams A and B.
+func (t *MatMulTrace) PredictTraceOps() (reads, writes int64) {
+	fin := t.finestBlock()
+	M, N, L := int64(t.M), int64(t.N), int64(t.L)
+	cVisits := M * L * (N / int64(fin))
+	return 2*M*N*L + cVisits, cVisits
+}
+
+func (t *MatMulTrace) finestBlock() int {
+	if len(t.Levels) == 0 {
+		return t.N
+	}
+	return t.Levels[len(t.Levels)-1].Block
+}
+
+// TRSMTrace traces the two-level blocked triangular solve T*X = B
+// (T n x n upper, B n x m, X overwrites B) in the write-avoiding order.
+type TRSMTrace struct {
+	N, M, Block int
+	T, B        access.Region
+}
+
+// NewTRSMTrace lays out T and B in a fresh address space.
+func NewTRSMTrace(n, m, block, lineBytes int) *TRSMTrace {
+	lay := access.NewLayout(uint64(lineBytes))
+	return &TRSMTrace{N: n, M: m, Block: block, T: lay.NewRegion(n, n), B: lay.NewRegion(n, m)}
+}
+
+// Run emits the access stream. The dummy operands are the identity system
+// I*X = 0 (upper triangular and trivially nonsingular); the access stream is
+// data-independent.
+func (t *TRSMTrace) Run(sink access.Sink) {
+	tm, bm := matrix.Identity(t.N), matrix.New(t.N, t.M)
+	p, tr := tracePlan([]TraceLevel{{Block: t.Block, ContractionInner: true}}, 0, sink)
+	tr.Bind(tm, t.T)
+	tr.Bind(bm, t.B)
+	trsmLevel(p, p.topInterface(), tm, bm)
+}
+
+// CholeskyTrace traces the two-level left-looking blocked Cholesky
+// (Algorithm 3 order) on an n x n SPD matrix.
+type CholeskyTrace struct {
+	N, Block int
+	A        access.Region
+}
+
+// NewCholeskyTrace lays out A in a fresh address space.
+func NewCholeskyTrace(n, block, lineBytes int) *CholeskyTrace {
+	lay := access.NewLayout(uint64(lineBytes))
+	return &CholeskyTrace{N: n, Block: block, A: lay.NewRegion(n, n)}
+}
+
+// Run emits the access stream, factoring the identity (SPD; the access
+// stream is data-independent).
+func (t *CholeskyTrace) Run(sink access.Sink) {
+	am := matrix.Identity(t.N)
+	p, tr := tracePlan([]TraceLevel{{Block: t.Block, ContractionInner: true}}, 0, sink)
+	tr.Bind(am, t.A)
+	if err := cholLeftLevel(p, p.topInterface(), am); err != nil {
+		panic(fmt.Sprintf("core: CholeskyTrace on identity failed: %v", err))
+	}
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"writeavoid/internal/access"
+	"writeavoid/internal/machine"
+	"writeavoid/internal/matrix"
+)
+
+// Tracer gives the counted algorithm drivers an element-granularity address
+// stream: each root matrix is bound to an access.Region, block views are
+// resolved back to root coordinates by pointer arithmetic on the shared
+// backing slice, and every element read or write inside a base-case kernel is
+// dispatched through Hierarchy.Touch. With a machine.TraceRecorder attached
+// the stream feeds a simulated cache (the Section 6 experiments); with no
+// touch-interested recorder attached, Touch is a no-op and only the float
+// arithmetic remains.
+//
+// A Plan with a non-nil Trace switches its base-case kernels to the traced
+// twins below, which perform the same computation as the internal/matrix
+// reference kernels while emitting every access in the kernels' exact
+// instruction order.
+type Tracer struct {
+	h     *machine.Hierarchy
+	bound []traceBinding
+}
+
+type traceBinding struct {
+	data []float64 // the root matrix's full backing slice
+	cols int       // root stride (== Cols; roots must be tight)
+	reg  access.Region
+}
+
+// NewTracer builds a tracer emitting through h.Touch.
+func NewTracer(h *machine.Hierarchy) *Tracer {
+	return &Tracer{h: h}
+}
+
+// Bind associates a root matrix with the address region its elements occupy.
+// The matrix must be tight (Stride == Cols) and match the region's width.
+// Views created from the root via Block resolve to the same region.
+func (t *Tracer) Bind(m *matrix.Dense, reg access.Region) {
+	if m.Stride != m.Cols {
+		panic("core: Tracer.Bind requires a tight root matrix (Stride == Cols)")
+	}
+	if reg.Cols != m.Cols {
+		panic(fmt.Sprintf("core: Tracer.Bind region width %d != matrix width %d", reg.Cols, m.Cols))
+	}
+	t.bound = append(t.bound, traceBinding{data: m.Data, cols: m.Cols, reg: reg})
+}
+
+// tracedView is one operand resolved to root coordinates, cached for the
+// duration of a kernel call so per-element emission is two adds and a Touch.
+type tracedView struct {
+	t      *Tracer
+	reg    access.Region
+	r0, c0 int
+}
+
+// view resolves a (possibly nested) block view back to its bound root.
+// Dense.Block reslices the root's backing array with a full tail, so the
+// view's offset into the root is the difference of slice lengths; the pointer
+// comparison proves the candidate root really is this view's ancestor.
+func (t *Tracer) view(v *matrix.Dense) tracedView {
+	if len(v.Data) > 0 {
+		for i := range t.bound {
+			b := &t.bound[i]
+			off := len(b.data) - len(v.Data)
+			if off >= 0 && &b.data[off] == &v.Data[0] {
+				return tracedView{t: t, reg: b.reg, r0: off / b.cols, c0: off % b.cols}
+			}
+		}
+	}
+	panic("core: traced kernel operand is not a view of any bound matrix")
+}
+
+func (v tracedView) touch(i, j int, write bool) {
+	v.t.h.Touch(v.reg.Addr(v.r0+i, v.c0+j), write)
+}
+
+// MulAdd is the traced twin of matrix.MulAdd: C += A*B, emitting per C
+// element one read, the A/B dot-product stream, and one write.
+func (t *Tracer) MulAdd(c, a, b *matrix.Dense) {
+	tc, ta, tb := t.view(c), t.view(a), t.view(b)
+	for i := 0; i < c.Rows; i++ {
+		for j := 0; j < c.Cols; j++ {
+			tc.touch(i, j, false)
+			s := c.At(i, j)
+			for k := 0; k < a.Cols; k++ {
+				ta.touch(i, k, false)
+				tb.touch(k, j, false)
+				s += a.At(i, k) * b.At(k, j)
+			}
+			tc.touch(i, j, true)
+			c.Set(i, j, s)
+		}
+	}
+}
+
+// MulSub is the traced twin of matrix.MulSub: C -= A*B.
+func (t *Tracer) MulSub(c, a, b *matrix.Dense) {
+	tc, ta, tb := t.view(c), t.view(a), t.view(b)
+	for i := 0; i < c.Rows; i++ {
+		for j := 0; j < c.Cols; j++ {
+			tc.touch(i, j, false)
+			s := c.At(i, j)
+			for k := 0; k < a.Cols; k++ {
+				ta.touch(i, k, false)
+				tb.touch(k, j, false)
+				s -= a.At(i, k) * b.At(k, j)
+			}
+			tc.touch(i, j, true)
+			c.Set(i, j, s)
+		}
+	}
+}
+
+// MulSubTrans is the traced twin of matrix.MulSubTrans: C -= A*B^T.
+func (t *Tracer) MulSubTrans(c, a, b *matrix.Dense) {
+	tc, ta, tb := t.view(c), t.view(a), t.view(b)
+	for i := 0; i < c.Rows; i++ {
+		for j := 0; j < c.Cols; j++ {
+			tc.touch(i, j, false)
+			s := c.At(i, j)
+			for k := 0; k < a.Cols; k++ {
+				ta.touch(i, k, false)
+				tb.touch(j, k, false)
+				s -= a.At(i, k) * b.At(j, k)
+			}
+			tc.touch(i, j, true)
+			c.Set(i, j, s)
+		}
+	}
+}
+
+// MulSubTransLower is the traced twin of matrix.MulSubTransLower: the lower
+// triangle (including diagonal) of square C -= A*B^T, the SYRK flavor
+// Cholesky's diagonal update needs.
+func (t *Tracer) MulSubTransLower(c, a, b *matrix.Dense) {
+	tc, ta, tb := t.view(c), t.view(a), t.view(b)
+	for i := 0; i < c.Rows; i++ {
+		for j := 0; j <= i && j < c.Cols; j++ {
+			tc.touch(i, j, false)
+			s := c.At(i, j)
+			for k := 0; k < a.Cols; k++ {
+				ta.touch(i, k, false)
+				tb.touch(j, k, false)
+				s -= a.At(i, k) * b.At(j, k)
+			}
+			tc.touch(i, j, true)
+			c.Set(i, j, s)
+		}
+	}
+}
+
+// TRSMUpperLeft is the traced twin of matrix.TRSMUpperLeft: back substitution
+// over the columns of B, reading the diagonal entry just before each write.
+func (t *Tracer) TRSMUpperLeft(tm, b *matrix.Dense) {
+	tt, tb := t.view(tm), t.view(b)
+	n := tm.Rows
+	for j := 0; j < b.Cols; j++ {
+		for i := n - 1; i >= 0; i-- {
+			tb.touch(i, j, false)
+			s := b.At(i, j)
+			for k := i + 1; k < n; k++ {
+				tt.touch(i, k, false)
+				tb.touch(k, j, false)
+				s -= tm.At(i, k) * b.At(k, j)
+			}
+			tt.touch(i, i, false)
+			d := tm.At(i, i)
+			if d == 0 {
+				panic("core: traced TRSMUpperLeft singular diagonal")
+			}
+			tb.touch(i, j, true)
+			b.Set(i, j, s/d)
+		}
+	}
+}
+
+// TRSMLowerTransRight is the traced twin of matrix.TRSMLowerTransRight:
+// X*L^T = B row by row.
+func (t *Tracer) TRSMLowerTransRight(l, b *matrix.Dense) {
+	tl, tb := t.view(l), t.view(b)
+	n := l.Rows
+	for i := 0; i < b.Rows; i++ {
+		for j := 0; j < n; j++ {
+			tb.touch(i, j, false)
+			s := b.At(i, j)
+			for k := 0; k < j; k++ {
+				tb.touch(i, k, false)
+				tl.touch(j, k, false)
+				s -= b.At(i, k) * l.At(j, k)
+			}
+			tl.touch(j, j, false)
+			d := l.At(j, j)
+			if d == 0 {
+				panic("core: traced TRSMLowerTransRight singular diagonal")
+			}
+			tb.touch(i, j, true)
+			b.Set(i, j, s/d)
+		}
+	}
+}
+
+// CholeskyInPlace is the traced twin of matrix.CholeskyInPlace. The diagonal
+// update reads A(j,k) twice per term (squaring it), exactly as the compute
+// kernel does; the final zeroing of the strict upper triangle is performed
+// but not emitted — the factorization's access stream never touches the upper
+// triangle, which is what keeps the Proposition 6.2 write-back count at the
+// lower-triangle output size.
+func (t *Tracer) CholeskyInPlace(a *matrix.Dense) error {
+	ta := t.view(a)
+	n := a.Rows
+	for j := 0; j < n; j++ {
+		ta.touch(j, j, false)
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			ta.touch(j, k, false)
+			ta.touch(j, k, false)
+			d -= a.At(j, k) * a.At(j, k)
+		}
+		if d <= 0 {
+			return fmt.Errorf("core: traced Cholesky not positive definite at pivot %d (d=%g)", j, d)
+		}
+		d = math.Sqrt(d)
+		ta.touch(j, j, true)
+		a.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			ta.touch(i, j, false)
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				ta.touch(i, k, false)
+				ta.touch(j, k, false)
+				s -= a.At(i, k) * a.At(j, k)
+			}
+			ta.touch(i, j, true)
+			a.Set(i, j, s/d)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a.Set(i, j, 0)
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"writeavoid/internal/intmath"
 	"writeavoid/internal/matrix"
 )
 
@@ -21,13 +22,17 @@ func TRSM(p *Plan, t, b *matrix.Dense) error {
 
 func trsmLevel(p *Plan, s int, t, b *matrix.Dense) {
 	if s < 0 {
-		matrix.TRSMUpperLeft(t, b)
+		if p.Trace != nil {
+			p.Trace.TRSMUpperLeft(t, b)
+		} else {
+			matrix.TRSMUpperLeft(t, b)
+		}
 		p.H.Flops(int64(t.Rows) * int64(t.Rows) * int64(b.Cols)) // ~n^2*m for the triangle
 		return
 	}
 	bs := p.BlockSizes[s]
 	n, m := t.Rows, b.Cols
-	nb, mb := ceilDiv(n, bs), ceilDiv(m, bs)
+	nb, mb := intmath.CeilDiv(n, bs), intmath.CeilDiv(m, bs)
 
 	blkT := func(i, k int) *matrix.Dense {
 		return t.Block(i*bs, k*bs, min(bs, n-i*bs), min(bs, n-k*bs))
@@ -51,7 +56,7 @@ func trsmLevel(p *Plan, s int, t, b *matrix.Dense) {
 		p.H.Discard(s, words(tb))
 	}
 
-	switch p.Order {
+	switch p.orderAt(s) {
 	case OrderWA:
 		// Algorithm 2: k innermost, so B(i,j) accumulates all updates
 		// while resident and is stored exactly once.

@@ -1,0 +1,70 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"writeavoid/internal/machine"
+)
+
+func almostEq(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12*math.Max(1, math.Abs(b))
+}
+
+// The streaming recorder charges each event with the directional HW
+// coefficients: reads at alpha21/alpha32, writes at alpha12/alpha23.
+func TestRecorderChargesDirectionalCoefficients(t *testing.T) {
+	hw := NVMBacked(8)
+	rec := NewRecorder(hw)
+	h := machine.New(false,
+		machine.Level{Name: "L1"},
+		machine.Level{Name: "L2"},
+		machine.Level{Name: "L3"},
+	)
+	h.Attach(rec)
+
+	h.Load(1, 1000) // NVM read
+	h.Load(0, 300)
+	h.Store(0, 200)
+	h.Store(1, 500) // NVM write: the expensive direction
+	h.Flops(1 << 20)
+
+	want := hw.Alpha32 + hw.Beta32*1000 +
+		hw.Alpha21 + hw.Beta21*300 +
+		hw.Alpha12 + hw.Beta12*200 +
+		hw.Alpha23 + hw.Beta23*500
+	if got := rec.Time(); !almostEq(got, want) {
+		t.Fatalf("Time() = %g want %g", got, want)
+	}
+	if got, want := rec.StoreTime(1), hw.Alpha23+hw.Beta23*500; !almostEq(got, want) {
+		t.Fatalf("StoreTime(1) = %g want %g", got, want)
+	}
+	// With an 8x write penalty the single NVM write of half the words must
+	// cost more than the NVM read.
+	if rec.StoreTime(1) <= rec.LoadTime(1) {
+		t.Fatalf("NVM write %g should exceed NVM read %g under penalty",
+			rec.StoreTime(1), rec.LoadTime(1))
+	}
+
+	rec.Reset()
+	if rec.Time() != 0 {
+		t.Fatalf("Reset left time %g", rec.Time())
+	}
+}
+
+// Events on interfaces the HW model does not name are not charged.
+func TestRecorderIgnoresDeeperInterfaces(t *testing.T) {
+	rec := NewRecorder(DRAMOnly())
+	h := machine.New(false,
+		machine.Level{Name: "L1"},
+		machine.Level{Name: "L2"},
+		machine.Level{Name: "L3"},
+		machine.Level{Name: "L4"},
+	)
+	h.Attach(rec)
+	h.Load(2, 100)
+	h.Store(2, 100)
+	if rec.Time() != 0 {
+		t.Fatalf("interface 2 should be free, got %g", rec.Time())
+	}
+}

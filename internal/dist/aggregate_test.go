@@ -1,0 +1,79 @@
+package dist
+
+import "testing"
+
+// Every processor's hierarchy feeds the machine-wide sharded recorder; the
+// merged totals equal the sum of the per-processor counters even though the
+// processors record concurrently.
+func TestAggregateSumsAllProcessors(t *testing.T) {
+	const P = 8
+	m := mk(P)
+	m.Run(func(p *Proc) {
+		w := int64(10 * (p.Rank + 1))
+		p.H.Load(0, w)
+		p.H.Load(1, 2*w)
+		p.H.Store(0, w/2)
+		p.H.Flops(100)
+		if p.Rank%2 == 0 {
+			p.H.Touch(uint64(p.Rank), true)
+		}
+	})
+	agg := m.Aggregate()
+
+	var wantLoad0, wantLoad1, wantStore0, wantMsgs0, wantFlops int64
+	for r := 0; r < P; r++ {
+		c := m.Proc(r).H.Counters()
+		wantLoad0 += c.Iface[0].LoadWords
+		wantLoad1 += c.Iface[1].LoadWords
+		wantStore0 += c.Iface[0].StoreWords
+		wantMsgs0 += c.Iface[0].LoadMsgs
+		wantFlops += c.FlopCount
+	}
+	if agg.Iface[0].LoadWords != wantLoad0 || agg.Iface[1].LoadWords != wantLoad1 {
+		t.Fatalf("aggregate loads (%d,%d) want (%d,%d)",
+			agg.Iface[0].LoadWords, agg.Iface[1].LoadWords, wantLoad0, wantLoad1)
+	}
+	if agg.Iface[0].StoreWords != wantStore0 {
+		t.Fatalf("aggregate stores %d want %d", agg.Iface[0].StoreWords, wantStore0)
+	}
+	if agg.Iface[0].LoadMsgs != wantMsgs0 {
+		t.Fatalf("aggregate load msgs %d want %d", agg.Iface[0].LoadMsgs, wantMsgs0)
+	}
+	if agg.FlopCount != wantFlops {
+		t.Fatalf("aggregate flops %d want %d", agg.FlopCount, wantFlops)
+	}
+	if agg.TouchWrites != P/2 {
+		t.Fatalf("aggregate touch writes %d want %d", agg.TouchWrites, P/2)
+	}
+
+	// Explicit closed-form cross-check: sum over ranks of 10*(r+1) etc.
+	var base int64
+	for r := 1; r <= P; r++ {
+		base += int64(10 * r)
+	}
+	if wantLoad0 != base || wantLoad1 != 2*base {
+		t.Fatalf("per-proc counters (%d,%d) want (%d,%d)", wantLoad0, wantLoad1, base, 2*base)
+	}
+}
+
+// Aggregate may be read mid-run without racing the recording processors.
+func TestAggregateReadableDuringRun(t *testing.T) {
+	m := mk(4)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = m.Aggregate()
+		}
+	}()
+	m.Run(func(p *Proc) {
+		for i := 0; i < 1000; i++ {
+			p.H.Load(0, 1)
+			p.H.Store(0, 1)
+		}
+	})
+	<-done
+	if got := m.Aggregate().Iface[0].LoadWords; got != 4000 {
+		t.Fatalf("final aggregate loads %d want 4000", got)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"math/bits"
 	"sync"
 
+	"writeavoid/internal/intmath"
 	"writeavoid/internal/machine"
 )
 
@@ -52,6 +53,7 @@ type Machine struct {
 	cfg       Config
 	procs     []*Proc
 	links     [][]chan []float64 // links[from][to]
+	agg       *machine.ShardedRecorder
 	bar       *barrier
 	abort     chan struct{}
 	abortOnce sync.Once
@@ -68,7 +70,12 @@ func New(cfg Config) *Machine {
 	if cfg.ChanCap == 0 {
 		cfg.ChanCap = 16
 	}
-	m := &Machine{cfg: cfg, bar: newBarrier(cfg.P), abort: make(chan struct{})}
+	m := &Machine{
+		cfg:   cfg,
+		agg:   machine.NewShardedRecorder(len(cfg.Levels)),
+		bar:   newBarrier(cfg.P),
+		abort: make(chan struct{}),
+	}
 	m.links = make([][]chan []float64, cfg.P)
 	for i := range m.links {
 		m.links[i] = make([]chan []float64, cfg.P)
@@ -77,13 +84,18 @@ func New(cfg Config) *Machine {
 		}
 	}
 	for r := 0; r < cfg.P; r++ {
-		m.procs = append(m.procs, &Proc{
+		p := &Proc{
 			Rank: r,
 			// Non-strict: network traffic lands in levels without
 			// explicit residency bookkeeping.
 			H: machine.New(false, cfg.Levels...),
 			m: m,
-		})
+		}
+		// Each processor's hierarchy also feeds a private shard of the
+		// machine-wide aggregate, so whole-machine totals are available
+		// race-free even while processors run concurrently.
+		p.H.Attach(m.agg.Handle())
+		m.procs = append(m.procs, p)
 	}
 	return m
 }
@@ -168,6 +180,14 @@ func (m *Machine) MaxWritesTo(lvl int) int64 {
 	}
 	return w
 }
+
+// Aggregate merges every processor's shard of the machine-wide event
+// recorder into whole-machine totals: summed words, messages, flops and
+// touches across all local hierarchies. Safe to call at any time, including
+// while processors are running (each shard is written only by its owner and
+// read atomically). Occupancy fields are zero: residency is per-processor
+// state and does not aggregate.
+func (m *Machine) Aggregate() *machine.CounterSet { return m.agg.Merge() }
 
 // TotalNet sums network words sent over all processors.
 func (m *Machine) TotalNet() int64 {
@@ -262,18 +282,10 @@ func (p *Proc) Bcast(group []int, root int, data []float64) []float64 {
 	}
 	// Forward to children: set bits above my lowest set bit (or all bits
 	// for the root).
-	for bit := nextPow2(rel + 1); rel+bit < n; bit <<= 1 {
+	for bit := intmath.NextPow2(rel + 1); rel+bit < n; bit <<= 1 {
 		p.Send(group[(rel+bit+rootIdx)%n], data)
 	}
 	return data
-}
-
-func nextPow2(v int) int {
-	b := 1
-	for b < v {
-		b <<= 1
-	}
-	return b
 }
 
 // Reduce sums everyone's data onto root along the reversed binomial tree and
@@ -287,7 +299,7 @@ func (p *Proc) Reduce(group []int, root int, data []float64) []float64 {
 	copy(acc, data)
 	// Mirror of the broadcast tree: receive from each child, then send to
 	// the parent.
-	for bit := nextPow2(rel + 1); rel+bit < n; bit <<= 1 {
+	for bit := intmath.NextPow2(rel + 1); rel+bit < n; bit <<= 1 {
 		child := p.Recv(group[(rel+bit+rootIdx)%n])
 		if len(child) != len(acc) {
 			panic("dist: reduce length mismatch")

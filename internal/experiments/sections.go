@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"strings"
 	"text/tabwriter"
@@ -313,21 +314,10 @@ func Sec5(quick bool) []Sec5Row {
 			COVictimsM:  cCO.Stats().VictimsM,
 			WAVictimsM:  cWA.Stats().VictimsM,
 			OutputLines: int64(n * n * 8 / figLineBytes),
-			COBound:     float64(n) * float64(n) * float64(n) / (8 * sqrtF(elems)) * 8 / figLineBytes,
+			COBound:     float64(n) * float64(n) * float64(n) / (8 * math.Sqrt(elems)) * 8 / figLineBytes,
 		})
 	}
 	return rows
-}
-
-func sqrtF(v float64) float64 {
-	if v <= 0 {
-		return 0
-	}
-	z := v
-	for i := 0; i < 40; i++ {
-		z = 0.5 * (z + v/z)
-	}
-	return z
 }
 
 // FormatSec5 renders the Section 5 rows.

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"writeavoid/internal/intmath"
 	"writeavoid/internal/machine"
 )
 
@@ -30,7 +31,7 @@ func Sort(h *machine.Hierarchy, m int, data []float64) ([]float64, error) {
 		// Degenerate: a single in-memory run.
 		h.Load(0, int64(n))
 		sort.Float64s(out)
-		h.Flops(int64(n) * log2ceil(n))
+		h.Flops(int64(n) * intmath.Log2Ceil(n))
 		h.Store(0, int64(n))
 		return out, nil
 	}
@@ -41,7 +42,7 @@ func Sort(h *machine.Hierarchy, m int, data []float64) ([]float64, error) {
 		hi := min(n, lo+m)
 		h.Load(0, int64(hi-lo))
 		sort.Float64s(out[lo:hi])
-		h.Flops(int64(hi-lo) * log2ceil(hi-lo))
+		h.Flops(int64(hi-lo) * intmath.Log2Ceil(hi-lo))
 		h.Store(0, int64(hi-lo))
 		runs = append(runs, run{lo, hi})
 	}
@@ -94,7 +95,7 @@ func mergeRuns(h *machine.Hierarchy, src, dst []float64, runs []run, buf int) {
 		dst[outBase] = src[it.idx]
 		outBase++
 		pending++
-		h.Flops(int64(log2ceil(len(runs))))
+		h.Flops(int64(intmath.Log2Ceil(len(runs))))
 		if pending == buf {
 			h.Store(0, int64(buf))
 			pending = 0
@@ -137,17 +138,6 @@ func (h *mergeHeap) Pop() interface{} {
 	x := old[len(old)-1]
 	h.items = old[:len(old)-1]
 	return x
-}
-
-func log2ceil(n int) int64 {
-	v := int64(0)
-	for p := 1; p < n; p <<= 1 {
-		v++
-	}
-	if v == 0 {
-		v = 1
-	}
-	return v
 }
 
 // PredictTraffic returns the Aggarwal-Vitter-shaped word traffic of the

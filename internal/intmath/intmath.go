@@ -1,0 +1,43 @@
+// Package intmath collects the small integer helpers the algorithm and
+// substrate packages share: ceiling division for block counts, integer
+// square roots for block-size selection, and power-of-two/log helpers for
+// tree collectives and merge passes.
+package intmath
+
+// CeilDiv returns ceil(a/b) for positive b.
+func CeilDiv(a, b int) int { return (a + b - 1) / b }
+
+// Isqrt returns floor(sqrt(v)), and 0 for negative v.
+func Isqrt(v int64) int {
+	if v < 0 {
+		return 0
+	}
+	r := 0
+	for int64(r+1)*int64(r+1) <= v {
+		r++
+	}
+	return r
+}
+
+// NextPow2 returns the smallest power of two >= v (and 1 for v <= 1).
+func NextPow2(v int) int {
+	b := 1
+	for b < v {
+		b <<= 1
+	}
+	return b
+}
+
+// Log2Ceil returns ceil(log2(n)) clamped below at 1, the comparison depth
+// charged per element by the sorting exhibits (even a 1-element merge is one
+// comparison round in that accounting).
+func Log2Ceil(n int) int64 {
+	v := int64(0)
+	for p := 1; p < n; p <<= 1 {
+		v++
+	}
+	if v == 0 {
+		v = 1
+	}
+	return v
+}

@@ -1,0 +1,62 @@
+package intmath
+
+import "testing"
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 4, 0}, {1, 4, 1}, {4, 4, 1}, {5, 4, 2}, {8, 4, 2}, {9, 4, 3},
+		{7, 1, 7}, {10, 3, 4},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d)=%d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIsqrt(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 1}, {3, 1}, {4, 2}, {8, 2}, {9, 3},
+		{255, 15}, {256, 16}, {1 << 40, 1 << 20}, {1<<40 - 1, 1<<20 - 1},
+	}
+	for _, c := range cases {
+		if got := Isqrt(c.v); got != c.want {
+			t.Errorf("Isqrt(%d)=%d want %d", c.v, got, c.want)
+		}
+	}
+	// Exhaustive small check of the floor property.
+	for v := int64(0); v < 5000; v++ {
+		r := int64(Isqrt(v))
+		if r*r > v || (r+1)*(r+1) <= v {
+			t.Fatalf("Isqrt(%d)=%d violates floor property", v, r)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := []struct{ v, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {9, 16}, {1024, 1024}, {1025, 2048},
+	}
+	for _, c := range cases {
+		if got := NextPow2(c.v); got != c.want {
+			t.Errorf("NextPow2(%d)=%d want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int64
+	}{
+		{0, 1}, {1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1 << 20, 20},
+	}
+	for _, c := range cases {
+		if got := Log2Ceil(c.n); got != c.want {
+			t.Errorf("Log2Ceil(%d)=%d want %d", c.n, got, c.want)
+		}
+	}
+}

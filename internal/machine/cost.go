@@ -117,3 +117,63 @@ func (cm CostModel) Breakdown(h *Hierarchy) string {
 	}
 	return b.String()
 }
+
+// CostRecorder accumulates alpha-beta time from the event stream as the
+// algorithm runs, instead of evaluating the model against final counters.
+// For any event sequence its Time equals CostModel.Time on the hierarchy that
+// dispatched it (the model is linear in the counters), but a streaming
+// recorder also composes with sinks that never keep a hierarchy around, and
+// supports per-phase readings without counter resets.
+type CostRecorder struct {
+	Model  CostModel
+	loadT  []float64 // per-interface accumulated load time
+	storeT []float64 // per-interface accumulated store time
+	flopT  float64
+}
+
+// NewCostRecorder builds a recorder charging events with the model's
+// coefficients. The model must have one CostParams entry per interface of the
+// hierarchy it is attached to.
+func NewCostRecorder(cm CostModel) *CostRecorder {
+	return &CostRecorder{
+		Model:  cm,
+		loadT:  make([]float64, len(cm.Iface)),
+		storeT: make([]float64, len(cm.Iface)),
+	}
+}
+
+// Record charges one event.
+func (c *CostRecorder) Record(e Event) {
+	switch e.Kind {
+	case EvLoad:
+		p := c.Model.Iface[e.Arg]
+		c.loadT[e.Arg] += p.AlphaLoad + p.BetaLoad*float64(e.Words)
+	case EvStore:
+		p := c.Model.Iface[e.Arg]
+		c.storeT[e.Arg] += p.AlphaStore + p.BetaStore*float64(e.Words)
+	case EvFlops:
+		c.flopT += c.Model.PerFlop * float64(e.Words)
+	}
+}
+
+// Time returns the accumulated model time, honoring WriteBuffer overlap.
+func (c *CostRecorder) Time() float64 {
+	t := c.flopT
+	for i := range c.loadT {
+		if c.Model.WriteBuffer {
+			t += math.Max(c.loadT[i], c.storeT[i])
+		} else {
+			t += c.loadT[i] + c.storeT[i]
+		}
+	}
+	return t
+}
+
+// Reset zeroes the accumulated time.
+func (c *CostRecorder) Reset() {
+	for i := range c.loadT {
+		c.loadT[i] = 0
+		c.storeT[i] = 0
+	}
+	c.flopT = 0
+}

@@ -1,0 +1,171 @@
+package machine
+
+// This file is the event layer of the machine model: every primitive a
+// Hierarchy executes (Load, Store, Init, Discard, Flops, and — when tracing —
+// per-element Touch) is described by an Event value and dispatched to any
+// number of Recorder sinks. The default sink is a CounterSet, which keeps the
+// per-interface and per-level counters the paper's bounds are stated in;
+// other sinks in this package turn the same event stream into address traces
+// (TraceRecorder), alpha-beta times (CostRecorder), or goroutine-safe shared
+// counters (ShardedRecorder).
+
+// EventKind identifies a machine primitive.
+type EventKind uint8
+
+const (
+	// EvLoad moves Words across interface Arg, slow to fast.
+	EvLoad EventKind = iota
+	// EvStore moves Words across interface Arg, fast to slow.
+	EvStore
+	// EvInit begins an R2 residency of Words in level Arg.
+	EvInit
+	// EvDiscard ends a D2 residency of Words in level Arg.
+	EvDiscard
+	// EvFlops records Words arithmetic operations (no data movement).
+	EvFlops
+	// EvTouch is a single element access at Addr (Write distinguishes the
+	// direction), emitted only while a touch-interested recorder is
+	// attached. Arg and Words are unused.
+	EvTouch
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvLoad:
+		return "Load"
+	case EvStore:
+		return "Store"
+	case EvInit:
+		return "Init"
+	case EvDiscard:
+		return "Discard"
+	case EvFlops:
+		return "Flops"
+	case EvTouch:
+		return "Touch"
+	}
+	return "?"
+}
+
+// Event is one machine primitive. It is a small value type so dispatch does
+// not allocate.
+type Event struct {
+	Kind  EventKind
+	Arg   int    // interface index (EvLoad/EvStore) or level index (EvInit/EvDiscard)
+	Words int64  // words moved, or flop count for EvFlops
+	Addr  uint64 // element address, EvTouch only
+	Write bool   // access direction, EvTouch only
+}
+
+// Recorder consumes the event stream of a Hierarchy. Record is called
+// synchronously from the algorithm's goroutine; a recorder that needs to be
+// shared across goroutines must synchronize internally (see ShardedRecorder).
+type Recorder interface {
+	Record(Event)
+}
+
+// TouchInterest is an optional Recorder refinement: recorders that want the
+// (much denser) per-element EvTouch stream return true from WantsTouch.
+// Recorders that do not implement the interface never see EvTouch, and the
+// Hierarchy's Touch fast path is a no-op unless at least one attached
+// recorder wants it.
+type TouchInterest interface {
+	WantsTouch() bool
+}
+
+// CounterSet is the default recorder: the per-interface traffic and per-level
+// residency counters of the paper's model. It is also the merge target of
+// ShardedRecorder and the unit wabench snapshots are built from.
+//
+// Occupancy is tracked non-strictly here (clamped at zero); the strict
+// overflow/underflow validation lives in Hierarchy, which checks around the
+// dispatch so attached recorders never see an invalid event.
+type CounterSet struct {
+	Iface       []InterfaceCounters // len = levels-1
+	Lvl         []LevelCounters     // len = levels
+	FlopCount   int64
+	TouchReads  int64 // EvTouch events with Write == false
+	TouchWrites int64 // EvTouch events with Write == true
+}
+
+// NewCounterSet returns a zeroed counter set for a machine with the given
+// number of levels.
+func NewCounterSet(levels int) *CounterSet {
+	return &CounterSet{
+		Iface: make([]InterfaceCounters, levels-1),
+		Lvl:   make([]LevelCounters, levels),
+	}
+}
+
+// Record accumulates one event.
+func (c *CounterSet) Record(e Event) {
+	switch e.Kind {
+	case EvLoad:
+		c.Iface[e.Arg].LoadWords += e.Words
+		c.Iface[e.Arg].LoadMsgs++
+		c.bump(e.Arg, e.Words)
+	case EvStore:
+		c.Iface[e.Arg].StoreWords += e.Words
+		c.Iface[e.Arg].StoreMsgs++
+		c.bump(e.Arg, -e.Words)
+	case EvInit:
+		c.Lvl[e.Arg].InitWords += e.Words
+		c.bump(e.Arg, e.Words)
+	case EvDiscard:
+		c.Lvl[e.Arg].DiscardWords += e.Words
+		c.bump(e.Arg, -e.Words)
+	case EvFlops:
+		c.FlopCount += e.Words
+	case EvTouch:
+		if e.Write {
+			c.TouchWrites++
+		} else {
+			c.TouchReads++
+		}
+	}
+}
+
+// WantsTouch opts the counter set into the EvTouch stream so TouchReads and
+// TouchWrites stay meaningful when one is attached directly.
+func (c *CounterSet) WantsTouch() bool { return true }
+
+func (c *CounterSet) bump(level int, delta int64) {
+	lc := &c.Lvl[level]
+	lc.Occupancy += delta
+	if lc.Occupancy < 0 {
+		lc.Occupancy = 0
+	}
+	if lc.Occupancy > lc.PeakOccupancy {
+		lc.PeakOccupancy = lc.Occupancy
+	}
+}
+
+// Reset zeroes every counter.
+func (c *CounterSet) Reset() {
+	for i := range c.Iface {
+		c.Iface[i] = InterfaceCounters{}
+	}
+	for i := range c.Lvl {
+		c.Lvl[i] = LevelCounters{}
+	}
+	c.FlopCount = 0
+	c.TouchReads = 0
+	c.TouchWrites = 0
+}
+
+// Add accumulates other into c (ignoring occupancy, which is not additive).
+func (c *CounterSet) Add(other *CounterSet) {
+	for i := range c.Iface {
+		c.Iface[i].LoadWords += other.Iface[i].LoadWords
+		c.Iface[i].LoadMsgs += other.Iface[i].LoadMsgs
+		c.Iface[i].StoreWords += other.Iface[i].StoreWords
+		c.Iface[i].StoreMsgs += other.Iface[i].StoreMsgs
+	}
+	for i := range c.Lvl {
+		c.Lvl[i].InitWords += other.Lvl[i].InitWords
+		c.Lvl[i].DiscardWords += other.Lvl[i].DiscardWords
+	}
+	c.FlopCount += other.FlopCount
+	c.TouchReads += other.TouchReads
+	c.TouchWrites += other.TouchWrites
+}

@@ -1,0 +1,250 @@
+package machine
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// collector keeps every event it sees; wantTouch controls TouchInterest.
+type collector struct {
+	events    []Event
+	wantTouch bool
+}
+
+func (c *collector) Record(e Event)   { c.events = append(c.events, e) }
+func (c *collector) WantsTouch() bool { return c.wantTouch }
+
+func TestTheorem1HoldsWithZeroTraffic(t *testing.T) {
+	h := TwoLevel(64)
+	if !h.Theorem1Holds(0) {
+		t.Fatal("Theorem 1 must hold trivially (0 >= 0) before any traffic")
+	}
+}
+
+func TestResetClearsFlopsAndPeakOccupancy(t *testing.T) {
+	h := TwoLevel(64)
+	h.Load(0, 10)
+	h.Flops(99)
+	h.Store(0, 10)
+	if h.LevelCounters(0).PeakOccupancy != 10 || h.FlopCount() != 99 {
+		t.Fatalf("precondition: peak=%d flops=%d", h.LevelCounters(0).PeakOccupancy, h.FlopCount())
+	}
+	h.Reset()
+	if got := h.FlopCount(); got != 0 {
+		t.Errorf("flops after Reset = %d, want 0", got)
+	}
+	lc := h.LevelCounters(0)
+	if lc.PeakOccupancy != 0 || lc.Occupancy != 0 {
+		t.Errorf("occupancy after Reset = %+v, want zeroed", lc)
+	}
+	if ic := h.Interface(0); ic != (InterfaceCounters{}) {
+		t.Errorf("interface counters after Reset = %+v, want zeroed", ic)
+	}
+}
+
+func TestAttachedRecorderSeesEveryPrimitive(t *testing.T) {
+	h := TwoLevel(64)
+	c := &collector{}
+	h.Attach(c)
+	h.Load(0, 4)
+	h.Init(0, 2)
+	h.Flops(8)
+	h.Discard(0, 2)
+	h.Store(0, 4)
+	h.Load(0, 0) // zero ops must not dispatch
+	h.Flops(0)
+	want := []Event{
+		{Kind: EvLoad, Arg: 0, Words: 4},
+		{Kind: EvInit, Arg: 0, Words: 2},
+		{Kind: EvFlops, Words: 8},
+		{Kind: EvDiscard, Arg: 0, Words: 2},
+		{Kind: EvStore, Arg: 0, Words: 4},
+	}
+	if !reflect.DeepEqual(c.events, want) {
+		t.Errorf("event stream = %+v, want %+v", c.events, want)
+	}
+}
+
+func TestDetachStopsDelivery(t *testing.T) {
+	h := TwoLevel(64)
+	c := &collector{wantTouch: true}
+	h.Attach(c)
+	if !h.Tracing() {
+		t.Fatal("Tracing() should be true with a touch-interested recorder attached")
+	}
+	h.Load(0, 1)
+	h.Detach(c)
+	if h.Tracing() {
+		t.Fatal("Tracing() should be false after Detach")
+	}
+	h.Load(0, 1)
+	h.Touch(7, true)
+	if len(c.events) != 1 {
+		t.Errorf("detached recorder saw %d events, want 1", len(c.events))
+	}
+}
+
+func TestTouchGoesOnlyToInterestedRecorders(t *testing.T) {
+	h := TwoLevel(64)
+	plain := &collector{wantTouch: false}
+	tracer := &collector{wantTouch: true}
+	h.Attach(plain)
+	h.Attach(tracer)
+	h.Touch(0x40, false)
+	h.Touch(0x48, true)
+	if len(plain.events) != 0 {
+		t.Errorf("uninterested recorder saw %d touches", len(plain.events))
+	}
+	want := []Event{
+		{Kind: EvTouch, Addr: 0x40, Write: false},
+		{Kind: EvTouch, Addr: 0x48, Write: true},
+	}
+	if !reflect.DeepEqual(tracer.events, want) {
+		t.Errorf("touch stream = %+v, want %+v", tracer.events, want)
+	}
+}
+
+func TestCounterSetMirrorsHierarchy(t *testing.T) {
+	// A second hierarchy's counter set attached as a recorder must end up
+	// identical to the dispatching hierarchy's own counters.
+	h := TwoLevel(256)
+	mirror := NewCounterSet(2)
+	h.Attach(mirror)
+	h.Load(0, 16)
+	h.Init(0, 4)
+	h.Flops(100)
+	h.Store(0, 16)
+	h.Discard(0, 4)
+	if !reflect.DeepEqual(mirror, h.Counters()) {
+		t.Errorf("mirror = %+v, hierarchy = %+v", mirror, h.Counters())
+	}
+}
+
+func TestTraceRecorderForwardsTouches(t *testing.T) {
+	var got []uint64
+	var writes int
+	h := TwoLevel(64)
+	h.Attach(NewTraceRecorder(addrSinkFunc(func(addr uint64, write bool) {
+		got = append(got, addr)
+		if write {
+			writes++
+		}
+	})))
+	h.Load(0, 1) // non-touch events must not reach the sink
+	h.Touch(8, false)
+	h.Touch(16, true)
+	if len(got) != 2 || got[0] != 8 || got[1] != 16 || writes != 1 {
+		t.Errorf("sink saw addrs %v (%d writes), want [8 16] with 1 write", got, writes)
+	}
+}
+
+type addrSinkFunc func(addr uint64, write bool)
+
+func (f addrSinkFunc) Access(addr uint64, write bool) { f(addr, write) }
+
+func TestShardedRecorderMergesConcurrentCounts(t *testing.T) {
+	const workers = 8
+	const perWorker = 1000
+	sr := NewShardedRecorder(2)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		rec := sr.Handle()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				rec.Record(Event{Kind: EvLoad, Arg: 0, Words: 3})
+				rec.Record(Event{Kind: EvTouch, Addr: uint64(i), Write: i%2 == 0})
+				rec.Record(Event{Kind: EvFlops, Words: 2})
+				rec.Record(Event{Kind: EvStore, Arg: 0, Words: 3})
+			}
+		}()
+	}
+	wg.Wait()
+	cs := sr.Merge()
+	n := int64(workers * perWorker)
+	if cs.Iface[0].LoadWords != 3*n || cs.Iface[0].StoreWords != 3*n {
+		t.Errorf("merged words = %d/%d, want %d/%d", cs.Iface[0].LoadWords, cs.Iface[0].StoreWords, 3*n, 3*n)
+	}
+	if cs.Iface[0].LoadMsgs != n || cs.Iface[0].StoreMsgs != n {
+		t.Errorf("merged msgs = %d/%d, want %d/%d", cs.Iface[0].LoadMsgs, cs.Iface[0].StoreMsgs, n, n)
+	}
+	if cs.FlopCount != 2*n {
+		t.Errorf("merged flops = %d, want %d", cs.FlopCount, 2*n)
+	}
+	if cs.TouchReads+cs.TouchWrites != n || cs.TouchWrites != n/2 {
+		t.Errorf("merged touches = %d reads + %d writes, want %d total with %d writes",
+			cs.TouchReads, cs.TouchWrites, n, n/2)
+	}
+}
+
+func TestShardedRecorderSharedPath(t *testing.T) {
+	// Attaching the ShardedRecorder itself (no per-goroutine handles) must
+	// also count correctly.
+	sr := NewShardedRecorder(2)
+	h := TwoLevel(64)
+	h.Attach(sr)
+	h.Load(0, 5)
+	h.Store(0, 5)
+	cs := sr.Merge()
+	if cs.Iface[0].LoadWords != 5 || cs.Iface[0].StoreWords != 5 {
+		t.Errorf("shared path merged %+v, want 5/5 words", cs.Iface[0])
+	}
+}
+
+func TestCostRecorderMatchesPostHocModel(t *testing.T) {
+	cm := NVMBacked(1, 2e-6, 1e-9, 10, 1)
+	cm.PerFlop = 1e-10
+	cr := NewCostRecorder(cm)
+	h := TwoLevel(1 << 20)
+	h.Attach(cr)
+	h.Load(0, 1000)
+	h.Load(0, 24)
+	h.Flops(5000)
+	h.Store(0, 1000)
+	h.Discard(0, 24)
+	if got, want := cr.Time(), cm.Time(h); got != want {
+		t.Errorf("streaming time = %g, post-hoc time = %g", got, want)
+	}
+
+	// WriteBuffer overlap must match too.
+	cm.WriteBuffer = true
+	cr2 := NewCostRecorder(cm)
+	h2 := TwoLevel(1 << 20)
+	h2.Attach(cr2)
+	h2.Load(0, 100)
+	h2.Store(0, 100)
+	if got, want := cr2.Time(), cm.Time(h2); got != want {
+		t.Errorf("write-buffered streaming time = %g, post-hoc = %g", got, want)
+	}
+
+	cr.Reset()
+	if cr.Time() != 0 {
+		t.Errorf("time after Reset = %g, want 0", cr.Time())
+	}
+}
+
+func TestSnapshotReflectsCounters(t *testing.T) {
+	h := New(true, Level{Name: "L1", Size: 64}, Level{Name: "DRAM"})
+	h.Load(0, 8)
+	h.Flops(16)
+	h.Store(0, 8)
+	s := h.Snapshot()
+	if len(s.Levels) != 2 || len(s.Interfaces) != 1 {
+		t.Fatalf("snapshot shape: %d levels, %d interfaces", len(s.Levels), len(s.Interfaces))
+	}
+	if s.Flops != 16 {
+		t.Errorf("snapshot flops = %d, want 16", s.Flops)
+	}
+	ifc := s.Interfaces[0]
+	if ifc.LoadWords != 8 || ifc.StoreWords != 8 || ifc.Traffic != 16 || !ifc.Theorem1Holds {
+		t.Errorf("interface snapshot = %+v", ifc)
+	}
+	if s.Levels[0].WritesTo != 8 || s.Levels[0].PeakOccupancy != 8 || s.Levels[0].Name != "L1" {
+		t.Errorf("level snapshot = %+v", s.Levels[0])
+	}
+	if s.Levels[1].WritesTo != 8 || s.Levels[1].ReadsFrom != 8 {
+		t.Errorf("slow level snapshot = %+v", s.Levels[1])
+	}
+}

@@ -12,12 +12,15 @@
 //   - arithmetic touches only the fastest level and causes no interface
 //     traffic.
 //
-// Word-granularity counters are kept per interface and per direction, which
-// is exactly the accounting the paper's lower bounds and write-avoiding
-// algorithms are stated in. The hierarchy also tracks per-level occupancy so
-// tests can verify that an algorithm's working set honestly fits in the fast
-// memory it claims to use, and classifies every residency into the paper's
-// R1/R2 x D1/D2 taxonomy.
+// Every primitive is dispatched as an Event to pluggable Recorder sinks (see
+// event.go). The default sink is a CounterSet holding word-granularity
+// counters per interface and per direction — exactly the accounting the
+// paper's lower bounds and write-avoiding algorithms are stated in. Further
+// recorders can be attached to derive address traces, alpha-beta costs, or
+// concurrent shared counters from the same event stream. The hierarchy also
+// tracks per-level occupancy so tests can verify that an algorithm's working
+// set honestly fits in the fast memory it claims to use, and classifies every
+// residency into the paper's R1/R2 x D1/D2 taxonomy.
 package machine
 
 import (
@@ -55,9 +58,9 @@ type LevelCounters struct {
 // movement. The zero value is not usable; construct with New.
 type Hierarchy struct {
 	levels []Level
-	iface  []InterfaceCounters // len(levels)-1 entries
-	lvl    []LevelCounters     // len(levels) entries
-	flops  int64
+	def    *CounterSet // default recorder, always present
+	recs   []Recorder  // additional attached recorders
+	touch  []Recorder  // subset of recs that want EvTouch
 	strict bool
 }
 
@@ -70,8 +73,7 @@ func New(strict bool, levels ...Level) *Hierarchy {
 	}
 	h := &Hierarchy{
 		levels: append([]Level(nil), levels...),
-		iface:  make([]InterfaceCounters, len(levels)-1),
-		lvl:    make([]LevelCounters, len(levels)),
+		def:    NewCounterSet(len(levels)),
 		strict: strict,
 	}
 	// The lowest level starts holding the problem data; occupancy tracking
@@ -91,6 +93,56 @@ func (h *Hierarchy) NumLevels() int { return len(h.levels) }
 // LevelInfo returns the static description of level i.
 func (h *Hierarchy) LevelInfo(i int) Level { return h.levels[i] }
 
+// Attach subscribes a recorder to the hierarchy's event stream. Events are
+// delivered synchronously, after the default counters are updated and after
+// strict validation, so recorders only ever see valid programs. If the
+// recorder implements TouchInterest and wants touches, the per-element Touch
+// stream is enabled for it as well.
+func (h *Hierarchy) Attach(r Recorder) {
+	h.recs = append(h.recs, r)
+	if ti, ok := r.(TouchInterest); ok && ti.WantsTouch() {
+		h.touch = append(h.touch, r)
+	}
+}
+
+// Detach unsubscribes a previously attached recorder.
+func (h *Hierarchy) Detach(r Recorder) {
+	h.recs = removeRecorder(h.recs, r)
+	h.touch = removeRecorder(h.touch, r)
+}
+
+func removeRecorder(rs []Recorder, r Recorder) []Recorder {
+	for i := range rs {
+		if rs[i] == r {
+			return append(rs[:i], rs[i+1:]...)
+		}
+	}
+	return rs
+}
+
+// Tracing reports whether any attached recorder wants the per-element Touch
+// stream. Algorithms use it to skip per-element emission entirely when nobody
+// is listening.
+func (h *Hierarchy) Tracing() bool { return len(h.touch) > 0 }
+
+// Touch dispatches one element access to the touch-interested recorders. It
+// is the tracing fast path: a no-op unless Tracing() is true, and it never
+// touches the word counters (the enclosing Load/Store/Flops already did).
+func (h *Hierarchy) Touch(addr uint64, write bool) {
+	for _, r := range h.touch {
+		r.Record(Event{Kind: EvTouch, Addr: addr, Write: write})
+	}
+}
+
+// dispatch delivers an event to the default counters and every attached
+// recorder.
+func (h *Hierarchy) dispatch(e Event) {
+	h.def.Record(e)
+	for _, r := range h.recs {
+		r.Record(e)
+	}
+}
+
 // Load moves words from level i+1 into level i across interface i as one
 // message.
 func (h *Hierarchy) Load(iface int, words int64) {
@@ -101,9 +153,8 @@ func (h *Hierarchy) Load(iface int, words int64) {
 	if words == 0 {
 		return
 	}
-	h.iface[iface].LoadWords += words
-	h.iface[iface].LoadMsgs++
-	h.addOccupancy(iface, words)
+	h.dispatch(Event{Kind: EvLoad, Arg: iface, Words: words})
+	h.checkOverflow(iface)
 }
 
 // Store moves words from level i into level i+1 across interface i as one
@@ -116,9 +167,8 @@ func (h *Hierarchy) Store(iface int, words int64) {
 	if words == 0 {
 		return
 	}
-	h.iface[iface].StoreWords += words
-	h.iface[iface].StoreMsgs++
-	h.addOccupancy(iface, -words)
+	h.checkUnderflow(iface, words)
+	h.dispatch(Event{Kind: EvStore, Arg: iface, Words: words})
 }
 
 // Init begins an R2 residency: words are created in level i by computation
@@ -131,8 +181,8 @@ func (h *Hierarchy) Init(level int, words int64) {
 	if words == 0 {
 		return
 	}
-	h.lvl[level].InitWords += words
-	h.bumpOccupancy(level, words)
+	h.dispatch(Event{Kind: EvInit, Arg: level, Words: words})
+	h.checkOverflow(level)
 }
 
 // Discard ends a D2 residency: words in level i are dropped without a store.
@@ -144,26 +194,35 @@ func (h *Hierarchy) Discard(level int, words int64) {
 	if words == 0 {
 		return
 	}
-	h.lvl[level].DiscardWords += words
-	h.bumpOccupancy(level, -words)
+	h.checkUnderflow(level, words)
+	h.dispatch(Event{Kind: EvDiscard, Arg: level, Words: words})
 }
 
 // Flops records arithmetic work (no data movement).
-func (h *Hierarchy) Flops(n int64) { h.flops += n }
+func (h *Hierarchy) Flops(n int64) {
+	if n == 0 {
+		return
+	}
+	h.dispatch(Event{Kind: EvFlops, Words: n})
+}
 
 // FlopCount returns the accumulated arithmetic count.
-func (h *Hierarchy) FlopCount() int64 { return h.flops }
+func (h *Hierarchy) FlopCount() int64 { return h.def.FlopCount }
+
+// Counters returns the hierarchy's default counter set. The pointer stays
+// valid across operations; Reset zeroes it in place.
+func (h *Hierarchy) Counters() *CounterSet { return h.def }
 
 // Interface returns a copy of the counters for interface i.
 func (h *Hierarchy) Interface(i int) InterfaceCounters {
 	h.checkIface(i)
-	return h.iface[i]
+	return h.def.Iface[i]
 }
 
 // LevelCounters returns a copy of the residency counters for level i.
 func (h *Hierarchy) LevelCounters(i int) LevelCounters {
 	h.checkLevel(i)
-	return h.lvl[i]
+	return h.def.Lvl[i]
 }
 
 // WritesTo returns the number of words written INTO level i from any
@@ -172,12 +231,12 @@ func (h *Hierarchy) LevelCounters(i int) LevelCounters {
 // quantity the paper's write lower bounds are about.
 func (h *Hierarchy) WritesTo(i int) int64 {
 	h.checkLevel(i)
-	w := h.lvl[i].InitWords
-	if i < len(h.iface) {
-		w += h.iface[i].LoadWords // load across interface i writes level i
+	w := h.def.Lvl[i].InitWords
+	if i < len(h.def.Iface) {
+		w += h.def.Iface[i].LoadWords // load across interface i writes level i
 	}
 	if i > 0 {
-		w += h.iface[i-1].StoreWords // store across interface i-1 writes level i
+		w += h.def.Iface[i-1].StoreWords // store across interface i-1 writes level i
 	}
 	return w
 }
@@ -189,10 +248,10 @@ func (h *Hierarchy) ReadsFrom(i int) int64 {
 	h.checkLevel(i)
 	var r int64
 	if i > 0 {
-		r += h.iface[i-1].LoadWords // load across interface i-1 reads level i
+		r += h.def.Iface[i-1].LoadWords // load across interface i-1 reads level i
 	}
-	if i < len(h.iface) {
-		r += h.iface[i].StoreWords // store across interface i reads level i
+	if i < len(h.def.Iface) {
+		r += h.def.Iface[i].StoreWords // store across interface i reads level i
 	}
 	return r
 }
@@ -200,7 +259,7 @@ func (h *Hierarchy) ReadsFrom(i int) int64 {
 // Traffic returns total words moved across interface i in both directions.
 func (h *Hierarchy) Traffic(i int) int64 {
 	h.checkIface(i)
-	return h.iface[i].LoadWords + h.iface[i].StoreWords
+	return h.def.Iface[i].LoadWords + h.def.Iface[i].StoreWords
 }
 
 // Theorem1Holds checks the paper's Theorem 1 at interface i: the number of
@@ -209,7 +268,7 @@ func (h *Hierarchy) Traffic(i int) int64 {
 // side are loads plus R2 initializations.
 func (h *Hierarchy) Theorem1Holds(i int) bool {
 	h.checkIface(i)
-	writesFast := h.iface[i].LoadWords + h.lvl[i].InitWords
+	writesFast := h.def.Iface[i].LoadWords + h.def.Lvl[i].InitWords
 	return 2*writesFast >= h.Traffic(i)
 }
 
@@ -221,23 +280,18 @@ func (h *Hierarchy) Theorem1Holds(i int) bool {
 // Section 4 algorithms drive the model.
 func (h *Hierarchy) ResidencyBalanced(i int) bool {
 	h.checkLevel(i)
-	if i >= len(h.iface) {
+	if i >= len(h.def.Iface) {
 		return true // lowest level holds everything by convention
 	}
-	began := h.iface[i].LoadWords + h.lvl[i].InitWords
-	ended := h.iface[i].StoreWords + h.lvl[i].DiscardWords
-	return began == ended+h.lvl[i].Occupancy
+	began := h.def.Iface[i].LoadWords + h.def.Lvl[i].InitWords
+	ended := h.def.Iface[i].StoreWords + h.def.Lvl[i].DiscardWords
+	return began == ended+h.def.Lvl[i].Occupancy
 }
 
-// Reset zeroes all counters but keeps the level configuration.
+// Reset zeroes the default counters but keeps the level configuration and
+// attached recorders (which keep their own state).
 func (h *Hierarchy) Reset() {
-	for i := range h.iface {
-		h.iface[i] = InterfaceCounters{}
-	}
-	for i := range h.lvl {
-		h.lvl[i] = LevelCounters{}
-	}
-	h.flops = 0
+	h.def.Reset()
 }
 
 // Report renders all counters as an aligned table.
@@ -247,21 +301,21 @@ func (h *Hierarchy) Report() string {
 	for i := range h.levels {
 		fmt.Fprintf(&b, "%-8s %12d %12d %12d %12d %12d\n",
 			h.levels[i].Name, h.WritesTo(i), h.ReadsFrom(i),
-			h.lvl[i].InitWords, h.lvl[i].DiscardWords, h.lvl[i].PeakOccupancy)
+			h.def.Lvl[i].InitWords, h.def.Lvl[i].DiscardWords, h.def.Lvl[i].PeakOccupancy)
 	}
 	fmt.Fprintf(&b, "%-8s %12s %12s %12s %12s\n", "iface", "loadWords", "loadMsgs", "storeWords", "storeMsgs")
-	for i := range h.iface {
+	for i := range h.def.Iface {
 		fmt.Fprintf(&b, "%s<->%-4s %12d %12d %12d %12d\n",
 			h.levels[i].Name, h.levels[i+1].Name,
-			h.iface[i].LoadWords, h.iface[i].LoadMsgs, h.iface[i].StoreWords, h.iface[i].StoreMsgs)
+			h.def.Iface[i].LoadWords, h.def.Iface[i].LoadMsgs, h.def.Iface[i].StoreWords, h.def.Iface[i].StoreMsgs)
 	}
-	fmt.Fprintf(&b, "flops %d\n", h.flops)
+	fmt.Fprintf(&b, "flops %d\n", h.def.FlopCount)
 	return b.String()
 }
 
 func (h *Hierarchy) checkIface(i int) {
-	if i < 0 || i >= len(h.iface) {
-		panic(fmt.Sprintf("machine: interface %d out of range (have %d)", i, len(h.iface)))
+	if i < 0 || i >= len(h.def.Iface) {
+		panic(fmt.Sprintf("machine: interface %d out of range (have %d)", i, len(h.def.Iface)))
 	}
 }
 
@@ -271,25 +325,26 @@ func (h *Hierarchy) checkLevel(i int) {
 	}
 }
 
-// addOccupancy adjusts occupancy of the fast side of interface i.
-func (h *Hierarchy) addOccupancy(iface int, delta int64) {
-	h.bumpOccupancy(iface, delta)
+// checkUnderflow enforces strict occupancy underflow before an event is
+// dispatched, so recorders never observe an invalid program. Non-strict
+// hierarchies clamp at zero inside the counter set instead.
+func (h *Hierarchy) checkUnderflow(level int, words int64) {
+	if !h.strict {
+		return
+	}
+	if occ := h.def.Lvl[level].Occupancy - words; occ < 0 {
+		panic(fmt.Sprintf("machine: level %s occupancy underflow (%d)", h.levels[level].Name, occ))
+	}
 }
 
-func (h *Hierarchy) bumpOccupancy(level int, delta int64) {
-	lc := &h.lvl[level]
-	lc.Occupancy += delta
-	if lc.Occupancy < 0 {
-		if h.strict {
-			panic(fmt.Sprintf("machine: level %s occupancy underflow (%d)", h.levels[level].Name, lc.Occupancy))
-		}
-		lc.Occupancy = 0
+// checkOverflow enforces strict capacity after an occupancy-increasing event
+// has been recorded.
+func (h *Hierarchy) checkOverflow(level int) {
+	if !h.strict || h.levels[level].Size <= 0 {
+		return
 	}
-	if lc.Occupancy > lc.PeakOccupancy {
-		lc.PeakOccupancy = lc.Occupancy
-	}
-	if h.strict && h.levels[level].Size > 0 && lc.Occupancy > h.levels[level].Size {
+	if occ := h.def.Lvl[level].Occupancy; occ > h.levels[level].Size {
 		panic(fmt.Sprintf("machine: level %s overflow: occupancy %d > size %d",
-			h.levels[level].Name, lc.Occupancy, h.levels[level].Size))
+			h.levels[level].Name, occ, h.levels[level].Size))
 	}
 }

@@ -1,0 +1,132 @@
+package machine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ShardedRecorder is a goroutine-safe recorder: each worker records into its
+// own shard of atomic counters (obtained with Handle), and Merge folds the
+// shards into one CounterSet after the run. Because every counter is atomic,
+// the totals are exact and race-free even if a handle is accidentally shared
+// between goroutines; the sharding only exists to keep the common
+// single-writer path contention-free.
+//
+// Occupancy is not tracked: interleaved Load/Store streams from concurrent
+// workers have no meaningful joint residency, so merged CounterSets report
+// zero Occupancy and PeakOccupancy.
+type ShardedRecorder struct {
+	levels int
+	mu     sync.Mutex
+	shards []*shard
+	shared *shard // lazy shard backing ShardedRecorder.Record itself
+}
+
+// NewShardedRecorder builds a recorder for hierarchies with the given number
+// of levels.
+func NewShardedRecorder(levels int) *ShardedRecorder {
+	if levels < 2 {
+		panic("machine: a sharded recorder needs at least two levels")
+	}
+	return &ShardedRecorder{levels: levels}
+}
+
+// Handle returns a new shard. The shard is itself a Recorder (touch-
+// interested), intended to be attached to one goroutine's Hierarchy or driven
+// directly; creating one handle per worker keeps the atomics uncontended.
+// Handle is safe to call concurrently.
+func (s *ShardedRecorder) Handle() Recorder {
+	sh := newShard(s.levels)
+	s.mu.Lock()
+	s.shards = append(s.shards, sh)
+	s.mu.Unlock()
+	return sh
+}
+
+// Record lets the ShardedRecorder itself be attached as a shared recorder; it
+// lazily allocates a common shard. Per-goroutine handles are cheaper.
+func (s *ShardedRecorder) Record(e Event) {
+	s.mu.Lock()
+	if s.shared == nil {
+		s.shared = newShard(s.levels)
+		s.shards = append(s.shards, s.shared)
+	}
+	sh := s.shared
+	s.mu.Unlock()
+	sh.Record(e)
+}
+
+// WantsTouch opts the shared path into the per-element stream.
+func (s *ShardedRecorder) WantsTouch() bool { return true }
+
+// Merge folds every shard into a fresh CounterSet. Safe to call while
+// workers are still recording (the result is then a momentary snapshot).
+func (s *ShardedRecorder) Merge() *CounterSet {
+	s.mu.Lock()
+	shards := append([]*shard(nil), s.shards...)
+	s.mu.Unlock()
+	out := NewCounterSet(s.levels)
+	for _, sh := range shards {
+		for i := 0; i < s.levels-1; i++ {
+			out.Iface[i].LoadWords += sh.loadWords[i].Load()
+			out.Iface[i].LoadMsgs += sh.loadMsgs[i].Load()
+			out.Iface[i].StoreWords += sh.storeWords[i].Load()
+			out.Iface[i].StoreMsgs += sh.storeMsgs[i].Load()
+		}
+		for i := 0; i < s.levels; i++ {
+			out.Lvl[i].InitWords += sh.initWords[i].Load()
+			out.Lvl[i].DiscardWords += sh.discardWords[i].Load()
+		}
+		out.FlopCount += sh.flops.Load()
+		out.TouchReads += sh.touchReads.Load()
+		out.TouchWrites += sh.touchWrites.Load()
+	}
+	return out
+}
+
+// shard is one worker's private atomic counter block.
+type shard struct {
+	loadWords, loadMsgs     []atomic.Int64 // per interface
+	storeWords, storeMsgs   []atomic.Int64
+	initWords, discardWords []atomic.Int64 // per level
+	flops                   atomic.Int64
+	touchReads, touchWrites atomic.Int64
+}
+
+func newShard(levels int) *shard {
+	return &shard{
+		loadWords:    make([]atomic.Int64, levels-1),
+		loadMsgs:     make([]atomic.Int64, levels-1),
+		storeWords:   make([]atomic.Int64, levels-1),
+		storeMsgs:    make([]atomic.Int64, levels-1),
+		initWords:    make([]atomic.Int64, levels),
+		discardWords: make([]atomic.Int64, levels),
+	}
+}
+
+// Record accumulates one event with atomic adds.
+func (sh *shard) Record(e Event) {
+	switch e.Kind {
+	case EvLoad:
+		sh.loadWords[e.Arg].Add(e.Words)
+		sh.loadMsgs[e.Arg].Add(1)
+	case EvStore:
+		sh.storeWords[e.Arg].Add(e.Words)
+		sh.storeMsgs[e.Arg].Add(1)
+	case EvInit:
+		sh.initWords[e.Arg].Add(e.Words)
+	case EvDiscard:
+		sh.discardWords[e.Arg].Add(e.Words)
+	case EvFlops:
+		sh.flops.Add(e.Words)
+	case EvTouch:
+		if e.Write {
+			sh.touchWrites.Add(1)
+		} else {
+			sh.touchReads.Add(1)
+		}
+	}
+}
+
+// WantsTouch opts shard handles into the per-element stream.
+func (sh *shard) WantsTouch() bool { return true }

@@ -1,0 +1,65 @@
+package machine
+
+// Snapshot is a JSON-serializable view of a hierarchy's counters, consumed by
+// `wabench -json` and any external tooling. Every derived quantity the text
+// report shows (writesTo, readsFrom, traffic, Theorem 1) is precomputed so
+// consumers need no knowledge of the model.
+type Snapshot struct {
+	Levels     []LevelSnapshot     `json:"levels"`
+	Interfaces []InterfaceSnapshot `json:"interfaces"`
+	Flops      int64               `json:"flops"`
+}
+
+// LevelSnapshot is one memory level's counters.
+type LevelSnapshot struct {
+	Name          string `json:"name"`
+	Size          int64  `json:"size,omitempty"`
+	InitWords     int64  `json:"initWords"`
+	DiscardWords  int64  `json:"discardWords"`
+	Occupancy     int64  `json:"occupancy"`
+	PeakOccupancy int64  `json:"peakOccupancy"`
+	WritesTo      int64  `json:"writesTo"`
+	ReadsFrom     int64  `json:"readsFrom"`
+}
+
+// InterfaceSnapshot is one interface's traffic counters.
+type InterfaceSnapshot struct {
+	Between       string `json:"between"`
+	LoadWords     int64  `json:"loadWords"`
+	LoadMsgs      int64  `json:"loadMsgs"`
+	StoreWords    int64  `json:"storeWords"`
+	StoreMsgs     int64  `json:"storeMsgs"`
+	Traffic       int64  `json:"traffic"`
+	Theorem1Holds bool   `json:"theorem1Holds"`
+}
+
+// Snapshot captures the hierarchy's current default counters.
+func (h *Hierarchy) Snapshot() Snapshot {
+	s := Snapshot{Flops: h.def.FlopCount}
+	for i, lv := range h.levels {
+		lc := h.def.Lvl[i]
+		s.Levels = append(s.Levels, LevelSnapshot{
+			Name:          lv.Name,
+			Size:          lv.Size,
+			InitWords:     lc.InitWords,
+			DiscardWords:  lc.DiscardWords,
+			Occupancy:     lc.Occupancy,
+			PeakOccupancy: lc.PeakOccupancy,
+			WritesTo:      h.WritesTo(i),
+			ReadsFrom:     h.ReadsFrom(i),
+		})
+	}
+	for i := range h.def.Iface {
+		ic := h.def.Iface[i]
+		s.Interfaces = append(s.Interfaces, InterfaceSnapshot{
+			Between:       h.levels[i].Name + "<->" + h.levels[i+1].Name,
+			LoadWords:     ic.LoadWords,
+			LoadMsgs:      ic.LoadMsgs,
+			StoreWords:    ic.StoreWords,
+			StoreMsgs:     ic.StoreMsgs,
+			Traffic:       ic.LoadWords + ic.StoreWords,
+			Theorem1Holds: h.Theorem1Holds(i),
+		})
+	}
+	return s
+}

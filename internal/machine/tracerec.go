@@ -1,0 +1,31 @@
+package machine
+
+// AddrSink consumes a per-element address trace. It is satisfied structurally
+// by access.Sink implementations (internal/access, internal/cache) without
+// this package importing them.
+type AddrSink interface {
+	Access(addr uint64, write bool)
+}
+
+// TraceRecorder bridges the hierarchy's EvTouch stream to an address-trace
+// sink such as a cache simulator. Attach one to a Hierarchy and the counted
+// algorithm drivers double as trace emitters; detach it (or never attach one)
+// and the per-element fast path disappears entirely.
+type TraceRecorder struct {
+	Sink AddrSink
+}
+
+// NewTraceRecorder wraps sink as a touch-interested recorder.
+func NewTraceRecorder(sink AddrSink) *TraceRecorder {
+	return &TraceRecorder{Sink: sink}
+}
+
+// Record forwards element accesses and ignores every other event.
+func (t *TraceRecorder) Record(e Event) {
+	if e.Kind == EvTouch {
+		t.Sink.Access(e.Addr, e.Write)
+	}
+}
+
+// WantsTouch opts into the per-element stream.
+func (t *TraceRecorder) WantsTouch() bool { return true }

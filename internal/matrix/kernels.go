@@ -65,6 +65,25 @@ func MulSubTrans(c, a, b *Dense) {
 	}
 }
 
+// MulSubTransLower computes the lower triangle (including the diagonal) of
+// square C −= A*Bᵀ, leaving the strict upper triangle untouched — the SYRK
+// flavor Cholesky's diagonal update needs, since the factorization never
+// reads above the diagonal.
+func MulSubTransLower(c, a, b *Dense) {
+	if c.Rows != c.Cols || a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		panic("matrix: MulSubTransLower shape mismatch")
+	}
+	for i := 0; i < c.Rows; i++ {
+		for j := 0; j <= i; j++ {
+			s := c.At(i, j)
+			for k := 0; k < a.Cols; k++ {
+				s -= a.At(i, k) * b.At(j, k)
+			}
+			c.Set(i, j, s)
+		}
+	}
+}
+
 // TRSMUpperLeft solves T*X = B for X where T is upper triangular, overwriting
 // B with X (the paper's Algorithm 2 base case: back substitution over the
 // columns of B).

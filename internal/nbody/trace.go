@@ -1,0 +1,43 @@
+package nbody
+
+import (
+	"writeavoid/internal/access"
+)
+
+// NBodyTrace traces the two-level blocked direct (N,2)-body (Algorithm 4):
+// particle and force arrays of N one-word elements, emitted at element
+// granularity for the Proposition 6.2 cache-replacement experiments.
+type NBodyTrace struct {
+	N, Block int
+	P, F     access.Region
+}
+
+// NewNBodyTrace lays out the particle and force arrays.
+func NewNBodyTrace(n, block, lineBytes int) *NBodyTrace {
+	lay := access.NewLayout(uint64(lineBytes))
+	return &NBodyTrace{N: n, Block: block, P: lay.NewRegion(1, n), F: lay.NewRegion(1, n)}
+}
+
+// Run emits the access stream.
+func (t *NBodyTrace) Run(sink access.Sink) {
+	b := t.Block
+	for i0 := 0; i0 < t.N; i0 += b {
+		ih := min(b, t.N-i0)
+		// F block initialized in place (writes), P1 block read.
+		for i := 0; i < ih; i++ {
+			sink.Access(t.F.Addr(0, i0+i), true)
+			sink.Access(t.P.Addr(0, i0+i), false)
+		}
+		for j0 := 0; j0 < t.N; j0 += b {
+			jh := min(b, t.N-j0)
+			for i := 0; i < ih; i++ {
+				sink.Access(t.F.Addr(0, i0+i), false)
+				sink.Access(t.P.Addr(0, i0+i), false)
+				for j := 0; j < jh; j++ {
+					sink.Access(t.P.Addr(0, j0+j), false)
+				}
+				sink.Access(t.F.Addr(0, i0+i), true)
+			}
+		}
+	}
+}

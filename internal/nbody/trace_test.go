@@ -1,0 +1,38 @@
+package nbody
+
+import (
+	"testing"
+
+	"writeavoid/internal/access"
+	"writeavoid/internal/cache"
+)
+
+const traceLineB = 64
+
+// Proposition 6.2, N-body: through a fully-associative LRU cache holding the
+// working set, write-backs equal the force array.
+func TestProp62NBodyExactWritebacks(t *testing.T) {
+	n, b := 1024, 128
+	tr := NewNBodyTrace(n, b, traceLineB)
+	// Footprint is three length-b vectors, so five-fit is generous:
+	// 5 blocks of b words.
+	c := cache.NewFALRU(5*b*8+traceLineB, traceLineB)
+	tr.Run(access.SinkFunc(c.Access))
+	c.FlushDirty()
+	outLines := int64(n * 8 / traceLineB)
+	if got := c.Stats().VictimsM; got != outLines {
+		t.Fatalf("N-body write-backs %d != force array %d lines", got, outLines)
+	}
+}
+
+// The trace's write count is exactly the init pass plus one write per
+// (i, j-block) visit.
+func TestNBodyTraceWriteCount(t *testing.T) {
+	nb := NewNBodyTrace(64, 8, traceLineB)
+	var cnt access.Counter
+	nb.Run(&cnt)
+	// Writes: init N + one per (i, j-block) visit = N + N*(N/b).
+	if want := int64(64 + 64*8); cnt.Writes != want {
+		t.Fatalf("N-body trace writes %d want %d", cnt.Writes, want)
+	}
+}

@@ -1,0 +1,54 @@
+package smp
+
+import (
+	"fmt"
+	"sync"
+
+	"writeavoid/internal/machine"
+)
+
+// RunParallel executes every worker's task queue on its own goroutine — real
+// concurrency, not the deterministic round-robin interleaving of Run — and
+// records each access as an EvTouch event into rec through a per-worker
+// shard handle, so the totals are exact and race-free no matter how the
+// goroutines interleave. There is no shared cache here (a cache simulation
+// needs one global access order, which is what Run provides); what
+// RunParallel checks is the counting layer: merged touch totals are
+// schedule- and interleaving-independent, equal to what the serial replay
+// counts. Result.Stats is zero.
+func RunParallel(sched Schedule, rec *machine.ShardedRecorder) (Result, error) {
+	if rec == nil {
+		return Result{}, fmt.Errorf("smp: RunParallel needs a recorder")
+	}
+	type tally struct {
+		tasks    int
+		accesses int64
+	}
+	tallies := make([]tally, len(sched.Queues))
+	var wg sync.WaitGroup
+	for w := range sched.Queues {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := rec.Handle()
+			for _, t := range sched.Queues[w] {
+				for _, op := range t.Ops {
+					h.Record(machine.Event{
+						Kind:  machine.EvTouch,
+						Addr:  op.Addr,
+						Write: op.Write,
+					})
+					tallies[w].accesses++
+				}
+				tallies[w].tasks++
+			}
+		}(w)
+	}
+	wg.Wait()
+	var res Result
+	for _, t := range tallies {
+		res.TasksRun += t.tasks
+		res.AccessesRun += t.accesses
+	}
+	return res, nil
+}

@@ -1,0 +1,76 @@
+package smp
+
+import (
+	"testing"
+
+	"writeavoid/internal/cache"
+	"writeavoid/internal/machine"
+)
+
+// The parallel replay's merged touch totals equal the serial round-robin
+// replay's access counts, however the goroutines interleave.
+func TestRunParallelMatchesSerialTotals(t *testing.T) {
+	tasks, _ := MatMulTasks(32, 32, 32, 8, lineB)
+	sched := DepthFirst(tasks, 4)
+
+	llc := cache.NewFALRU(1<<20, lineB)
+	serial, err := Run(llc, sched, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := machine.NewShardedRecorder(2)
+	par, err := RunParallel(sched, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.TasksRun != serial.TasksRun {
+		t.Fatalf("parallel ran %d tasks, serial %d", par.TasksRun, serial.TasksRun)
+	}
+	if par.AccessesRun != serial.AccessesRun {
+		t.Fatalf("parallel ran %d accesses, serial %d", par.AccessesRun, serial.AccessesRun)
+	}
+	cs := rec.Merge()
+	if got := cs.TouchReads + cs.TouchWrites; got != serial.AccessesRun {
+		t.Fatalf("merged touches %d != serial accesses %d", got, serial.AccessesRun)
+	}
+	var writes int64
+	for _, q := range sched.Queues {
+		for _, task := range q {
+			for _, op := range task.Ops {
+				if op.Write {
+					writes++
+				}
+			}
+		}
+	}
+	if cs.TouchWrites != writes {
+		t.Fatalf("merged writes %d != schedule writes %d", cs.TouchWrites, writes)
+	}
+}
+
+// Counting is schedule-independent: depth-first and breadth-first move the
+// same accesses, so the parallel totals agree even though the cache behavior
+// (what Run measures) differs drastically.
+func TestRunParallelScheduleIndependentTotals(t *testing.T) {
+	tasks, _ := MatMulTasks(32, 32, 32, 8, lineB)
+	totals := func(s Schedule) (int64, int64) {
+		rec := machine.NewShardedRecorder(2)
+		if _, err := RunParallel(s, rec); err != nil {
+			t.Fatal(err)
+		}
+		cs := rec.Merge()
+		return cs.TouchReads, cs.TouchWrites
+	}
+	dr, dw := totals(DepthFirst(tasks, 3))
+	br, bw := totals(BreadthFirst(tasks, 5))
+	if dr != br || dw != bw {
+		t.Fatalf("totals depend on schedule: (%d,%d) vs (%d,%d)", dr, dw, br, bw)
+	}
+}
+
+func TestRunParallelNeedsRecorder(t *testing.T) {
+	if _, err := RunParallel(Schedule{}, nil); err == nil {
+		t.Fatal("want error for nil recorder")
+	}
+}
