@@ -315,6 +315,25 @@ func BenchmarkShardedRecorderParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedRecorderShared measures the shared Record path: all
+// goroutines record through the ShardedRecorder itself rather than private
+// handles. Since the lazily-initialized shared shard moved behind an atomic
+// pointer, the steady state is lock-free (one atomic load plus the shard's
+// atomic adds); compare against BenchmarkShardedRecorderParallel for the
+// remaining cost of sharing one shard's cache lines.
+func BenchmarkShardedRecorderShared(b *testing.B) {
+	rec := machine.NewShardedRecorder(3)
+	b.RunParallel(func(pb *testing.PB) {
+		e := machine.Event{Kind: machine.EvLoad, Arg: 1, Words: 64}
+		for pb.Next() {
+			rec.Record(e)
+		}
+	})
+	if rec.Merge().Iface[1].LoadWords == 0 {
+		b.Fatal("no events recorded")
+	}
+}
+
 // BenchmarkSMPRunParallel times the concurrent shared-memory task replay
 // with sharded counting (8 workers over the blocked-matmul task set).
 func BenchmarkSMPRunParallel(b *testing.B) {

@@ -4,30 +4,40 @@
 //
 // Usage:
 //
-//	wabench [-quick] [-json] [section ...]
+//	wabench [-quick] [-json] [-stream file] [section ...]
 //
 // Sections: sec2 sec3 sec4 sec5 fig2 fig5 realcache table1 table2 lu krylov sec9 smp multilevel all
 // (default: all). -quick shrinks problem sizes so the whole run finishes in
 // well under a minute; the full run takes a few minutes, dominated by the
 // Figure 2/5 cache simulations. -json skips the text sections and instead
 // emits machine-readable counter snapshots of a fixed counted phase suite.
+//
+// -stream writes live metrics as JSON lines ("-" = stdout) while the run
+// executes: every -stream-every events, and at each section boundary, one
+// record carrying the delta and cumulative machine snapshots. The summed
+// deltas equal the final cumulative record exactly; tail the file to watch a
+// long run's write/read trajectories mid-flight.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"writeavoid/internal/costmodel"
 	"writeavoid/internal/experiments"
+	"writeavoid/internal/machine"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced problem sizes")
 	hwKind := flag.String("hw", "nvm", "hardware preset for analytic tables: dram|nvm")
 	jsonOut := flag.Bool("json", false, "emit per-phase recorder snapshots as JSON")
+	streamTo := flag.String("stream", "", "stream live metrics as JSON lines to this file (- = stdout)")
+	streamEvery := flag.Int64("stream-every", 100000, "events between periodic stream records (<=0: only phase marks)")
 	flag.Parse()
 
 	sections := flag.Args()
@@ -51,10 +61,32 @@ func main() {
 		os.Exit(2)
 	}
 
+	var stream *machine.StreamRecorder
+	if *streamTo != "" {
+		var w io.Writer = os.Stdout
+		if *streamTo != "-" {
+			f, err := os.Create(*streamTo)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		stream = machine.NewStreamRecorder(w, machine.GenericLevels(3), *streamEvery)
+		experiments.SetStream(stream)
+		defer func() {
+			experiments.SetStream(nil)
+			if err := stream.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(buildJSONReport(*quick, *hwKind, hw)); err != nil {
+		if err := enc.Encode(buildJSONReport(*quick, *hwKind, hw, stream)); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

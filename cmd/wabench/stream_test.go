@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"writeavoid/internal/costmodel"
+	"writeavoid/internal/experiments"
+	"writeavoid/internal/machine"
+)
+
+func decodeStream(t *testing.T, raw []byte) []machine.StreamRecord {
+	t.Helper()
+	var recs []machine.StreamRecord
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	for dec.More() {
+		var r machine.StreamRecord
+		if err := dec.Decode(&r); err != nil {
+			t.Fatalf("decode stream: %v", err)
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+// The -stream acceptance check: run the counted phase suite with a live
+// stream attached, re-parse the emitted JSONL, and require the summed deltas
+// to equal the final cumulative record, which equals the post-hoc snapshot —
+// counter for counter, nothing sampled or lost.
+func TestStreamJSONLRoundTripsExactly(t *testing.T) {
+	var buf bytes.Buffer
+	stream := machine.NewStreamRecorder(&buf, machine.GenericLevels(3), 1000)
+
+	buildJSONReport(true, "nvm", costmodel.NVMBacked(8), stream)
+	if err := stream.Close(); err != nil {
+		t.Fatal(err)
+	}
+	postHoc := stream.Snapshot()
+
+	recs := decodeStream(t, buf.Bytes())
+	if len(recs) < 5 {
+		t.Fatalf("only %d records; periodic flushing (every=1000) did not kick in", len(recs))
+	}
+	final := recs[len(recs)-1]
+	if !final.Final {
+		t.Fatal("last record not marked final")
+	}
+
+	sum := recs[0].Delta
+	seenPhases := map[string]bool{recs[0].Phase: true}
+	var events int64 = recs[0].Events
+	for i, r := range recs[1:] {
+		if r.Seq != int64(i)+1 {
+			t.Fatalf("record %d has seq %d; sequence not dense", i+1, r.Seq)
+		}
+		sum = sum.Add(r.Delta)
+		events += r.Events
+		seenPhases[r.Phase] = true
+	}
+	if !reflect.DeepEqual(sum, final.Cum) {
+		t.Fatalf("summed deltas != final cumulative:\nsum = %+v\ncum = %+v", sum, final.Cum)
+	}
+	if !reflect.DeepEqual(final.Cum, postHoc) {
+		t.Fatalf("final cumulative != post-hoc snapshot:\ncum  = %+v\npost = %+v", final.Cum, postHoc)
+	}
+	if events != final.TotalEvents {
+		t.Fatalf("per-record events sum to %d, final totalEvents %d", events, final.TotalEvents)
+	}
+
+	for _, phase := range []string{"matmul-wa", "matmul-nonwa", "fft-external", "extsort"} {
+		if !seenPhases[phase] {
+			t.Fatalf("no stream record labeled %q (got %v)", phase, seenPhases)
+		}
+	}
+	// The report phases are 64x64 matmuls etc. — well past the flush
+	// threshold — so slow-memory trajectories are visibly nonzero.
+	if final.Cum.Interfaces[0].LoadWords == 0 || final.Cum.Flops == 0 {
+		t.Fatal("stream totals empty")
+	}
+}
+
+// The experiments-package hook streams a whole text section: SetStream, run
+// a section, and its mark shows up as the phase label on the wire with the
+// section's events behind it.
+func TestStreamExperimentsHook(t *testing.T) {
+	var buf bytes.Buffer
+	stream := machine.NewStreamRecorder(&buf, machine.GenericLevels(3), 0)
+	experiments.SetStream(stream)
+	defer experiments.SetStream(nil)
+
+	experiments.Sec2Report()
+	if err := stream.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := decodeStream(t, buf.Bytes())
+	if len(recs) == 0 {
+		t.Fatal("no stream records from Sec2Report")
+	}
+	var sec2 int64
+	for _, r := range recs {
+		if r.Phase == "sec2" {
+			sec2 += r.Delta.Interfaces[0].LoadWords
+		}
+	}
+	if sec2 == 0 {
+		t.Fatal("sec2 phase contributed no load words to the stream")
+	}
+	if got := recs[len(recs)-1].Cum; !reflect.DeepEqual(got, stream.Snapshot()) {
+		t.Fatal("final cumulative record != post-hoc snapshot")
+	}
+}

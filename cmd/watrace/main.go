@@ -13,14 +13,22 @@
 //	watrace sim -in mm.trace -size 65536 -line 64 -policy opt
 //	watrace sim -in mm.trace -size 65536 -line 64 -policy lru -fullassoc
 //
+// sim -stream writes periodic cache statistics as JSON lines ("-" = stdout)
+// while the replay runs — one record per -stream-every accesses plus a final
+// cumulative record, each pairing the delta stats with the running totals.
+// OPT is offline (its answers need the whole trace), so -stream emits only
+// the final record there.
+//
 // The reported VictimsM count (modified-line evictions plus the final dirty
 // flush) is the number of cache lines written back to memory — the paper's
 // LLC_VICTIMS.M.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -120,6 +128,8 @@ func sim(args []string) {
 	policy := fs.String("policy", "lru", "lru | clock3 | fifo | plru | random | opt")
 	full := fs.Bool("fullassoc", false, "fully-associative (lru only, O(1))")
 	wt := fs.Bool("writethrough", false, "write-through / no-write-allocate mode")
+	streamTo := fs.String("stream", "", "stream periodic stats as JSON lines to this file (- = stdout)")
+	streamEvery := fs.Int64("stream-every", 1<<20, "accesses between periodic stream records")
 	fs.Parse(args) //nolint:errcheck
 
 	if *in == "" {
@@ -132,6 +142,20 @@ func sim(args []string) {
 	}
 	defer f.Close()
 
+	var ss *statsStream
+	if *streamTo != "" {
+		var w io.Writer = os.Stdout
+		if *streamTo != "-" {
+			sf, err := os.Create(*streamTo)
+			if err != nil {
+				fatal(err)
+			}
+			defer sf.Close()
+			w = sf
+		}
+		ss = newStatsStream(w, *streamEvery)
+	}
+
 	var st cache.Stats
 	switch {
 	case *policy == "opt":
@@ -142,7 +166,7 @@ func sim(args []string) {
 		st = cache.SimulateOPT(ops, *size, *line)
 	case *full:
 		c := cache.NewFALRU(*size, *line)
-		if _, err := access.StreamTrace(f, access.SinkFunc(c.Access)); err != nil {
+		if _, err := access.StreamTrace(f, ss.wrap(c)); err != nil {
 			fatal(err)
 		}
 		c.FlushDirty()
@@ -153,11 +177,14 @@ func sim(args []string) {
 			fatal(err)
 		}
 		c := cache.New(cache.Config{SizeBytes: *size, LineBytes: *line, Assoc: *assoc, Policy: kind, Seed: 1, WriteThrough: *wt})
-		if _, err := access.StreamTrace(f, access.SinkFunc(c.Access)); err != nil {
+		if _, err := access.StreamTrace(f, ss.wrap(c)); err != nil {
 			fatal(err)
 		}
 		c.FlushDirty()
 		st = c.Stats()
+	}
+	if err := ss.close(st); err != nil {
+		fatal(err)
 	}
 	fmt.Printf("accesses   %12d (%d reads, %d writes)\n", st.Accesses, st.Reads, st.Writes)
 	fmt.Printf("hits       %12d (%.2f%%)\n", st.Hits, 100*float64(st.Hits)/float64(max(st.Accesses, 1)))
@@ -167,6 +194,65 @@ func sim(args []string) {
 	if st.WriteThroughs > 0 {
 		fmt.Printf("writethru  %12d (total memory writes %d)\n", st.WriteThroughs, st.MemoryWrites())
 	}
+}
+
+// StatsRecord is one JSON line of a sim -stream: the delta stats of the
+// accesses since the previous record next to the cumulative totals. Summing
+// every delta reproduces the final record's cumulative stats exactly.
+type StatsRecord struct {
+	Seq   int64       `json:"seq"`
+	Final bool        `json:"final,omitempty"`
+	Delta cache.Stats `json:"delta"`
+	Cum   cache.Stats `json:"cum"`
+}
+
+// statsStream emits StatsRecords during a trace replay. A nil *statsStream
+// is inert: wrap passes the simulator's sink through and close does nothing,
+// so the replay paths need no branching.
+type statsStream struct {
+	enc     *json.Encoder
+	seq     int64
+	prev    cache.Stats
+	every   int64
+	pending int64
+}
+
+func newStatsStream(w io.Writer, every int64) *statsStream {
+	return &statsStream{enc: json.NewEncoder(w), every: every}
+}
+
+func (s *statsStream) wrap(c cache.Simulator) access.Sink {
+	if s == nil {
+		return access.SinkFunc(c.Access)
+	}
+	return access.SinkFunc(func(addr uint64, write bool) {
+		c.Access(addr, write)
+		s.pending++
+		if s.every > 0 && s.pending >= s.every {
+			if err := s.emit(c.Stats(), false); err != nil {
+				fatal(err)
+			}
+		}
+	})
+}
+
+func (s *statsStream) emit(cum cache.Stats, final bool) error {
+	rec := StatsRecord{Seq: s.seq, Final: final, Delta: cum.Sub(s.prev), Cum: cum}
+	if err := s.enc.Encode(rec); err != nil {
+		return err
+	}
+	s.seq++
+	s.prev = cum
+	s.pending = 0
+	return nil
+}
+
+// close emits the final cumulative record (post-flush totals).
+func (s *statsStream) close(final cache.Stats) error {
+	if s == nil {
+		return nil
+	}
+	return s.emit(final, true)
 }
 
 func parseBlocks(s string) ([]int, error) {

@@ -44,6 +44,17 @@ func (s State) String() string {
 }
 
 // Stats are the simulator's counters, in cache lines (not bytes).
+//
+// Write-back accounting invariant (shared by Cache, FALRU, Hierarchy and
+// SimulateOPT): every dirty line leaving the cache is exactly one write-back,
+// counted once in VictimsM — whether it left mid-run as a replacement victim
+// or at the end via FlushDirty (implicit for SimulateOPT). Flushed counts
+// only the FlushDirty subset, so Flushed <= VictimsM always, mid-run
+// replacement victims are VictimsM - Flushed, and Writebacks() == VictimsM is
+// the total lines written to memory by the write-back path. The conservation
+// law FillsE == (VictimsM - Flushed) + VictimsE + R also holds, where R is
+// the number of lines resident just before FlushDirty ran (FlushDirty drops
+// clean residents without counting them anywhere).
 type Stats struct {
 	Accesses int64
 	Reads    int64
@@ -51,9 +62,9 @@ type Stats struct {
 	Hits     int64
 	Misses   int64
 	FillsE   int64 // lines brought in from memory (paper: LLC_S_FILLS.E)
-	VictimsM int64 // modified lines evicted: obligatory write-backs (LLC_VICTIMS.M)
-	VictimsE int64 // clean lines evicted (LLC_VICTIMS.E)
-	Flushed  int64 // dirty lines written back by FlushDirty (counted into VictimsM too)
+	VictimsM int64 // every dirty line leaving the cache: obligatory write-backs (LLC_VICTIMS.M)
+	VictimsE int64 // clean lines evicted and forgotten (LLC_VICTIMS.E)
+	Flushed  int64 // the FlushDirty subset of VictimsM (end-of-run write-backs)
 	// WriteThroughs counts per-access memory writes in write-through mode.
 	WriteThroughs int64
 }
@@ -64,6 +75,24 @@ func (s Stats) MemoryWrites() int64 { return s.VictimsM + s.WriteThroughs }
 
 // Writebacks returns the total lines written back to memory.
 func (s Stats) Writebacks() int64 { return s.VictimsM }
+
+// Sub returns the counter-wise difference s - prev: the stats of exactly the
+// accesses between two observation points of one running simulation. Every
+// field is a monotone counter, so differences of successive observations are
+// non-negative and sum back to the final totals.
+func (s Stats) Sub(prev Stats) Stats {
+	s.Accesses -= prev.Accesses
+	s.Reads -= prev.Reads
+	s.Writes -= prev.Writes
+	s.Hits -= prev.Hits
+	s.Misses -= prev.Misses
+	s.FillsE -= prev.FillsE
+	s.VictimsM -= prev.VictimsM
+	s.VictimsE -= prev.VictimsE
+	s.Flushed -= prev.Flushed
+	s.WriteThroughs -= prev.WriteThroughs
+	return s
+}
 
 // Simulator is the common interface of the set-associative cache, the
 // fully-associative LRU cache, and the multi-level hierarchy front end.

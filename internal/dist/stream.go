@@ -1,0 +1,87 @@
+package dist
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"writeavoid/internal/machine"
+)
+
+// AggregateStream is the distributed counterpart of machine.StreamRecorder:
+// it periodically merges the machine-wide sharded recorder — which is safe to
+// read while processors are still running — and emits the merged totals as
+// the same delta+cumulative JSONL records the sequential stream uses, so a
+// long parallel run can be watched live. Because it polls merged counters
+// rather than counting events, its records report Events = 0 (unknown).
+//
+// Flush may be called from any goroutine (including concurrently with the
+// ticker started by Start); emissions are serialized internally.
+type AggregateStream struct {
+	m  *Machine
+	mu sync.Mutex
+	sw *machine.StreamWriter
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewAggregateStream builds a stream of machine-wide snapshots over w.
+// Drive it manually with Flush (e.g. at phase boundaries from rank 0), or
+// start a wall-clock ticker with Start; finish with Close either way.
+func (m *Machine) NewAggregateStream(w io.Writer) *AggregateStream {
+	return &AggregateStream{m: m, sw: machine.NewStreamWriter(w)}
+}
+
+// Flush merges all shards and emits one record labeled with phase.
+func (s *AggregateStream) Flush(phase string) error {
+	return s.emit(phase, false)
+}
+
+func (s *AggregateStream) emit(phase string, final bool) error {
+	// Merge under the same lock that orders emissions so cumulative
+	// snapshots are monotone on the wire (a merge taken later can only be
+	// larger, and it must be written later too).
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cum := machine.SnapshotOf(s.m.cfg.Levels, s.m.Aggregate())
+	return s.sw.Emit(phase, 0, 0, cum, final)
+}
+
+// Start launches a background goroutine flushing every interval until Close.
+// Starting twice panics.
+func (s *AggregateStream) Start(interval time.Duration) {
+	if s.stop != nil {
+		panic("dist: AggregateStream started twice")
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				_ = s.emit("", false)
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the ticker (if started) and emits the final cumulative record;
+// its Cum is exactly Aggregate() rendered as a snapshot. It returns the
+// first write error seen over the stream's lifetime.
+func (s *AggregateStream) Close() error {
+	if s.stop != nil {
+		close(s.stop)
+		<-s.done
+		s.stop = nil
+	}
+	_ = s.emit("", true)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sw.Err()
+}

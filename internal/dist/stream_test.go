@@ -1,0 +1,117 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"writeavoid/internal/machine"
+)
+
+func decodeStream(t *testing.T, raw []byte) []machine.StreamRecord {
+	t.Helper()
+	var recs []machine.StreamRecord
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	for dec.More() {
+		var r machine.StreamRecord
+		if err := dec.Decode(&r); err != nil {
+			t.Fatalf("decode stream: %v", err)
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+// Machine-wide streaming: per-phase flushes during a run produce deltas that
+// sum to the final cumulative record, which equals the post-hoc Aggregate.
+func TestAggregateStreamDeltasSumToAggregate(t *testing.T) {
+	const P = 4
+	m := mk(P)
+	var buf bytes.Buffer
+	s := m.NewAggregateStream(&buf)
+
+	m.Run(func(p *Proc) {
+		for step := 0; step < 3; step++ {
+			p.H.Load(0, int64(10*(p.Rank+1)))
+			p.H.Store(0, 5)
+			p.H.Flops(100)
+			p.Barrier()
+			if p.Rank == 0 {
+				// Rank 0 marks each superstep; the merge is safe
+				// while peers are between barriers.
+				if err := s.Flush("step"); err != nil {
+					t.Error(err)
+				}
+			}
+			p.Barrier()
+		}
+	})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := decodeStream(t, buf.Bytes())
+	if len(recs) != 4 { // 3 per-step flushes + final
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	final := recs[len(recs)-1]
+	if !final.Final {
+		t.Fatal("last record not final")
+	}
+	sum := recs[0].Delta
+	for _, r := range recs[1:] {
+		sum = sum.Add(r.Delta)
+	}
+	if !reflect.DeepEqual(sum, final.Cum) {
+		t.Fatalf("summed deltas != final cumulative:\nsum = %+v\ncum = %+v", sum, final.Cum)
+	}
+	want := machine.SnapshotOf(m.cfg.Levels, m.Aggregate())
+	if !reflect.DeepEqual(final.Cum, want) {
+		t.Fatalf("final cumulative != post-hoc aggregate:\ncum  = %+v\npost = %+v", final.Cum, want)
+	}
+	// 3 steps x P ranks x (10..40) loads.
+	if got, want := final.Cum.Interfaces[0].LoadWords, int64(3*(10+20+30+40)); got != want {
+		t.Fatalf("total load words %d want %d", got, want)
+	}
+	// Each step's flush happened with all ranks past their stores.
+	if recs[0].Cum.Interfaces[0].StoreWords != 5*P {
+		t.Fatalf("first flush store words %d want %d", recs[0].Cum.Interfaces[0].StoreWords, 5*P)
+	}
+}
+
+// The wall-clock ticker variant emits mid-run records without racing the
+// processors (run with -race) and still closes on an exact total.
+func TestAggregateStreamTickerMidRun(t *testing.T) {
+	m := mk(4)
+	var buf bytes.Buffer
+	s := m.NewAggregateStream(&buf)
+	s.Start(200 * time.Microsecond)
+	m.Run(func(p *Proc) {
+		for i := 0; i < 2000; i++ {
+			p.H.Load(0, 1)
+			p.H.Store(0, 1)
+		}
+	})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := decodeStream(t, buf.Bytes())
+	final := recs[len(recs)-1]
+	if !final.Final {
+		t.Fatal("last record not final")
+	}
+	if got := final.Cum.Interfaces[0].LoadWords; got != 8000 {
+		t.Fatalf("final load words %d want 8000", got)
+	}
+	// Cumulative counters are monotone record to record.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Cum.Interfaces[0].LoadWords < recs[i-1].Cum.Interfaces[0].LoadWords {
+			t.Fatalf("record %d cumulative loads went backwards", i)
+		}
+		if recs[i].Delta.Interfaces[0].LoadWords < 0 {
+			t.Fatalf("record %d negative delta", i)
+		}
+	}
+}

@@ -86,6 +86,7 @@ func runTrace(run func(access.Sink)) (cache.Stats, int64) {
 // dgemm, (c)-(f) two-level write-avoiding orders with L3 blocks 48/56/64/72
 // (the paper's 700/800/900/1023).
 func Fig2(quick bool) []FigPanel {
+	mark("fig2")
 	var panels []FigPanel
 
 	co := FigPanel{Name: "fig2a cache-oblivious"}
@@ -126,6 +127,7 @@ func Fig2(quick bool) []FigPanel {
 // innermost at every level), the right column the two-level WA order
 // (Fig. 4b: contraction outermost below the top level).
 func Fig5(quick bool) []FigPanel {
+	mark("fig5")
 	var panels []FigPanel
 	for _, b := range Fig2Blocks {
 		for _, multiLevel := range []bool{true, false} {
@@ -154,6 +156,7 @@ func Fig5(quick bool) []FigPanel {
 // write-avoidance ordering survives a real replacement policy and limited
 // associativity, conflict noise included.
 func RealCacheCrossCheck() (waVictimsM, coVictimsM int64) {
+	mark("realcache")
 	mkClock := func() *cache.Cache {
 		return cache.New(cache.Config{
 			SizeBytes: figL3Bytes,

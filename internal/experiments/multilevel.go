@@ -30,6 +30,7 @@ type MultiLevelRow struct {
 // the LAST level (memory writes) but pays more L1/L2-level write-backs,
 // while the Fig. 4a order is the better citizen at the upper levels.
 func MultiLevel(quick bool) []MultiLevelRow {
+	mark("multilevel")
 	n := 96
 	mid := 192
 	if quick {

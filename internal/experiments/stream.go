@@ -1,0 +1,35 @@
+package experiments
+
+import "writeavoid/internal/machine"
+
+// The experiments construct their hierarchies internally, so live streaming
+// is wired through one package-level hook: wabench installs a StreamRecorder
+// with SetStream, each section calls mark at entry (a phase boundary on the
+// wire), and every serial hierarchy a section builds passes through observe,
+// which attaches the stream as one more recorder. Sections backed by raw
+// cache simulators or by concurrent machines contribute marks but no events;
+// dist-backed runs stream through dist.AggregateStream instead, because a
+// StreamRecorder is not safe for concurrent use.
+var stream *machine.StreamRecorder
+
+// SetStream installs (or, with nil, removes) the recorder that observed
+// hierarchies report into. The caller keeps ownership: it must call Close
+// after the experiments finish to flush the final record.
+func SetStream(s *machine.StreamRecorder) { stream = s }
+
+// observe attaches the installed stream, if any, to a freshly built
+// hierarchy and returns it unchanged.
+func observe(h *machine.Hierarchy) *machine.Hierarchy {
+	if stream != nil {
+		h.Attach(stream)
+	}
+	return h
+}
+
+// mark labels subsequent streamed events with a new phase, flushing events
+// pending under the previous label.
+func mark(name string) {
+	if stream != nil {
+		stream.Phase(name)
+	}
+}

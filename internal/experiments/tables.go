@@ -31,6 +31,7 @@ type Table1Measured struct {
 // measured per-processor words next to the W2 bound; the analytic rows of
 // the paper's Table 1 are printed separately from costmodel.
 func Table1(quick bool) []Table1Measured {
+	mark("table1")
 	n, q := 64, 4
 	if !quick {
 		n = 128
@@ -129,6 +130,7 @@ type Table2Measured struct {
 // Table2 runs 2.5DMML3ooL2 and SUMMAL3ooL2 and reports measured words
 // against both Theorem 4 bounds.
 func Table2(quick bool) []Table2Measured {
+	mark("table2")
 	n := 64
 	if !quick {
 		n = 128
@@ -215,6 +217,7 @@ type LURow struct {
 
 // LU runs LL-LUNP and RL-LUNP and reports the write/network trade-off.
 func LU(quick bool) []LURow {
+	mark("lu")
 	n, q, bs := 32, 2, 4
 	if !quick {
 		n, q = 64, 4
@@ -298,6 +301,7 @@ type KrylovRow struct {
 // Krylov measures W12 for CG, stored CA-CG and streaming CA-CG across s, on
 // the 1-D ring and the 2-D torus (the paper's (2b+1)^d-point stencils).
 func Krylov(quick bool) []KrylovRow {
+	mark("krylov")
 	n := 4096
 	iters := 32
 	if quick {

@@ -19,7 +19,11 @@ type ShardedRecorder struct {
 	levels int
 	mu     sync.Mutex
 	shards []*shard
-	shared *shard // lazy shard backing ShardedRecorder.Record itself
+	// shared lazily holds the common shard backing ShardedRecorder.Record
+	// itself. It is an atomic pointer so the steady-state shared path is a
+	// single load plus atomic adds — the mutex is only taken once, to
+	// publish the shard on first use.
+	shared atomic.Pointer[shard]
 }
 
 // NewShardedRecorder builds a recorder for hierarchies with the given number
@@ -44,16 +48,31 @@ func (s *ShardedRecorder) Handle() Recorder {
 }
 
 // Record lets the ShardedRecorder itself be attached as a shared recorder; it
-// lazily allocates a common shard. Per-goroutine handles are cheaper.
+// lazily allocates a common shard once, after which the path is lock-free
+// (an atomic pointer load plus the shard's atomic adds). Per-goroutine
+// handles are still cheaper: they skip the pointer load and never contend on
+// the same cache lines.
 func (s *ShardedRecorder) Record(e Event) {
-	s.mu.Lock()
-	if s.shared == nil {
-		s.shared = newShard(s.levels)
-		s.shards = append(s.shards, s.shared)
+	sh := s.shared.Load()
+	if sh == nil {
+		sh = s.initShared()
 	}
-	sh := s.shared
-	s.mu.Unlock()
 	sh.Record(e)
+}
+
+// initShared publishes the common shard exactly once. Racing callers all
+// return the same shard: the winner registers it under the mutex, losers
+// re-load it.
+func (s *ShardedRecorder) initShared() *shard {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sh := s.shared.Load(); sh != nil {
+		return sh
+	}
+	sh := newShard(s.levels)
+	s.shards = append(s.shards, sh)
+	s.shared.Store(sh)
+	return sh
 }
 
 // WantsTouch opts the shared path into the per-element stream.

@@ -9,17 +9,24 @@ import (
 
 // RunParallel executes every worker's task queue on its own goroutine — real
 // concurrency, not the deterministic round-robin interleaving of Run — and
-// records each access as an EvTouch event into rec through a per-worker
-// shard handle, so the totals are exact and race-free no matter how the
-// goroutines interleave. There is no shared cache here (a cache simulation
-// needs one global access order, which is what Run provides); what
-// RunParallel checks is the counting layer: merged touch totals are
-// schedule- and interleaving-independent, equal to what the serial replay
-// counts. Result.Stats is zero.
-func RunParallel(sched Schedule, rec *machine.ShardedRecorder) (Result, error) {
+// records each access as an EvTouch event into rec, so the totals are exact
+// and race-free no matter how the goroutines interleave. There is no shared
+// cache here (a cache simulation needs one global access order, which is
+// what Run provides); what RunParallel checks is the counting layer: merged
+// touch totals are schedule- and interleaving-independent, equal to what the
+// serial replay counts. Result.Stats is zero.
+//
+// The recorder must be safe for concurrent use. When it offers per-worker
+// handles (machine.ShardedRecorder does), each worker records through its
+// own handle and the hot path is an uncontended atomic add; otherwise every
+// worker records through rec directly — with a ShardedRecorder that is the
+// lock-free shared-shard path, exact but contended on one shard's cache
+// lines.
+func RunParallel(sched Schedule, rec machine.Recorder) (Result, error) {
 	if rec == nil {
 		return Result{}, fmt.Errorf("smp: RunParallel needs a recorder")
 	}
+	handler, _ := rec.(interface{ Handle() machine.Recorder })
 	type tally struct {
 		tasks    int
 		accesses int64
@@ -30,7 +37,10 @@ func RunParallel(sched Schedule, rec *machine.ShardedRecorder) (Result, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			h := rec.Handle()
+			h := rec
+			if handler != nil {
+				h = handler.Handle()
+			}
 			for _, t := range sched.Queues[w] {
 				for _, op := range t.Ops {
 					h.Record(machine.Event{

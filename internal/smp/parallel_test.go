@@ -74,3 +74,38 @@ func TestRunParallelNeedsRecorder(t *testing.T) {
 		t.Fatal("want error for nil recorder")
 	}
 }
+
+// sharedOnly hides a ShardedRecorder's Handle method so RunParallel's
+// workers all drive the recorder's shared Record path — the path that is
+// now lock-free behind an atomic pointer. Run with -race: this is the
+// regression test for concurrent shared-path recording on real task traces,
+// and the totals must still be exact.
+type sharedOnly struct{ rec *machine.ShardedRecorder }
+
+func (s sharedOnly) Record(e machine.Event) { s.rec.Record(e) }
+
+func TestRunParallelSharedRecorderPath(t *testing.T) {
+	tasks, _ := MatMulTasks(32, 32, 32, 8, lineB)
+	sched := DepthFirst(tasks, 8)
+
+	rec := machine.NewShardedRecorder(2)
+	par, err := RunParallel(sched, sharedOnly{rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := rec.Merge()
+	if got := cs.TouchReads + cs.TouchWrites; got != par.AccessesRun {
+		t.Fatalf("shared-path touches %d != accesses %d", got, par.AccessesRun)
+	}
+
+	// The shared path and the per-handle path count identically.
+	rec2 := machine.NewShardedRecorder(2)
+	if _, err := RunParallel(sched, rec2); err != nil {
+		t.Fatal(err)
+	}
+	cs2 := rec2.Merge()
+	if cs.TouchReads != cs2.TouchReads || cs.TouchWrites != cs2.TouchWrites {
+		t.Fatalf("shared path (%d,%d) != handle path (%d,%d)",
+			cs.TouchReads, cs.TouchWrites, cs2.TouchReads, cs2.TouchWrites)
+	}
+}
