@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	wabench [-quick] [-json] [-stream file] [section ...]
+//	wabench [-quick] [-json] [-stream file] [-trace file] [-profile] [section ...]
 //
 // Sections: sec2 sec3 sec4 sec5 fig2 fig5 realcache table1 table2 lu krylov sec9 smp multilevel all
 // (default: all). -quick shrinks problem sizes so the whole run finishes in
@@ -17,6 +17,14 @@
 // record carrying the delta and cumulative machine snapshots. The summed
 // deltas equal the final cumulative record exactly; tail the file to watch a
 // long run's write/read trajectories mid-flight.
+//
+// -trace writes a Chrome trace-event JSON profile of the whole run: one
+// duration event per algorithm phase span (panels, supersteps, solver
+// phases), per-interface word-count counter tracks, and one pid/tid pair per
+// processor of the distributed sections. Open the file in Perfetto
+// (ui.perfetto.dev) or chrome://tracing, or validate it with `watrace
+// checktrace`. -profile prints the same attribution as an ASCII span-tree
+// table on stdout after the sections finish.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"writeavoid/internal/costmodel"
 	"writeavoid/internal/experiments"
 	"writeavoid/internal/machine"
+	"writeavoid/internal/profile"
 )
 
 func main() {
@@ -38,6 +47,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit per-phase recorder snapshots as JSON")
 	streamTo := flag.String("stream", "", "stream live metrics as JSON lines to this file (- = stdout)")
 	streamEvery := flag.Int64("stream-every", 100000, "events between periodic stream records (<=0: only phase marks)")
+	traceTo := flag.String("trace", "", "write a Chrome trace-event JSON profile of the run to this file")
+	profileOut := flag.Bool("profile", false, "print a per-phase attribution summary after the run")
 	flag.Parse()
 
 	sections := flag.Args()
@@ -79,6 +90,30 @@ func main() {
 			experiments.SetStream(nil)
 			if err := stream.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
+	if *traceTo != "" || *profileOut {
+		prof := profile.NewProfiler(machine.GenericLevels(3))
+		experiments.SetProfile(prof)
+		defer func() {
+			experiments.SetProfile(nil)
+			if *profileOut {
+				fmt.Print(prof.Summary())
+			}
+			if *traceTo != "" {
+				f, err := os.Create(*traceTo)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				werr := prof.WriteTrace(f)
+				cerr := f.Close()
+				if werr != nil || cerr != nil {
+					fmt.Fprintln(os.Stderr, "writing trace:", werr, cerr)
+					os.Exit(1)
+				}
 			}
 		}()
 	}

@@ -19,6 +19,16 @@
 // OPT is offline (its answers need the whole trace), so -stream emits only
 // the final record there.
 //
+// sim -trace writes the replay as Chrome trace-event JSON: one span over the
+// whole access sequence plus counter tracks of the cumulative hit, fill and
+// write-back trajectories (ts = access index). Open it in Perfetto or
+// chrome://tracing.
+//
+// Validate any Chrome trace produced by this repository (wabench -trace or
+// sim -trace):
+//
+//	watrace checktrace -in trace.json -min-counters 2 -min-spans 1
+//
 // The reported VictimsM count (modified-line evictions plus the final dirty
 // flush) is the number of cache lines written back to memory — the paper's
 // LLC_VICTIMS.M.
@@ -36,6 +46,7 @@ import (
 	"writeavoid/internal/access"
 	"writeavoid/internal/cache"
 	"writeavoid/internal/core"
+	"writeavoid/internal/profile"
 )
 
 func main() {
@@ -47,14 +58,47 @@ func main() {
 		record(os.Args[2:])
 	case "sim":
 		sim(os.Args[2:])
+	case "checktrace":
+		checktrace(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: watrace record|sim [flags]   (see package comment)")
+	fmt.Fprintln(os.Stderr, "usage: watrace record|sim|checktrace [flags]   (see package comment)")
 	os.Exit(2)
+}
+
+// checktrace validates a Chrome trace-event JSON file (as written by
+// `wabench -trace` or `watrace sim -trace`) and prints its structural
+// summary; it exits nonzero on any schema violation, so CI can gate on it.
+func checktrace(args []string) {
+	fs := flag.NewFlagSet("checktrace", flag.ExitOnError)
+	in := fs.String("in", "", "trace JSON file (required)")
+	minCounters := fs.Int("min-counters", 0, "fail unless at least this many counter tracks")
+	minSpans := fs.Int("min-spans", 0, "fail unless at least this many matched spans")
+	fs.Parse(args) //nolint:errcheck
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "watrace checktrace: -in is required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	info, err := profile.ValidateTraceEvent(data)
+	if err != nil {
+		fatal(err)
+	}
+	if len(info.CounterTracks) < *minCounters {
+		fatal(fmt.Errorf("trace has %d counter tracks, want >= %d", len(info.CounterTracks), *minCounters))
+	}
+	if info.Spans < *minSpans {
+		fatal(fmt.Errorf("trace has %d spans, want >= %d", info.Spans, *minSpans))
+	}
+	fmt.Printf("%s: %d events, %d spans, %d counter tracks, %d pids, %d threads\n",
+		*in, info.Events, info.Spans, len(info.CounterTracks), len(info.Pids), info.Tids)
 }
 
 func record(args []string) {
@@ -130,6 +174,7 @@ func sim(args []string) {
 	wt := fs.Bool("writethrough", false, "write-through / no-write-allocate mode")
 	streamTo := fs.String("stream", "", "stream periodic stats as JSON lines to this file (- = stdout)")
 	streamEvery := fs.Int64("stream-every", 1<<20, "accesses between periodic stream records")
+	traceTo := fs.String("trace", "", "write a Chrome trace-event JSON timeline of the replay to this file")
 	fs.Parse(args) //nolint:errcheck
 
 	if *in == "" {
@@ -156,6 +201,8 @@ func sim(args []string) {
 		ss = newStatsStream(w, *streamEvery)
 	}
 
+	tx := newTraceExport(*traceTo, *streamEvery)
+
 	var st cache.Stats
 	switch {
 	case *policy == "opt":
@@ -164,9 +211,12 @@ func sim(args []string) {
 			fatal(err)
 		}
 		st = cache.SimulateOPT(ops, *size, *line)
+		if tx != nil {
+			tx.n = int64(len(ops))
+		}
 	case *full:
 		c := cache.NewFALRU(*size, *line)
-		if _, err := access.StreamTrace(f, ss.wrap(c)); err != nil {
+		if _, err := access.StreamTrace(f, tx.tap(c, ss.wrap(c))); err != nil {
 			fatal(err)
 		}
 		c.FlushDirty()
@@ -177,13 +227,16 @@ func sim(args []string) {
 			fatal(err)
 		}
 		c := cache.New(cache.Config{SizeBytes: *size, LineBytes: *line, Assoc: *assoc, Policy: kind, Seed: 1, WriteThrough: *wt})
-		if _, err := access.StreamTrace(f, ss.wrap(c)); err != nil {
+		if _, err := access.StreamTrace(f, tx.tap(c, ss.wrap(c))); err != nil {
 			fatal(err)
 		}
 		c.FlushDirty()
 		st = c.Stats()
 	}
 	if err := ss.close(st); err != nil {
+		fatal(err)
+	}
+	if err := tx.close(*in, *policy, st); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("accesses   %12d (%d reads, %d writes)\n", st.Accesses, st.Reads, st.Writes)
@@ -253,6 +306,78 @@ func (s *statsStream) close(final cache.Stats) error {
 		return nil
 	}
 	return s.emit(final, true)
+}
+
+// traceExport renders a replay as a Chrome trace: one "replay" span over the
+// whole access sequence (ts = access index, in µs) plus counter tracks of
+// the cumulative hit and write-back trajectories sampled every `every`
+// accesses. A nil *traceExport is inert like a nil *statsStream.
+type traceExport struct {
+	path    string
+	every   int64
+	n       int64
+	samples []traceSample
+}
+
+type traceSample struct {
+	n  int64
+	st cache.Stats
+}
+
+func newTraceExport(path string, every int64) *traceExport {
+	if path == "" {
+		return nil
+	}
+	if every <= 0 {
+		every = 1 << 20
+	}
+	return &traceExport{path: path, every: every}
+}
+
+func (t *traceExport) tap(c cache.Simulator, sink access.Sink) access.Sink {
+	if t == nil {
+		return sink
+	}
+	return access.SinkFunc(func(addr uint64, write bool) {
+		sink.Access(addr, write)
+		t.n++
+		if t.n%t.every == 0 {
+			t.samples = append(t.samples, traceSample{n: t.n, st: c.Stats()})
+		}
+	})
+}
+
+func (t *traceExport) close(in, policy string, final cache.Stats) error {
+	if t == nil {
+		return nil
+	}
+	b := profile.NewTraceBuilder()
+	b.AddProcessName(0, "watrace sim")
+	b.AddThreadName(0, 0, "replay")
+	end := float64(t.n)
+	if end == 0 {
+		end = 1
+	}
+	b.AddSpan(0, 0, fmt.Sprintf("%s %s", policy, in), 0, end, map[string]any{
+		"accesses": final.Accesses,
+		"hits":     final.Hits,
+		"victimsM": final.VictimsM,
+	})
+	for _, s := range append(t.samples, traceSample{n: t.n, st: final}) {
+		ts := float64(s.n)
+		b.AddCounter(0, "hits", ts, map[string]any{"hits": s.st.Hits})
+		b.AddCounter(0, "writebacks", ts, map[string]any{"victimsM": s.st.VictimsM})
+		b.AddCounter(0, "fills", ts, map[string]any{"fillsE": s.st.FillsE})
+	}
+	f, err := os.Create(t.path)
+	if err != nil {
+		return err
+	}
+	if err := b.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseBlocks(s string) ([]int, error) {

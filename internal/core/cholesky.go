@@ -53,14 +53,21 @@ func cholLeftLevel(p *Plan, s int, a *matrix.Dense) error {
 		return a.Block(i*bs, k*bs, min(bs, n-i*bs), min(bs, n-k*bs))
 	}
 
+	mark := p.marking(s)
 	for i := 0; i < nb; i++ {
+		if mark {
+			p.H.Begin(fmt.Sprintf("panel %d", i))
+			p.H.Begin("factor")
+		}
 		// Diagonal block: load the lower half, subtract the row of
 		// outer products to its left, factor, store the lower half.
 		di := blk(i, i)
 		p.H.Load(s, triWords(di.Rows))
+		p.noteLower(s, di, false)
 		for k := 0; k < i; k++ {
 			ak := blk(i, k)
 			p.H.Load(s, words(ak))
+			p.note(s, ak, false)
 			// A(i,i) -= A(i,k)*A(i,k)^T (SYRK, lower triangle only: the
 			// factorization never reads above the diagonal)
 			gemmLevel(p, s-1, di, ak, ak, modeSubABtLower)
@@ -70,16 +77,24 @@ func cholLeftLevel(p *Plan, s int, a *matrix.Dense) error {
 			return fmt.Errorf("core: Cholesky pivot block %d: %w", i, err)
 		}
 		p.H.Store(s, triWords(di.Rows))
+		p.noteLower(s, di, true)
+		if mark {
+			p.H.End()
+			p.H.Begin("trsm")
+		}
 
 		// Off-diagonal blocks of block column i, fully computed
 		// left-looking and stored once each.
 		for j := i + 1; j < nb; j++ {
 			ji := blk(j, i)
 			p.H.Load(s, words(ji))
+			p.note(s, ji, false)
 			for k := 0; k < i; k++ {
 				aik, ajk := blk(i, k), blk(j, k)
 				p.H.Load(s, words(aik))
+				p.note(s, aik, false)
 				p.H.Load(s, words(ajk))
+				p.note(s, ajk, false)
 				// A(j,i) -= A(j,k)*A(i,k)^T
 				gemmLevel(p, s-1, ji, ajk, aik, modeSubABt)
 				p.H.Discard(s, words(aik))
@@ -87,9 +102,15 @@ func cholLeftLevel(p *Plan, s int, a *matrix.Dense) error {
 			}
 			// Solve Tmp * A(i,i)^T = A(j,i); A(i,i) now holds L(i,i).
 			p.H.Load(s, triWords(di.Rows))
+			p.noteLower(s, di, false)
 			trsmRightLevel(p, s-1, di, ji)
 			p.H.Discard(s, triWords(di.Rows))
 			p.H.Store(s, words(ji))
+			p.note(s, ji, true)
+		}
+		if mark {
+			p.H.End()
+			p.H.End()
 		}
 	}
 	return nil
@@ -120,9 +141,15 @@ func cholRightLevel(p *Plan, s int, a *matrix.Dense) error {
 		return a.Block(i*bs, k*bs, min(bs, n-i*bs), min(bs, n-k*bs))
 	}
 
+	mark := p.marking(s)
 	for i := 0; i < nb; i++ {
+		if mark {
+			p.H.Begin(fmt.Sprintf("panel %d", i))
+			p.H.Begin("factor")
+		}
 		di := blk(i, i)
 		p.H.Load(s, triWords(di.Rows))
+		p.noteLower(s, di, false)
 		if err := cholRightLevel(p, s-1, di); err != nil {
 			return fmt.Errorf("core: Cholesky pivot block %d: %w", i, err)
 		}
@@ -130,31 +157,46 @@ func cholRightLevel(p *Plan, s int, a *matrix.Dense) error {
 		for j := i + 1; j < nb; j++ {
 			ji := blk(j, i)
 			p.H.Load(s, words(ji))
+			p.note(s, ji, false)
 			trsmRightLevel(p, s-1, di, ji)
 			p.H.Store(s, words(ji))
+			p.note(s, ji, true)
 		}
 		p.H.Store(s, triWords(di.Rows))
+		p.noteLower(s, di, true)
+		if mark {
+			p.H.End()
+			p.H.Begin("update")
+		}
 		// Right-looking Schur-complement update: every trailing block
 		// is loaded, updated by one product, and stored again — the
 		// write-amplifying pattern the paper warns about.
 		for j := i + 1; j < nb; j++ {
 			ji := blk(j, i)
 			p.H.Load(s, words(ji))
+			p.note(s, ji, false)
 			for k := i + 1; k <= j; k++ {
 				ki := blk(k, i)
 				p.H.Load(s, words(ki))
+				p.note(s, ki, false)
 				tb := blk(j, k)
 				w, mode := words(tb), modeSubABt
 				if k == j {
 					w, mode = triWords(tb.Rows), modeSubABtLower
 				}
 				p.H.Load(s, w)
+				p.noteSized(s, tb, k == j, false)
 				// A(j,k) -= A(j,i)*A(k,i)^T  (lower triangle only on the diagonal)
 				gemmLevel(p, s-1, tb, ji, ki, mode)
 				p.H.Store(s, w)
+				p.noteSized(s, tb, k == j, true)
 				p.H.Discard(s, words(ki))
 			}
 			p.H.Discard(s, words(ji))
+		}
+		if mark {
+			p.H.End()
+			p.H.End()
 		}
 	}
 	return nil

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"writeavoid/internal/intmath"
 	"writeavoid/internal/machine"
 	"writeavoid/internal/matrix"
@@ -69,37 +71,56 @@ func gemmLevel(p *Plan, s int, c, a, b *matrix.Dense, mode gemmMode) {
 		}
 		ab, bb, cb := blkA(i, k), blkB(k, j), blkC(i, j)
 		p.H.Load(s, words(ab))
+		p.note(s, ab, false)
 		p.H.Load(s, words(bb))
+		p.note(s, bb, false)
 		gemmLevel(p, s-1, cb, ab, bb, sub)
 		p.H.Discard(s, words(ab))
 		p.H.Discard(s, words(bb))
 	}
 
+	mark := p.marking(s)
 	switch p.orderAt(s) {
 	case OrderWA:
 		// Algorithm 1: the contraction loop k is innermost, so each C
 		// block is loaded and stored exactly once.
 		for i := 0; i < mb; i++ {
 			for j := 0; j < lb; j++ {
+				if mark {
+					p.H.Begin(fmt.Sprintf("C[%d,%d]", i, j))
+				}
 				cb := blkC(i, j)
 				p.H.Load(s, words(cb))
+				p.note(s, cb, false)
 				for k := 0; k < nb; k++ {
 					step(i, j, k)
 				}
 				p.H.Store(s, words(cb))
+				p.note(s, cb, true)
+				if mark {
+					p.H.End()
+				}
 			}
 		}
 	case OrderNonWA:
 		// Same blocked algorithm with k outermost: still CA, but each
 		// C block is re-loaded and re-stored n/b times.
 		for k := 0; k < nb; k++ {
+			if mark {
+				p.H.Begin(fmt.Sprintf("k=%d", k))
+			}
 			for i := 0; i < mb; i++ {
 				for j := 0; j < lb; j++ {
 					cb := blkC(i, j)
 					p.H.Load(s, words(cb))
+					p.note(s, cb, false)
 					step(i, j, k)
 					p.H.Store(s, words(cb))
+					p.note(s, cb, true)
 				}
+			}
+			if mark {
+				p.H.End()
 			}
 		}
 	}

@@ -80,6 +80,34 @@ func (v tracedView) touch(i, j int, write bool) {
 	v.t.h.Touch(v.reg.Addr(v.r0+i, v.c0+j), write)
 }
 
+// Ranges annotates the block transfer just counted across interface s with
+// block v's address extent: one EvRange run per block row (rows are
+// contiguous in the bound root). Addresses are in elements (region byte
+// addresses scaled by the element size) so run lengths match the word
+// units of the enclosing Load/Store.
+func (t *Tracer) Ranges(s int, v *matrix.Dense, store bool) {
+	tv := t.view(v)
+	base := tv.reg.Base/tv.reg.ElemSz + uint64(tv.r0*tv.reg.Cols+tv.c0)
+	for i := 0; i < v.Rows; i++ {
+		t.h.Range(s, base+uint64(i*tv.reg.Cols), int64(v.Cols), store)
+	}
+}
+
+// RangesLower is Ranges restricted to the lower triangle (diagonal
+// included) of square block v, matching the triWords transfers of the
+// Cholesky drivers: row i contributes a run of i+1 words.
+func (t *Tracer) RangesLower(s int, v *matrix.Dense, store bool) {
+	tv := t.view(v)
+	base := tv.reg.Base/tv.reg.ElemSz + uint64(tv.r0*tv.reg.Cols+tv.c0)
+	for i := 0; i < v.Rows; i++ {
+		run := i + 1
+		if run > v.Cols {
+			run = v.Cols
+		}
+		t.h.Range(s, base+uint64(i*tv.reg.Cols), int64(run), store)
+	}
+}
+
 // MulAdd is the traced twin of matrix.MulAdd: C += A*B, emitting per C
 // element one read, the A/B dot-product stream, and one write.
 func (t *Tracer) MulAdd(c, a, b *matrix.Dense) {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"writeavoid/internal/intmath"
 	"writeavoid/internal/matrix"
 )
@@ -44,7 +46,9 @@ func trsmLevel(p *Plan, s int, t, b *matrix.Dense) {
 	update := func(i, j, k int) {
 		tb, xb := blkT(i, k), blkB(k, j)
 		p.H.Load(s, words(tb))
+		p.note(s, tb, false)
 		p.H.Load(s, words(xb))
+		p.note(s, xb, false)
 		gemmLevel(p, s-1, blkB(i, j), tb, xb, modeSubAB)
 		p.H.Discard(s, words(tb))
 		p.H.Discard(s, words(xb))
@@ -52,23 +56,33 @@ func trsmLevel(p *Plan, s int, t, b *matrix.Dense) {
 	diagSolve := func(i, j int) {
 		tb := blkT(i, i)
 		p.H.Load(s, words(tb))
+		p.note(s, tb, false)
 		trsmLevel(p, s-1, tb, blkB(i, j))
 		p.H.Discard(s, words(tb))
 	}
 
+	mark := p.marking(s)
 	switch p.orderAt(s) {
 	case OrderWA:
 		// Algorithm 2: k innermost, so B(i,j) accumulates all updates
 		// while resident and is stored exactly once.
 		for j := 0; j < mb; j++ {
 			for i := nb - 1; i >= 0; i-- {
+				if mark {
+					p.H.Begin(fmt.Sprintf("B[%d,%d]", i, j))
+				}
 				bb := blkB(i, j)
 				p.H.Load(s, words(bb))
+				p.note(s, bb, false)
 				for k := i + 1; k < nb; k++ {
 					update(i, j, k)
 				}
 				diagSolve(i, j)
 				p.H.Store(s, words(bb))
+				p.note(s, bb, true)
+				if mark {
+					p.H.End()
+				}
 			}
 		}
 	case OrderNonWA:
@@ -77,15 +91,25 @@ func trsmLevel(p *Plan, s int, t, b *matrix.Dense) {
 		// and re-storing each B(i,j) once per k.
 		for j := 0; j < mb; j++ {
 			for k := nb - 1; k >= 0; k-- {
+				if mark {
+					p.H.Begin(fmt.Sprintf("k=%d", k))
+				}
 				bb := blkB(k, j)
 				p.H.Load(s, words(bb))
+				p.note(s, bb, false)
 				diagSolve(k, j)
 				p.H.Store(s, words(bb))
+				p.note(s, bb, true)
 				for i := k - 1; i >= 0; i-- {
 					cb := blkB(i, j)
 					p.H.Load(s, words(cb))
+					p.note(s, cb, false)
 					update(i, j, k)
 					p.H.Store(s, words(cb))
+					p.note(s, cb, true)
+				}
+				if mark {
+					p.H.End()
 				}
 			}
 		}

@@ -34,6 +34,10 @@ type NetCounters struct {
 	MsgsRecv  int64
 }
 
+// Observer supplies one extra recorder per processor rank; see
+// Config.Observe.
+type Observer func(rank int) machine.Recorder
+
 // Config describes the homogeneous machine.
 type Config struct {
 	P int
@@ -46,6 +50,13 @@ type Config struct {
 	// ChanCap is the per-pair channel buffer (default 16 messages; the
 	// algorithms here keep at most a few messages in flight per pair).
 	ChanCap int
+	// Observe, when non-nil, is called once per rank during construction
+	// (sequentially, rank order) and the returned recorder — nil to skip a
+	// rank — is attached to that processor's local hierarchy. Each recorder
+	// is then driven only by its owning processor's goroutine, so ordinary
+	// synchronous recorders work; profile.ProcGroup.Recorder plugs in here
+	// for per-processor span attribution.
+	Observe Observer
 }
 
 // Machine is a P-processor distributed machine.
@@ -95,6 +106,11 @@ func New(cfg Config) *Machine {
 		// machine-wide aggregate, so whole-machine totals are available
 		// race-free even while processors run concurrently.
 		p.H.Attach(m.agg.Handle())
+		if cfg.Observe != nil {
+			if rec := cfg.Observe(r); rec != nil {
+				p.H.Attach(rec)
+			}
+		}
 		m.procs = append(m.procs, p)
 	}
 	return m

@@ -1,6 +1,10 @@
 package experiments
 
-import "writeavoid/internal/machine"
+import (
+	"writeavoid/internal/dist"
+	"writeavoid/internal/machine"
+	"writeavoid/internal/profile"
+)
 
 // The experiments construct their hierarchies internally, so live streaming
 // is wired through one package-level hook: wabench installs a StreamRecorder
@@ -17,19 +21,55 @@ var stream *machine.StreamRecorder
 // after the experiments finish to flush the final record.
 func SetStream(s *machine.StreamRecorder) { stream = s }
 
-// observe attaches the installed stream, if any, to a freshly built
-// hierarchy and returns it unchanged.
+// prof is the phase-attribution analog of stream: wabench installs a
+// profile.Profiler behind -trace/-profile, serial hierarchies attach its main
+// span recorder through observe, each section opens a top-level span through
+// mark, and the dist-backed sections register one per-processor recorder
+// group apiece through distObserve.
+var prof *profile.Profiler
+
+// SetProfile installs (or, with nil, removes) the attribution profiler. The
+// caller keeps ownership and renders the trace/summary after the run.
+func SetProfile(p *profile.Profiler) { prof = p }
+
+// observe attaches the installed stream and profiler, if any, to a freshly
+// built hierarchy and returns it unchanged.
 func observe(h *machine.Hierarchy) *machine.Hierarchy {
 	if stream != nil {
 		h.Attach(stream)
+	}
+	if prof != nil {
+		prof.Observe(h)
 	}
 	return h
 }
 
 // mark labels subsequent streamed events with a new phase, flushing events
-// pending under the previous label.
+// pending under the previous label, and opens a new top-level profiler span.
 func mark(name string) {
 	if stream != nil {
 		stream.Phase(name)
 	}
+	if prof != nil {
+		prof.Mark(name)
+	}
+}
+
+// distObserve returns a per-processor observer registering a named recorder
+// group on the installed profiler, or nil when none is installed.
+func distObserve(name string) dist.Observer {
+	if prof == nil {
+		return nil
+	}
+	return prof.Group(name).Recorder
+}
+
+// profRec returns the profiler's main recorder for sinks that are driven
+// directly rather than through a Hierarchy (the krylov Traffic counter), or
+// nil when no profiler is installed.
+func profRec() machine.Recorder {
+	if prof == nil {
+		return nil
+	}
+	return prof.Main
 }

@@ -49,6 +49,7 @@ func Table1(quick bool) []Table1Measured {
 	}
 	var rows []Table1Measured
 	for _, tc := range configs {
+		tc.cfg.Observe = distObserve("table1 " + tc.name)
 		_, m, err := pmm.MM25D(tc.cfg, a, b)
 		if err != nil {
 			panic(err)
@@ -138,12 +139,14 @@ func Table2(quick bool) []Table2Measured {
 	a := matrix.Random(n, n, 3)
 	b := matrix.Random(n, n, 4)
 
-	cfg25 := pmm.Config{Q: 4, C: 4, M1: 48, B1: 4, M2: 3 * 8 * 8, B2: 8, UseL3: true}
+	cfg25 := pmm.Config{Q: 4, C: 4, M1: 48, B1: 4, M2: 3 * 8 * 8, B2: 8, UseL3: true,
+		Observe: distObserve("table2 2.5DMML3ooL2")}
 	_, m25, err := pmm.MM25D(cfg25, a, b)
 	if err != nil {
 		panic(err)
 	}
-	cfgS := pmm.Config{Q: 4, C: 1, M1: 48, B1: 4, M2: 3 * 8 * 8, B2: 8, UseL3: true}
+	cfgS := pmm.Config{Q: 4, C: 1, M1: 48, B1: 4, M2: 3 * 8 * 8, B2: 8, UseL3: true,
+		Observe: distObserve("table2 SUMMAL3ooL2")}
 	_, mS, err := pmm.SUMMAooL2(cfgS, 8, a, b)
 	if err != nil {
 		panic(err)
@@ -242,6 +245,7 @@ func LU(quick bool) []LURow {
 		case "chol-RL":
 			run, input = plu.CholeskyRL, spd
 		}
+		cfg.Observe = distObserve("lu " + alg)
 		_, mm, err := run(cfg, input.Clone())
 		if err != nil {
 			panic(err)
@@ -330,7 +334,7 @@ func Krylov(quick bool) []KrylovRow {
 			bvec[i] = float64(i%13) - 6
 		}
 		x0 := make([]float64, nn)
-		var trCG krylov.Traffic
+		trCG := krylov.Traffic{Rec: profRec()}
 		ref := krylov.CG(o.op.Matrix(), bvec, x0, iters, 0, &trCG)
 
 		for _, s := range []int{2, 4, 8} {
@@ -338,7 +342,8 @@ func Krylov(quick bool) []KrylovRow {
 			if s > 4 {
 				basis, bname = krylov.BasisNewton, "newton"
 			}
-			var trStored, trStream krylov.Traffic
+			trStored := krylov.Traffic{Rec: profRec()}
+			trStream := krylov.Traffic{Rec: profRec()}
 			stored, err := krylov.CACG(o.op, bvec, x0, iters/s,
 				krylov.CACGConfig{S: s, Mode: krylov.CACGStored, Basis: basis}, &trStored)
 			if err != nil {

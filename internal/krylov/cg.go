@@ -24,6 +24,7 @@ func CG(a *CSR, b, x0 []float64, iters int, tol float64, t *Traffic) Result {
 	w := make([]float64, n)
 
 	// r = p = b - A*x0.
+	t.Begin("setup")
 	a.MulVec(w, x)
 	t.R(a.NNZ() + n) // matrix + x
 	t.W(n)           // w
@@ -38,11 +39,16 @@ func CG(a *CSR, b, x0 []float64, iters int, tol float64, t *Traffic) Result {
 	t.W(n)
 	dprv := Dot(t, r, r)
 	var flops int64 = int64(2*a.NNZ() + 6*n)
+	t.End()
 
+	mark := t.Marking()
 	it := 0
 	for ; it < iters; it++ {
 		if dprv <= tol*tol {
 			break
+		}
+		if mark {
+			t.Begin(fmt.Sprintf("iter %d", it))
 		}
 		a.MulVec(w, p)
 		t.R(a.NNZ() + n)
@@ -55,6 +61,9 @@ func CG(a *CSR, b, x0 []float64, iters int, tol float64, t *Traffic) Result {
 		XpbyInto(t, r, beta, p)
 		dprv = dcur
 		flops += int64(2*a.NNZ() + 10*n)
+		if mark {
+			t.End()
+		}
 	}
 
 	// Final residual (not charged: diagnostic).
@@ -202,6 +211,7 @@ func CACG(op Operator, b, x0 []float64, outers int, cfg CACGConfig, t *Traffic) 
 
 	x := append([]float64(nil), x0...)
 	w := make([]float64, n)
+	t.Begin("setup")
 	a.MulVec(w, x)
 	t.R(a.NNZ() + n)
 	t.W(n)
@@ -217,26 +227,50 @@ func CACG(op Operator, b, x0 []float64, outers int, cfg CACGConfig, t *Traffic) 
 	dprv := dotPlain(r, r)
 	t.R(2 * n)
 	var flops int64 = int64(2*a.NNZ() + 6*n)
+	t.End()
 
 	rec := newRecurrence(op, s, cfg.Basis)
+	mark := t.Marking()
 	iters := 0
 	for o := 0; o < outers; o++ {
+		if mark {
+			t.Begin(fmt.Sprintf("outer %d", o))
+		}
 		switch cfg.Mode {
 		case CACGStored:
 			// Basis written to and read back from slow memory.
+			t.Begin("basis")
 			basis := buildBasisFull(op, p, r, s, rec, t, &flops)
+			t.End()
+			t.Begin("gram")
 			g := gramFull(basis, t, &flops)
+			t.End()
+			t.Begin("inner")
 			ph, rh, xh := innerIterations(g, s, rec, &dprv, &flops)
 			iters += s
+			t.End()
+			t.Begin("recover")
 			recoverFull(basis, ph, rh, xh, p, r, x, t, &flops)
+			t.End()
 		case CACGStreaming:
-			// Basis never written: computed blockwise twice.
+			// Basis never written: computed blockwise twice. The basis
+			// recomputation is interleaved with the Gram accumulation, so
+			// "gram" covers both here.
+			t.Begin("gram")
 			g := gramStreaming(op, p, r, s, rec, cfg.Block, t, &flops)
+			t.End()
+			t.Begin("inner")
 			ph, rh, xh := innerIterations(g, s, rec, &dprv, &flops)
 			iters += s
+			t.End()
+			t.Begin("recover")
 			recoverStreaming(op, p, r, x, ph, rh, xh, s, rec, cfg.Block, t, &flops)
+			t.End()
 		default:
 			return Result{}, fmt.Errorf("krylov: unknown mode %d", cfg.Mode)
+		}
+		if mark {
+			t.End()
 		}
 	}
 

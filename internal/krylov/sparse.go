@@ -12,6 +12,8 @@ package krylov
 import (
 	"fmt"
 	"math"
+
+	"writeavoid/internal/machine"
 )
 
 // CSR is a compressed-sparse-row square matrix.
@@ -158,13 +160,46 @@ func Mesh2D(k, b int) *CSR {
 type Traffic struct {
 	Reads  int64
 	Writes int64
+	// Rec, when non-nil, additionally receives every charge as an EvLoad or
+	// EvStore at interface 0, plus the solvers' Begin/End phase marks, so an
+	// attribution recorder (profile.SpanRecorder) can split the W12 totals
+	// by solver phase. The plain counters above are unaffected.
+	Rec machine.Recorder
 }
 
 // R charges n words read from slow memory.
-func (t *Traffic) R(n int) { t.Reads += int64(n) }
+func (t *Traffic) R(n int) {
+	t.Reads += int64(n)
+	if t.Rec != nil {
+		t.Rec.Record(machine.Event{Kind: machine.EvLoad, Words: int64(n)})
+	}
+}
 
 // W charges n words written to slow memory.
-func (t *Traffic) W(n int) { t.Writes += int64(n) }
+func (t *Traffic) W(n int) {
+	t.Writes += int64(n)
+	if t.Rec != nil {
+		t.Rec.Record(machine.Event{Kind: machine.EvStore, Words: int64(n)})
+	}
+}
+
+// Begin opens a named phase span on the attached recorder; a no-op without
+// one.
+func (t *Traffic) Begin(label string) {
+	if t.Rec != nil {
+		t.Rec.Record(machine.Event{Kind: machine.EvBegin, Label: label})
+	}
+}
+
+// End closes the innermost open span; a no-op without a recorder.
+func (t *Traffic) End() {
+	if t.Rec != nil {
+		t.Rec.Record(machine.Event{Kind: machine.EvEnd})
+	}
+}
+
+// Marking reports whether phase labels are worth formatting.
+func (t *Traffic) Marking() bool { return t.Rec != nil }
 
 // Dot is an instrumented dot product (2n reads, no slow writes).
 func Dot(t *Traffic, a, b []float64) float64 {

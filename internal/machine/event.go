@@ -27,6 +27,19 @@ const (
 	// direction), emitted only while a touch-interested recorder is
 	// attached. Arg and Words are unused.
 	EvTouch
+	// EvBegin opens a named span: subsequent events up to the matching
+	// EvEnd belong to the phase in Label. Spans nest; counters ignore
+	// them, attribution recorders (profile.SpanRecorder) build trees.
+	EvBegin
+	// EvEnd closes the innermost open span.
+	EvEnd
+	// EvRange annotates the words of an enclosing Load or Store with one
+	// contiguous address run: Arg is the interface, Addr the first word,
+	// Words the run length, Write true for a Store (fast->slow). Like
+	// EvTouch it is emitted only to touch-interested recorders and never
+	// changes word or message counters — it tells address-attributing
+	// sinks (write heatmaps) WHICH words crossed, not how many.
+	EvRange
 )
 
 func (k EventKind) String() string {
@@ -43,6 +56,12 @@ func (k EventKind) String() string {
 		return "Flops"
 	case EvTouch:
 		return "Touch"
+	case EvBegin:
+		return "Begin"
+	case EvEnd:
+		return "End"
+	case EvRange:
+		return "Range"
 	}
 	return "?"
 }
@@ -51,10 +70,11 @@ func (k EventKind) String() string {
 // not allocate.
 type Event struct {
 	Kind  EventKind
-	Arg   int    // interface index (EvLoad/EvStore) or level index (EvInit/EvDiscard)
-	Words int64  // words moved, or flop count for EvFlops
-	Addr  uint64 // element address, EvTouch only
-	Write bool   // access direction, EvTouch only
+	Arg   int    // interface index (EvLoad/EvStore/EvRange) or level index (EvInit/EvDiscard)
+	Words int64  // words moved, flop count for EvFlops, or run length for EvRange
+	Addr  uint64 // element address (EvTouch) or run start (EvRange)
+	Write bool   // access direction, EvTouch/EvRange only
+	Label string // span name, EvBegin only
 }
 
 // Recorder consumes the event stream of a Hierarchy. Record is called
@@ -71,6 +91,16 @@ type Recorder interface {
 // recorder wants it.
 type TouchInterest interface {
 	WantsTouch() bool
+}
+
+// SpanInterest is the analogous refinement for EvBegin/EvEnd span marks:
+// recorders that build phase attribution from them return true from
+// WantsSpans. Marks are dispatched to every recorder regardless (they are
+// ignored by counters), but Hierarchy.Marking lets the algorithm drivers
+// skip formatting span labels entirely when no attribution recorder is
+// attached.
+type SpanInterest interface {
+	WantsSpans() bool
 }
 
 // CounterSet is the default recorder: the per-interface traffic and per-level

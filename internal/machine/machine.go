@@ -57,11 +57,12 @@ type LevelCounters struct {
 // Hierarchy is a concrete machine with explicit, programmer-controlled data
 // movement. The zero value is not usable; construct with New.
 type Hierarchy struct {
-	levels []Level
-	def    *CounterSet // default recorder, always present
-	recs   []Recorder  // additional attached recorders
-	touch  []Recorder  // subset of recs that want EvTouch
-	strict bool
+	levels  []Level
+	def     *CounterSet // default recorder, always present
+	recs    []Recorder  // additional attached recorders
+	touch   []Recorder  // subset of recs that want EvTouch
+	marking int         // count of attached recorders that want span marks
+	strict  bool
 }
 
 // New builds a hierarchy from levels listed fastest first. With strict
@@ -103,12 +104,21 @@ func (h *Hierarchy) Attach(r Recorder) {
 	if ti, ok := r.(TouchInterest); ok && ti.WantsTouch() {
 		h.touch = append(h.touch, r)
 	}
+	if si, ok := r.(SpanInterest); ok && si.WantsSpans() {
+		h.marking++
+	}
 }
 
 // Detach unsubscribes a previously attached recorder.
 func (h *Hierarchy) Detach(r Recorder) {
+	before := len(h.recs)
 	h.recs = removeRecorder(h.recs, r)
 	h.touch = removeRecorder(h.touch, r)
+	if len(h.recs) < before {
+		if si, ok := r.(SpanInterest); ok && si.WantsSpans() {
+			h.marking--
+		}
+	}
 }
 
 func removeRecorder(rs []Recorder, r Recorder) []Recorder {
@@ -125,12 +135,44 @@ func removeRecorder(rs []Recorder, r Recorder) []Recorder {
 // is listening.
 func (h *Hierarchy) Tracing() bool { return len(h.touch) > 0 }
 
+// Marking reports whether any attached recorder builds span attribution.
+// Drivers use it to skip formatting span labels in hot loops when nobody is
+// listening; Begin/End themselves always dispatch.
+func (h *Hierarchy) Marking() bool { return h.marking > 0 }
+
 // Touch dispatches one element access to the touch-interested recorders. It
 // is the tracing fast path: a no-op unless Tracing() is true, and it never
 // touches the word counters (the enclosing Load/Store/Flops already did).
 func (h *Hierarchy) Touch(addr uint64, write bool) {
 	for _, r := range h.touch {
 		r.Record(Event{Kind: EvTouch, Addr: addr, Write: write})
+	}
+}
+
+// Begin opens a named span: subsequent events up to the matching End are
+// attributed to the phase `name` by span-aware recorders (the default
+// counters and the sharded/stream recorders ignore marks, so word counts are
+// identical with or without instrumentation). Spans nest arbitrarily; the
+// algorithm drivers mark panel/update/trsm phases and parallel supersteps
+// this way.
+func (h *Hierarchy) Begin(name string) {
+	h.dispatch(Event{Kind: EvBegin, Label: name})
+}
+
+// End closes the innermost span opened by Begin.
+func (h *Hierarchy) End() {
+	h.dispatch(Event{Kind: EvEnd})
+}
+
+// Range annotates the enclosing Load or Store with one contiguous address
+// run of the words it moved across interface iface (store=true for the
+// fast->slow direction). Like Touch it is a no-op unless a touch-interested
+// recorder is attached, and it never changes the word or message counters:
+// it exists so address-attributing sinks (write heatmaps) can see WHICH
+// words crossed an interface, which the bulk Load/Store events do not say.
+func (h *Hierarchy) Range(iface int, addr uint64, words int64, store bool) {
+	for _, r := range h.touch {
+		r.Record(Event{Kind: EvRange, Arg: iface, Addr: addr, Words: words, Write: store})
 	}
 }
 

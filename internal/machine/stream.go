@@ -161,8 +161,15 @@ func (h *Hierarchy) StreamTo(w io.Writer, every int64) *StreamRecorder {
 }
 
 // Record accumulates one event and flushes a record when the periodic
-// threshold is reached.
+// threshold is reached. Span marks and range annotations carry no counter
+// deltas and are not counted as events; phase labels on the stream stay
+// under the caller's explicit Phase control (span attribution is the
+// profile.SpanRecorder's job).
 func (s *StreamRecorder) Record(e Event) {
+	switch e.Kind {
+	case EvBegin, EvEnd, EvRange:
+		return
+	}
 	s.grow(e)
 	s.cur.Record(e)
 	s.events++

@@ -152,7 +152,13 @@ func forces2Level(h *machine.Hierarchy, bs []int, lvl int, s *System, f []Vec3, 
 		return
 	}
 	b := bs[lvl]
+	// fresh is true only at the top-level call, so this marks one span per
+	// outermost force block and none inside the recursion.
+	mark := fresh && h.Marking()
 	for i := i0; i < i0+ni; i += b {
+		if mark {
+			h.Begin(fmt.Sprintf("F[%d:%d]", i, i+b))
+		}
 		h.Load(lvl, int64(b)) // P1 block
 		if fresh {
 			h.Init(lvl, int64(b)) // F block starts at zero (R2)
@@ -167,6 +173,9 @@ func forces2Level(h *machine.Hierarchy, bs []int, lvl int, s *System, f []Vec3, 
 		}
 		h.Store(lvl, int64(b)) // F block written once
 		h.Discard(lvl, int64(b))
+		if mark {
+			h.End()
+		}
 	}
 }
 

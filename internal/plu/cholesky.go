@@ -73,8 +73,12 @@ func cholRightBody(cfg Config, p *dist.Proc, st *state, nb int, bw int64) {
 	myRow := p.Rank / cfg.Q
 	myCol := p.Rank % cfg.Q
 	b := cfg.B
+	mark := p.H.Marking()
 
 	for k := 0; k < nb; k++ {
+		if mark {
+			p.H.Begin(fmt.Sprintf("step %d", k))
+		}
 		ko := cfg.owner(k, k)
 		// Factor the diagonal; broadcast down processor column k (the
 		// panel owners live there).
@@ -147,6 +151,9 @@ func cholRightBody(cfg Config, p *dist.Proc, st *state, nb int, bw int64) {
 				p.H.Store(1, bw) // the RL write amplification
 			}
 		}
+		if mark {
+			p.H.End()
+		}
 	}
 }
 
@@ -154,8 +161,12 @@ func cholLeftBody(cfg Config, p *dist.Proc, st *state, nb int, bw int64) {
 	myRow := p.Rank / cfg.Q
 	myCol := p.Rank % cfg.Q
 	b := cfg.B
+	mark := p.H.Marking()
 
 	for i := 0; i < nb; i++ { // block column I of L
+		if mark {
+			p.H.Begin(fmt.Sprintf("column %d", i))
+		}
 		inColumn := myCol == i%cfg.Q
 		if inColumn {
 			// Stage my share of column i (rows >= i) into DRAM once.
@@ -229,5 +240,8 @@ func cholLeftBody(cfg Config, p *dist.Proc, st *state, nb int, bw int64) {
 			}
 		}
 		p.Barrier()
+		if mark {
+			p.H.End()
+		}
 	}
 }

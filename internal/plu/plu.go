@@ -35,6 +35,10 @@ type Config struct {
 	B           int   // block size
 	M1, M2      int64 // local L1/L2 (DRAM) sizes in words
 	MaxMsgWords int64
+
+	// Observe, when non-nil, supplies one extra recorder per processor
+	// (attribution, tracing); see dist.Config.Observe.
+	Observe dist.Observer
 }
 
 // P returns the processor count.
@@ -62,6 +66,7 @@ func (c Config) machineFor() *dist.Machine {
 			{Name: "NVM"},
 		},
 		MaxMsgWords: c.MaxMsgWords,
+		Observe:     c.Observe,
 	})
 }
 
@@ -168,8 +173,12 @@ func RightLooking(cfg Config, a *matrix.Dense) (*matrix.Dense, *dist.Machine, er
 		st := sts[p.Rank]
 		myRow := p.Rank / cfg.Q
 		myCol := p.Rank % cfg.Q
+		mark := p.H.Marking()
 
 		for k := 0; k < nb; k++ {
+			if mark {
+				p.H.Begin(fmt.Sprintf("step %d", k))
+			}
 			ko := cfg.owner(k, k)
 			// Factor the diagonal block and broadcast it along both
 			// its processor row and column.
@@ -273,6 +282,9 @@ func RightLooking(cfg Config, a *matrix.Dense) (*matrix.Dense, *dist.Machine, er
 					p.H.Store(1, bw) // the RL write amplification
 				}
 			}
+			if mark {
+				p.H.End()
+			}
 		}
 	})
 
@@ -305,8 +317,12 @@ func LeftLooking(cfg Config, a *matrix.Dense) (*matrix.Dense, *dist.Machine, err
 		st := sts[p.Rank]
 		myRow := p.Rank / cfg.Q
 		myCol := p.Rank % cfg.Q
+		mark := p.H.Marking()
 
 		for i := 0; i < nb; i++ { // block column index I
+			if mark {
+				p.H.Begin(fmt.Sprintf("column %d", i))
+			}
 			colProcs := cfg.colGroup(i % cfg.Q)
 			inColumn := myCol == i%cfg.Q
 			if inColumn {
@@ -408,6 +424,9 @@ func LeftLooking(cfg Config, a *matrix.Dense) (*matrix.Dense, *dist.Machine, err
 				st.diag = nil
 			}
 			p.Barrier()
+			if mark {
+				p.H.End()
+			}
 		}
 	})
 

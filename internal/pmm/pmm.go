@@ -36,6 +36,10 @@ type Config struct {
 
 	UseL3       bool  // stage replicas and operands through the NVM level
 	MaxMsgWords int64 // network message size cap (0 = unlimited)
+
+	// Observe, when non-nil, supplies one extra recorder per processor
+	// (attribution, tracing); see dist.Config.Observe.
+	Observe dist.Observer
 }
 
 // P returns the processor count.
@@ -75,6 +79,7 @@ func (c Config) machineFor() *dist.Machine {
 			{Name: "NVM"},
 		},
 		MaxMsgWords: c.MaxMsgWords,
+		Observe:     c.Observe,
 	})
 }
 
@@ -125,8 +130,12 @@ func MM25D(cfg Config, a, b *matrix.Dense) (*matrix.Dense, *dist.Machine, error)
 		for l := 0; l < c; l++ {
 			fiber[l] = cfg.rank(row, col, l)
 		}
+		mark := p.H.Marking()
 
 		// Step 1: layer 0 broadcasts its A and B blocks down the fiber.
+		if mark {
+			p.H.Begin("bcast")
+		}
 		var aBlk, bBlk []float64
 		if layer == 0 {
 			aBlk = flatten(a.Block(row*nb, col*nb, nb, nb))
@@ -147,6 +156,10 @@ func MM25D(cfg Config, a, b *matrix.Dense) (*matrix.Dense, *dist.Machine, error)
 			// of Eq. (5)).
 			p.StageDownToLevel(nvmLevel, 2*int64(nb*nb))
 		}
+		if mark {
+			p.H.End()
+			p.H.Begin("skew")
+		}
 
 		// Step 2: skew to this layer's Cannon offset. Processor
 		// (row,col,layer) must hold A(row, row+col+layer*s) and
@@ -160,15 +173,24 @@ func MM25D(cfg Config, a, b *matrix.Dense) (*matrix.Dense, *dist.Machine, error)
 		bBlk = p.Shift(bTo, bFrom, stageSend(p, cfg, bBlk))
 		stageRecv(p, cfg, aBlk)
 		stageRecv(p, cfg, bBlk)
+		if mark {
+			p.H.End()
+		}
 
 		// Step 3: s multiply-shift steps.
 		cLoc := matrix.New(nb, nb)
 		plan := cfg.localPlan(p.H)
 		for t := 0; t < s; t++ {
+			if mark {
+				p.H.Begin(fmt.Sprintf("step %d", t))
+			}
 			if err := core.MatMul(plan, cLoc, unflatten(aBlk, nb), unflatten(bBlk, nb)); err != nil {
 				panic(err)
 			}
 			if t == s-1 {
+				if mark {
+					p.H.End()
+				}
 				break
 			}
 			aBlk = p.Shift(cfg.rank(row, mod(col-1, q), layer),
@@ -177,9 +199,15 @@ func MM25D(cfg Config, a, b *matrix.Dense) (*matrix.Dense, *dist.Machine, error)
 				cfg.rank(mod(row+1, q), col, layer), stageSend(p, cfg, bBlk))
 			stageRecv(p, cfg, aBlk)
 			stageRecv(p, cfg, bBlk)
+			if mark {
+				p.H.End()
+			}
 		}
 
 		// Step 4: reduce partial products over the fiber to layer 0.
+		if mark {
+			p.H.Begin("reduce")
+		}
 		cFlat := flatten(cLoc)
 		if cfg.UseL3 {
 			p.StageUpFromLevel(nvmLevel, int64(nb*nb))
@@ -192,6 +220,9 @@ func MM25D(cfg Config, a, b *matrix.Dense) (*matrix.Dense, *dist.Machine, error)
 				p.StageDownToLevel(nvmLevel, int64(nb*nb))
 			}
 			cOut[row*q+col] = unflatten(cFlat, nb)
+		}
+		if mark {
+			p.H.End()
 		}
 	})
 
@@ -260,9 +291,13 @@ func SUMMAooL2(cfg Config, tile int, a, b *matrix.Dense) (*matrix.Dense, *dist.M
 		// DRAM-resident during accumulation.
 		plan := &core.Plan{H: p.H, BlockSizes: []int{cfg.B1}, Order: core.OrderWA}
 
+		mark := p.H.Marking()
 		tilesPer := nb / tile
 		for ti := 0; ti < tilesPer; ti++ {
 			for tj := 0; tj < tilesPer; tj++ {
+				if mark {
+					p.H.Begin(fmt.Sprintf("tile[%d,%d]", ti, tj))
+				}
 				cTile := cLoc.Block(ti*tile, tj*tile, tile, tile)
 				p.H.Init(1, int64(tile*tile)) // C tile born in DRAM
 				for k := 0; k < n; k += tile {
@@ -290,6 +325,9 @@ func SUMMAooL2(cfg Config, tile int, a, b *matrix.Dense) (*matrix.Dense, *dist.M
 					}
 				}
 				p.H.Store(1, int64(tile*tile)) // the single NVM write
+				if mark {
+					p.H.End()
+				}
 			}
 		}
 		cOut[row*q+col] = cLoc

@@ -1,0 +1,197 @@
+// Package profile is the attribution layer over the machine.Recorder event
+// engine: where the default counters answer "how many words moved", this
+// package answers *where they came from* — which phase of which algorithm,
+// which address range, at what reuse distance.
+//
+// Four cooperating sinks, all plain machine.Recorder implementations that
+// attach to any Hierarchy (or are driven directly):
+//
+//   - SpanRecorder turns the nested EvBegin/EvEnd marks the algorithm
+//     drivers emit (panel/update/trsm phases, parallel supersteps) into a
+//     span tree. Every span carries the exact Snapshot delta of the events
+//     inside it, extending the streaming layer's exactness invariant to
+//     trees: child deltas plus the parent's self events sum to the parent,
+//     and the implicit root's delta is the post-hoc snapshot.
+//   - The Chrome trace-event exporter (WriteTraceEvent, TraceBuilder)
+//     renders span trees as B/E duration events plus per-interface C
+//     counter tracks, one pid/tid pair per processor, so any wabench or
+//     pmm run opens directly in Perfetto or chrome://tracing.
+//   - ReuseRecorder computes the LRU stack distance of every EvTouch in
+//     O(log n) with a Fenwick tree, split by read/write, and derives the
+//     Proposition 6.1 write-back floor from the write-distance tail.
+//   - HeatmapRecorder counts writes per address block from the EvRange
+//     annotations of block transfers (and, at the element level, from
+//     EvTouch), proving structurally that the write-avoiding algorithms
+//     write each output block exactly once to slow memory.
+//
+// The Profiler type bundles a main SpanRecorder with per-processor groups
+// for distributed runs; cmd/wabench drives one behind -trace and -profile.
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"writeavoid/internal/machine"
+)
+
+// Profiler is the front-end cmd/wabench and tests use: one SpanRecorder for
+// the serial portions of a run (attached to every sequential hierarchy the
+// way a StreamRecorder is), plus named groups of per-processor recorders
+// collected from distributed machines. It renders everything as one Chrome
+// trace or as an ASCII summary.
+type Profiler struct {
+	Main *SpanRecorder
+
+	mu     sync.Mutex
+	groups []*ProcGroup
+}
+
+// NewProfiler builds a profiler whose main recorder starts with the given
+// geometry (growing on demand, like a stream recorder).
+func NewProfiler(levels []machine.Level) *Profiler {
+	return &Profiler{Main: NewSpanRecorder(levels)}
+}
+
+// Observe attaches the main span recorder to a sequential hierarchy.
+func (p *Profiler) Observe(h *machine.Hierarchy) { h.Attach(p.Main) }
+
+// Mark closes every span open on the main recorder and opens a new
+// top-level span named name: the section boundary of a wabench run.
+func (p *Profiler) Mark(name string) { p.Main.Mark(name) }
+
+// ProcGroup is one distributed run's worth of per-processor span recorders;
+// each processor becomes its own tid under the group's pid in the exported
+// trace.
+type ProcGroup struct {
+	Name string
+
+	mu   sync.Mutex
+	recs map[int]*SpanRecorder
+}
+
+// Group registers (and returns) a named group of per-processor recorders.
+// Pass its Recorder method as dist.Config.Observe.
+func (p *Profiler) Group(name string) *ProcGroup {
+	g := &ProcGroup{Name: name, recs: make(map[int]*SpanRecorder)}
+	p.mu.Lock()
+	p.groups = append(p.groups, g)
+	p.mu.Unlock()
+	return g
+}
+
+// Recorder returns processor rank's span recorder, creating it on first
+// use. It matches the dist.Observer signature, so a whole machine is wired
+// with Observe: group.Recorder. Safe for concurrent use.
+func (g *ProcGroup) Recorder(rank int) machine.Recorder {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.recs[rank]
+	if !ok {
+		r = NewSpanRecorder(nil)
+		g.recs[rank] = r
+	}
+	return r
+}
+
+// Proc returns rank's recorder, or nil if that rank never recorded.
+func (g *ProcGroup) Proc(rank int) *SpanRecorder {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.recs[rank]
+}
+
+// Ranks returns the ranks with recorders, sorted.
+func (g *ProcGroup) Ranks() []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]int, 0, len(g.recs))
+	for r := range g.recs {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// WriteTrace exports the whole profile — main spans as pid 0 and each
+// processor group as its own pid with one tid per rank — as Chrome
+// trace-event JSON.
+func (p *Profiler) WriteTrace(w io.Writer) error {
+	b := NewTraceBuilder()
+	b.AddRecorder(0, 0, "main", p.Main)
+	p.mu.Lock()
+	groups := append([]*ProcGroup(nil), p.groups...)
+	p.mu.Unlock()
+	for i, g := range groups {
+		pid := i + 1
+		b.AddProcessName(pid, g.Name)
+		for _, rank := range g.Ranks() {
+			b.AddRecorder(pid, rank, fmt.Sprintf("p%d", rank), g.recs[rank])
+		}
+	}
+	return b.Write(w)
+}
+
+// Summary renders the main span tree as an aligned ASCII table: one row per
+// span with its slow-memory writes, loads, flops and (when a cost model is
+// set) attributed model time. Per-processor groups report their rank count
+// and aggregate slow writes.
+func (p *Profiler) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-40s %12s %12s %12s\n", "span", "loadWords", "storeWords", "flops")
+	p.Main.Finish()
+	for _, root := range p.Main.Roots() {
+		root.Walk(func(s *Span, depth int) {
+			name := strings.Repeat("  ", depth) + s.Name
+			top := topIface(s.Delta)
+			fmt.Fprintf(&b, "%-40s %12d %12d %12d\n", clip(name, 40), top.LoadWords, top.StoreWords, s.Delta.Flops)
+		})
+	}
+	p.mu.Lock()
+	groups := append([]*ProcGroup(nil), p.groups...)
+	p.mu.Unlock()
+	for _, g := range groups {
+		var spans int
+		var stores int64
+		for _, rank := range g.Ranks() {
+			r := g.recs[rank]
+			r.Finish()
+			for _, root := range r.Roots() {
+				root.Walk(func(s *Span, _ int) {
+					spans++
+					stores += topIface(s.Delta).StoreWords
+				})
+			}
+		}
+		fmt.Fprintf(&b, "%-40s %12s %12d %12s  (%d procs, %d spans)\n",
+			clip("group "+g.Name, 40), "-", stores, "-", len(g.recs), spans)
+	}
+	return b.String()
+}
+
+// topIface returns the snapshot's coarsest interface that saw any traffic
+// (falling back to the true coarsest): sinks driven directly rather than
+// through a full hierarchy (the krylov Traffic counter) charge interface 0
+// even when the shared recorder's geometry is deeper, and a summary of
+// all-zero rows would hide them.
+func topIface(s machine.Snapshot) machine.InterfaceSnapshot {
+	if len(s.Interfaces) == 0 {
+		return machine.InterfaceSnapshot{}
+	}
+	for i := len(s.Interfaces) - 1; i >= 0; i-- {
+		if ifc := s.Interfaces[i]; ifc.LoadWords != 0 || ifc.StoreWords != 0 {
+			return ifc
+		}
+	}
+	return s.Interfaces[len(s.Interfaces)-1]
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -42,6 +42,10 @@ func RunParallel(sched Schedule, rec machine.Recorder) (Result, error) {
 				h = handler.Handle()
 			}
 			for _, t := range sched.Queues[w] {
+				// Each task is one span on this worker's recorder; counting
+				// recorders (shards) ignore the marks, span recorders
+				// attribute the task's touches to its label.
+				h.Record(machine.Event{Kind: machine.EvBegin, Label: t.Label})
 				for _, op := range t.Ops {
 					h.Record(machine.Event{
 						Kind:  machine.EvTouch,
@@ -50,6 +54,7 @@ func RunParallel(sched Schedule, rec machine.Recorder) (Result, error) {
 					})
 					tallies[w].accesses++
 				}
+				h.Record(machine.Event{Kind: machine.EvEnd})
 				tallies[w].tasks++
 			}
 		}(w)
