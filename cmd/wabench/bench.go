@@ -1,0 +1,188 @@
+package main
+
+// The -benchjson mode: a self-timing harness over the repository's benchmark
+// workloads (the same bodies bench_test.go runs under `go test -bench`),
+// producing a machine-readable JSON artifact without needing the test
+// binary. Each workload reports wall time per op plus the machine events it
+// drove per op, counted by a monitor attached both directly (raw-substrate
+// kernels) and through the experiments hooks (section drivers) — so the
+// artifact pairs "how fast" with "how much simulated memory activity".
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"time"
+
+	"writeavoid/internal/cache"
+	"writeavoid/internal/cdag"
+	"writeavoid/internal/core"
+	"writeavoid/internal/experiments"
+	"writeavoid/internal/extsort"
+	"writeavoid/internal/fft"
+	"writeavoid/internal/machine"
+	"writeavoid/internal/matrix"
+	"writeavoid/internal/monitor"
+)
+
+// BenchResult is one workload's line in the -benchjson document.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	EventsPerOp float64 `json:"eventsPerOp"`
+}
+
+// BenchReport is the top-level -benchjson document.
+type BenchReport struct {
+	Quick   bool          `json:"quick"`
+	Results []BenchResult `json:"results"`
+}
+
+// benchWorkload is one timed unit: run executes a single op, recording any
+// hierarchy it builds into rec (section drivers reach the same recorder
+// through the experiments monitor hook instead).
+type benchWorkload struct {
+	name string
+	run  func(rec machine.Recorder) error
+}
+
+// benchWorkloads mirrors ten benchmarks of bench_test.go — the five section
+// drivers and five raw-substrate kernels — with the same shapes and sizes,
+// so the JSON artifact tracks the same work `go test -bench` times.
+func benchWorkloads() []benchWorkload {
+	rng := rand.New(rand.NewPCG(1, 2))
+	return []benchWorkload{
+		{"Fig2", func(machine.Recorder) error {
+			experiments.Fig2(true)
+			return nil
+		}},
+		{"Table1", func(machine.Recorder) error {
+			experiments.Table1(true)
+			return nil
+		}},
+		{"Sec4Kernels", func(machine.Recorder) error {
+			experiments.Sec4(true)
+			return nil
+		}},
+		{"Sec7LU", func(machine.Recorder) error {
+			experiments.LU(true)
+			return nil
+		}},
+		{"Sec8Krylov", func(machine.Recorder) error {
+			experiments.Krylov(true)
+			return nil
+		}},
+		{"WAMatMulCompute", func(rec machine.Recorder) error {
+			n := 128
+			a := matrix.Random(n, n, 1)
+			b := matrix.Random(n, n, 2)
+			p := core.TwoLevelPlan(3*16*16, 16, core.OrderWA)
+			p.H.Attach(rec)
+			return core.MatMul(p, matrix.New(n, n), a, b)
+		}},
+		{"CacheSimFALRU", func(machine.Recorder) error {
+			c := cache.NewFALRU(128*1024, 64)
+			for i := 0; i < 1<<16; i++ {
+				c.Access(uint64(i*64)%(1<<22), i&7 == 0)
+			}
+			return nil
+		}},
+		{"FFTExternal", func(rec machine.Recorder) error {
+			x := make([]complex128, 4096)
+			for i := range x {
+				x[i] = complex(float64(i%7), float64(i%3))
+			}
+			h := machine.TwoLevel(64)
+			h.Attach(rec)
+			fft.External(h, 64, x)
+			return nil
+		}},
+		{"ExternalSort", func(rec machine.Recorder) error {
+			data := make([]float64, 1<<14)
+			for i := range data {
+				data[i] = float64((i * 2654435761) % 99991)
+			}
+			h := machine.TwoLevel(256)
+			h.Attach(rec)
+			_, err := extsort.Sort(h, 256, data)
+			return err
+		}},
+		{"ScheduleSimulation", func(machine.Recorder) error {
+			g := fft.BuildCDAG(64)
+			order := cdag.RandomTopoOrder(g, rng)
+			_, err := cdag.Schedule(g, order, 16, rng)
+			return err
+		}},
+	}
+}
+
+// runBenchJSON times every workload (one warmup op, then at least three ops
+// and at least minDur of wall time) and writes the JSON report to path.
+func runBenchJSON(path string, quick bool) int {
+	minDur := time.Second
+	if quick {
+		minDur = 200 * time.Millisecond
+	}
+	const minIters, maxIters = 3, 1000
+
+	rep := BenchReport{Quick: quick}
+	for _, w := range benchWorkloads() {
+		// The monitor doubles as the event counter: it is a Recorder, the
+		// experiments hooks accept it, and TotalEvents is exactly the
+		// counter-bearing event count.
+		warm := monitor.New(machine.GenericLevels(3), nil)
+		experiments.SetMonitor(warm)
+		err := w.run(warm)
+		experiments.SetMonitor(nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wabench: bench %s: %v\n", w.name, err)
+			return 1
+		}
+
+		m := monitor.New(machine.GenericLevels(3), nil)
+		experiments.SetMonitor(m)
+		iters := 0
+		start := time.Now()
+		var elapsed time.Duration
+		for iters < minIters || (elapsed < minDur && iters < maxIters) {
+			if err := w.run(m); err != nil {
+				experiments.SetMonitor(nil)
+				fmt.Fprintf(os.Stderr, "wabench: bench %s: %v\n", w.name, err)
+				return 1
+			}
+			iters++
+			elapsed = time.Since(start)
+		}
+		experiments.SetMonitor(nil)
+
+		res := BenchResult{
+			Name:        w.name,
+			Iters:       iters,
+			NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+			EventsPerOp: float64(m.TotalEvents()) / float64(iters),
+		}
+		rep.Results = append(rep.Results, res)
+		fmt.Fprintf(os.Stderr, "wabench: bench %-20s %14.0f ns/op %14.1f events/op  (%d iters)\n",
+			res.Name, res.NsPerOp, res.EventsPerOp, res.Iters)
+	}
+
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wabench:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "wabench:", err)
+		return 1
+	}
+	return 0
+}

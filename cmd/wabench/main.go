@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	wabench [-quick] [-json] [-stream file] [-trace file] [-profile] [section ...]
+//	wabench [-quick] [-json] [-stream file] [-trace file] [-profile]
+//	        [-serve addr] [-check off|warn|strict] [-benchjson file] [section ...]
 //
 // Sections: sec2 sec3 sec4 sec5 fig2 fig5 realcache table1 table2 lu krylov sec9 smp multilevel all
 // (default: all). -quick shrinks problem sizes so the whole run finishes in
@@ -18,13 +19,38 @@
 // deltas equal the final cumulative record exactly; tail the file to watch a
 // long run's write/read trajectories mid-flight.
 //
-// -trace writes a Chrome trace-event JSON profile of the whole run: one
-// duration event per algorithm phase span (panels, supersteps, solver
-// phases), per-interface word-count counter tracks, and one pid/tid pair per
-// processor of the distributed sections. Open the file in Perfetto
+// -trace writes a Chrome trace-event JSON profile of the whole run ("-" =
+// stdout): one duration event per algorithm phase span (panels, supersteps,
+// solver phases), per-interface word-count counter tracks, and one pid/tid
+// pair per processor of the distributed sections. Open the file in Perfetto
 // (ui.perfetto.dev) or chrome://tracing, or validate it with `watrace
 // checktrace`. -profile prints the same attribution as an ASCII span-tree
-// table on stdout after the sections finish.
+// table on stdout after the sections finish. At most one output may claim
+// stdout: -json, -stream -, -trace - and -benchjson - are mutually exclusive.
+//
+// -check evaluates the paper's bounds online while the run executes: a
+// conformance monitor observes every counted hierarchy and, at each section
+// boundary, asserts the registered predictions (Theorem 1, the Θ(output)
+// write floor and ceiling, the n³/√M traffic bound, Theorem 2's store
+// fraction, the Proposition 6.1 write-back counts, the distributed W1/W2
+// floors) against that section's exact counter delta. "warn" reports
+// violations on stderr; "strict" additionally exits nonzero when any bound
+// failed — the CI gate.
+//
+// -serve starts a live observability HTTP server on addr (":0" picks a
+// port, printed to stderr) for the duration of the run:
+//
+//	/metrics     Prometheus text exposition of the cumulative counters
+//	/snapshot    machine snapshot + per-rank and cache views as JSON
+//	/spans       span-tree attribution JSON (with -trace/-profile)
+//	/events      live metrics records + phase marks as Server-Sent Events
+//	/violations  the conformance monitor's violation list as JSON
+//	/healthz     liveness
+//
+// -benchjson is a standalone mode: instead of the sections it times the
+// benchmark workload suite (the same workloads as `go test -bench`) and
+// writes ns/op plus counted events/op per workload as JSON to the given
+// file ("-" = stdout), for CI artifact upload.
 package main
 
 import (
@@ -38,28 +64,58 @@ import (
 	"writeavoid/internal/costmodel"
 	"writeavoid/internal/experiments"
 	"writeavoid/internal/machine"
+	"writeavoid/internal/monitor"
 	"writeavoid/internal/profile"
 )
 
-func main() {
-	quick := flag.Bool("quick", false, "run reduced problem sizes")
-	hwKind := flag.String("hw", "nvm", "hardware preset for analytic tables: dram|nvm")
-	jsonOut := flag.Bool("json", false, "emit per-phase recorder snapshots as JSON")
-	streamTo := flag.String("stream", "", "stream live metrics as JSON lines to this file (- = stdout)")
-	streamEvery := flag.Int64("stream-every", 100000, "events between periodic stream records (<=0: only phase marks)")
-	traceTo := flag.String("trace", "", "write a Chrome trace-event JSON profile of the run to this file")
-	profileOut := flag.Bool("profile", false, "print a per-phase attribution summary after the run")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:])) }
 
-	sections := flag.Args()
-	if len(sections) == 0 {
-		sections = []string{"all"}
+// run is main with an exit code: deferred cleanups (stream flushes, trace
+// writing, server shutdown) must run before the process exits, so nothing
+// below calls os.Exit directly on the happy paths.
+func run(args []string) (rc int) {
+	fs := flag.NewFlagSet("wabench", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "run reduced problem sizes")
+	hwKind := fs.String("hw", "nvm", "hardware preset for analytic tables: dram|nvm")
+	jsonOut := fs.Bool("json", false, "emit per-phase recorder snapshots as JSON")
+	streamTo := fs.String("stream", "", "stream live metrics as JSON lines to this file (- = stdout)")
+	streamEvery := fs.Int64("stream-every", 100000, "events between periodic stream records (<=0: only phase marks)")
+	traceTo := fs.String("trace", "", "write a Chrome trace-event JSON profile of the run to this file (- = stdout)")
+	profileOut := fs.Bool("profile", false, "print a per-phase attribution summary after the run")
+	serveAddr := fs.String("serve", "", "serve live observability HTTP on this address (e.g. :8080, :0 = ephemeral)")
+	checkMode := fs.String("check", "off", "theory-conformance checking: off | warn | strict (strict exits nonzero on violation)")
+	benchJSON := fs.String("benchjson", "", "standalone mode: run the benchmark suite, write ns/op + events/op JSON here (- = stdout)")
+	fs.Parse(args) //nolint:errcheck
+
+	switch *checkMode {
+	case "off", "warn", "strict":
+	default:
+		fmt.Fprintf(os.Stderr, "wabench: unknown -check %q (want off|warn|strict)\n", *checkMode)
+		return 2
 	}
-	want := map[string]bool{}
-	for _, s := range sections {
-		want[s] = true
+	// Exactly one writer may own stdout; catching the contradiction here
+	// beats interleaving three JSON dialects into one stream.
+	stdoutClaims := []string{}
+	if *jsonOut {
+		stdoutClaims = append(stdoutClaims, "-json")
 	}
-	on := func(name string) bool { return want["all"] || want[name] }
+	if *streamTo == "-" {
+		stdoutClaims = append(stdoutClaims, "-stream -")
+	}
+	if *traceTo == "-" {
+		stdoutClaims = append(stdoutClaims, "-trace -")
+	}
+	if *benchJSON == "-" {
+		stdoutClaims = append(stdoutClaims, "-benchjson -")
+	}
+	if len(stdoutClaims) > 1 {
+		fmt.Fprintf(os.Stderr, "wabench: %v all write to stdout; pick one (or give the others file names)\n", stdoutClaims)
+		return 2
+	}
+	if *benchJSON != "" && (*jsonOut || fs.NArg() > 0) {
+		fmt.Fprintln(os.Stderr, "wabench: -benchjson is a standalone mode; it cannot combine with -json or section arguments")
+		return 2
+	}
 
 	var hw costmodel.HW
 	switch *hwKind {
@@ -69,27 +125,43 @@ func main() {
 		hw = costmodel.NVMBacked(8)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -hw %q (want dram|nvm)\n", *hwKind)
-		os.Exit(2)
+		return 2
 	}
 
-	var stream *machine.StreamRecorder
+	if *benchJSON != "" {
+		return runBenchJSON(*benchJSON, *quick)
+	}
+
+	sections := fs.Args()
+	if len(sections) == 0 {
+		sections = []string{"all"}
+	}
+	want := map[string]bool{}
+	for _, s := range sections {
+		want[s] = true
+	}
+	on := func(name string) bool { return want["all"] || want[name] }
+
 	if *streamTo != "" {
 		var w io.Writer = os.Stdout
 		if *streamTo != "-" {
 			f, err := os.Create(*streamTo)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 			defer f.Close()
 			w = f
 		}
-		stream = machine.NewStreamRecorder(w, machine.GenericLevels(3), *streamEvery)
+		stream := machine.NewStreamRecorder(w, machine.GenericLevels(3), *streamEvery)
 		experiments.SetStream(stream)
 		defer func() {
 			experiments.SetStream(nil)
 			if err := stream.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, err)
+				if rc == 0 {
+					rc = 1
+				}
 			}
 		}()
 	}
@@ -102,33 +174,84 @@ func main() {
 			if *profileOut {
 				fmt.Print(prof.Summary())
 			}
-			if *traceTo != "" {
-				f, err := os.Create(*traceTo)
-				if err != nil {
+			if *traceTo == "" {
+				return
+			}
+			w := io.Writer(os.Stdout)
+			var f *os.File
+			if *traceTo != "-" {
+				var err error
+				if f, err = os.Create(*traceTo); err != nil {
 					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
+					if rc == 0 {
+						rc = 1
+					}
+					return
 				}
-				werr := prof.WriteTrace(f)
-				cerr := f.Close()
-				if werr != nil || cerr != nil {
-					fmt.Fprintln(os.Stderr, "writing trace:", werr, cerr)
-					os.Exit(1)
+				w = f
+			}
+			werr := prof.WriteTrace(w)
+			var cerr error
+			if f != nil {
+				cerr = f.Close()
+			}
+			if werr != nil || cerr != nil {
+				fmt.Fprintln(os.Stderr, "writing trace:", werr, cerr)
+				if rc == 0 {
+					rc = 1
 				}
 			}
+		}()
+	}
+
+	// The conformance monitor observes whenever checking or serving is on:
+	// the server's /violations and /snapshot endpoints are backed by it even
+	// when the check verdict is not enforced.
+	var mon *monitor.Monitor
+	if *checkMode != "off" || *serveAddr != "" {
+		reg := experiments.ConformanceChecks(*quick)
+		if *jsonOut {
+			reg = jsonSuiteChecks()
+		}
+		mon = monitor.New(machine.GenericLevels(3), reg)
+		experiments.SetMonitor(mon)
+		defer experiments.SetMonitor(nil)
+	}
+
+	if *serveAddr != "" {
+		srv := monitor.NewServer()
+		if mon != nil {
+			srv.SetMonitor(mon)
+		}
+		// A second stream recorder feeds the SSE bridge, so /events carries
+		// the same JSONL records a -stream file would, phase marks included.
+		sse := machine.NewStreamRecorder(srv.Events(), machine.GenericLevels(3), *streamEvery)
+		experiments.AddStream(sse)
+		experiments.SetServer(srv)
+		addr, err := srv.Start(*serveAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wabench:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wabench: serving observability on http://%s/\n", addr)
+		defer func() {
+			experiments.SetServer(nil)
+			_ = sse.Close() // final record reaches /events subscribers
+			_ = srv.Close()
 		}()
 	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(buildJSONReport(*quick, *hwKind, hw, stream)); err != nil {
+		if err := enc.Encode(buildJSONReport(*quick, *hwKind, hw)); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return conformanceVerdict(mon, *checkMode)
 	}
 
-	run := func(name string, f func() string) {
+	runSec := func(name string, f func() string) {
 		if !on(name) {
 			return
 		}
@@ -138,27 +261,73 @@ func main() {
 		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
-	run("sec2", experiments.Sec2Report)
-	run("sec3", func() string { return experiments.FormatSec3(experiments.Sec3(*quick)) })
-	run("sec4", func() string { return experiments.FormatSec4(experiments.Sec4(*quick)) })
-	run("sec5", func() string { return experiments.FormatSec5(experiments.Sec5(*quick)) })
-	run("fig2", func() string { return experiments.FormatPanels(experiments.Fig2(*quick)) })
-	run("fig5", func() string { return experiments.FormatPanels(experiments.Fig5(*quick)) })
-	run("realcache", func() string {
+	runSec("sec2", experiments.Sec2Report)
+	runSec("sec3", func() string { return experiments.FormatSec3(experiments.Sec3(*quick)) })
+	runSec("sec4", func() string { return experiments.FormatSec4(experiments.Sec4(*quick)) })
+	runSec("sec5", func() string { return experiments.FormatSec5(experiments.Sec5(*quick)) })
+	runSec("fig2", func() string { return experiments.FormatPanels(experiments.Fig2(*quick)) })
+	runSec("fig5", func() string { return experiments.FormatPanels(experiments.Fig5(*quick)) })
+	runSec("realcache", func() string {
 		wa, co := experiments.RealCacheCrossCheck()
 		return fmt.Sprintf("== Set-associative CLOCK3 cross-check (250 x 128 x 250, 16-way)\n"+
 			"WA order victims.M = %d, CO order victims.M = %d (ordering preserved: %v)\n",
 			wa, co, wa < co)
 	})
-	run("table1", func() string {
+	runSec("table1", func() string {
 		return experiments.FormatTable1(experiments.Table1(*quick), hw, 1<<14, 1<<10, 2, 8)
 	})
-	run("table2", func() string {
+	runSec("table2", func() string {
 		return experiments.FormatTable2(experiments.Table2(*quick), hw, 1<<20, 256, 4)
 	})
-	run("lu", func() string { return experiments.FormatLU(experiments.LU(*quick), hw) })
-	run("krylov", func() string { return experiments.FormatKrylov(experiments.Krylov(*quick)) })
-	run("sec9", func() string { return experiments.Sec9Report(*quick) })
-	run("smp", func() string { return experiments.SMPReport(*quick) })
-	run("multilevel", func() string { return experiments.FormatMultiLevel(experiments.MultiLevel(*quick)) })
+	runSec("lu", func() string { return experiments.FormatLU(experiments.LU(*quick), hw) })
+	runSec("krylov", func() string { return experiments.FormatKrylov(experiments.Krylov(*quick)) })
+	runSec("sec9", func() string { return experiments.Sec9Report(*quick) })
+	runSec("smp", func() string { return experiments.SMPReport(*quick) })
+	runSec("multilevel", func() string { return experiments.FormatMultiLevel(experiments.MultiLevel(*quick)) })
+
+	return conformanceVerdict(mon, *checkMode)
+}
+
+// conformanceVerdict closes the monitor after the run and turns its
+// violations into the process outcome: silent under "off", reported under
+// "warn", reported and nonzero under "strict". It is the last sequential
+// step of both output modes.
+func conformanceVerdict(mon *monitor.Monitor, mode string) int {
+	if mon == nil {
+		return 0
+	}
+	viol := mon.Finish()
+	if mode == "off" {
+		return 0
+	}
+	if len(viol) == 0 {
+		fmt.Fprintf(os.Stderr, "wabench: conformance ok — %d phases checked, 0 violations\n", mon.Phases())
+		return 0
+	}
+	for _, v := range viol {
+		fmt.Fprintln(os.Stderr, "wabench: conformance violation:", v)
+	}
+	fmt.Fprintf(os.Stderr, "wabench: conformance FAILED — %d violation(s) over %d phases\n", len(viol), mon.Phases())
+	if mode == "strict" {
+		return 1
+	}
+	return 0
+}
+
+// jsonSuiteChecks is the conformance registry for the -json counted phase
+// suite (buildJSONReport): the same bounds the text sections assert, sized to
+// the suite's fixed phases.
+func jsonSuiteChecks() *monitor.Registry {
+	reg := monitor.NewRegistry()
+	reg.Register(monitor.Theorem1(1))
+	// 64x64 matmul at M=768: output floor, WA store ceiling, Hong-Kung floor.
+	reg.Register(monitor.OutputFloor("matmul-wa", 64*64))
+	reg.Register(monitor.WACeiling("matmul-wa", 64*64, 1.25))
+	reg.Register(monitor.CATraffic("matmul-wa", 64, 64, 64, 768, 1))
+	reg.Register(monitor.OutputFloor("matmul-nonwa", 64*64))
+	// n=1024 FFT: Theorem 2 with out-degree 2 and 2n input words.
+	reg.Register(monitor.StoreFraction("fft-external", 2, 2*1024, 1))
+	// 2^12-word external sort writes at least its output.
+	reg.Register(monitor.OutputFloor("extsort", 1<<12))
+	return reg
 }

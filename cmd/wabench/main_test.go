@@ -11,7 +11,7 @@ import (
 // through independent struct tags, the way an external tool would, and
 // checks the counters inside.
 func TestJSONReportCounters(t *testing.T) {
-	raw, err := json.Marshal(buildJSONReport(true, "nvm", costmodel.NVMBacked(8), nil))
+	raw, err := json.Marshal(buildJSONReport(true, "nvm", costmodel.NVMBacked(8)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package main
 import (
 	"writeavoid/internal/core"
 	"writeavoid/internal/costmodel"
+	"writeavoid/internal/experiments"
 	"writeavoid/internal/extsort"
 	"writeavoid/internal/fft"
 	"writeavoid/internal/machine"
@@ -28,19 +29,19 @@ type Report struct {
 // buildJSONReport runs a small suite of counted phases, each on a fresh
 // hierarchy with a costmodel.Recorder attached, and snapshots the counters.
 // Phase sizes are fixed (they already finish in milliseconds), so quick only
-// tags the document. When a stream recorder is given, every phase hierarchy
-// also reports into it and phase boundaries become stream marks, so the
-// JSONL deltas line up with the report's phases name for name.
-func buildJSONReport(quick bool, hwName string, hw costmodel.HW, stream *machine.StreamRecorder) Report {
+// tags the document. Each phase passes its hierarchy through the experiments
+// observability hooks, so any installed stream recorders, profiler, monitor
+// and server see the suite the same way they see the text sections — phase
+// boundaries become marks, and the JSONL deltas line up with the report's
+// phases name for name.
+func buildJSONReport(quick bool, hwName string, hw costmodel.HW) Report {
 	rep := Report{HW: hwName, Quick: quick}
 
 	phase := func(name string, h *machine.Hierarchy, run func()) {
 		rec := costmodel.NewRecorder(hw)
 		h.Attach(rec)
-		if stream != nil {
-			stream.Phase(name)
-			h.Attach(stream)
-		}
+		experiments.Mark(name)
+		experiments.Observe(h)
 		run()
 		rep.Phases = append(rep.Phases, PhaseReport{
 			Name:             name,

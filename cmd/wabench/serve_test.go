@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"writeavoid/internal/costmodel"
+	"writeavoid/internal/experiments"
+	"writeavoid/internal/machine"
+	"writeavoid/internal/monitor"
+)
+
+// sseClient subscribes to /events and hands back a line reader plus a
+// cancel that models the browser tab closing.
+func sseClient(t *testing.T, url string) (*bufio.Reader, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	req, _ := http.NewRequestWithContext(ctx, "GET", url+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	r := bufio.NewReader(resp.Body)
+	if line, err := r.ReadString('\n'); err != nil || !strings.HasPrefix(line, ":") {
+		cancel()
+		t.Fatalf("no opening comment: %q %v", line, err)
+	}
+	return r, cancel
+}
+
+// The wabench -serve wiring end to end, minus the TCP listener: the counted
+// phase suite runs with the server installed, one SSE client watches the
+// whole run (and must see a phase mark and at least one stream record per
+// phase), while a second client disconnects mid-run without disturbing it.
+func TestServeEventsStreamDuringRun(t *testing.T) {
+	srv := monitor.NewServer()
+	sse := machine.NewStreamRecorder(srv.Events(), machine.GenericLevels(3), 0)
+	experiments.AddStream(sse)
+	experiments.SetServer(srv)
+	defer func() {
+		experiments.SetServer(nil)
+		experiments.SetStream(nil)
+	}()
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	watcher, stopWatching := sseClient(t, ts.URL)
+	defer stopWatching()
+	quitter, disconnect := sseClient(t, ts.URL)
+	_ = quitter
+	disconnect() // hangs up before the run starts producing
+
+	buildJSONReport(true, "nvm", costmodel.NVMBacked(8))
+	if err := sse.Close(); err != nil { // flush the final record to /events
+		t.Fatal(err)
+	}
+
+	phases := []string{"matmul-wa", "matmul-nonwa", "fft-external", "extsort"}
+	marks := map[string]bool{}
+	records := map[string]bool{}
+	for len(marks) < len(phases) || len(records) < len(phases) {
+		line, err := watcher.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended early (marks %v, records %v): %v", marks, records, err)
+		}
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var rec struct {
+			Phase string `json:"phase"`
+			Final bool   `json:"final"`
+			Seq   *int64 `json:"seq"`
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(strings.TrimSpace(line), "data: ")), &rec); err != nil {
+			t.Fatalf("bad event payload %q: %v", line, err)
+		}
+		if rec.Seq == nil {
+			marks[rec.Phase] = true // MarkPhase broadcast: {"phase":...} only
+		} else {
+			records[rec.Phase] = true // stream record with counters
+		}
+	}
+	for _, p := range phases {
+		if !marks[p] {
+			t.Errorf("no phase mark for %q on /events", p)
+		}
+		if !records[p] {
+			t.Errorf("no stream record for %q on /events", p)
+		}
+	}
+
+	// The disconnected client must be unsubscribed; the watcher stays.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Events().Clients() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("clients = %d after disconnect, want 1", srv.Events().Clients())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -32,8 +32,10 @@ func decodeStream(t *testing.T, raw []byte) []machine.StreamRecord {
 func TestStreamJSONLRoundTripsExactly(t *testing.T) {
 	var buf bytes.Buffer
 	stream := machine.NewStreamRecorder(&buf, machine.GenericLevels(3), 1000)
+	experiments.SetStream(stream)
 
-	buildJSONReport(true, "nvm", costmodel.NVMBacked(8), stream)
+	buildJSONReport(true, "nvm", costmodel.NVMBacked(8))
+	experiments.SetStream(nil)
 	if err := stream.Close(); err != nil {
 		t.Fatal(err)
 	}

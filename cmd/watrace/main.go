@@ -19,6 +19,12 @@
 // OPT is offline (its answers need the whole trace), so -stream emits only
 // the final record there.
 //
+// sim -serve starts a live observability HTTP server for the duration of the
+// replay: /metrics exposes the simulator's cumulative stats as Prometheus
+// text, /snapshot as JSON, and /events streams the same records a -stream
+// file receives as Server-Sent Events. Stats reach the server as copies at
+// each -stream-every emission, so scrapes never race the replay.
+//
 // sim -trace writes the replay as Chrome trace-event JSON: one span over the
 // whole access sequence plus counter tracks of the cumulative hit, fill and
 // write-back trajectories (ts = access index). Open it in Perfetto or
@@ -46,6 +52,7 @@ import (
 	"writeavoid/internal/access"
 	"writeavoid/internal/cache"
 	"writeavoid/internal/core"
+	"writeavoid/internal/monitor"
 	"writeavoid/internal/profile"
 )
 
@@ -175,6 +182,7 @@ func sim(args []string) {
 	streamTo := fs.String("stream", "", "stream periodic stats as JSON lines to this file (- = stdout)")
 	streamEvery := fs.Int64("stream-every", 1<<20, "accesses between periodic stream records")
 	traceTo := fs.String("trace", "", "write a Chrome trace-event JSON timeline of the replay to this file")
+	serveAddr := fs.String("serve", "", "serve live observability HTTP on this address during the replay (:0 = ephemeral)")
 	fs.Parse(args) //nolint:errcheck
 
 	if *in == "" {
@@ -187,18 +195,47 @@ func sim(args []string) {
 	}
 	defer f.Close()
 
-	var ss *statsStream
+	// -serve exposes the replay live: /metrics and /snapshot carry the
+	// simulator's cumulative stats (pushed as copies at every periodic
+	// emission, so HTTP readers never touch the simulator itself) and
+	// /events streams the same JSON records a -stream file receives.
+	var srv *monitor.Server
+	if *serveAddr != "" {
+		srv = monitor.NewServer()
+		addr, err := srv.Start(*serveAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "watrace: serving observability on http://%s/\n", addr)
+		defer srv.Close()
+	}
+
+	var streamW io.Writer
 	if *streamTo != "" {
-		var w io.Writer = os.Stdout
+		streamW = os.Stdout
 		if *streamTo != "-" {
 			sf, err := os.Create(*streamTo)
 			if err != nil {
 				fatal(err)
 			}
 			defer sf.Close()
-			w = sf
+			streamW = sf
 		}
-		ss = newStatsStream(w, *streamEvery)
+	}
+	if srv != nil {
+		if streamW != nil {
+			streamW = io.MultiWriter(streamW, srv.Events())
+		} else {
+			streamW = srv.Events()
+		}
+	}
+	var ss *statsStream
+	if streamW != nil {
+		ss = newStatsStream(streamW, *streamEvery)
+		if srv != nil {
+			name := *policy
+			ss.publish = func(st cache.Stats) { srv.PublishCacheStats(name, st) }
+		}
 	}
 
 	tx := newTraceExport(*traceTo, *streamEvery)
@@ -268,6 +305,10 @@ type statsStream struct {
 	prev    cache.Stats
 	every   int64
 	pending int64
+	// publish, when set, additionally pushes each record's cumulative stats
+	// to the observability server (a copy — the HTTP side never reads the
+	// live simulator).
+	publish func(cache.Stats)
 }
 
 func newStatsStream(w io.Writer, every int64) *statsStream {
@@ -293,6 +334,9 @@ func (s *statsStream) emit(cum cache.Stats, final bool) error {
 	rec := StatsRecord{Seq: s.seq, Final: final, Delta: cum.Sub(s.prev), Cum: cum}
 	if err := s.enc.Encode(rec); err != nil {
 		return err
+	}
+	if s.publish != nil {
+		s.publish(cum)
 	}
 	s.seq++
 	s.prev = cum

@@ -104,8 +104,10 @@ func New(cfg Config) *Machine {
 		}
 		// Each processor's hierarchy also feeds a private shard of the
 		// machine-wide aggregate, so whole-machine totals are available
-		// race-free even while processors run concurrently.
-		p.H.Attach(m.agg.Handle())
+		// race-free even while processors run concurrently. The shard is
+		// kept on the Proc so per-rank totals are, too (RankSnapshot).
+		p.shard = m.agg.Handle()
+		p.H.Attach(p.shard)
 		if cfg.Observe != nil {
 			if rec := cfg.Observe(r); rec != nil {
 				p.H.Attach(rec)
@@ -205,6 +207,23 @@ func (m *Machine) MaxWritesTo(lvl int) int64 {
 // state and does not aggregate.
 func (m *Machine) Aggregate() *machine.CounterSet { return m.agg.Merge() }
 
+// RankSnapshot renders processor r's share of the machine-wide recorder as a
+// snapshot under the machine's level geometry. Like Aggregate it is safe to
+// call at any time — the shard is read with atomic loads — so live per-rank
+// metrics can be scraped while the processors run.
+func (m *Machine) RankSnapshot(r int) machine.Snapshot {
+	return machine.SnapshotOf(m.cfg.Levels, m.procs[r].shard.Counters())
+}
+
+// RankSnapshots returns RankSnapshot for every rank, in rank order.
+func (m *Machine) RankSnapshots() []machine.Snapshot {
+	out := make([]machine.Snapshot, m.cfg.P)
+	for r := range out {
+		out[r] = m.RankSnapshot(r)
+	}
+	return out
+}
+
 // TotalNet sums network words sent over all processors.
 func (m *Machine) TotalNet() int64 {
 	var w int64
@@ -216,10 +235,11 @@ func (m *Machine) TotalNet() int64 {
 
 // Proc is one SPMD process.
 type Proc struct {
-	Rank int
-	H    *machine.Hierarchy
-	Net  NetCounters
-	m    *Machine
+	Rank  int
+	H     *machine.Hierarchy
+	Net   NetCounters
+	m     *Machine
+	shard *machine.Shard
 }
 
 // P returns the machine's processor count.

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"writeavoid/internal/monitor"
+)
+
+// ConformanceChecks builds the prediction registry matching this package's
+// sections at the given problem scale: the theory every phase of a wabench
+// run must satisfy, evaluated online by a monitor.Monitor as the phases
+// pass. Sizes here mirror the section drivers exactly (sections.go); the
+// slack factors are calibrated against the measured values EXPERIMENTS.md
+// records — WA stores sit exactly at the output floor, so the ceilings use
+// 1.25-1.5, while the floors are theorems and use slack 1.
+func ConformanceChecks(quick bool) *monitor.Registry {
+	reg := monitor.NewRegistry()
+
+	// Theorem 1 is an invariant of the machine model itself: every phase
+	// with hierarchy events must satisfy it on every active interface.
+	reg.Register(monitor.Theorem1(1))
+
+	// Section 2: the 64x64 WA matmul at M=768. Writes to slow memory are
+	// exactly the 64^2 output; traffic obeys the classical n^3/sqrt(M) bound.
+	reg.Register(monitor.OutputFloor("sec2", 64*64))
+	reg.Register(monitor.WACeiling("sec2", 64*64, 1.25))
+	reg.Register(monitor.CATraffic("sec2", 64, 64, 64, 768, 1))
+
+	// Section 3: FFT + Strassen under Theorem 2. The phase delta sums three
+	// FFT runs and three Strassen runs; per-run bounds with out-degree
+	// d_j <= 4 sum to (W_total - inputs_total)/(4+1), a valid (weaker)
+	// aggregate floor. Inputs: n complex = 2n words per FFT run, two n^2
+	// operand matrices per Strassen run.
+	nFFT, nStr := 4096, 128
+	if quick {
+		nFFT, nStr = 1024, 64
+	}
+	sec3Inputs := int64(3*2*nFFT) + int64(3*2*nStr*nStr)
+	reg.Register(monitor.StoreFraction("sec3", 4, sec3Inputs, 1))
+
+	// Section 4: every kernel runs in WA and non-WA order and each run must
+	// write at least its output to slow memory, so the section floor is
+	// twice the summed outputs.
+	sizes := []int{32, 64}
+	if quick {
+		sizes = sizes[:1]
+	}
+	var sec4Out int64
+	for _, n := range sizes {
+		b := 8
+		t := int64(n / b)
+		sec4Out += int64(n * n)              // matmul
+		sec4Out += int64(n * n)              // trsm
+		sec4Out += int64(n) * int64(n+1) / 2 // cholesky
+		sec4Out += int64(n * n)              // lu
+		sec4Out += int64(n*n) + t*(t+1)/2*int64(b*b)
+		sec4Out += int64(n) // nbody2
+	}
+	reg.Register(monitor.OutputFloor("sec4", 2*sec4Out))
+
+	// Section 5 / Theorem 3 (cache-simulated, checked via stats): the WA
+	// order's dirty victims track the output lines for every cache size,
+	// while the CO order stays above the Omega(|S|/sqrt(M)) floor.
+	n5 := 96
+	if quick {
+		n5 = 64
+	}
+	outLines := int64(n5 * n5 * 8 / figLineBytes)
+	for _, sz := range []int{64 * 1024, 16 * 1024, 4 * 1024} {
+		key := fmt.Sprintf("%dK", sz/1024)
+		reg.Register(monitor.WriteBackCeiling("sec5-wa-"+key, outLines, 1.5))
+		elems := float64(sz) / 8
+		coFloor := float64(n5) * float64(n5) * float64(n5) / (8 * math.Sqrt(elems)) * 8 / figLineBytes
+		reg.Register(monitor.WriteBackFloor("sec5-co-"+key, coFloor, 1))
+	}
+
+	// Section 9 scheduler experiment: the depth-first schedule is
+	// write-avoiding through the shared LLC (measured exactly at the output
+	// lines; breadth-first blows up by n/b and is deliberately unchecked).
+	nSMP := 128
+	if quick {
+		nSMP = 64
+	}
+	smpLines := int64(nSMP * nSMP * 8 / figLineBytes)
+	reg.Register(monitor.WriteBackCeiling("smp-depth-first", smpLines, 1.5))
+
+	// Section 9 sorting conjecture: three external sorts, each writing at
+	// least its n-word output.
+	n9 := int64(1 << 16)
+	if quick {
+		n9 = 1 << 13
+	}
+	reg.Register(monitor.OutputFloor("sec9", 3*n9))
+
+	return reg
+}

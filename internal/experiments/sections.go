@@ -315,6 +315,10 @@ func Sec5(quick bool) []Sec5Row {
 		wa.Run(access.SinkFunc(cWA.Access))
 		cWA.FlushDirty()
 
+		key := fmt.Sprintf("%dK", sz/1024)
+		statsCheck("sec5-co-"+key, cCO.Stats())
+		statsCheck("sec5-wa-"+key, cWA.Stats())
+
 		elems := float64(sz) / 8
 		rows = append(rows, Sec5Row{
 			CacheBytes:  sz,
@@ -370,6 +374,7 @@ func SMPReport(quick bool) string {
 		if err != nil {
 			panic(err)
 		}
+		statsCheck("smp-"+tc.name, res.Stats)
 		fmt.Fprintf(tw, "%s\t%d\t%dK\t%d\t%d\t%.1f\t\n",
 			tc.name, workers, llcBytes/1024, res.Stats.VictimsM, outLines,
 			float64(res.Stats.VictimsM)/float64(outLines))

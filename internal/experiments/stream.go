@@ -1,57 +1,112 @@
 package experiments
 
 import (
+	"encoding/json"
+
+	"writeavoid/internal/cache"
 	"writeavoid/internal/dist"
 	"writeavoid/internal/machine"
+	"writeavoid/internal/monitor"
 	"writeavoid/internal/profile"
 )
 
-// The experiments construct their hierarchies internally, so live streaming
-// is wired through one package-level hook: wabench installs a StreamRecorder
-// with SetStream, each section calls mark at entry (a phase boundary on the
-// wire), and every serial hierarchy a section builds passes through observe,
-// which attaches the stream as one more recorder. Sections backed by raw
-// cache simulators or by concurrent machines contribute marks but no events;
-// dist-backed runs stream through dist.AggregateStream instead, because a
-// StreamRecorder is not safe for concurrent use.
-var stream *machine.StreamRecorder
+// The experiments construct their hierarchies internally, so live
+// observability is wired through package-level hooks: wabench installs
+// stream recorders, a profiler, a conformance monitor and/or an HTTP server;
+// each section calls mark at entry (a phase boundary on every installed
+// sink), every serial hierarchy a section builds passes through observe
+// (which attaches the sinks as recorders), cache-simulated sections report
+// their finished cache.Stats through statsCheck, and dist-backed sections
+// hand their finished machines to distDone for per-rank publication and
+// aggregate-stream flushes. Sections backed by raw cache simulators or by
+// concurrent machines contribute marks but no hierarchy events; a
+// StreamRecorder is not safe for concurrent use, so dist runs reach the
+// wire via dist.AggregateStream instead.
+var (
+	streams []*machine.StreamRecorder
+	prof    *profile.Profiler
+	mon     *monitor.Monitor
+	server  *monitor.Server
+)
 
-// SetStream installs (or, with nil, removes) the recorder that observed
-// hierarchies report into. The caller keeps ownership: it must call Close
-// after the experiments finish to flush the final record.
-func SetStream(s *machine.StreamRecorder) { stream = s }
+// SetStream installs s as the only stream recorder (nil: removes them all).
+// The caller keeps ownership: it must Close the recorder after the
+// experiments finish to flush the final record.
+func SetStream(s *machine.StreamRecorder) {
+	streams = nil
+	if s != nil {
+		streams = []*machine.StreamRecorder{s}
+	}
+}
 
-// prof is the phase-attribution analog of stream: wabench installs a
-// profile.Profiler behind -trace/-profile, serial hierarchies attach its main
-// span recorder through observe, each section opens a top-level span through
-// mark, and the dist-backed sections register one per-processor recorder
-// group apiece through distObserve.
-var prof *profile.Profiler
+// AddStream installs one more stream recorder alongside any already set —
+// how wabench streams to a file and to the HTTP event bridge at once.
+func AddStream(s *machine.StreamRecorder) { streams = append(streams, s) }
 
 // SetProfile installs (or, with nil, removes) the attribution profiler. The
 // caller keeps ownership and renders the trace/summary after the run.
 func SetProfile(p *profile.Profiler) { prof = p }
 
-// observe attaches the installed stream and profiler, if any, to a freshly
-// built hierarchy and returns it unchanged.
+// SetMonitor installs (or removes) the theory-conformance monitor: observed
+// hierarchies feed it, marks become its phase evaluations, and cache-backed
+// sections route stats checks through it.
+func SetMonitor(m *monitor.Monitor) { mon = m }
+
+// SetServer installs (or removes) the live HTTP server: marks broadcast
+// phase events, dist sections publish per-rank snapshots, cache sections
+// publish stats, and the profiler's span tree is pushed at each boundary.
+func SetServer(s *monitor.Server) { server = s }
+
+// Observe attaches every installed sink to a freshly built hierarchy and
+// returns it unchanged. Exported for drivers outside this package that want
+// the same wiring (wabench's -json phase suite).
+func Observe(h *machine.Hierarchy) *machine.Hierarchy { return observe(h) }
+
 func observe(h *machine.Hierarchy) *machine.Hierarchy {
-	if stream != nil {
-		h.Attach(stream)
+	for _, s := range streams {
+		h.Attach(s)
 	}
 	if prof != nil {
 		prof.Observe(h)
 	}
+	if mon != nil {
+		h.Attach(mon)
+	}
 	return h
 }
 
-// mark labels subsequent streamed events with a new phase, flushing events
-// pending under the previous label, and opens a new top-level profiler span.
+// Mark is the exported phase boundary (see mark).
+func Mark(name string) { mark(name) }
+
+// mark labels subsequent events with a new phase on every sink: streams
+// flush pending deltas, the profiler opens a top-level span, the monitor
+// evaluates the closed phase's predictions, and the server broadcasts the
+// boundary and receives a fresh span-tree rendering.
 func mark(name string) {
-	if stream != nil {
-		stream.Phase(name)
+	for _, s := range streams {
+		s.Phase(name)
 	}
 	if prof != nil {
 		prof.Mark(name)
+	}
+	if mon != nil {
+		mon.Phase(name)
+	}
+	if server != nil {
+		server.MarkPhase(name)
+		publishSpans()
+	}
+}
+
+// publishSpans renders the profiler's main span tree and pushes it to the
+// server. Span trees are not safe for concurrent reads, so only the run
+// goroutine (which owns the profiler) renders; the server serves the bytes.
+func publishSpans() {
+	if server == nil || prof == nil {
+		return
+	}
+	if b, err := json.Marshal(prof.Main.Roots()); err == nil {
+		server.PublishSpans(b)
 	}
 }
 
@@ -62,6 +117,41 @@ func distObserve(name string) dist.Observer {
 		return nil
 	}
 	return prof.Group(name).Recorder
+}
+
+// distDone reports a finished distributed machine: per-rank snapshots go to
+// the server's /metrics and /snapshot (as a static copy — the run is over),
+// and the machine-wide totals reach /events through one aggregate-stream
+// flush, the same wire format the sequential stream uses.
+func distDone(name string, m *dist.Machine) {
+	if server == nil {
+		return
+	}
+	server.PublishRanks(name, m.RankSnapshots())
+	as := m.NewAggregateStream(server.Events())
+	_ = as.Flush(name)
+	_ = as.Close()
+}
+
+// statsCheck reports one finished cache simulation: the monitor evaluates
+// any write-back predictions registered for the kernel, and the server
+// publishes the stats for /metrics and /snapshot.
+func statsCheck(kernel string, st cache.Stats) {
+	if mon != nil {
+		mon.ObserveStats(kernel, st)
+	}
+	if server != nil {
+		server.PublishCacheStats(kernel, st)
+	}
+}
+
+// conform asserts one externally computed bound through the monitor (no-op
+// without one): floor or ceiling with the given slack, recorded as a
+// Violation when it fails.
+func conform(check, kernel string, observed, expected, slack float64, ceiling bool) {
+	if mon != nil {
+		mon.CheckBound(check, kernel, observed, expected, slack, ceiling)
+	}
 }
 
 // profRec returns the profiler's main recorder for sinks that are driven

@@ -18,12 +18,12 @@ import (
 type ShardedRecorder struct {
 	levels int
 	mu     sync.Mutex
-	shards []*shard
+	shards []*Shard
 	// shared lazily holds the common shard backing ShardedRecorder.Record
 	// itself. It is an atomic pointer so the steady-state shared path is a
 	// single load plus atomic adds — the mutex is only taken once, to
 	// publish the shard on first use.
-	shared atomic.Pointer[shard]
+	shared atomic.Pointer[Shard]
 }
 
 // NewShardedRecorder builds a recorder for hierarchies with the given number
@@ -39,7 +39,7 @@ func NewShardedRecorder(levels int) *ShardedRecorder {
 // interested), intended to be attached to one goroutine's Hierarchy or driven
 // directly; creating one handle per worker keeps the atomics uncontended.
 // Handle is safe to call concurrently.
-func (s *ShardedRecorder) Handle() Recorder {
+func (s *ShardedRecorder) Handle() *Shard {
 	sh := newShard(s.levels)
 	s.mu.Lock()
 	s.shards = append(s.shards, sh)
@@ -63,7 +63,7 @@ func (s *ShardedRecorder) Record(e Event) {
 // initShared publishes the common shard exactly once. Racing callers all
 // return the same shard: the winner registers it under the mutex, losers
 // re-load it.
-func (s *ShardedRecorder) initShared() *shard {
+func (s *ShardedRecorder) initShared() *Shard {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if sh := s.shared.Load(); sh != nil {
@@ -82,7 +82,7 @@ func (s *ShardedRecorder) WantsTouch() bool { return true }
 // workers are still recording (the result is then a momentary snapshot).
 func (s *ShardedRecorder) Merge() *CounterSet {
 	s.mu.Lock()
-	shards := append([]*shard(nil), s.shards...)
+	shards := append([]*Shard(nil), s.shards...)
 	s.mu.Unlock()
 	out := NewCounterSet(s.levels)
 	for _, sh := range shards {
@@ -103,8 +103,10 @@ func (s *ShardedRecorder) Merge() *CounterSet {
 	return out
 }
 
-// shard is one worker's private atomic counter block.
-type shard struct {
+// Shard is one worker's private atomic counter block: a Recorder whose
+// counters can also be read race-free at any time with Counters, which is
+// how per-rank live metrics are served while processors still run.
+type Shard struct {
 	loadWords, loadMsgs     []atomic.Int64 // per interface
 	storeWords, storeMsgs   []atomic.Int64
 	initWords, discardWords []atomic.Int64 // per level
@@ -112,8 +114,8 @@ type shard struct {
 	touchReads, touchWrites atomic.Int64
 }
 
-func newShard(levels int) *shard {
-	return &shard{
+func newShard(levels int) *Shard {
+	return &Shard{
 		loadWords:    make([]atomic.Int64, levels-1),
 		loadMsgs:     make([]atomic.Int64, levels-1),
 		storeWords:   make([]atomic.Int64, levels-1),
@@ -124,7 +126,7 @@ func newShard(levels int) *shard {
 }
 
 // Record accumulates one event with atomic adds.
-func (sh *shard) Record(e Event) {
+func (sh *Shard) Record(e Event) {
 	switch e.Kind {
 	case EvLoad:
 		sh.loadWords[e.Arg].Add(e.Words)
@@ -148,4 +150,27 @@ func (sh *shard) Record(e Event) {
 }
 
 // WantsTouch opts shard handles into the per-element stream.
-func (sh *shard) WantsTouch() bool { return true }
+func (sh *Shard) WantsTouch() bool { return true }
+
+// Counters reads the shard's counters into a fresh CounterSet with atomic
+// loads: an exact, race-free momentary snapshot of this one worker, safe to
+// call from any goroutine while the owner keeps recording. Occupancy fields
+// are zero, as everywhere in the sharded path.
+func (sh *Shard) Counters() *CounterSet {
+	levels := len(sh.initWords)
+	out := NewCounterSet(levels)
+	for i := 0; i < levels-1; i++ {
+		out.Iface[i].LoadWords = sh.loadWords[i].Load()
+		out.Iface[i].LoadMsgs = sh.loadMsgs[i].Load()
+		out.Iface[i].StoreWords = sh.storeWords[i].Load()
+		out.Iface[i].StoreMsgs = sh.storeMsgs[i].Load()
+	}
+	for i := 0; i < levels; i++ {
+		out.Lvl[i].InitWords = sh.initWords[i].Load()
+		out.Lvl[i].DiscardWords = sh.discardWords[i].Load()
+	}
+	out.FlopCount = sh.flops.Load()
+	out.TouchReads = sh.touchReads.Load()
+	out.TouchWrites = sh.touchWrites.Load()
+	return out
+}

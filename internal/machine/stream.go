@@ -116,8 +116,7 @@ func (sw *StreamWriter) Err() error { return sw.err }
 // dist.Machine's aggregate stream instead.
 type StreamRecorder struct {
 	sw     *StreamWriter
-	levels []Level
-	cur    *CounterSet
+	g      *GrowingCounters
 	every  int64
 	phase  string
 	events int64 // events since the last flush
@@ -144,10 +143,9 @@ func NewStreamRecorder(w io.Writer, levels []Level, every int64) *StreamRecorder
 		panic("machine: a stream recorder needs at least two levels")
 	}
 	return &StreamRecorder{
-		sw:     NewStreamWriter(w),
-		levels: append([]Level(nil), levels...),
-		cur:    NewCounterSet(len(levels)),
-		every:  every,
+		sw:    NewStreamWriter(w),
+		g:     NewGrowingCounters(levels),
+		every: every,
 	}
 }
 
@@ -170,40 +168,12 @@ func (s *StreamRecorder) Record(e Event) {
 	case EvBegin, EvEnd, EvRange:
 		return
 	}
-	s.grow(e)
-	s.cur.Record(e)
+	s.g.Record(e)
 	s.events++
 	s.total++
 	if s.every > 0 && s.events >= s.every {
 		s.flush(false)
 	}
-}
-
-// grow extends the recorder's geometry so an event addressing a deeper level
-// or interface than seen so far stays in range.
-func (s *StreamRecorder) grow(e Event) {
-	var needLevels int
-	switch e.Kind {
-	case EvLoad, EvStore:
-		needLevels = e.Arg + 2 // interface i spans levels i and i+1
-	case EvInit, EvDiscard:
-		needLevels = e.Arg + 1
-	default:
-		return
-	}
-	if needLevels <= len(s.levels) {
-		return
-	}
-	for i := len(s.levels); i < needLevels; i++ {
-		s.levels = append(s.levels, Level{Name: fmt.Sprintf("L%d", i)})
-	}
-	grown := NewCounterSet(len(s.levels))
-	copy(grown.Iface, s.cur.Iface)
-	copy(grown.Lvl, s.cur.Lvl)
-	grown.FlopCount = s.cur.FlopCount
-	grown.TouchReads = s.cur.TouchReads
-	grown.TouchWrites = s.cur.TouchWrites
-	s.cur = grown
 }
 
 // WantsTouch subscribes the stream to the per-element touch stream so traced
@@ -243,10 +213,10 @@ func (s *StreamRecorder) Err() error { return s.sw.Err() }
 
 // Counters exposes the stream's cumulative counter set (the post-hoc totals
 // the final record reports).
-func (s *StreamRecorder) Counters() *CounterSet { return s.cur }
+func (s *StreamRecorder) Counters() *CounterSet { return s.g.Counters() }
 
 // Snapshot returns the stream's current cumulative snapshot.
-func (s *StreamRecorder) Snapshot() Snapshot { return SnapshotOf(s.levels, s.cur) }
+func (s *StreamRecorder) Snapshot() Snapshot { return s.g.Snapshot() }
 
 func (s *StreamRecorder) flush(final bool) {
 	_ = s.sw.Emit(s.phase, s.events, s.total, s.Snapshot(), final)

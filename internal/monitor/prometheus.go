@@ -1,0 +1,336 @@
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"writeavoid/internal/cache"
+	"writeavoid/internal/machine"
+)
+
+// Prometheus text exposition (format version 0.0.4), hand-rolled on the
+// stdlib: the repo takes no dependencies, and the format is small — # HELP
+// and # TYPE lines per family, then `name{labels} value` samples, families
+// contiguous. ValidateExposition is the matching parser, used by tests and
+// `wabench`'s own self-check so the endpoint can never silently drift from
+// what a real scraper accepts.
+
+// labelPair is one ordered label; ordering keeps output deterministic.
+type labelPair struct {
+	key, value string
+}
+
+// metricSample is one rendered sample of a family.
+type metricSample struct {
+	family string
+	labels []labelPair
+	value  float64
+}
+
+// familyDef declares one family's metadata; the declaration order is the
+// emission order.
+type familyDef struct {
+	name string
+	typ  string // counter | gauge
+	help string
+}
+
+var families = []familyDef{
+	{"wa_up", "gauge", "1 while the observed run is live."},
+	{"wa_flops_total", "counter", "Floating-point operations recorded."},
+	{"wa_touch_reads_total", "counter", "Per-element read touches recorded."},
+	{"wa_touch_writes_total", "counter", "Per-element write touches recorded."},
+	{"wa_level_init_words_total", "counter", "Words initialized directly in a memory level."},
+	{"wa_level_writes_to_words_total", "counter", "Words written into a memory level (inits + loads from below + stores from above)."},
+	{"wa_interface_load_words_total", "counter", "Words loaded (slow->fast) across an interface."},
+	{"wa_interface_store_words_total", "counter", "Words stored (fast->slow) across an interface."},
+	{"wa_interface_load_msgs_total", "counter", "Load messages across an interface."},
+	{"wa_interface_store_msgs_total", "counter", "Store messages across an interface."},
+	{"wa_interface_traffic_words_total", "counter", "Total words moved across an interface."},
+	{"wa_interface_theorem1_holds", "gauge", "1 if Theorem 1 (2*writesFast >= traffic) holds on the cumulative counters."},
+	{"wa_cache_accesses_total", "counter", "Accesses simulated by a cache simulator."},
+	{"wa_cache_hits_total", "counter", "Cache simulator hits."},
+	{"wa_cache_misses_total", "counter", "Cache simulator misses."},
+	{"wa_cache_victims_dirty_total", "counter", "Dirty lines written back to memory (LLC_VICTIMS.M)."},
+	{"wa_cache_victims_clean_total", "counter", "Clean lines evicted (LLC_VICTIMS.E)."},
+	{"wa_cache_write_throughs_total", "counter", "Per-access memory writes in write-through mode."},
+	{"wa_monitor_events_total", "counter", "Counter-bearing events folded into the conformance monitor."},
+	{"wa_monitor_phases_total", "counter", "Phases the conformance monitor evaluated."},
+	{"wa_violations_total", "counter", "Conformance violations recorded."},
+	{"wa_sse_clients", "gauge", "Currently connected /events subscribers."},
+	{"wa_sse_dropped_total", "counter", "SSE messages dropped on full client queues."},
+}
+
+// snapshotSamples renders one machine.Snapshot as samples, with extra labels
+// (e.g. run/rank for per-processor views) appended to every sample.
+func snapshotSamples(dst []metricSample, s machine.Snapshot, extra []labelPair) []metricSample {
+	add := func(family string, labels []labelPair, v float64) {
+		dst = append(dst, metricSample{family: family, labels: append(labels, extra...), value: v})
+	}
+	add("wa_flops_total", nil, float64(s.Flops))
+	add("wa_touch_reads_total", nil, float64(s.TouchReads))
+	add("wa_touch_writes_total", nil, float64(s.TouchWrites))
+	for i, lv := range s.Levels {
+		ll := []labelPair{{"level", lv.Name}, {"index", strconv.Itoa(i)}}
+		add("wa_level_init_words_total", ll, float64(lv.InitWords))
+		add("wa_level_writes_to_words_total", ll, float64(lv.WritesTo))
+	}
+	for i, ifc := range s.Interfaces {
+		il := []labelPair{{"iface", strconv.Itoa(i)}, {"between", ifc.Between}}
+		add("wa_interface_load_words_total", il, float64(ifc.LoadWords))
+		add("wa_interface_store_words_total", il, float64(ifc.StoreWords))
+		add("wa_interface_load_msgs_total", il, float64(ifc.LoadMsgs))
+		add("wa_interface_store_msgs_total", il, float64(ifc.StoreMsgs))
+		add("wa_interface_traffic_words_total", il, float64(ifc.Traffic))
+		holds := 0.0
+		if ifc.Theorem1Holds {
+			holds = 1
+		}
+		add("wa_interface_theorem1_holds", il, holds)
+	}
+	return dst
+}
+
+// cacheSamples renders one cache.Stats observation under a sim label.
+func cacheSamples(dst []metricSample, name string, st cache.Stats) []metricSample {
+	ll := []labelPair{{"sim", name}}
+	add := func(family string, v int64) {
+		dst = append(dst, metricSample{family: family, labels: ll, value: float64(v)})
+	}
+	add("wa_cache_accesses_total", st.Accesses)
+	add("wa_cache_hits_total", st.Hits)
+	add("wa_cache_misses_total", st.Misses)
+	add("wa_cache_victims_dirty_total", st.VictimsM)
+	add("wa_cache_victims_clean_total", st.VictimsE)
+	add("wa_cache_write_throughs_total", st.WriteThroughs)
+	return dst
+}
+
+// writeExposition renders the samples grouped by family in declaration
+// order, with HELP/TYPE headers, skipping families with no samples.
+func writeExposition(w io.Writer, samples []metricSample) error {
+	byFamily := make(map[string][]metricSample, len(families))
+	for _, s := range samples {
+		byFamily[s.family] = append(byFamily[s.family], s)
+	}
+	for _, f := range families {
+		group := byFamily[f.name]
+		if len(group) == 0 {
+			continue
+		}
+		delete(byFamily, f.name)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range group {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.family, renderLabels(s.labels), formatValue(s.value)); err != nil {
+				return err
+			}
+		}
+	}
+	if len(byFamily) > 0 {
+		undeclared := make([]string, 0, len(byFamily))
+		for name := range byFamily {
+			undeclared = append(undeclared, name)
+		}
+		sort.Strings(undeclared)
+		return fmt.Errorf("monitor: samples for undeclared families %v", undeclared)
+	}
+	return nil
+}
+
+func renderLabels(labels []labelPair) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// --- validation --------------------------------------------------------------
+
+// ExpositionInfo summarizes a parsed exposition.
+type ExpositionInfo struct {
+	Families int
+	Samples  int
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// ValidateExposition parses text as Prometheus exposition format 0.0.4 and
+// checks what a scraper would: metric and label names are legal, every
+// sample's family was declared with # TYPE (and HELP precedes it), families
+// are contiguous, values parse as floats, and no (name, labelset) repeats.
+func ValidateExposition(text []byte) (ExpositionInfo, error) {
+	var info ExpositionInfo
+	typed := map[string]string{}
+	helped := map[string]bool{}
+	seen := map[string]bool{}
+	closed := map[string]bool{}
+	current := ""
+	for ln, line := range strings.Split(string(text), "\n") {
+		lineNo := ln + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				name := fields[2]
+				if !metricNameRe.MatchString(name) {
+					return info, fmt.Errorf("line %d: bad metric name %q", lineNo, name)
+				}
+				if fields[1] == "HELP" {
+					helped[name] = true
+					continue
+				}
+				if len(fields) != 4 {
+					return info, fmt.Errorf("line %d: TYPE without a type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return info, fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				if _, dup := typed[name]; dup {
+					return info, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				typed[name] = fields[3]
+				info.Families++
+			}
+			continue // other comments are legal and ignored
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return info, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if _, ok := typed[name]; !ok {
+			return info, fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+		if !helped[name] {
+			return info, fmt.Errorf("line %d: sample %q has no preceding # HELP", lineNo, name)
+		}
+		if name != current {
+			if closed[name] {
+				return info, fmt.Errorf("line %d: family %q is not contiguous", lineNo, name)
+			}
+			if current != "" {
+				closed[current] = true
+			}
+			current = name
+		}
+		key := name + labels
+		if seen[key] {
+			return info, fmt.Errorf("line %d: duplicate sample %s%s", lineNo, name, labels)
+		}
+		seen[key] = true
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return info, fmt.Errorf("line %d: bad value %q: %w", lineNo, value, err)
+		}
+		info.Samples++
+	}
+	return info, nil
+}
+
+// parseSample splits one sample line into name, canonical label string and
+// value, validating name and label syntax.
+func parseSample(line string) (name, labels, value string, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", "", fmt.Errorf("unterminated label set")
+		}
+		labels = rest[i : j+1]
+		if err := checkLabels(rest[i+1 : j]); err != nil {
+			return "", "", "", err
+		}
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", "", "", fmt.Errorf("sample needs a value")
+		}
+		name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	if !metricNameRe.MatchString(name) {
+		return "", "", "", fmt.Errorf("bad metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional timestamp
+		return "", "", "", fmt.Errorf("sample needs `value [timestamp]`, got %q", rest)
+	}
+	return name, labels, fields[0], nil
+}
+
+// checkLabels validates `k="v",k2="v2"` with standard escapes.
+func checkLabels(s string) error {
+	i := 0
+	for i < len(s) {
+		j := strings.IndexByte(s[i:], '=')
+		if j < 0 {
+			return fmt.Errorf("label without '=' in %q", s[i:])
+		}
+		key := s[i : i+j]
+		if !labelNameRe.MatchString(key) {
+			return fmt.Errorf("bad label name %q", key)
+		}
+		i += j + 1
+		if i >= len(s) || s[i] != '"' {
+			return fmt.Errorf("label %q value is not quoted", key)
+		}
+		i++
+		for {
+			if i >= len(s) {
+				return fmt.Errorf("label %q value is unterminated", key)
+			}
+			if s[i] == '\\' {
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			i++
+		}
+		i++ // closing quote
+		if i < len(s) {
+			if s[i] != ',' {
+				return fmt.Errorf("expected ',' between labels at %q", s[i:])
+			}
+			i++
+		}
+	}
+	return nil
+}

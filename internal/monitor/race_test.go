@@ -1,0 +1,96 @@
+package monitor_test
+
+// External-package test so it can wire the monitor server to a live
+// dist.Machine the way wabench does, and hammer the HTTP endpoints while
+// the machine's processors run — the scenario `go test -race` must bless:
+// shard reads on /metrics and /snapshot racing superstep recording and
+// periodic aggregate-stream flushes into the SSE broker.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"writeavoid/internal/dist"
+	"writeavoid/internal/machine"
+	"writeavoid/internal/monitor"
+)
+
+func TestConcurrentScrapesDuringDistRun(t *testing.T) {
+	mon := monitor.New(machine.GenericLevels(3), nil)
+	srv := monitor.NewServer()
+	srv.SetMonitor(mon)
+
+	m := dist.New(dist.Config{P: 4, Levels: machine.GenericLevels(3)})
+	srv.RankSource("run", m.RankSnapshots)
+
+	// Periodic whole-machine flushes into the SSE broker while ranks record.
+	as := m.NewAggregateStream(srv.Events())
+	as.Start(time.Millisecond)
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				for _, path := range []string{"/metrics", "/snapshot"} {
+					resp, err := http.Get(ts.URL + path)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					body, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if path == "/metrics" {
+						if _, err := monitor.ValidateExposition(body); err != nil {
+							t.Errorf("mid-run /metrics does not parse: %v", err)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	m.Run(func(p *dist.Proc) {
+		for step := 0; step < 50; step++ {
+			p.H.Load(0, 64)
+			p.H.Flops(64)
+			p.H.Store(0, 64)
+			p.Barrier()
+		}
+	})
+	if err := as.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(done)
+	wg.Wait()
+
+	// The post-run per-rank view must reflect every superstep.
+	snaps := m.RankSnapshots()
+	if len(snaps) != 4 {
+		t.Fatalf("ranks = %d", len(snaps))
+	}
+	for r, s := range snaps {
+		if s.Interfaces[0].LoadWords != 50*64 {
+			t.Fatalf("rank %d loads = %d, want %d", r, s.Interfaces[0].LoadWords, 50*64)
+		}
+	}
+}

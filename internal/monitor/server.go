@@ -1,0 +1,307 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"writeavoid/internal/cache"
+	"writeavoid/internal/machine"
+)
+
+// Server is the live observability endpoint of a run: one stdlib
+// http.Handler exposing
+//
+//	/metrics     Prometheus text exposition of every registered source
+//	/snapshot    cumulative machine.Snapshot (+ per-rank and cache views) as JSON
+//	/spans       the span-tree JSON last published by the profiler
+//	/events      Server-Sent Events bridging the streaming JSONL records
+//	/violations  the conformance monitor's violation list as JSON
+//	/healthz     liveness
+//
+// Sources are pull-based functions (snapshot, per-rank, violations) that
+// must be safe to call from HTTP goroutines — the Monitor and dist shard
+// reads are — plus push-based publications (spans, cache stats) for state
+// that is not concurrency-safe to read live; the run goroutine publishes
+// rendered bytes at phase boundaries instead.
+type Server struct {
+	mux    *http.ServeMux
+	broker *Broker
+
+	mu        sync.Mutex
+	mon       *Monitor
+	snapFn    func() machine.Snapshot
+	violFn    func() []Violation
+	ranks     map[string]func() []machine.Snapshot
+	cacheSt   map[string]cache.Stats
+	spansJSON []byte
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewServer builds a server with no sources; register them before or after
+// Start, all methods are safe concurrently.
+func NewServer() *Server {
+	s := &Server{
+		broker:  NewBroker(),
+		ranks:   map[string]func() []machine.Snapshot{},
+		cacheSt: map[string]cache.Stats{},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/spans", s.handleSpans)
+	mux.HandleFunc("/violations", s.handleViolations)
+	mux.Handle("/events", s.broker)
+	s.mux = mux
+	return s
+}
+
+// Handler exposes the routing for tests (httptest.NewServer(s.Handler())).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetMonitor wires a conformance monitor as the snapshot and violation
+// source in one call.
+func (s *Server) SetMonitor(m *Monitor) {
+	s.mu.Lock()
+	s.mon = m
+	s.snapFn = m.Snapshot
+	s.violFn = m.Violations
+	s.mu.Unlock()
+}
+
+// SetSnapshot installs a cumulative-snapshot source (for runs without a
+// monitor).
+func (s *Server) SetSnapshot(fn func() machine.Snapshot) {
+	s.mu.Lock()
+	s.snapFn = fn
+	s.mu.Unlock()
+}
+
+// RankSource registers a live per-rank snapshot source under a run name
+// (dist.Machine.RankSnapshots is safe to pass directly — shards are read
+// atomically).
+func (s *Server) RankSource(name string, fn func() []machine.Snapshot) {
+	s.mu.Lock()
+	s.ranks[name] = fn
+	s.mu.Unlock()
+}
+
+// PublishRanks registers a static per-rank view: a copy of snaps taken now,
+// for runs that already finished.
+func (s *Server) PublishRanks(name string, snaps []machine.Snapshot) {
+	cp := append([]machine.Snapshot(nil), snaps...)
+	s.RankSource(name, func() []machine.Snapshot { return cp })
+}
+
+// PublishCacheStats publishes (or replaces) one cache simulator's stats
+// under a name; simulators are not concurrency-safe, so owners push copies.
+func (s *Server) PublishCacheStats(name string, st cache.Stats) {
+	s.mu.Lock()
+	s.cacheSt[name] = st
+	s.mu.Unlock()
+}
+
+// PublishSpans publishes rendered span-tree JSON for /spans. Span trees are
+// not safe for concurrent reads, so the run goroutine marshals and pushes.
+func (s *Server) PublishSpans(b []byte) {
+	s.mu.Lock()
+	s.spansJSON = append([]byte(nil), b...)
+	s.mu.Unlock()
+}
+
+// Events returns the io.Writer side of the SSE bridge: point stream
+// recorders (or dist aggregate streams) here and every JSONL record becomes
+// one SSE message on /events.
+func (s *Server) Events() *Broker { return s.broker }
+
+// MarkPhase broadcasts a named phase-boundary event on /events, so even
+// sections that drive no hierarchy (cache-simulated figures) are visible on
+// the wire as they pass.
+func (s *Server) MarkPhase(name string) {
+	b, _ := json.Marshal(struct {
+		Phase string `json:"phase"`
+	}{name})
+	s.broker.Broadcast("phase", b)
+}
+
+// Start listens on addr (":0" for an ephemeral port) and serves in the
+// background; the returned address is the bound one. Call Close to stop.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux}
+	srv := s.srv
+	s.mu.Unlock()
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), nil
+}
+
+// Close stops the listener and every in-flight connection (SSE clients hold
+// theirs open, so a graceful drain would never finish). Safe without Start.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.srv, s.ln = nil, nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+// --- handlers ----------------------------------------------------------------
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, "writeavoid observability server\n"+
+		"  /metrics     Prometheus text exposition\n"+
+		"  /snapshot    cumulative machine snapshot (JSON)\n"+
+		"  /spans       span-tree attribution (JSON)\n"+
+		"  /events      live metrics stream (SSE)\n"+
+		"  /violations  theory-conformance violations (JSON)\n"+
+		"  /healthz     liveness\n")
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	mon, snapFn, violFn := s.mon, s.snapFn, s.violFn
+	rankNames := make([]string, 0, len(s.ranks))
+	for name := range s.ranks {
+		rankNames = append(rankNames, name)
+	}
+	sort.Strings(rankNames)
+	rankFns := make([]func() []machine.Snapshot, len(rankNames))
+	for i, name := range rankNames {
+		rankFns[i] = s.ranks[name]
+	}
+	cacheNames := make([]string, 0, len(s.cacheSt))
+	for name := range s.cacheSt {
+		cacheNames = append(cacheNames, name)
+	}
+	sort.Strings(cacheNames)
+	cacheStats := make([]cache.Stats, len(cacheNames))
+	for i, name := range cacheNames {
+		cacheStats[i] = s.cacheSt[name]
+	}
+	s.mu.Unlock()
+
+	samples := []metricSample{{family: "wa_up", value: 1}}
+	if snapFn != nil {
+		samples = snapshotSamples(samples, snapFn(), nil)
+	}
+	for i, name := range rankNames {
+		for rank, snap := range rankFns[i]() {
+			samples = snapshotSamples(samples, snap,
+				[]labelPair{{"run", name}, {"rank", strconv.Itoa(rank)}})
+		}
+	}
+	for i, name := range cacheNames {
+		samples = cacheSamples(samples, name, cacheStats[i])
+	}
+	if mon != nil {
+		samples = append(samples,
+			metricSample{family: "wa_monitor_events_total", value: float64(mon.TotalEvents())},
+			metricSample{family: "wa_monitor_phases_total", value: float64(mon.Phases())},
+		)
+	}
+	if violFn != nil {
+		samples = append(samples,
+			metricSample{family: "wa_violations_total", value: float64(len(violFn()))})
+	}
+	samples = append(samples,
+		metricSample{family: "wa_sse_clients", value: float64(s.broker.Clients())},
+		metricSample{family: "wa_sse_dropped_total", value: float64(s.broker.Dropped())},
+	)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := writeExposition(w, samples); err != nil {
+		// Headers are committed; the truncated body fails a scraper's parse,
+		// which is the detectable outcome we want.
+		return
+	}
+}
+
+// snapshotDoc is the /snapshot JSON document.
+type snapshotDoc struct {
+	Machine *machine.Snapshot             `json:"machine,omitempty"`
+	Ranks   map[string][]machine.Snapshot `json:"ranks,omitempty"`
+	Cache   map[string]cache.Stats        `json:"cache,omitempty"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	snapFn := s.snapFn
+	rankFns := make(map[string]func() []machine.Snapshot, len(s.ranks))
+	for name, fn := range s.ranks {
+		rankFns[name] = fn
+	}
+	doc := snapshotDoc{Cache: make(map[string]cache.Stats, len(s.cacheSt))}
+	for name, st := range s.cacheSt {
+		doc.Cache[name] = st
+	}
+	s.mu.Unlock()
+	if snapFn != nil {
+		snap := snapFn()
+		doc.Machine = &snap
+	}
+	if len(rankFns) > 0 {
+		doc.Ranks = make(map[string][]machine.Snapshot, len(rankFns))
+		for name, fn := range rankFns {
+			doc.Ranks[name] = fn()
+		}
+	}
+	if len(doc.Cache) == 0 {
+		doc.Cache = nil
+	}
+	writeJSON(w, doc)
+}
+
+func (s *Server) handleSpans(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	b := s.spansJSON
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if len(b) == 0 {
+		b = []byte("[]")
+	}
+	_, _ = w.Write(b)
+}
+
+func (s *Server) handleViolations(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	violFn := s.violFn
+	s.mu.Unlock()
+	violations := []Violation{}
+	if violFn != nil {
+		violations = append(violations, violFn()...)
+	}
+	writeJSON(w, violations)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

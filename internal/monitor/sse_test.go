@@ -1,0 +1,119 @@
+package monitor
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Write is a line splitter: partial writes buffer until a newline completes
+// the record, and each complete line becomes one message.
+func TestBrokerSplitsLines(t *testing.T) {
+	b := NewBroker()
+	ch := b.subscribe()
+	defer b.unsubscribe(ch)
+
+	if _, err := b.Write([]byte("{\"a\":1}\n{\"b\":")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Write([]byte("2}\n")); err != nil {
+		t.Fatal(err)
+	}
+	got := []string{string((<-ch).data), string((<-ch).data)}
+	if got[0] != `{"a":1}` || got[1] != `{"b":2}` {
+		t.Fatalf("messages = %q", got)
+	}
+	if b.Sent() != 2 || b.Dropped() != 0 {
+		t.Fatalf("sent %d dropped %d", b.Sent(), b.Dropped())
+	}
+}
+
+// A slow client never blocks the producer: overflow messages are dropped
+// and counted, and delivery to other clients continues.
+func TestBrokerDropsOnFullQueue(t *testing.T) {
+	b := NewBroker()
+	ch := b.subscribe()
+	defer b.unsubscribe(ch)
+
+	const extra = 5
+	for i := 0; i < clientQueue+extra; i++ {
+		b.Broadcast("", []byte("x"))
+	}
+	if b.Dropped() != extra {
+		t.Fatalf("dropped %d, want %d", b.Dropped(), extra)
+	}
+	if b.Sent() != clientQueue {
+		t.Fatalf("sent %d, want %d", b.Sent(), clientQueue)
+	}
+}
+
+// The HTTP side: a subscriber sees the opening comment, named and unnamed
+// events in SSE framing, and a disconnect mid-stream unsubscribes it without
+// disturbing the producer.
+func TestSSEHandlerStreamAndDisconnect(t *testing.T) {
+	b := NewBroker()
+	ts := httptest.NewServer(b)
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	r := bufio.NewReader(resp.Body)
+	line, err := r.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, ":") {
+		t.Fatalf("opening comment = %q, %v", line, err)
+	}
+	if line, err = r.ReadString('\n'); err != nil || line != "\n" {
+		t.Fatalf("comment terminator = %q, %v", line, err)
+	}
+
+	waitClients := func(n int) {
+		deadline := time.Now().Add(5 * time.Second)
+		for b.Clients() != n {
+			if time.Now().After(deadline) {
+				t.Fatalf("clients = %d, want %d", b.Clients(), n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitClients(1)
+
+	b.Broadcast("phase", []byte(`{"phase":"sec2"}`))
+	b.Broadcast("", []byte(`{"seq":0}`))
+
+	want := []string{"event: phase\n", "data: {\"phase\":\"sec2\"}\n", "\n", "data: {\"seq\":0}\n", "\n"}
+	for _, w := range want {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if line != w {
+			t.Fatalf("line = %q, want %q", line, w)
+		}
+	}
+
+	// Disconnect while the producer keeps broadcasting: the handler must
+	// notice the canceled context and unsubscribe.
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Clients() != 0 {
+		b.Broadcast("", []byte("tick"))
+		if time.Now().After(deadline) {
+			t.Fatalf("client not unsubscribed after disconnect (clients=%d)", b.Clients())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Broadcast("", []byte("after")) // no subscribers: must not panic or block
+}

@@ -1,8 +1,6 @@
 package profile
 
 import (
-	"fmt"
-
 	"writeavoid/internal/machine"
 )
 
@@ -79,8 +77,7 @@ type ifaceSample struct {
 // ProcGroup.Recorder). The geometry grows on demand with generic level
 // names, so one recorder can follow hierarchies of different depths.
 type SpanRecorder struct {
-	levels  []machine.Level
-	cur     *machine.CounterSet
+	g       *machine.GrowingCounters
 	clock   int64
 	roots   []*Span
 	stack   []*Span
@@ -96,13 +93,7 @@ type SpanRecorder struct {
 // NewSpanRecorder builds a recorder seeded with the given level geometry
 // (nil or short: grows on demand, starting at two generic levels).
 func NewSpanRecorder(levels []machine.Level) *SpanRecorder {
-	if len(levels) < 2 {
-		levels = machine.GenericLevels(2)
-	}
-	return &SpanRecorder{
-		levels: append([]machine.Level(nil), levels...),
-		cur:    machine.NewCounterSet(len(levels)),
-	}
+	return &SpanRecorder{g: machine.NewGrowingCounters(levels)}
 }
 
 // SetCostModel attaches alpha-beta coefficients so spans carry model time
@@ -136,8 +127,7 @@ func (r *SpanRecorder) Record(e machine.Event) {
 	case machine.EvRange:
 		return // address annotation; carries no counter delta
 	}
-	r.grow(e)
-	r.cur.Record(e)
+	r.g.Record(e)
 	r.clock++
 	if r.hasModel {
 		r.charge(e)
@@ -194,12 +184,13 @@ func (r *SpanRecorder) pop() {
 
 // sample records the cumulative per-interface counters at a span boundary.
 func (r *SpanRecorder) sample() {
-	cs := counterSample{clock: r.clock, time: r.time, flops: r.cur.FlopCount}
-	for i := range r.cur.Iface {
+	cur, levels := r.g.Counters(), r.g.Levels()
+	cs := counterSample{clock: r.clock, time: r.time, flops: cur.FlopCount}
+	for i := range cur.Iface {
 		cs.iface = append(cs.iface, ifaceSample{
-			name:  r.levels[i].Name + "<->" + r.levels[i+1].Name,
-			load:  r.cur.Iface[i].LoadWords,
-			store: r.cur.Iface[i].StoreWords,
+			name:  levels[i].Name + "<->" + levels[i+1].Name,
+			load:  cur.Iface[i].LoadWords,
+			store: cur.Iface[i].StoreWords,
 		})
 	}
 	r.samples = append(r.samples, cs)
@@ -223,33 +214,6 @@ func (r *SpanRecorder) charge(e machine.Event) {
 	}
 }
 
-// grow extends the geometry so deeper events stay in range (the same
-// on-demand growth StreamRecorder performs).
-func (r *SpanRecorder) grow(e machine.Event) {
-	var needLevels int
-	switch e.Kind {
-	case machine.EvLoad, machine.EvStore:
-		needLevels = e.Arg + 2
-	case machine.EvInit, machine.EvDiscard:
-		needLevels = e.Arg + 1
-	default:
-		return
-	}
-	if needLevels <= len(r.levels) {
-		return
-	}
-	for i := len(r.levels); i < needLevels; i++ {
-		r.levels = append(r.levels, machine.Level{Name: fmt.Sprintf("L%d", i)})
-	}
-	grown := machine.NewCounterSet(len(r.levels))
-	copy(grown.Iface, r.cur.Iface)
-	copy(grown.Lvl, r.cur.Lvl)
-	grown.FlopCount = r.cur.FlopCount
-	grown.TouchReads = r.cur.TouchReads
-	grown.TouchWrites = r.cur.TouchWrites
-	r.cur = grown
-}
-
 // Finish closes any spans still open (at the current clock) and freezes the
 // tree. Idempotent; called by exporters.
 func (r *SpanRecorder) Finish() {
@@ -270,9 +234,7 @@ func (r *SpanRecorder) Time() float64 { return r.time }
 
 // Snapshot returns the recorder's cumulative snapshot: the post-hoc totals
 // every delta telescopes into.
-func (r *SpanRecorder) Snapshot() machine.Snapshot {
-	return machine.SnapshotOf(r.levels, r.cur)
-}
+func (r *SpanRecorder) Snapshot() machine.Snapshot { return r.g.Snapshot() }
 
 // Total is Snapshot under the name the exactness invariant uses.
 func (r *SpanRecorder) Total() machine.Snapshot { return r.Snapshot() }
