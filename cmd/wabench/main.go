@@ -5,13 +5,23 @@
 // Usage:
 //
 //	wabench [-quick] [-json] [-stream file] [-trace file] [-profile]
-//	        [-serve addr] [-check off|warn|strict] [-benchjson file] [section ...]
+//	        [-serve addr] [-check off|warn|strict] [-benchjson file]
+//	        [-sockets S] [-placement block|rr] [section ...]
 //
-// Sections: sec2 sec3 sec4 sec5 fig2 fig5 realcache table1 table2 lu krylov sec9 smp multilevel all
+// Sections: sec2 sec3 sec4 sec5 fig2 fig5 realcache table1 table2 lu krylov sec9 smp multilevel numa all
 // (default: all). -quick shrinks problem sizes so the whole run finishes in
 // well under a minute; the full run takes a few minutes, dominated by the
 // Figure 2/5 cache simulations. -json skips the text sections and instead
 // emits machine-readable counter snapshots of a fixed counted phase suite.
+//
+// -sockets partitions the distributed NUMA section's processors over S
+// sockets and -placement picks the rank-to-socket mapping (block: contiguous
+// rank ranges; rr: round-robin). The numa section compares both placements on
+// the 2.5DMML3 multiply — identical word totals, different local/remote
+// splits, different asymmetric-link prices — and asserts the W2 network floor
+// per socket as well as globally. It runs under "all" only when -sockets >= 2
+// (so default runs are byte-identical to the flat machine); naming it
+// explicitly runs it with at least two sockets.
 //
 // -stream writes live metrics as JSON lines ("-" = stdout) while the run
 // executes: every -stream-every events, and at each section boundary, one
@@ -85,7 +95,15 @@ func run(args []string) (rc int) {
 	serveAddr := fs.String("serve", "", "serve live observability HTTP on this address (e.g. :8080, :0 = ephemeral)")
 	checkMode := fs.String("check", "off", "theory-conformance checking: off | warn | strict (strict exits nonzero on violation)")
 	benchJSON := fs.String("benchjson", "", "standalone mode: run the benchmark suite, write ns/op + events/op JSON here (- = stdout)")
+	sockets := fs.Int("sockets", 1, "sockets for the numa section (>=2 also enables it under \"all\")")
+	placementFlag := fs.String("placement", "block", "rank-to-socket placement for the numa section: block | rr")
 	fs.Parse(args) //nolint:errcheck
+
+	placement, err := machine.ParsePlacement(*placementFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wabench: %v\n", err)
+		return 2
+	}
 
 	switch *checkMode {
 	case "off", "warn", "strict":
@@ -284,6 +302,12 @@ func run(args []string) (rc int) {
 	runSec("sec9", func() string { return experiments.Sec9Report(*quick) })
 	runSec("smp", func() string { return experiments.SMPReport(*quick) })
 	runSec("multilevel", func() string { return experiments.FormatMultiLevel(experiments.MultiLevel(*quick)) })
+	// Gated under "all" so a default run's output (and every counter behind
+	// it) stays byte-identical to the pre-socket machine; explicit `numa`
+	// always runs, clamped to at least two sockets inside the section.
+	if want["numa"] || (want["all"] && *sockets >= 2) {
+		runSec("numa", func() string { return experiments.FormatNUMA(experiments.NUMA(*quick, *sockets, placement)) })
+	}
 
 	return conformanceVerdict(mon, *checkMode)
 }

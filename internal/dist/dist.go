@@ -26,12 +26,31 @@ import (
 	"writeavoid/internal/machine"
 )
 
-// NetCounters meters one processor's network activity.
+// NetCounters meters one processor's network activity. The Remote* fields are
+// sub-counters of the totals: the share of traffic whose peer lives on a
+// different socket of the machine's Topology (zero on a single-socket
+// machine), so intra-socket traffic is total - remote.
 type NetCounters struct {
-	WordsSent int64
-	WordsRecv int64
-	MsgsSent  int64
-	MsgsRecv  int64
+	WordsSent       int64
+	WordsRecv       int64
+	MsgsSent        int64
+	MsgsRecv        int64
+	RemoteWordsSent int64
+	RemoteWordsRecv int64
+	RemoteMsgsSent  int64
+	RemoteMsgsRecv  int64
+}
+
+// Add accumulates other into n, field-wise.
+func (n *NetCounters) Add(other NetCounters) {
+	n.WordsSent += other.WordsSent
+	n.WordsRecv += other.WordsRecv
+	n.MsgsSent += other.MsgsSent
+	n.MsgsRecv += other.MsgsRecv
+	n.RemoteWordsSent += other.RemoteWordsSent
+	n.RemoteWordsRecv += other.RemoteWordsRecv
+	n.RemoteMsgsSent += other.RemoteMsgsSent
+	n.RemoteMsgsRecv += other.RemoteMsgsRecv
 }
 
 // Observer supplies one extra recorder per processor rank; see
@@ -57,11 +76,23 @@ type Config struct {
 	// synchronous recorders work; profile.ProcGroup.Recorder plugs in here
 	// for per-processor span attribution.
 	Observe Observer
+	// Sockets partitions the P ranks over that many sockets (0 or 1: flat
+	// machine, nothing remote). Traffic between ranks on different sockets
+	// is classified remote in NetCounters and, via the Stage*For helpers,
+	// in the local hierarchies' Remote* interface counters. Word and
+	// message totals are placement-invariant; only the local/remote split
+	// moves.
+	Sockets int
+	// Placement maps ranks to sockets: machine.PlaceBlock (contiguous rank
+	// ranges per socket, the default) or machine.PlaceRoundRobin.
+	Placement machine.Placement
 }
 
 // Machine is a P-processor distributed machine.
 type Machine struct {
 	cfg       Config
+	topo      machine.Topology
+	sockets   []int // sockets[r] = socket hosting rank r
 	procs     []*Proc
 	links     [][]chan []float64 // links[from][to]
 	agg       *machine.ShardedRecorder
@@ -83,9 +114,14 @@ func New(cfg Config) *Machine {
 	}
 	m := &Machine{
 		cfg:   cfg,
+		topo:  machine.Topology{Sockets: cfg.Sockets}.For(cfg.P),
 		agg:   machine.NewShardedRecorder(len(cfg.Levels)),
 		bar:   newBarrier(cfg.P),
 		abort: make(chan struct{}),
+	}
+	m.sockets = make([]int, cfg.P)
+	for r := range m.sockets {
+		m.sockets[r] = m.topo.SocketOf(r, cfg.Placement)
 	}
 	m.links = make([][]chan []float64, cfg.P)
 	for i := range m.links {
@@ -102,6 +138,7 @@ func New(cfg Config) *Machine {
 			H: machine.New(false, cfg.Levels...),
 			m: m,
 		}
+		p.H.SetTopology(m.topo)
 		// Each processor's hierarchy also feeds a private shard of the
 		// machine-wide aggregate, so whole-machine totals are available
 		// race-free even while processors run concurrently. The shard is
@@ -120,6 +157,40 @@ func New(cfg Config) *Machine {
 
 // P returns the processor count.
 func (m *Machine) P() int { return m.cfg.P }
+
+// NumSockets returns the socket count (>= 1).
+func (m *Machine) NumSockets() int { return m.topo.Sockets }
+
+// SocketOf returns the socket hosting rank r under the machine's placement.
+func (m *Machine) SocketOf(r int) int { return m.sockets[r] }
+
+// Topology returns the machine's completed socket topology.
+func (m *Machine) Topology() machine.Topology { return m.topo }
+
+// SocketNets sums each socket's processors' network counters, in socket
+// order: SocketNets()[s].RemoteWordsSent is the traffic socket s pushed over
+// the inter-socket link.
+func (m *Machine) SocketNets() []NetCounters {
+	out := make([]NetCounters, m.topo.Sockets)
+	for r, p := range m.procs {
+		out[m.sockets[r]].Add(p.Net)
+	}
+	return out
+}
+
+// MaxNetOnSocket returns the per-socket critical path: the max over socket
+// s's processors of each network counter (the per-socket analogue of MaxNet,
+// which the per-socket W2 floor is checked against).
+func (m *Machine) MaxNetOnSocket(s int) NetCounters {
+	var out NetCounters
+	for r, p := range m.procs {
+		if m.sockets[r] != s {
+			continue
+		}
+		out = maxNet(out, p.Net)
+	}
+	return out
+}
 
 // Proc returns processor r's state (for post-run inspection).
 func (m *Machine) Proc(r int) *Proc { return m.procs[r] }
@@ -171,20 +242,29 @@ func (abortError) Error() string { return "dist: aborted by peer panic" }
 func (m *Machine) MaxNet() NetCounters {
 	var out NetCounters
 	for _, p := range m.procs {
-		if p.Net.WordsSent > out.WordsSent {
-			out.WordsSent = p.Net.WordsSent
-		}
-		if p.Net.WordsRecv > out.WordsRecv {
-			out.WordsRecv = p.Net.WordsRecv
-		}
-		if p.Net.MsgsSent > out.MsgsSent {
-			out.MsgsSent = p.Net.MsgsSent
-		}
-		if p.Net.MsgsRecv > out.MsgsRecv {
-			out.MsgsRecv = p.Net.MsgsRecv
-		}
+		out = maxNet(out, p.Net)
 	}
 	return out
+}
+
+func maxNet(a, b NetCounters) NetCounters {
+	return NetCounters{
+		WordsSent:       max64(a.WordsSent, b.WordsSent),
+		WordsRecv:       max64(a.WordsRecv, b.WordsRecv),
+		MsgsSent:        max64(a.MsgsSent, b.MsgsSent),
+		MsgsRecv:        max64(a.MsgsRecv, b.MsgsRecv),
+		RemoteWordsSent: max64(a.RemoteWordsSent, b.RemoteWordsSent),
+		RemoteWordsRecv: max64(a.RemoteWordsRecv, b.RemoteWordsRecv),
+		RemoteMsgsSent:  max64(a.RemoteMsgsSent, b.RemoteMsgsSent),
+		RemoteMsgsRecv:  max64(a.RemoteMsgsRecv, b.RemoteMsgsRecv),
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // MaxWritesTo returns the max over processors of words written into local
@@ -252,8 +332,13 @@ func (p *Proc) Send(to int, data []float64) {
 		panic("dist: self send")
 	}
 	w := int64(len(data))
+	msgs := p.m.msgCount(w)
 	p.Net.WordsSent += w
-	p.Net.MsgsSent += p.m.msgCount(w)
+	p.Net.MsgsSent += msgs
+	if p.RemotePeer(to) {
+		p.Net.RemoteWordsSent += w
+		p.Net.RemoteMsgsSent += msgs
+	}
 	cp := make([]float64, len(data))
 	copy(cp, data)
 	select {
@@ -277,10 +362,24 @@ func (p *Proc) Recv(from int) []float64 {
 		}
 	}
 	w := int64(len(data))
+	msgs := p.m.msgCount(w)
 	p.Net.WordsRecv += w
-	p.Net.MsgsRecv += p.m.msgCount(w)
+	p.Net.MsgsRecv += msgs
+	if p.RemotePeer(from) {
+		p.Net.RemoteWordsRecv += w
+		p.Net.RemoteMsgsRecv += msgs
+	}
 	return data
 }
+
+// RemotePeer reports whether rank `peer` lives on a different socket than
+// this processor (always false on a single-socket machine).
+func (p *Proc) RemotePeer(peer int) bool {
+	return p.m.sockets[peer] != p.m.sockets[p.Rank]
+}
+
+// Socket returns this processor's socket.
+func (p *Proc) Socket() int { return p.m.sockets[p.Rank] }
 
 func (m *Machine) msgCount(words int64) int64 {
 	if m.cfg.MaxMsgWords <= 0 || words <= m.cfg.MaxMsgWords {
@@ -387,6 +486,34 @@ func (p *Proc) StageUpFromLevel(lvl int, words int64) {
 func (p *Proc) StageDownToLevel(lvl int, words int64) {
 	for i := p.networkLevel(); i < lvl; i++ {
 		p.H.Store(i, words)
+	}
+}
+
+// StageUpFromLevelFor is StageUpFromLevel for words about to be sent to rank
+// `peer`: when the peer lives on another socket the loads are classified
+// remote (they feed the inter-socket link), otherwise the charge is identical
+// to StageUpFromLevel. Word and message totals are the same either way.
+func (p *Proc) StageUpFromLevelFor(peer, lvl int, words int64) {
+	if !p.RemotePeer(peer) {
+		p.StageUpFromLevel(lvl, words)
+		return
+	}
+	for i := lvl - 1; i >= p.networkLevel(); i-- {
+		p.H.LoadRemote(i, words)
+	}
+}
+
+// StageDownToLevelFrom is StageDownToLevel for words just received from rank
+// `peer`: stores of data that arrived over the inter-socket link are
+// classified remote. These are the writes the asymmetric cost model makes
+// expensive, so write-avoiding placement shows up directly in this counter.
+func (p *Proc) StageDownToLevelFrom(peer, lvl int, words int64) {
+	if !p.RemotePeer(peer) {
+		p.StageDownToLevel(lvl, words)
+		return
+	}
+	for i := p.networkLevel(); i < lvl; i++ {
+		p.H.StoreRemote(i, words)
 	}
 }
 

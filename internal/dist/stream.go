@@ -16,14 +16,19 @@ import (
 // rather than counting events, its records report Events = 0 (unknown).
 //
 // Flush may be called from any goroutine (including concurrently with the
-// ticker started by Start); emissions are serialized internally.
+// ticker started by Start); emissions are serialized internally. Start and
+// Close may race from different goroutines too: lifecycle state is guarded by
+// its own mutex, and Close is idempotent — exactly one final record is
+// emitted no matter how many goroutines call it.
 type AggregateStream struct {
 	m  *Machine
-	mu sync.Mutex
+	mu sync.Mutex // orders emissions
 	sw *machine.StreamWriter
 
-	stop chan struct{}
-	done chan struct{}
+	life   sync.Mutex // guards stop/done/closed
+	stop   chan struct{}
+	done   chan struct{}
+	closed bool
 }
 
 // NewAggregateStream builds a stream of machine-wide snapshots over w.
@@ -49,36 +54,54 @@ func (s *AggregateStream) emit(phase string, final bool) error {
 }
 
 // Start launches a background goroutine flushing every interval until Close.
-// Starting twice panics.
+// Starting twice (or after Close) panics.
 func (s *AggregateStream) Start(interval time.Duration) {
+	s.life.Lock()
+	defer s.life.Unlock()
+	if s.closed {
+		panic("dist: AggregateStream started after Close")
+	}
 	if s.stop != nil {
 		panic("dist: AggregateStream started twice")
 	}
 	s.stop = make(chan struct{})
 	s.done = make(chan struct{})
-	go func() {
-		defer close(s.done)
+	go func(stop, done chan struct{}) {
+		defer close(done)
 		t := time.NewTicker(interval)
 		defer t.Stop()
 		for {
 			select {
 			case <-t.C:
 				_ = s.emit("", false)
-			case <-s.stop:
+			case <-stop:
 				return
 			}
 		}
-	}()
+	}(s.stop, s.done)
 }
 
-// Close stops the ticker (if started) and emits the final cumulative record;
-// its Cum is exactly Aggregate() rendered as a snapshot. It returns the
-// first write error seen over the stream's lifetime.
+// Close stops the ticker (if started), waits for its goroutine to exit, and
+// emits the final cumulative record; its Cum is exactly Aggregate() rendered
+// as a snapshot, so a run that ends between ticks still gets its last deltas
+// flushed. Close is idempotent: concurrent or repeated calls stop the ticker
+// and write the final record exactly once, and every call returns the first
+// write error seen over the stream's lifetime.
 func (s *AggregateStream) Close() error {
-	if s.stop != nil {
-		close(s.stop)
-		<-s.done
-		s.stop = nil
+	s.life.Lock()
+	if s.closed {
+		s.life.Unlock()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.sw.Err()
+	}
+	s.closed = true
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.life.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
 	}
 	_ = s.emit("", true)
 	s.mu.Lock()

@@ -1,0 +1,141 @@
+package dist
+
+import (
+	"bytes"
+	"io"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer serializes writes so the test can hand one sink to emissions
+// racing from the ticker goroutine, Flush callers, and concurrent Closes.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+// The close-path regression (run with -race): many goroutines closing a
+// ticker-driven stream concurrently with Flush must stop the ticker, leak no
+// goroutine, and emit exactly one final record that still carries the full
+// totals.
+func TestAggregateStreamConcurrentClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var buf syncBuffer
+	m := mk(4)
+	s := m.NewAggregateStream(&buf)
+	s.Start(50 * time.Microsecond)
+
+	m.Run(func(p *Proc) {
+		for i := 0; i < 500; i++ {
+			p.H.Load(0, 1)
+		}
+	})
+	_ = s.Flush("mid")
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	recs := decodeStream(t, buf.Bytes())
+	finals := 0
+	for _, r := range recs {
+		if r.Final {
+			finals++
+		}
+	}
+	if finals != 1 {
+		t.Fatalf("%d final records, want exactly 1", finals)
+	}
+	last := recs[len(recs)-1]
+	if !last.Final {
+		t.Fatal("final record is not the last on the wire")
+	}
+	if got := last.Cum.Interfaces[0].LoadWords; got != 2000 {
+		t.Fatalf("final cumulative loads %d want 2000", got)
+	}
+
+	// The ticker goroutine must be gone. NumGoroutine is noisy; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutines leaked: %d before, %d after close", before, g)
+	}
+}
+
+// Close without Start still emits the final record; a second Close emits
+// nothing more; Start after Close panics rather than resurrecting the ticker.
+func TestAggregateStreamCloseLifecycle(t *testing.T) {
+	var buf syncBuffer
+	m := mk(2)
+	s := m.NewAggregateStream(&buf)
+	m.Run(func(p *Proc) { p.H.Load(0, 3) })
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := len(buf.Bytes())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(buf.Bytes()) != n {
+		t.Fatal("second Close wrote more records")
+	}
+	recs := decodeStream(t, buf.Bytes())
+	if len(recs) != 1 || !recs[0].Final {
+		t.Fatalf("want exactly one final record, got %+v", recs)
+	}
+	if got := recs[0].Cum.Interfaces[0].LoadWords; got != 6 {
+		t.Fatalf("final loads %d want 6", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Start after Close must panic")
+		}
+	}()
+	s.Start(time.Millisecond)
+}
+
+// A failing sink's first error is sticky and surfaces from every Close.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	return 0, io.ErrClosedPipe
+}
+
+func TestAggregateStreamCloseReportsWriteError(t *testing.T) {
+	m := mk(2)
+	s := m.NewAggregateStream(&failWriter{})
+	m.Run(func(p *Proc) { p.H.Load(0, 1) })
+	if err := s.Close(); err == nil {
+		t.Fatal("Close must surface the write error")
+	}
+	if err := s.Close(); err == nil {
+		t.Fatal("repeated Close must keep reporting the error")
+	}
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"writeavoid/internal/lowerbounds"
+	"writeavoid/internal/machine"
+	"writeavoid/internal/matrix"
+	"writeavoid/internal/pmm"
+)
+
+// NUMARow is one placement's measurement of the 2.5DMML3 multiply on a
+// multi-socket machine: the same algorithm, the same word totals, but a
+// different share of them crossing the inter-socket link — and therefore a
+// different price once remote words cost more than local ones.
+type NUMARow struct {
+	Placement string
+	Selected  bool // the placement the -placement flag asked for
+	Sockets   int
+	P         int
+	// NetWords is the per-processor critical path (max words sent), which
+	// the W2 floor governs; it is placement-invariant.
+	NetWords int64
+	W2Bound  float64
+	// LocalNet/RemoteNet split the machine-total words sent into intra-
+	// and inter-socket shares (they sum to the placement-invariant total).
+	LocalNet  int64
+	RemoteNet int64
+	// NVMStores is the machine-total words stored across the L2<->NVM
+	// interface; NVMRemoteStores the share landing replicas or operand
+	// blocks that arrived over the inter-socket link — the writes an
+	// asymmetric link makes expensive twice over.
+	NVMStores       int64
+	NVMRemoteStores int64
+	// BaseTime prices the local hierarchies with a symmetric per-word
+	// model; NUMATime reprices the same counters with remote loads
+	// numaRemoteLoadPenalty and remote stores numaRemoteStorePenalty
+	// dearer. BaseTime is placement-invariant by construction, so the
+	// NUMATime column isolates the placement's cost.
+	BaseTime float64
+	NUMATime float64
+}
+
+// Remote words cost more than local ones, and remote stores more than remote
+// loads — the asymmetric read/write link regime of Blelloch et al.
+// (arXiv:1511.01038). The store-side skew is what makes the two placements
+// price differently even when their total remote words tie: avoiding remote
+// *writes* is worth more than avoiding the same number of remote reads.
+const (
+	numaRemoteLoadPenalty  = 2.0
+	numaRemoteStorePenalty = 4.0
+)
+
+// NUMA runs the 2.5DMML3 multiply (the Table 1 c=4 configuration, whose
+// staged transfers exercise both the network and the NVM interface) on a
+// multi-socket machine under block and round-robin placement and reports the
+// local/remote split each placement induces. Fewer than two sockets is
+// clamped to two — a flat machine has nothing to split. The placement
+// argument only marks which row the -placement flag selected; both rows are
+// always measured, since the comparison is the point: totals match to the
+// word, splits and NUMA-priced times do not.
+//
+// Conformance: the W2 network floor is asserted globally (as in Table 1) and
+// per socket — the algorithm is traffic-homogeneous, every rank sends the
+// same words, so the critical-path floor must hold inside every socket, not
+// just on the machine-wide maximum.
+func NUMA(quick bool, sockets int, placement machine.Placement) []NUMARow {
+	mark("numa")
+	if sockets < 2 {
+		sockets = 2
+	}
+	n, q, c := 64, 4, 4
+	if !quick {
+		n = 128
+	}
+	a := matrix.Random(n, n, 1)
+	b := matrix.Random(n, n, 2)
+	base := machine.SymmetricDRAM(2, 0, 1) // β=1: times read as word counts
+	numa := machine.NUMA(base, numaRemoteLoadPenalty, numaRemoteStorePenalty)
+
+	var rows []NUMARow
+	for _, pl := range []machine.Placement{machine.PlaceBlock, machine.PlaceRoundRobin} {
+		cfg := pmm.Config{
+			Q: q, C: c, M1: 48, B1: 4, M2: 3 * 8 * 8, B2: 8, UseL3: true,
+			Sockets: sockets, Placement: pl,
+			Observe: distObserve("numa " + pl.String()),
+		}
+		_, m, err := pmm.MM25D(cfg, a, b)
+		if err != nil {
+			panic(err)
+		}
+		agg := m.Aggregate()
+		row := NUMARow{
+			Placement:       pl.String(),
+			Selected:        pl == placement,
+			Sockets:         m.NumSockets(),
+			P:               cfg.P(),
+			NetWords:        m.MaxNet().WordsSent,
+			W2Bound:         lowerbounds.W2(n, cfg.P(), float64(c)),
+			NVMStores:       agg.Iface[1].StoreWords,
+			NVMRemoteStores: agg.Iface[1].RemoteStoreWords,
+			BaseTime:        base.TimeOf(agg),
+			NUMATime:        numa.TimeOf(agg),
+		}
+		for _, nc := range m.SocketNets() {
+			row.LocalNet += nc.WordsSent - nc.RemoteWordsSent
+			row.RemoteNet += nc.RemoteWordsSent
+		}
+		conform("w2-network-floor", "numa/"+pl.String(),
+			float64(row.NetWords), row.W2Bound, 1, false)
+		perSocket := make([]float64, m.NumSockets())
+		for s := range perSocket {
+			perSocket[s] = float64(m.MaxNetOnSocket(s).WordsSent)
+		}
+		conformPerSocket("w2-network-floor-socket", "numa/"+pl.String(),
+			perSocket, row.W2Bound, 1, false)
+		distDone("numa "+pl.String(), m)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatNUMA renders the NUMA comparison table.
+func FormatNUMA(rows []NUMARow) string {
+	var b strings.Builder
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "== NUMA placement (2.5DMML3, %d sockets, remote load x%g / remote store x%g; * = -placement)\n",
+			rows[0].Sockets, numaRemoteLoadPenalty, numaRemoteStorePenalty)
+	}
+	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "placement\tnet words\tW2 bound\tlocal net\tremote net\tNVM stores\tremote NVM stores\tbase time\tNUMA time\t\n")
+	for _, r := range rows {
+		name := r.Placement
+		if r.Selected {
+			name += "*"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%d\t%d\t%d\t%d\t%.0f\t%.0f\t\n",
+			name, r.NetWords, r.W2Bound, r.LocalNet, r.RemoteNet,
+			r.NVMStores, r.NVMRemoteStores, r.BaseTime, r.NUMATime)
+	}
+	tw.Flush()
+	b.WriteString("(word and message totals are placement-invariant; only the local/remote split and its asymmetric price move)\n")
+	return b.String()
+}

@@ -154,6 +154,15 @@ func conform(check, kernel string, observed, expected, slack float64, ceiling bo
 	}
 }
 
+// conformPerSocket asserts the same externally computed bound once per
+// socket (observed[s] is socket s's value), recording each verdict under
+// kernel + "/socket<s>"; no-op without a monitor.
+func conformPerSocket(check, kernel string, observed []float64, expected, slack float64, ceiling bool) {
+	if mon != nil {
+		mon.CheckPerSocket(check, kernel, observed, expected, slack, ceiling)
+	}
+}
+
 // profRec returns the profiler's main recorder for sinks that are driven
 // directly rather than through a Hierarchy (the krylov Traffic counter), or
 // nil when no profiler is installed.

@@ -17,6 +17,41 @@ type CostParams struct {
 	BetaLoad   float64 // per-word cost of reading slow / writing fast
 	AlphaStore float64 // latency of a message moving fast->slow
 	BetaStore  float64 // per-word cost of writing slow (the expensive one)
+	// BetaRemoteLoad/BetaRemoteStore price the inter-socket share of the
+	// interface's words (the RemoteLoadWords/RemoteStoreWords
+	// sub-counters); the remaining local share keeps the β above. Zero
+	// means "same as local", so flat-machine models are unchanged. This is
+	// the asymmetric-link regime of Blelloch et al. (arXiv:1511.01038)
+	// layered on the paper's per-interface asymmetry: on a NUMA machine a
+	// remote NVM store pays both penalties at once.
+	BetaRemoteLoad  float64
+	BetaRemoteStore float64
+}
+
+// betaRemoteLoad returns the per-word cost of a remote load (local β when no
+// remote β is configured).
+func (p CostParams) betaRemoteLoad() float64 {
+	if p.BetaRemoteLoad != 0 {
+		return p.BetaRemoteLoad
+	}
+	return p.BetaLoad
+}
+
+func (p CostParams) betaRemoteStore() float64 {
+	if p.BetaRemoteStore != 0 {
+		return p.BetaRemoteStore
+	}
+	return p.BetaStore
+}
+
+// loadTime prices msgs messages carrying words words, of which remote crossed
+// the inter-socket link.
+func (p CostParams) loadTime(msgs, words, remote int64) float64 {
+	return p.AlphaLoad*float64(msgs) + p.BetaLoad*float64(words-remote) + p.betaRemoteLoad()*float64(remote)
+}
+
+func (p CostParams) storeTime(msgs, words, remote int64) float64 {
+	return p.AlphaStore*float64(msgs) + p.BetaStore*float64(words-remote) + p.betaRemoteStore()*float64(remote)
 }
 
 // CostModel assigns CostParams to each interface of a hierarchy, plus a
@@ -67,6 +102,26 @@ func NVMBacked(nIfaces int, alpha, beta, writePenalty, speedup float64) CostMode
 	return cm
 }
 
+// NUMA layers an inter-socket penalty onto an existing model: remote words
+// cost loadPenalty (slow->fast) respectively storePenalty (fast->slow) times
+// the local per-word β at every interface. Directional penalties compose the
+// two asymmetries the repo models — NVM writes dearer than reads (the base
+// model), remote dearer than local (this one) — so a remote store pays both.
+// With penalties of 1 (or a flat topology, which records no remote words) the
+// model prices every run exactly like the base model.
+func NUMA(base CostModel, loadPenalty, storePenalty float64) CostModel {
+	cm := CostModel{
+		Iface:       append([]CostParams(nil), base.Iface...),
+		PerFlop:     base.PerFlop,
+		WriteBuffer: base.WriteBuffer,
+	}
+	for i := range cm.Iface {
+		cm.Iface[i].BetaRemoteLoad = cm.Iface[i].BetaLoad * loadPenalty
+		cm.Iface[i].BetaRemoteStore = cm.Iface[i].BetaStore * storePenalty
+	}
+	return cm
+}
+
 // Time evaluates the model against a hierarchy's measured counters.
 func (cm CostModel) Time(h *Hierarchy) float64 {
 	if len(cm.Iface) != h.NumLevels()-1 {
@@ -76,8 +131,29 @@ func (cm CostModel) Time(h *Hierarchy) float64 {
 	t := cm.PerFlop * float64(h.FlopCount())
 	for i, p := range cm.Iface {
 		c := h.Interface(i)
-		load := p.AlphaLoad*float64(c.LoadMsgs) + p.BetaLoad*float64(c.LoadWords)
-		store := p.AlphaStore*float64(c.StoreMsgs) + p.BetaStore*float64(c.StoreWords)
+		load := p.loadTime(c.LoadMsgs, c.LoadWords, c.RemoteLoadWords)
+		store := p.storeTime(c.StoreMsgs, c.StoreWords, c.RemoteStoreWords)
+		if cm.WriteBuffer {
+			t += math.Max(load, store)
+		} else {
+			t += load + store
+		}
+	}
+	return t
+}
+
+// TimeOf evaluates the model against a bare CounterSet (merged sharded
+// counters, aggregated dist machines) without needing a Hierarchy.
+func (cm CostModel) TimeOf(c *CounterSet) float64 {
+	if len(cm.Iface) != len(c.Iface) {
+		panic(fmt.Sprintf("machine: cost model has %d interfaces, counters have %d",
+			len(cm.Iface), len(c.Iface)))
+	}
+	t := cm.PerFlop * float64(c.FlopCount)
+	for i, p := range cm.Iface {
+		ic := c.Iface[i]
+		load := p.loadTime(ic.LoadMsgs, ic.LoadWords, ic.RemoteLoadWords)
+		store := p.storeTime(ic.StoreMsgs, ic.StoreWords, ic.RemoteStoreWords)
 		if cm.WriteBuffer {
 			t += math.Max(load, store)
 		} else {
@@ -97,7 +173,8 @@ func (cm CostModel) WriteEnergy(h *Hierarchy) float64 {
 	var e float64
 	for i, p := range cm.Iface {
 		c := h.Interface(i)
-		e += p.BetaStore*float64(c.StoreWords) + p.BetaLoad*float64(c.LoadWords)
+		e += p.BetaStore*float64(c.StoreWords-c.RemoteStoreWords) + p.betaRemoteStore()*float64(c.RemoteStoreWords)
+		e += p.BetaLoad*float64(c.LoadWords-c.RemoteLoadWords) + p.betaRemoteLoad()*float64(c.RemoteLoadWords)
 	}
 	return e
 }
@@ -107,8 +184,8 @@ func (cm CostModel) Breakdown(h *Hierarchy) string {
 	var b strings.Builder
 	for i, p := range cm.Iface {
 		c := h.Interface(i)
-		load := p.AlphaLoad*float64(c.LoadMsgs) + p.BetaLoad*float64(c.LoadWords)
-		store := p.AlphaStore*float64(c.StoreMsgs) + p.BetaStore*float64(c.StoreWords)
+		load := p.loadTime(c.LoadMsgs, c.LoadWords, c.RemoteLoadWords)
+		store := p.storeTime(c.StoreMsgs, c.StoreWords, c.RemoteStoreWords)
 		fmt.Fprintf(&b, "iface %d (%s<->%s): load %.4g store %.4g\n",
 			i, h.LevelInfo(i).Name, h.LevelInfo(i+1).Name, load, store)
 	}
@@ -147,10 +224,18 @@ func (c *CostRecorder) Record(e Event) {
 	switch e.Kind {
 	case EvLoad:
 		p := c.Model.Iface[e.Arg]
-		c.loadT[e.Arg] += p.AlphaLoad + p.BetaLoad*float64(e.Words)
+		if e.Remote {
+			c.loadT[e.Arg] += p.AlphaLoad + p.betaRemoteLoad()*float64(e.Words)
+		} else {
+			c.loadT[e.Arg] += p.AlphaLoad + p.BetaLoad*float64(e.Words)
+		}
 	case EvStore:
 		p := c.Model.Iface[e.Arg]
-		c.storeT[e.Arg] += p.AlphaStore + p.BetaStore*float64(e.Words)
+		if e.Remote {
+			c.storeT[e.Arg] += p.AlphaStore + p.betaRemoteStore()*float64(e.Words)
+		} else {
+			c.storeT[e.Arg] += p.AlphaStore + p.BetaStore*float64(e.Words)
+		}
 	case EvFlops:
 		c.flopT += c.Model.PerFlop * float64(e.Words)
 	}

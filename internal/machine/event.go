@@ -74,7 +74,13 @@ type Event struct {
 	Words int64  // words moved, flop count for EvFlops, or run length for EvRange
 	Addr  uint64 // element address (EvTouch) or run start (EvRange)
 	Write bool   // access direction, EvTouch/EvRange only
-	Label string // span name, EvBegin only
+	// Remote marks an EvLoad/EvStore/EvTouch that crosses the inter-socket
+	// link of a multi-socket Topology. It is a classification, not a new
+	// traffic class: a remote load still bumps LoadWords/LoadMsgs exactly
+	// like a local one, and additionally bumps the Remote* sub-counter, so
+	// totals are placement-invariant and local traffic is total - remote.
+	Remote bool
+	Label  string // span name, EvBegin only
 }
 
 // Recorder consumes the event stream of a Hierarchy. Record is called
@@ -116,6 +122,10 @@ type CounterSet struct {
 	FlopCount   int64
 	TouchReads  int64 // EvTouch events with Write == false
 	TouchWrites int64 // EvTouch events with Write == true
+	// Remote touch sub-counters (events with Remote set); included in the
+	// totals above, so local touches are TouchReads-RemoteTouchReads etc.
+	RemoteTouchReads  int64
+	RemoteTouchWrites int64
 }
 
 // NewCounterSet returns a zeroed counter set for a machine with the given
@@ -133,10 +143,16 @@ func (c *CounterSet) Record(e Event) {
 	case EvLoad:
 		c.Iface[e.Arg].LoadWords += e.Words
 		c.Iface[e.Arg].LoadMsgs++
+		if e.Remote {
+			c.Iface[e.Arg].RemoteLoadWords += e.Words
+		}
 		c.bump(e.Arg, e.Words)
 	case EvStore:
 		c.Iface[e.Arg].StoreWords += e.Words
 		c.Iface[e.Arg].StoreMsgs++
+		if e.Remote {
+			c.Iface[e.Arg].RemoteStoreWords += e.Words
+		}
 		c.bump(e.Arg, -e.Words)
 	case EvInit:
 		c.Lvl[e.Arg].InitWords += e.Words
@@ -149,8 +165,14 @@ func (c *CounterSet) Record(e Event) {
 	case EvTouch:
 		if e.Write {
 			c.TouchWrites++
+			if e.Remote {
+				c.RemoteTouchWrites++
+			}
 		} else {
 			c.TouchReads++
+			if e.Remote {
+				c.RemoteTouchReads++
+			}
 		}
 	}
 }
@@ -181,6 +203,8 @@ func (c *CounterSet) Reset() {
 	c.FlopCount = 0
 	c.TouchReads = 0
 	c.TouchWrites = 0
+	c.RemoteTouchReads = 0
+	c.RemoteTouchWrites = 0
 }
 
 // Add accumulates other into c (ignoring occupancy, which is not additive).
@@ -190,6 +214,8 @@ func (c *CounterSet) Add(other *CounterSet) {
 		c.Iface[i].LoadMsgs += other.Iface[i].LoadMsgs
 		c.Iface[i].StoreWords += other.Iface[i].StoreWords
 		c.Iface[i].StoreMsgs += other.Iface[i].StoreMsgs
+		c.Iface[i].RemoteLoadWords += other.Iface[i].RemoteLoadWords
+		c.Iface[i].RemoteStoreWords += other.Iface[i].RemoteStoreWords
 	}
 	for i := range c.Lvl {
 		c.Lvl[i].InitWords += other.Lvl[i].InitWords
@@ -198,4 +224,6 @@ func (c *CounterSet) Add(other *CounterSet) {
 	c.FlopCount += other.FlopCount
 	c.TouchReads += other.TouchReads
 	c.TouchWrites += other.TouchWrites
+	c.RemoteTouchReads += other.RemoteTouchReads
+	c.RemoteTouchWrites += other.RemoteTouchWrites
 }

@@ -44,6 +44,12 @@ type InterfaceCounters struct {
 	LoadMsgs   int64 // number of Load operations (messages)
 	StoreWords int64 // words moved fast->slow (each word: read fast, write slow)
 	StoreMsgs  int64
+	// Remote sub-counters: the share of LoadWords/StoreWords that crossed
+	// the inter-socket link of a multi-socket Topology. Always <= the
+	// corresponding total (local traffic is total - remote); zero on a flat
+	// machine.
+	RemoteLoadWords  int64
+	RemoteStoreWords int64
 }
 
 // LevelCounters accumulates per-level residency bookkeeping.
@@ -63,6 +69,7 @@ type Hierarchy struct {
 	touch   []Recorder  // subset of recs that want EvTouch
 	marking int         // count of attached recorders that want span marks
 	strict  bool
+	topo    Topology // socket dimension; zero value = flat machine
 }
 
 // New builds a hierarchy from levels listed fastest first. With strict
@@ -149,6 +156,14 @@ func (h *Hierarchy) Touch(addr uint64, write bool) {
 	}
 }
 
+// TouchRemote is Touch for an element homed on another socket; the access is
+// counted in the same TouchReads/TouchWrites totals plus the Remote* split.
+func (h *Hierarchy) TouchRemote(addr uint64, write bool) {
+	for _, r := range h.touch {
+		r.Record(Event{Kind: EvTouch, Addr: addr, Write: write, Remote: true})
+	}
+}
+
 // Begin opens a named span: subsequent events up to the matching End are
 // attributed to the phase `name` by span-aware recorders (the default
 // counters and the sharded/stream recorders ignore marks, so word counts are
@@ -188,6 +203,18 @@ func (h *Hierarchy) dispatch(e Event) {
 // Load moves words from level i+1 into level i across interface i as one
 // message.
 func (h *Hierarchy) Load(iface int, words int64) {
+	h.load(iface, words, false)
+}
+
+// LoadRemote is Load for words whose home is another socket: the same
+// message and word counters move (totals are placement-invariant), and the
+// interface's RemoteLoadWords sub-counter records the share that crossed the
+// inter-socket link.
+func (h *Hierarchy) LoadRemote(iface int, words int64) {
+	h.load(iface, words, true)
+}
+
+func (h *Hierarchy) load(iface int, words int64, remote bool) {
 	h.checkIface(iface)
 	if words < 0 {
 		panic("machine: negative Load")
@@ -195,13 +222,25 @@ func (h *Hierarchy) Load(iface int, words int64) {
 	if words == 0 {
 		return
 	}
-	h.dispatch(Event{Kind: EvLoad, Arg: iface, Words: words})
+	h.dispatch(Event{Kind: EvLoad, Arg: iface, Words: words, Remote: remote})
 	h.checkOverflow(iface)
 }
 
 // Store moves words from level i into level i+1 across interface i as one
 // message, ending their residency in level i (a D1 ending).
 func (h *Hierarchy) Store(iface int, words int64) {
+	h.store(iface, words, false)
+}
+
+// StoreRemote is Store toward another socket's memory: same totals, plus the
+// RemoteStoreWords sub-counter. Remote stores are the expensive direction on
+// asymmetric links (CostParams.BetaRemoteStore), which is what makes
+// write-avoidance pay twice on a NUMA machine.
+func (h *Hierarchy) StoreRemote(iface int, words int64) {
+	h.store(iface, words, true)
+}
+
+func (h *Hierarchy) store(iface int, words int64, remote bool) {
 	h.checkIface(iface)
 	if words < 0 {
 		panic("machine: negative Store")
@@ -210,7 +249,7 @@ func (h *Hierarchy) Store(iface int, words int64) {
 		return
 	}
 	h.checkUnderflow(iface, words)
-	h.dispatch(Event{Kind: EvStore, Arg: iface, Words: words})
+	h.dispatch(Event{Kind: EvStore, Arg: iface, Words: words, Remote: remote})
 }
 
 // Init begins an R2 residency: words are created in level i by computation

@@ -91,6 +91,8 @@ func (s *ShardedRecorder) Merge() *CounterSet {
 			out.Iface[i].LoadMsgs += sh.loadMsgs[i].Load()
 			out.Iface[i].StoreWords += sh.storeWords[i].Load()
 			out.Iface[i].StoreMsgs += sh.storeMsgs[i].Load()
+			out.Iface[i].RemoteLoadWords += sh.remoteLoadWords[i].Load()
+			out.Iface[i].RemoteStoreWords += sh.remoteStoreWords[i].Load()
 		}
 		for i := 0; i < s.levels; i++ {
 			out.Lvl[i].InitWords += sh.initWords[i].Load()
@@ -99,6 +101,8 @@ func (s *ShardedRecorder) Merge() *CounterSet {
 		out.FlopCount += sh.flops.Load()
 		out.TouchReads += sh.touchReads.Load()
 		out.TouchWrites += sh.touchWrites.Load()
+		out.RemoteTouchReads += sh.remoteTouchReads.Load()
+		out.RemoteTouchWrites += sh.remoteTouchWrites.Load()
 	}
 	return out
 }
@@ -107,21 +111,26 @@ func (s *ShardedRecorder) Merge() *CounterSet {
 // counters can also be read race-free at any time with Counters, which is
 // how per-rank live metrics are served while processors still run.
 type Shard struct {
-	loadWords, loadMsgs     []atomic.Int64 // per interface
-	storeWords, storeMsgs   []atomic.Int64
-	initWords, discardWords []atomic.Int64 // per level
-	flops                   atomic.Int64
-	touchReads, touchWrites atomic.Int64
+	loadWords, loadMsgs               []atomic.Int64 // per interface
+	storeWords, storeMsgs             []atomic.Int64
+	remoteLoadWords, remoteStoreWords []atomic.Int64 // per interface, inter-socket share
+	initWords, discardWords           []atomic.Int64 // per level
+	flops                             atomic.Int64
+	touchReads, touchWrites           atomic.Int64
+	remoteTouchReads                  atomic.Int64
+	remoteTouchWrites                 atomic.Int64
 }
 
 func newShard(levels int) *Shard {
 	return &Shard{
-		loadWords:    make([]atomic.Int64, levels-1),
-		loadMsgs:     make([]atomic.Int64, levels-1),
-		storeWords:   make([]atomic.Int64, levels-1),
-		storeMsgs:    make([]atomic.Int64, levels-1),
-		initWords:    make([]atomic.Int64, levels),
-		discardWords: make([]atomic.Int64, levels),
+		loadWords:        make([]atomic.Int64, levels-1),
+		loadMsgs:         make([]atomic.Int64, levels-1),
+		storeWords:       make([]atomic.Int64, levels-1),
+		storeMsgs:        make([]atomic.Int64, levels-1),
+		remoteLoadWords:  make([]atomic.Int64, levels-1),
+		remoteStoreWords: make([]atomic.Int64, levels-1),
+		initWords:        make([]atomic.Int64, levels),
+		discardWords:     make([]atomic.Int64, levels),
 	}
 }
 
@@ -131,9 +140,15 @@ func (sh *Shard) Record(e Event) {
 	case EvLoad:
 		sh.loadWords[e.Arg].Add(e.Words)
 		sh.loadMsgs[e.Arg].Add(1)
+		if e.Remote {
+			sh.remoteLoadWords[e.Arg].Add(e.Words)
+		}
 	case EvStore:
 		sh.storeWords[e.Arg].Add(e.Words)
 		sh.storeMsgs[e.Arg].Add(1)
+		if e.Remote {
+			sh.remoteStoreWords[e.Arg].Add(e.Words)
+		}
 	case EvInit:
 		sh.initWords[e.Arg].Add(e.Words)
 	case EvDiscard:
@@ -143,8 +158,14 @@ func (sh *Shard) Record(e Event) {
 	case EvTouch:
 		if e.Write {
 			sh.touchWrites.Add(1)
+			if e.Remote {
+				sh.remoteTouchWrites.Add(1)
+			}
 		} else {
 			sh.touchReads.Add(1)
+			if e.Remote {
+				sh.remoteTouchReads.Add(1)
+			}
 		}
 	}
 }
@@ -164,6 +185,8 @@ func (sh *Shard) Counters() *CounterSet {
 		out.Iface[i].LoadMsgs = sh.loadMsgs[i].Load()
 		out.Iface[i].StoreWords = sh.storeWords[i].Load()
 		out.Iface[i].StoreMsgs = sh.storeMsgs[i].Load()
+		out.Iface[i].RemoteLoadWords = sh.remoteLoadWords[i].Load()
+		out.Iface[i].RemoteStoreWords = sh.remoteStoreWords[i].Load()
 	}
 	for i := 0; i < levels; i++ {
 		out.Lvl[i].InitWords = sh.initWords[i].Load()
@@ -172,5 +195,7 @@ func (sh *Shard) Counters() *CounterSet {
 	out.FlopCount = sh.flops.Load()
 	out.TouchReads = sh.touchReads.Load()
 	out.TouchWrites = sh.touchWrites.Load()
+	out.RemoteTouchReads = sh.remoteTouchReads.Load()
+	out.RemoteTouchWrites = sh.remoteTouchWrites.Load()
 	return out
 }

@@ -21,6 +21,10 @@ type Snapshot struct {
 	// the default counter set is not on the touch path.
 	TouchReads  int64 `json:"touchReads,omitempty"`
 	TouchWrites int64 `json:"touchWrites,omitempty"`
+	// Remote touch split (multi-socket runs only; omitted when zero so
+	// flat-machine snapshots keep the pre-socket wire format).
+	RemoteTouchReads  int64 `json:"remoteTouchReads,omitempty"`
+	RemoteTouchWrites int64 `json:"remoteTouchWrites,omitempty"`
 }
 
 // LevelSnapshot is one memory level's counters.
@@ -37,13 +41,18 @@ type LevelSnapshot struct {
 
 // InterfaceSnapshot is one interface's traffic counters.
 type InterfaceSnapshot struct {
-	Between       string `json:"between"`
-	LoadWords     int64  `json:"loadWords"`
-	LoadMsgs      int64  `json:"loadMsgs"`
-	StoreWords    int64  `json:"storeWords"`
-	StoreMsgs     int64  `json:"storeMsgs"`
-	Traffic       int64  `json:"traffic"`
-	Theorem1Holds bool   `json:"theorem1Holds"`
+	Between    string `json:"between"`
+	LoadWords  int64  `json:"loadWords"`
+	LoadMsgs   int64  `json:"loadMsgs"`
+	StoreWords int64  `json:"storeWords"`
+	StoreMsgs  int64  `json:"storeMsgs"`
+	// Remote sub-counters: the inter-socket share of LoadWords/StoreWords
+	// (local = total - remote). Omitted when zero so single-socket output
+	// is byte-identical to the pre-socket format.
+	RemoteLoadWords  int64 `json:"remoteLoadWords,omitempty"`
+	RemoteStoreWords int64 `json:"remoteStoreWords,omitempty"`
+	Traffic          int64 `json:"traffic"`
+	Theorem1Holds    bool  `json:"theorem1Holds"`
 }
 
 // SnapshotOf renders any CounterSet as a Snapshot, deriving writesTo,
@@ -57,9 +66,11 @@ func SnapshotOf(levels []Level, c *CounterSet) Snapshot {
 		panic("machine: SnapshotOf level count mismatch")
 	}
 	s := Snapshot{
-		Flops:       c.FlopCount,
-		TouchReads:  c.TouchReads,
-		TouchWrites: c.TouchWrites,
+		Flops:             c.FlopCount,
+		TouchReads:        c.TouchReads,
+		TouchWrites:       c.TouchWrites,
+		RemoteTouchReads:  c.RemoteTouchReads,
+		RemoteTouchWrites: c.RemoteTouchWrites,
 	}
 	for i, lv := range levels {
 		lc := c.Lvl[i]
@@ -89,13 +100,15 @@ func SnapshotOf(levels []Level, c *CounterSet) Snapshot {
 		ic := c.Iface[i]
 		writesFast := ic.LoadWords + c.Lvl[i].InitWords
 		s.Interfaces = append(s.Interfaces, InterfaceSnapshot{
-			Between:       levels[i].Name + "<->" + levels[i+1].Name,
-			LoadWords:     ic.LoadWords,
-			LoadMsgs:      ic.LoadMsgs,
-			StoreWords:    ic.StoreWords,
-			StoreMsgs:     ic.StoreMsgs,
-			Traffic:       ic.LoadWords + ic.StoreWords,
-			Theorem1Holds: 2*writesFast >= ic.LoadWords+ic.StoreWords,
+			Between:          levels[i].Name + "<->" + levels[i+1].Name,
+			LoadWords:        ic.LoadWords,
+			LoadMsgs:         ic.LoadMsgs,
+			StoreWords:       ic.StoreWords,
+			StoreMsgs:        ic.StoreMsgs,
+			RemoteLoadWords:  ic.RemoteLoadWords,
+			RemoteStoreWords: ic.RemoteStoreWords,
+			Traffic:          ic.LoadWords + ic.StoreWords,
+			Theorem1Holds:    2*writesFast >= ic.LoadWords+ic.StoreWords,
 		})
 	}
 	return s
@@ -138,9 +151,11 @@ func (s Snapshot) combine(other Snapshot, sign int64) Snapshot {
 		panic("machine: snapshot geometry mismatch")
 	}
 	out := Snapshot{
-		Flops:       s.Flops + sign*other.Flops,
-		TouchReads:  s.TouchReads + sign*other.TouchReads,
-		TouchWrites: s.TouchWrites + sign*other.TouchWrites,
+		Flops:             s.Flops + sign*other.Flops,
+		TouchReads:        s.TouchReads + sign*other.TouchReads,
+		TouchWrites:       s.TouchWrites + sign*other.TouchWrites,
+		RemoteTouchReads:  s.RemoteTouchReads + sign*other.RemoteTouchReads,
+		RemoteTouchWrites: s.RemoteTouchWrites + sign*other.RemoteTouchWrites,
 	}
 	out.Levels = make([]LevelSnapshot, len(s.Levels))
 	for i := range s.Levels {
@@ -160,11 +175,13 @@ func (s Snapshot) combine(other Snapshot, sign int64) Snapshot {
 	for i := range s.Interfaces {
 		a, b := s.Interfaces[i], other.Interfaces[i]
 		ic := InterfaceSnapshot{
-			Between:    a.Between,
-			LoadWords:  a.LoadWords + sign*b.LoadWords,
-			LoadMsgs:   a.LoadMsgs + sign*b.LoadMsgs,
-			StoreWords: a.StoreWords + sign*b.StoreWords,
-			StoreMsgs:  a.StoreMsgs + sign*b.StoreMsgs,
+			Between:          a.Between,
+			LoadWords:        a.LoadWords + sign*b.LoadWords,
+			LoadMsgs:         a.LoadMsgs + sign*b.LoadMsgs,
+			StoreWords:       a.StoreWords + sign*b.StoreWords,
+			StoreMsgs:        a.StoreMsgs + sign*b.StoreMsgs,
+			RemoteLoadWords:  a.RemoteLoadWords + sign*b.RemoteLoadWords,
+			RemoteStoreWords: a.RemoteStoreWords + sign*b.RemoteStoreWords,
 		}
 		ic.Traffic = ic.LoadWords + ic.StoreWords
 		writesFast := ic.LoadWords + out.Levels[i].InitWords

@@ -1,0 +1,89 @@
+package machine
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// Close-path regression: events recorded after the last flush and never
+// followed by a Phase mark must still reach the wire — the final record
+// carries the pending partial delta, and the exactness invariant holds with
+// no trailing Phase call.
+func TestStreamCloseFlushesPartialDelta(t *testing.T) {
+	var buf bytes.Buffer
+	h := TwoLevel(64)
+	s := h.StreamTo(&buf, 3)
+
+	s.Phase("work")
+	h.Load(0, 6)
+	h.Load(0, 6)
+	h.Load(0, 6) // third event: periodic flush fires here
+	h.Store(0, 7)
+	h.Store(0, 9) // pending when Close runs — the partial tail
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := decodeStream(t, buf.Bytes())
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2 (periodic + final)", len(recs))
+	}
+	final := recs[1]
+	if !final.Final {
+		t.Fatal("last record not marked final")
+	}
+	if sw := final.Delta.Interfaces[0].StoreWords; sw != 16 {
+		t.Fatalf("final delta storeWords %d want 16 (the un-flushed tail)", sw)
+	}
+	sum := recs[0].Delta
+	for _, r := range recs[1:] {
+		sum = sum.Add(r.Delta)
+	}
+	if !reflect.DeepEqual(sum, final.Cum) {
+		t.Fatalf("summed deltas != final cumulative:\nsum = %+v\ncum = %+v", sum, final.Cum)
+	}
+	if !reflect.DeepEqual(final.Cum, h.Snapshot()) {
+		t.Fatal("final cumulative != post-hoc snapshot")
+	}
+
+	// A second Close emits nothing further and keeps the same error result.
+	n := buf.Len()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != n {
+		t.Fatal("second Close wrote more bytes")
+	}
+}
+
+// Remote splits ride the stream wire format: deltas and cumulative records
+// carry them, and they telescope like every other counter.
+func TestStreamCarriesRemoteSplit(t *testing.T) {
+	var buf bytes.Buffer
+	h := TwoLevel(64)
+	s := h.StreamTo(&buf, 0)
+
+	s.Phase("local")
+	h.Load(0, 8)
+	s.Phase("remote")
+	h.LoadRemote(0, 8)
+	h.StoreRemote(0, 2)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := decodeStream(t, buf.Bytes())
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if r := recs[0].Delta.Interfaces[0]; r.RemoteLoadWords != 0 || r.LoadWords != 8 {
+		t.Fatalf("local phase delta: %+v", r)
+	}
+	if r := recs[1].Delta.Interfaces[0]; r.RemoteLoadWords != 8 || r.RemoteStoreWords != 2 {
+		t.Fatalf("remote phase delta: %+v", r)
+	}
+	cum := recs[1].Cum.Interfaces[0]
+	if cum.LoadWords != 16 || cum.RemoteLoadWords != 8 {
+		t.Fatalf("cumulative split: %+v", cum)
+	}
+}

@@ -1,0 +1,114 @@
+package machine
+
+import "fmt"
+
+// Topology adds the socket dimension of a NUMA-style multi-socket machine to
+// the memory model: S sockets, each hosting ProcsPerSocket processors, joined
+// by an inter-socket link that makes a remote DRAM access more expensive than
+// a local one (the asymmetric-cost regime of Blelloch et al.,
+// arXiv:1511.01038, grafted onto the paper's interface model). The topology
+// itself never changes what is counted — word and message totals are
+// placement-invariant — it only decides which share of an interface's traffic
+// is classified remote (see Event.Remote and the Remote* counters), and the
+// cost model then prices that share with its own β (CostParams.BetaRemote*).
+//
+// The zero value is the flat machine every pre-socket caller gets: one
+// socket, nothing remote.
+type Topology struct {
+	// Sockets is the socket count; <= 1 means a flat (single-socket)
+	// machine with no remote traffic.
+	Sockets int
+	// ProcsPerSocket is the number of processor ranks each socket hosts
+	// under block placement; <= 0 is filled in by For from the rank count.
+	ProcsPerSocket int
+}
+
+// Flat reports whether the topology has no socket dimension (zero or one
+// socket): every access is local and the remote counters stay zero.
+func (t Topology) Flat() bool { return t.Sockets <= 1 }
+
+// For returns the topology completed for p ranks: Sockets is clamped to at
+// least 1 (and at most p, so no socket is empty), and ProcsPerSocket defaults
+// to ceil(p/Sockets) when unset.
+func (t Topology) For(p int) Topology {
+	if t.Sockets < 1 {
+		t.Sockets = 1
+	}
+	if p > 0 && t.Sockets > p {
+		t.Sockets = p
+	}
+	if t.ProcsPerSocket < 1 {
+		if p < 1 {
+			p = t.Sockets
+		}
+		t.ProcsPerSocket = (p + t.Sockets - 1) / t.Sockets
+	}
+	return t
+}
+
+// SocketOf places rank on a socket: block placement fills socket 0 with the
+// first ProcsPerSocket ranks and so on (neighbors in rank order share a
+// socket), round-robin deals ranks across sockets in turn (neighbors in rank
+// order land on different sockets). Out-of-range placements fall back to
+// block; ranks beyond Sockets*ProcsPerSocket wrap onto the last socket so a
+// partially specified topology never indexes past the machine.
+func (t Topology) SocketOf(rank int, pl Placement) int {
+	if t.Flat() || rank < 0 {
+		return 0
+	}
+	if pl == PlaceRoundRobin {
+		return rank % t.Sockets
+	}
+	per := t.ProcsPerSocket
+	if per < 1 {
+		per = 1
+	}
+	s := rank / per
+	if s >= t.Sockets {
+		s = t.Sockets - 1
+	}
+	return s
+}
+
+// Placement selects how ranks map onto sockets.
+type Placement int
+
+const (
+	// PlaceBlock assigns contiguous rank ranges to each socket (ranks that
+	// are neighbors in rank order — and hence, for the 2D grids the dist
+	// algorithms use, usually neighbors in the grid — share a socket).
+	PlaceBlock Placement = iota
+	// PlaceRoundRobin deals ranks across sockets in turn, the adversarial
+	// placement: grid neighbors land on different sockets and their
+	// traffic rides the inter-socket link.
+	PlaceRoundRobin
+)
+
+func (p Placement) String() string {
+	switch p {
+	case PlaceBlock:
+		return "block"
+	case PlaceRoundRobin:
+		return "rr"
+	}
+	return fmt.Sprintf("Placement(%d)", int(p))
+}
+
+// ParsePlacement converts the wabench flag spelling to a Placement.
+func ParsePlacement(s string) (Placement, error) {
+	switch s {
+	case "block":
+		return PlaceBlock, nil
+	case "rr", "round-robin", "roundrobin":
+		return PlaceRoundRobin, nil
+	}
+	return PlaceBlock, fmt.Errorf("machine: unknown placement %q (want block|rr)", s)
+}
+
+// SetTopology attaches a socket topology to the hierarchy. It is metadata:
+// counters and strict checking are unchanged; recorders and cost models read
+// it to interpret the Remote* split.
+func (h *Hierarchy) SetTopology(t Topology) { h.topo = t }
+
+// Topology returns the attached socket topology (zero value: flat machine).
+func (h *Hierarchy) Topology() Topology { return h.topo }

@@ -1,0 +1,94 @@
+package machine
+
+import "testing"
+
+func TestTopologyForClampsAndDefaults(t *testing.T) {
+	cases := []struct {
+		name        string
+		in          Topology
+		p           int
+		wantSockets int
+		wantPer     int
+	}{
+		{"zero value is flat", Topology{}, 8, 1, 8},
+		{"two sockets split evenly", Topology{Sockets: 2}, 8, 2, 4},
+		{"uneven split rounds up", Topology{Sockets: 2}, 7, 2, 4},
+		{"more sockets than procs clamps", Topology{Sockets: 16}, 4, 4, 1},
+		{"negative sockets is flat", Topology{Sockets: -3}, 4, 1, 4},
+		{"explicit per-socket kept", Topology{Sockets: 2, ProcsPerSocket: 3}, 6, 2, 3},
+	}
+	for _, c := range cases {
+		got := c.in.For(c.p)
+		if got.Sockets != c.wantSockets || got.ProcsPerSocket != c.wantPer {
+			t.Errorf("%s: For(%d) = %+v, want {%d %d}", c.name, c.p, got, c.wantSockets, c.wantPer)
+		}
+	}
+	if !(Topology{}).Flat() || !(Topology{Sockets: 1}).Flat() {
+		t.Error("one or zero sockets must be flat")
+	}
+	if (Topology{Sockets: 2}).Flat() {
+		t.Error("two sockets must not be flat")
+	}
+}
+
+func TestSocketOfBlockAndRoundRobin(t *testing.T) {
+	topo := Topology{Sockets: 2}.For(8) // 2 sockets x 4 procs
+	wantBlock := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	wantRR := []int{0, 1, 0, 1, 0, 1, 0, 1}
+	for r := 0; r < 8; r++ {
+		if got := topo.SocketOf(r, PlaceBlock); got != wantBlock[r] {
+			t.Errorf("block: SocketOf(%d) = %d, want %d", r, got, wantBlock[r])
+		}
+		if got := topo.SocketOf(r, PlaceRoundRobin); got != wantRR[r] {
+			t.Errorf("rr: SocketOf(%d) = %d, want %d", r, got, wantRR[r])
+		}
+	}
+	// Ranks past a ragged last socket clamp to it rather than invent sockets.
+	ragged := Topology{Sockets: 3}.For(7) // per-socket 3: sockets {0,1,2}
+	if got := ragged.SocketOf(6, PlaceBlock); got != 2 {
+		t.Errorf("ragged block: SocketOf(6) = %d, want 2", got)
+	}
+	// Flat topologies and defensive inputs land everyone on socket 0.
+	flat := Topology{}.For(4)
+	if flat.SocketOf(3, PlaceBlock) != 0 || flat.SocketOf(3, PlaceRoundRobin) != 0 {
+		t.Error("flat topology must map every rank to socket 0")
+	}
+	if topo.SocketOf(-1, PlaceBlock) != 0 {
+		t.Error("negative rank must map to socket 0")
+	}
+}
+
+func TestParsePlacement(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Placement
+	}{
+		{"block", PlaceBlock},
+		{"rr", PlaceRoundRobin},
+		{"round-robin", PlaceRoundRobin},
+		{"roundrobin", PlaceRoundRobin},
+	} {
+		got, err := ParsePlacement(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParsePlacement(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParsePlacement("scatter"); err == nil {
+		t.Error("unknown placement must error")
+	}
+	if PlaceBlock.String() != "block" || PlaceRoundRobin.String() != "rr" {
+		t.Errorf("placement strings: %q %q", PlaceBlock.String(), PlaceRoundRobin.String())
+	}
+}
+
+func TestHierarchyTopologyRoundTrip(t *testing.T) {
+	h := TwoLevel(64)
+	if !h.Topology().Flat() {
+		t.Fatal("fresh hierarchy must be flat")
+	}
+	topo := Topology{Sockets: 2, ProcsPerSocket: 4}
+	h.SetTopology(topo)
+	if got := h.Topology(); got != topo {
+		t.Fatalf("Topology() = %+v, want %+v", got, topo)
+	}
+}

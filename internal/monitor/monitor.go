@@ -214,6 +214,24 @@ func (m *Monitor) CheckBound(check, kernel string, observed, expected, slack flo
 	return false
 }
 
+// CheckPerSocket asserts the same bound once per socket: observed[s] is
+// socket s's measured value (e.g. the max per-rank network words among its
+// ranks) checked against the one expected value with CheckBound semantics,
+// each verdict recorded under kernel + "/socket<s>". This is how the WA
+// distributed W2 floor is asserted per-socket as well as globally on a NUMA
+// machine: a homogeneous algorithm's critical path lower bound applies
+// within every socket, not just to the machine-wide maximum. Returns true
+// iff every socket's bound held.
+func (m *Monitor) CheckPerSocket(check, kernel string, observed []float64, expected, slack float64, ceiling bool) bool {
+	ok := true
+	for s, obs := range observed {
+		if !m.CheckBound(check, fmt.Sprintf("%s/socket%d", kernel, s), obs, expected, slack, ceiling) {
+			ok = false
+		}
+	}
+	return ok
+}
+
 // Violations returns a copy of the violations recorded so far.
 func (m *Monitor) Violations() []Violation {
 	m.mu.Lock()

@@ -44,12 +44,16 @@ var families = []familyDef{
 	{"wa_flops_total", "counter", "Floating-point operations recorded."},
 	{"wa_touch_reads_total", "counter", "Per-element read touches recorded."},
 	{"wa_touch_writes_total", "counter", "Per-element write touches recorded."},
+	{"wa_touch_remote_reads_total", "counter", "Read touches classified inter-socket (included in wa_touch_reads_total)."},
+	{"wa_touch_remote_writes_total", "counter", "Write touches classified inter-socket (included in wa_touch_writes_total)."},
 	{"wa_level_init_words_total", "counter", "Words initialized directly in a memory level."},
 	{"wa_level_writes_to_words_total", "counter", "Words written into a memory level (inits + loads from below + stores from above)."},
 	{"wa_interface_load_words_total", "counter", "Words loaded (slow->fast) across an interface."},
 	{"wa_interface_store_words_total", "counter", "Words stored (fast->slow) across an interface."},
 	{"wa_interface_load_msgs_total", "counter", "Load messages across an interface."},
 	{"wa_interface_store_msgs_total", "counter", "Store messages across an interface."},
+	{"wa_interface_remote_load_words_total", "counter", "Words loaded across an interface over the inter-socket link (included in wa_interface_load_words_total)."},
+	{"wa_interface_remote_store_words_total", "counter", "Words stored across an interface over the inter-socket link (included in wa_interface_store_words_total)."},
 	{"wa_interface_traffic_words_total", "counter", "Total words moved across an interface."},
 	{"wa_interface_theorem1_holds", "gauge", "1 if Theorem 1 (2*writesFast >= traffic) holds on the cumulative counters."},
 	{"wa_cache_accesses_total", "counter", "Accesses simulated by a cache simulator."},
@@ -74,6 +78,14 @@ func snapshotSamples(dst []metricSample, s machine.Snapshot, extra []labelPair) 
 	add("wa_flops_total", nil, float64(s.Flops))
 	add("wa_touch_reads_total", nil, float64(s.TouchReads))
 	add("wa_touch_writes_total", nil, float64(s.TouchWrites))
+	// Remote families appear only when a multi-socket run recorded remote
+	// traffic; flat-machine expositions are unchanged sample for sample.
+	if s.RemoteTouchReads != 0 {
+		add("wa_touch_remote_reads_total", nil, float64(s.RemoteTouchReads))
+	}
+	if s.RemoteTouchWrites != 0 {
+		add("wa_touch_remote_writes_total", nil, float64(s.RemoteTouchWrites))
+	}
 	for i, lv := range s.Levels {
 		ll := []labelPair{{"level", lv.Name}, {"index", strconv.Itoa(i)}}
 		add("wa_level_init_words_total", ll, float64(lv.InitWords))
@@ -85,6 +97,12 @@ func snapshotSamples(dst []metricSample, s machine.Snapshot, extra []labelPair) 
 		add("wa_interface_store_words_total", il, float64(ifc.StoreWords))
 		add("wa_interface_load_msgs_total", il, float64(ifc.LoadMsgs))
 		add("wa_interface_store_msgs_total", il, float64(ifc.StoreMsgs))
+		if ifc.RemoteLoadWords != 0 {
+			add("wa_interface_remote_load_words_total", il, float64(ifc.RemoteLoadWords))
+		}
+		if ifc.RemoteStoreWords != 0 {
+			add("wa_interface_remote_store_words_total", il, float64(ifc.RemoteStoreWords))
+		}
 		add("wa_interface_traffic_words_total", il, float64(ifc.Traffic))
 		holds := 0.0
 		if ifc.Theorem1Holds {

@@ -149,12 +149,18 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 }
 
 // Close stops the listener and every in-flight connection (SSE clients hold
-// theirs open, so a graceful drain would never finish). Safe without Start.
+// theirs open, so a graceful drain would never finish), and shuts the SSE
+// broker down so no handler goroutine outlives the server. Safe without
+// Start, and idempotent.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	srv := s.srv
 	s.srv, s.ln = nil, nil
 	s.mu.Unlock()
+	// Unblock SSE handlers first: srv.Close terminates their connections,
+	// but handlers parked in the broker's select need the done signal to
+	// observe the shutdown and return.
+	s.broker.Shutdown()
 	if srv == nil {
 		return nil
 	}

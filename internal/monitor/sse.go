@@ -29,6 +29,8 @@ type Broker struct {
 	mu      sync.Mutex
 	clients map[chan sseMsg]struct{}
 	buf     bytes.Buffer // partial line accumulator
+	done    chan struct{}
+	closed  bool
 
 	sent    atomic.Int64
 	dropped atomic.Int64
@@ -40,7 +42,23 @@ const clientQueue = 256
 // NewBroker returns an empty broker; it is ready to Write to even with no
 // clients (messages then go nowhere, cheaply).
 func NewBroker() *Broker {
-	return &Broker{clients: make(map[chan sseMsg]struct{})}
+	return &Broker{
+		clients: make(map[chan sseMsg]struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Shutdown ends every in-flight ServeHTTP loop and makes future ones return
+// immediately, so no handler goroutine outlives the broker's owner (the
+// Server calls this from Close). Idempotent; Write and Broadcast stay safe
+// after shutdown and simply reach no clients.
+func (b *Broker) Shutdown() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.done)
+	}
+	b.mu.Unlock()
 }
 
 // Write splits p into lines and broadcasts each complete line as one
@@ -112,7 +130,7 @@ func (b *Broker) unsubscribe(ch chan sseMsg) {
 }
 
 // ServeHTTP streams the broker to one client as text/event-stream until the
-// client disconnects (request context cancellation).
+// client disconnects (request context cancellation) or the broker shuts down.
 func (b *Broker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
@@ -134,6 +152,8 @@ func (b *Broker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	defer b.unsubscribe(ch)
 	for {
 		select {
+		case <-b.done:
+			return
 		case msg := <-ch:
 			if msg.event != "" {
 				if _, err := w.Write([]byte("event: " + msg.event + "\n")); err != nil {

@@ -1,0 +1,113 @@
+package monitor
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// countGoroutines polls until the count drops to at most want or the deadline
+// passes — a goleak-style check with only the standard library.
+func waitGoroutines(t *testing.T, want int) int {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	g := runtime.NumGoroutine()
+	for g > want && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		g = runtime.NumGoroutine()
+	}
+	return g
+}
+
+// Shutdown regression: an SSE handler goroutine parked on an idle stream must
+// exit when the broker shuts down, not only when its client goes away — the
+// leak that made Server.Close strand handler goroutines.
+func TestBrokerShutdownEndsParkedHandlers(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	srv := NewServer()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park several SSE clients; each holds one handler goroutine in the
+	// broker's select loop. A private transport lets the test tear down its
+	// own connection goroutines before counting, so only server-side leaks
+	// can fail the check.
+	tr := &http.Transport{}
+	client := &http.Client{Transport: tr}
+	var resps []*http.Response
+	for i := 0; i < 3; i++ {
+		resp, err := client.Get(fmt.Sprintf("http://%s/events", addr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resps = append(resps, resp)
+		// Read the stream-open comment so the handler is provably inside
+		// its loop before we shut down.
+		line, err := bufio.NewReader(resp.Body).ReadString('\n')
+		if err != nil || !strings.HasPrefix(line, ":") {
+			t.Fatalf("stream open line %q, err %v", line, err)
+		}
+	}
+	if srv.Events().Clients() != 3 {
+		t.Fatalf("clients = %d, want 3", srv.Events().Clients())
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, resp := range resps {
+		resp.Body.Close()
+	}
+	tr.CloseIdleConnections()
+	if g := waitGoroutines(t, before); g > before {
+		t.Fatalf("goroutines leaked after Close: %d before, %d after", before, g)
+	}
+	if n := srv.Events().Clients(); n != 0 {
+		t.Fatalf("%d clients still subscribed after Close", n)
+	}
+}
+
+// Shutdown is idempotent, makes future handlers return immediately, and
+// leaves Write/Broadcast safe (they just reach nobody).
+func TestBrokerShutdownIdempotentAndWriteSafe(t *testing.T) {
+	b := NewBroker()
+	b.Shutdown()
+	b.Shutdown() // second call must not close done twice
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		req, _ := http.NewRequest("GET", "/events", nil)
+		b.ServeHTTP(&flushRecorder{}, req)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("ServeHTTP did not return on a shut-down broker")
+	}
+
+	if _, err := b.Write([]byte("line\n")); err != nil {
+		t.Fatalf("Write after Shutdown: %v", err)
+	}
+	b.Broadcast("phase", []byte("{}"))
+}
+
+// flushRecorder is the minimal ResponseWriter+Flusher the SSE handler needs.
+type flushRecorder struct{ hdr http.Header }
+
+func (f *flushRecorder) Header() http.Header {
+	if f.hdr == nil {
+		f.hdr = make(http.Header)
+	}
+	return f.hdr
+}
+func (f *flushRecorder) Write(p []byte) (int, error) { return len(p), nil }
+func (f *flushRecorder) WriteHeader(int)             {}
+func (f *flushRecorder) Flush()                      {}

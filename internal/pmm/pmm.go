@@ -37,6 +37,13 @@ type Config struct {
 	UseL3       bool  // stage replicas and operands through the NVM level
 	MaxMsgWords int64 // network message size cap (0 = unlimited)
 
+	// Sockets/Placement partition the P ranks over NUMA sockets (see
+	// dist.Config); 0 or 1 sockets is the flat machine with no remote
+	// traffic. Totals are placement-invariant; only the local/remote
+	// classification of network transfers and their staging moves.
+	Sockets   int
+	Placement machine.Placement
+
 	// Observe, when non-nil, supplies one extra recorder per processor
 	// (attribution, tracing); see dist.Config.Observe.
 	Observe dist.Observer
@@ -80,6 +87,8 @@ func (c Config) machineFor() *dist.Machine {
 		},
 		MaxMsgWords: c.MaxMsgWords,
 		Observe:     c.Observe,
+		Sockets:     c.Sockets,
+		Placement:   c.Placement,
 	})
 }
 
@@ -153,8 +162,10 @@ func MM25D(cfg Config, a, b *matrix.Dense) (*matrix.Dense, *dist.Machine, error)
 		}
 		if cfg.UseL3 && layer != 0 {
 			// Received replicas are written to NVM (the beta23 term
-			// of Eq. (5)).
-			p.StageDownToLevel(nvmLevel, 2*int64(nb*nb))
+			// of Eq. (5)). Their home is the layer-0 owner's memory,
+			// so the landing writes are remote when that owner sits
+			// on another socket.
+			p.StageDownToLevelFrom(fiber[0], nvmLevel, 2*int64(nb*nb))
 		}
 		if mark {
 			p.H.End()
@@ -169,10 +180,10 @@ func MM25D(cfg Config, a, b *matrix.Dense) (*matrix.Dense, *dist.Machine, error)
 		aFrom := cfg.rank(row, mod(row+col+off, q), layer)
 		bTo := cfg.rank(mod(row-col-off, q), col, layer)
 		bFrom := cfg.rank(mod(row+col+off, q), col, layer)
-		aBlk = p.Shift(aTo, aFrom, stageSend(p, cfg, aBlk))
-		bBlk = p.Shift(bTo, bFrom, stageSend(p, cfg, bBlk))
-		stageRecv(p, cfg, aBlk)
-		stageRecv(p, cfg, bBlk)
+		aBlk = p.Shift(aTo, aFrom, stageSend(p, cfg, aTo, aBlk))
+		bBlk = p.Shift(bTo, bFrom, stageSend(p, cfg, bTo, bBlk))
+		stageRecv(p, cfg, aFrom, aBlk)
+		stageRecv(p, cfg, bFrom, bBlk)
 		if mark {
 			p.H.End()
 		}
@@ -193,12 +204,12 @@ func MM25D(cfg Config, a, b *matrix.Dense) (*matrix.Dense, *dist.Machine, error)
 				}
 				break
 			}
-			aBlk = p.Shift(cfg.rank(row, mod(col-1, q), layer),
-				cfg.rank(row, mod(col+1, q), layer), stageSend(p, cfg, aBlk))
-			bBlk = p.Shift(cfg.rank(mod(row-1, q), col, layer),
-				cfg.rank(mod(row+1, q), col, layer), stageSend(p, cfg, bBlk))
-			stageRecv(p, cfg, aBlk)
-			stageRecv(p, cfg, bBlk)
+			aTo, aFrom = cfg.rank(row, mod(col-1, q), layer), cfg.rank(row, mod(col+1, q), layer)
+			bTo, bFrom = cfg.rank(mod(row-1, q), col, layer), cfg.rank(mod(row+1, q), col, layer)
+			aBlk = p.Shift(aTo, aFrom, stageSend(p, cfg, aTo, aBlk))
+			bBlk = p.Shift(bTo, bFrom, stageSend(p, cfg, bTo, bBlk))
+			stageRecv(p, cfg, aFrom, aBlk)
+			stageRecv(p, cfg, bFrom, bBlk)
 			if mark {
 				p.H.End()
 			}
@@ -235,19 +246,22 @@ func MM25D(cfg Config, a, b *matrix.Dense) (*matrix.Dense, *dist.Machine, error)
 	return out, m, nil
 }
 
-// stageSend charges the local cost of pushing a block toward the network
-// when operands live in NVM (read NVM -> DRAM), and returns the payload.
-func stageSend(p *dist.Proc, cfg Config, blk []float64) []float64 {
+// stageSend charges the local cost of pushing a block toward rank `to` when
+// operands live in NVM (read NVM -> DRAM, remote when the destination sits on
+// another socket), and returns the payload. A self-shift charges the same
+// words as before sockets existed and is never remote.
+func stageSend(p *dist.Proc, cfg Config, to int, blk []float64) []float64 {
 	if cfg.UseL3 {
-		p.StageUpFromLevel(nvmLevel, int64(len(blk)))
+		p.StageUpFromLevelFor(to, nvmLevel, int64(len(blk)))
 	}
 	return blk
 }
 
-// stageRecv charges the landing cost of a received block (DRAM -> NVM).
-func stageRecv(p *dist.Proc, cfg Config, blk []float64) {
+// stageRecv charges the landing cost of a block received from rank `from`
+// (DRAM -> NVM, remote when it crossed the inter-socket link).
+func stageRecv(p *dist.Proc, cfg Config, from int, blk []float64) {
 	if cfg.UseL3 {
-		p.StageDownToLevel(nvmLevel, int64(len(blk)))
+		p.StageDownToLevelFrom(from, nvmLevel, int64(len(blk)))
 	}
 }
 

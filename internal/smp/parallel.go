@@ -23,13 +23,40 @@ import (
 // lock-free shared-shard path, exact but contended on one shard's cache
 // lines.
 func RunParallel(sched Schedule, rec machine.Recorder) (Result, error) {
+	return RunParallelPlaced(sched, rec, SocketPlan{})
+}
+
+// SocketPlan places a parallel run's workers on NUMA sockets: worker w lives
+// on Topo.SocketOf(w, Placement), and an access is classified remote when the
+// touched address's home socket (per Home) differs from the toucher's. The
+// zero value is the flat plan RunParallel uses: one socket, Home nil, nothing
+// remote.
+type SocketPlan struct {
+	Topo      machine.Topology
+	Placement machine.Placement
+	// Home maps an address to the socket whose memory owns it (e.g. the
+	// socket of the worker that produced the block). Nil means no
+	// classification: every access is local even on a multi-socket Topo.
+	Home func(addr uint64) int
+}
+
+// RunParallelPlaced is RunParallel with workers placed on sockets. The event
+// stream and touch totals are identical to the unplaced run — same events,
+// same order per worker — except that accesses crossing sockets carry
+// Event.Remote and are tallied in Result.RemoteAccesses and the recorder's
+// remote touch counters. With a flat plan the two are indistinguishable,
+// event for event.
+func RunParallelPlaced(sched Schedule, rec machine.Recorder, plan SocketPlan) (Result, error) {
 	if rec == nil {
 		return Result{}, fmt.Errorf("smp: RunParallel needs a recorder")
 	}
 	handler, _ := rec.(interface{ Handle() machine.Recorder })
+	topo := plan.Topo.For(len(sched.Queues))
+	classify := plan.Home != nil && !topo.Flat()
 	type tally struct {
 		tasks    int
 		accesses int64
+		remote   int64
 	}
 	tallies := make([]tally, len(sched.Queues))
 	var wg sync.WaitGroup
@@ -41,18 +68,24 @@ func RunParallel(sched Schedule, rec machine.Recorder) (Result, error) {
 			if handler != nil {
 				h = handler.Handle()
 			}
+			socket := topo.SocketOf(w, plan.Placement)
 			for _, t := range sched.Queues[w] {
 				// Each task is one span on this worker's recorder; counting
 				// recorders (shards) ignore the marks, span recorders
 				// attribute the task's touches to its label.
 				h.Record(machine.Event{Kind: machine.EvBegin, Label: t.Label})
 				for _, op := range t.Ops {
+					remote := classify && plan.Home(op.Addr) != socket
 					h.Record(machine.Event{
-						Kind:  machine.EvTouch,
-						Addr:  op.Addr,
-						Write: op.Write,
+						Kind:   machine.EvTouch,
+						Addr:   op.Addr,
+						Write:  op.Write,
+						Remote: remote,
 					})
 					tallies[w].accesses++
+					if remote {
+						tallies[w].remote++
+					}
 				}
 				h.Record(machine.Event{Kind: machine.EvEnd})
 				tallies[w].tasks++
@@ -64,6 +97,7 @@ func RunParallel(sched Schedule, rec machine.Recorder) (Result, error) {
 	for _, t := range tallies {
 		res.TasksRun += t.tasks
 		res.AccessesRun += t.accesses
+		res.RemoteAccesses += t.remote
 	}
 	return res, nil
 }
