@@ -1,0 +1,101 @@
+package main
+
+// The -compare mode: diff two -benchjson reports and gate on regressions.
+// Wall time is inherently noisy, so ns/op gets a lenient multiplicative
+// threshold; events/op is a simulation artifact and must not drift at all
+// beyond float formatting noise — a change there means the engine changed
+// which events a workload records, which is an equivalence break, not a
+// performance regression.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// loadBenchReport reads one -benchjson document.
+func loadBenchReport(path string) (BenchReport, error) {
+	var rep BenchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return rep, fmt.Errorf("%s: no results", path)
+	}
+	return rep, nil
+}
+
+// runCompare diffs OLD and NEW reports workload by workload and returns a
+// process exit code: 0 when every workload holds the line, 1 on any
+// regression (ns/op above nsRatio times the old value, events/op moved by
+// more than evEps relative, or a workload that disappeared), 2 on unreadable
+// input. Workloads only present in NEW are reported but never fail the gate.
+func runCompare(oldPath, newPath string, nsRatio, evEps float64) int {
+	oldRep, err := loadBenchReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wabench: -compare:", err)
+		return 2
+	}
+	newRep, err := loadBenchReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wabench: -compare:", err)
+		return 2
+	}
+	if oldRep.Quick != newRep.Quick {
+		fmt.Fprintf(os.Stderr, "wabench: -compare: quick flags differ (old %v, new %v); ns/op is not comparable\n",
+			oldRep.Quick, newRep.Quick)
+		return 2
+	}
+
+	newByName := make(map[string]BenchResult, len(newRep.Results))
+	for _, r := range newRep.Results {
+		newByName[r.Name] = r
+	}
+	oldNames := make(map[string]bool, len(oldRep.Results))
+
+	regressions := 0
+	fmt.Printf("%-22s %14s %14s %7s  %s\n", "workload", "old ns/op", "new ns/op", "ratio", "events/op")
+	for _, o := range oldRep.Results {
+		oldNames[o.Name] = true
+		n, ok := newByName[o.Name]
+		if !ok {
+			fmt.Printf("%-22s %14.0f %14s %7s  MISSING in new report\n", o.Name, o.NsPerOp, "-", "-")
+			regressions++
+			continue
+		}
+		ratio := math.Inf(1)
+		if o.NsPerOp > 0 {
+			ratio = n.NsPerOp / o.NsPerOp
+		} else if n.NsPerOp == 0 {
+			ratio = 1
+		}
+		verdicts := ""
+		if ratio > nsRatio {
+			verdicts += fmt.Sprintf("  SLOWER (> %.2fx)", nsRatio)
+			regressions++
+		}
+		evDrift := math.Abs(n.EventsPerOp-o.EventsPerOp) / math.Max(1, math.Abs(o.EventsPerOp))
+		evNote := fmt.Sprintf("%.1f -> %.1f", o.EventsPerOp, n.EventsPerOp)
+		if evDrift > evEps {
+			verdicts += "  EVENTS DRIFTED"
+			regressions++
+		}
+		fmt.Printf("%-22s %14.0f %14.0f %6.2fx  %s%s\n", o.Name, o.NsPerOp, n.NsPerOp, ratio, evNote, verdicts)
+	}
+	for _, n := range newRep.Results {
+		if !oldNames[n.Name] {
+			fmt.Printf("%-22s %14s %14.0f %7s  new workload (not gated)\n", n.Name, "-", n.NsPerOp, "-")
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "wabench: -compare: %d regression(s)\n", regressions)
+		return 1
+	}
+	fmt.Println("wabench: -compare: no regressions")
+	return 0
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, rep BenchReport) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func benchRep(results ...BenchResult) BenchReport {
+	return BenchReport{Quick: true, Results: results}
+}
+
+func TestComparePassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", benchRep(
+		BenchResult{Name: "A", Iters: 3, NsPerOp: 1000, EventsPerOp: 500},
+		BenchResult{Name: "B", Iters: 3, NsPerOp: 2000, EventsPerOp: 0},
+	))
+	niu := writeReport(t, dir, "new.json", benchRep(
+		BenchResult{Name: "A", Iters: 3, NsPerOp: 1200, EventsPerOp: 500}, // 1.2x < 1.30x
+		BenchResult{Name: "B", Iters: 3, NsPerOp: 1000, EventsPerOp: 0},   // faster
+		BenchResult{Name: "C", Iters: 3, NsPerOp: 9999, EventsPerOp: 1},   // new: not gated
+	))
+	if rc := run([]string{"-compare", old, niu}); rc != 0 {
+		t.Fatalf("compare within threshold: rc = %d, want 0", rc)
+	}
+}
+
+func TestCompareFailsOnSlowdown(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", benchRep(
+		BenchResult{Name: "A", Iters: 3, NsPerOp: 1000, EventsPerOp: 500},
+	))
+	niu := writeReport(t, dir, "new.json", benchRep(
+		BenchResult{Name: "A", Iters: 3, NsPerOp: 1500, EventsPerOp: 500}, // 1.5x > 1.30x
+	))
+	if rc := run([]string{"-compare", old, niu}); rc != 1 {
+		t.Fatalf("compare with slowdown: rc = %d, want 1", rc)
+	}
+	// A looser explicit threshold lets the same pair pass.
+	if rc := run([]string{"-compare", "-compare-ns-ratio", "2.0", old, niu}); rc != 0 {
+		t.Fatalf("compare with loose ratio: rc = %d, want 0", rc)
+	}
+}
+
+func TestCompareFailsOnEventDrift(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", benchRep(
+		BenchResult{Name: "A", Iters: 3, NsPerOp: 1000, EventsPerOp: 500},
+	))
+	niu := writeReport(t, dir, "new.json", benchRep(
+		BenchResult{Name: "A", Iters: 3, NsPerOp: 1000, EventsPerOp: 501},
+	))
+	if rc := run([]string{"-compare", old, niu}); rc != 1 {
+		t.Fatalf("compare with event drift: rc = %d, want 1", rc)
+	}
+}
+
+func TestCompareFailsOnMissingWorkload(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", benchRep(
+		BenchResult{Name: "A", Iters: 3, NsPerOp: 1000, EventsPerOp: 500},
+		BenchResult{Name: "B", Iters: 3, NsPerOp: 1000, EventsPerOp: 500},
+	))
+	niu := writeReport(t, dir, "new.json", benchRep(
+		BenchResult{Name: "A", Iters: 3, NsPerOp: 1000, EventsPerOp: 500},
+	))
+	if rc := run([]string{"-compare", old, niu}); rc != 1 {
+		t.Fatalf("compare with missing workload: rc = %d, want 1", rc)
+	}
+}
+
+func TestCompareUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", benchRep(
+		BenchResult{Name: "A", Iters: 3, NsPerOp: 1000, EventsPerOp: 500},
+	))
+	quickMismatch := writeReport(t, dir, "full.json", BenchReport{Quick: false, Results: []BenchResult{
+		{Name: "A", Iters: 3, NsPerOp: 1000, EventsPerOp: 500},
+	}})
+	cases := [][]string{
+		{"-compare"},                           // no args
+		{"-compare", old},                      // one arg
+		{"-compare", old, old, old},            // three args
+		{"-compare", "-json", old, old},        // mode clash
+		{"-compare", "-benchjson", "-", old},   // mode clash
+		{"-compare", old, "/nonexistent.json"}, // unreadable
+		{"-compare", old, quickMismatch},       // quick flags differ
+	}
+	for _, args := range cases {
+		if rc := run(args); rc != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, rc)
+		}
+	}
+}

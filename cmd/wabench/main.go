@@ -6,6 +6,7 @@
 //
 //	wabench [-quick] [-json] [-stream file] [-trace file] [-profile]
 //	        [-serve addr] [-check off|warn|strict] [-benchjson file]
+//	        [-compare OLD.json NEW.json]
 //	        [-sockets S] [-placement block|rr] [section ...]
 //
 // Sections: sec2 sec3 sec4 sec5 fig2 fig5 realcache table1 table2 lu krylov sec9 smp multilevel numa all
@@ -61,6 +62,18 @@
 // benchmark workload suite (the same workloads as `go test -bench`) and
 // writes ns/op plus counted events/op per workload as JSON to the given
 // file ("-" = stdout), for CI artifact upload.
+//
+// -compare is a standalone mode diffing two -benchjson reports:
+//
+//	wabench -compare OLD.json NEW.json
+//
+// It prints a per-workload table and exits 1 when any workload regressed:
+// ns/op above -compare-ns-ratio (default 1.30) times the old value, or
+// events/op moved by more than -compare-events-eps relative (default 1e-9 —
+// the counted event stream is deterministic, so any drift means the engine
+// changed behavior, not speed). Workloads missing from NEW fail the gate;
+// workloads only in NEW are reported but never fail it. This is the CI
+// throughput gate against the committed pre-refactor baseline.
 package main
 
 import (
@@ -95,6 +108,9 @@ func run(args []string) (rc int) {
 	serveAddr := fs.String("serve", "", "serve live observability HTTP on this address (e.g. :8080, :0 = ephemeral)")
 	checkMode := fs.String("check", "off", "theory-conformance checking: off | warn | strict (strict exits nonzero on violation)")
 	benchJSON := fs.String("benchjson", "", "standalone mode: run the benchmark suite, write ns/op + events/op JSON here (- = stdout)")
+	compare := fs.Bool("compare", false, "standalone mode: diff two -benchjson reports (args: OLD.json NEW.json); exits 1 on regression")
+	compareNsRatio := fs.Float64("compare-ns-ratio", 1.30, "with -compare: fail a workload whose ns/op exceeds this multiple of the old value")
+	compareEvEps := fs.Float64("compare-events-eps", 1e-9, "with -compare: fail a workload whose events/op drifts by more than this relative epsilon")
 	sockets := fs.Int("sockets", 1, "sockets for the numa section (>=2 also enables it under \"all\")")
 	placementFlag := fs.String("placement", "block", "rank-to-socket placement for the numa section: block | rr")
 	fs.Parse(args) //nolint:errcheck
@@ -133,6 +149,17 @@ func run(args []string) (rc int) {
 	if *benchJSON != "" && (*jsonOut || fs.NArg() > 0) {
 		fmt.Fprintln(os.Stderr, "wabench: -benchjson is a standalone mode; it cannot combine with -json or section arguments")
 		return 2
+	}
+	if *compare {
+		if *benchJSON != "" || *jsonOut {
+			fmt.Fprintln(os.Stderr, "wabench: -compare is a standalone mode; it cannot combine with -benchjson or -json")
+			return 2
+		}
+		if fs.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "wabench: -compare needs exactly two arguments: OLD.json NEW.json")
+			return 2
+		}
+		return runCompare(fs.Arg(0), fs.Arg(1), *compareNsRatio, *compareEvEps)
 	}
 
 	var hw costmodel.HW

@@ -19,6 +19,7 @@ import (
 // (access.Region), the same address space every other simulator here
 // consumes.
 type BeladyRecorder struct {
+	machine.Sources
 	sizeBytes int
 	lineBytes int
 	ops       []access.Op
@@ -49,14 +50,28 @@ func (r *BeladyRecorder) Record(e machine.Event) {
 	r.ops = append(r.ops, access.Op{Addr: e.Addr, Write: e.Write})
 }
 
-// Len returns the number of buffered accesses.
-func (r *BeladyRecorder) Len() int { return len(r.ops) }
+// RecordBatch buffers a block of touches.
+func (r *BeladyRecorder) RecordBatch(events []machine.Event) {
+	for i := range events {
+		if events[i].Kind == machine.EvTouch {
+			r.ops = append(r.ops, access.Op{Addr: events[i].Addr, Write: events[i].Write})
+		}
+	}
+}
+
+// Len returns the number of buffered accesses (events still batch-buffered
+// in attached hierarchies synced in first).
+func (r *BeladyRecorder) Len() int {
+	r.Sync()
+	return len(r.ops)
+}
 
 // Stats replays the buffered trace through Belady's policy and returns the
 // resulting counters (VictimsM is the ideal write-back count, end-of-trace
 // flush included, exactly as SimulateOPT reports it). The replay is cached
 // and recomputed only when more touches arrived since.
 func (r *BeladyRecorder) Stats() Stats {
+	r.Sync()
 	if !r.simmed || r.simmedAt != len(r.ops) {
 		r.stats = SimulateOPT(r.ops, r.sizeBytes, r.lineBytes)
 		r.simmed = true

@@ -56,7 +56,7 @@ func cholLeftLevel(p *Plan, s int, a *matrix.Dense) error {
 	mark := p.marking(s)
 	for i := 0; i < nb; i++ {
 		if mark {
-			p.H.Begin(fmt.Sprintf("panel %d", i))
+			p.H.Begin(panelLabels.Get(i))
 			p.H.Begin("factor")
 		}
 		// Diagonal block: load the lower half, subtract the row of
@@ -144,7 +144,7 @@ func cholRightLevel(p *Plan, s int, a *matrix.Dense) error {
 	mark := p.marking(s)
 	for i := 0; i < nb; i++ {
 		if mark {
-			p.H.Begin(fmt.Sprintf("panel %d", i))
+			p.H.Begin(panelLabels.Get(i))
 			p.H.Begin("factor")
 		}
 		di := blk(i, i)

@@ -59,7 +59,7 @@ func luLeftLevel(p *Plan, s int, a *matrix.Dense) error {
 	mark := p.marking(s)
 	for i := 0; i < nb; i++ {
 		if mark {
-			p.H.Begin(fmt.Sprintf("panel %d", i))
+			p.H.Begin(panelLabels.Get(i))
 		}
 		for r := 0; r < nb; r++ {
 			ri := blk(r, i)
@@ -122,7 +122,7 @@ func luRightLevel(p *Plan, s int, a *matrix.Dense) error {
 	mark := p.marking(s)
 	for k := 0; k < nb; k++ {
 		if mark {
-			p.H.Begin(fmt.Sprintf("panel %d", k))
+			p.H.Begin(panelLabels.Get(k))
 			p.H.Begin("factor")
 		}
 		// Factor the diagonal.

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"writeavoid/internal/intmath"
 	"writeavoid/internal/machine"
 	"writeavoid/internal/matrix"
@@ -87,7 +85,7 @@ func gemmLevel(p *Plan, s int, c, a, b *matrix.Dense, mode gemmMode) {
 		for i := 0; i < mb; i++ {
 			for j := 0; j < lb; j++ {
 				if mark {
-					p.H.Begin(fmt.Sprintf("C[%d,%d]", i, j))
+					p.H.Begin(cBlockLabels.Get(i, j))
 				}
 				cb := blkC(i, j)
 				p.H.Load(s, words(cb))
@@ -107,7 +105,7 @@ func gemmLevel(p *Plan, s int, c, a, b *matrix.Dense, mode gemmMode) {
 		// C block is re-loaded and re-stored n/b times.
 		for k := 0; k < nb; k++ {
 			if mark {
-				p.H.Begin(fmt.Sprintf("k=%d", k))
+				p.H.Begin(kLabels.Get(k))
 			}
 			for i := 0; i < mb; i++ {
 				for j := 0; j < lb; j++ {

@@ -93,6 +93,7 @@ func (t *MatMulTrace) Run(sink access.Sink) {
 	tr.Bind(b, t.B)
 	tr.Bind(c, t.C)
 	gemmLevel(p, p.topInterface(), c, a, b, modeAddAB)
+	p.H.Flush() // deliver the tail of the batched touch stream to the sink
 }
 
 // PredictTraceOps returns the exact number of reads and writes the trace will
@@ -134,6 +135,7 @@ func (t *TRSMTrace) Run(sink access.Sink) {
 	tr.Bind(tm, t.T)
 	tr.Bind(bm, t.B)
 	trsmLevel(p, p.topInterface(), tm, bm)
+	p.H.Flush() // deliver the tail of the batched touch stream to the sink
 }
 
 // CholeskyTrace traces the two-level left-looking blocked Cholesky
@@ -158,4 +160,5 @@ func (t *CholeskyTrace) Run(sink access.Sink) {
 	if err := cholLeftLevel(p, p.topInterface(), am); err != nil {
 		panic(fmt.Sprintf("core: CholeskyTrace on identity failed: %v", err))
 	}
+	p.H.Flush() // deliver the tail of the batched touch stream to the sink
 }

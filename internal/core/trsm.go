@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"writeavoid/internal/intmath"
 	"writeavoid/internal/matrix"
 )
@@ -69,7 +67,7 @@ func trsmLevel(p *Plan, s int, t, b *matrix.Dense) {
 		for j := 0; j < mb; j++ {
 			for i := nb - 1; i >= 0; i-- {
 				if mark {
-					p.H.Begin(fmt.Sprintf("B[%d,%d]", i, j))
+					p.H.Begin(bBlockLabels.Get(i, j))
 				}
 				bb := blkB(i, j)
 				p.H.Load(s, words(bb))
@@ -92,7 +90,7 @@ func trsmLevel(p *Plan, s int, t, b *matrix.Dense) {
 		for j := 0; j < mb; j++ {
 			for k := nb - 1; k >= 0; k-- {
 				if mark {
-					p.H.Begin(fmt.Sprintf("k=%d", k))
+					p.H.Begin(kLabels.Get(k))
 				}
 				bb := blkB(k, j)
 				p.H.Load(s, words(bb))

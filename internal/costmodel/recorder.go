@@ -14,6 +14,7 @@ import "writeavoid/internal/machine"
 // interfaces beyond those are not charged. Flops are free (HW carries no
 // compute rate); network traffic is metered by dist.NetCounters, not here.
 type Recorder struct {
+	machine.Sources
 	hw     HW
 	loadT  [2]float64 // read-direction time per interface: 21, 32
 	storeT [2]float64 // write-direction time per interface: 12, 23
@@ -46,19 +47,36 @@ func (r *Recorder) Record(e machine.Event) {
 	}
 }
 
-// LoadTime returns the accumulated read-direction seconds at interface i.
-func (r *Recorder) LoadTime(i int) float64 { return r.loadT[i] }
+// RecordBatch charges a block of events in order, so the float accumulation
+// matches per-event charging bit for bit.
+func (r *Recorder) RecordBatch(events []machine.Event) {
+	for i := range events {
+		r.Record(events[i])
+	}
+}
+
+// LoadTime returns the accumulated read-direction seconds at interface i,
+// syncing batch-buffered events first (like every read method here).
+func (r *Recorder) LoadTime(i int) float64 {
+	r.Sync()
+	return r.loadT[i]
+}
 
 // StoreTime returns the accumulated write-direction seconds at interface i.
-func (r *Recorder) StoreTime(i int) float64 { return r.storeT[i] }
+func (r *Recorder) StoreTime(i int) float64 {
+	r.Sync()
+	return r.storeT[i]
+}
 
 // Time returns total predicted seconds: all interfaces, both directions.
 func (r *Recorder) Time() float64 {
+	r.Sync()
 	return r.loadT[0] + r.loadT[1] + r.storeT[0] + r.storeT[1]
 }
 
-// Reset zeroes the accumulated times.
+// Reset drains buffered events and zeroes the accumulated times.
 func (r *Recorder) Reset() {
+	r.Sync()
 	r.loadT = [2]float64{}
 	r.storeT = [2]float64{}
 }

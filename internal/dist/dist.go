@@ -86,6 +86,11 @@ type Config struct {
 	// Placement maps ranks to sockets: machine.PlaceBlock (contiguous rank
 	// ranges per socket, the default) or machine.PlaceRoundRobin.
 	Placement machine.Placement
+	// BatchEvents overrides each rank hierarchy's event-batch capacity
+	// (machine.Hierarchy.SetBatchCapacity); 0 keeps the default. Capacity 1
+	// replicates per-event delivery timing — the differential harness uses
+	// it as the reference engine.
+	BatchEvents int
 }
 
 // Machine is a P-processor distributed machine.
@@ -139,6 +144,9 @@ func New(cfg Config) *Machine {
 			m: m,
 		}
 		p.H.SetTopology(m.topo)
+		if cfg.BatchEvents > 0 {
+			p.H.SetBatchCapacity(cfg.BatchEvents)
+		}
 		// Each processor's hierarchy also feeds a private shard of the
 		// machine-wide aggregate, so whole-machine totals are available
 		// race-free even while processors run concurrently. The shard is
@@ -214,6 +222,9 @@ func (m *Machine) Run(body func(p *Proc)) {
 				}
 			}()
 			body(p)
+			// Drain the rank's event buffer so post-run reads (RankSnapshots,
+			// Aggregate, observer span trees) see the complete stream.
+			p.H.Flush()
 		}(m.procs[r])
 	}
 	wg.Wait()
@@ -388,8 +399,15 @@ func (m *Machine) msgCount(words int64) int64 {
 	return (words + m.cfg.MaxMsgWords - 1) / m.cfg.MaxMsgWords
 }
 
-// Barrier blocks until every processor reaches it.
-func (p *Proc) Barrier() { p.m.bar.wait() }
+// Barrier blocks until every processor reaches it. The rank's event buffer
+// is flushed into its recorders first, so a superstep's events are fully
+// delivered before any peer proceeds past the barrier: batch boundaries
+// never split a superstep's phase delta, and mid-run aggregate polls at a
+// barrier see whole supersteps.
+func (p *Proc) Barrier() {
+	p.H.Flush()
+	p.m.bar.wait()
+}
 
 // --- collectives -------------------------------------------------------------
 

@@ -48,7 +48,7 @@ func CG(a *CSR, b, x0 []float64, iters int, tol float64, t *Traffic) Result {
 			break
 		}
 		if mark {
-			t.Begin(fmt.Sprintf("iter %d", it))
+			t.Begin(iterLabels.Get(it))
 		}
 		a.MulVec(w, p)
 		t.R(a.NNZ() + n)
@@ -234,7 +234,7 @@ func CACG(op Operator, b, x0 []float64, outers int, cfg CACGConfig, t *Traffic) 
 	iters := 0
 	for o := 0; o < outers; o++ {
 		if mark {
-			t.Begin(fmt.Sprintf("outer %d", o))
+			t.Begin(outerLabels.Get(o))
 		}
 		switch cfg.Mode {
 		case CACGStored:

@@ -1,0 +1,15 @@
+package krylov
+
+import (
+	"strconv"
+
+	"writeavoid/internal/machine"
+)
+
+// Interned iteration labels for the CG / CA-CG drivers: iteration indices
+// recur across solver runs and configurations, so each label is formatted
+// once per process and the marking-on hot loop allocates nothing for labels.
+var (
+	iterLabels  = machine.NewSpanLabels(func(it int) string { return "iter " + strconv.Itoa(it) })
+	outerLabels = machine.NewSpanLabels(func(o int) string { return "outer " + strconv.Itoa(o) })
+)

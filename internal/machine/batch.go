@@ -1,0 +1,168 @@
+package machine
+
+// This file is the batched dispatch layer of the event engine. The per-event
+// path (one Recorder.Record interface call per Load/Store/Touch) priced every
+// primitive at an indirect call plus, for locked or atomic sinks, a
+// synchronization hop. Batching amortizes all of that: the Hierarchy appends
+// events to a fixed-capacity buffer and delivers them as one block — recorders
+// implementing BatchRecorder consume the block natively (one lock, one atomic
+// commit, one switch-loop without call overhead), everyone else gets the block
+// unrolled through the RecordAll shim, one Record call per event, in order.
+//
+// Equivalence contract (pinned by internal/enginecheck): for every recorder,
+// the sequence of events delivered — and therefore every Snapshot, stream
+// record, span delta, and conformance verdict derived from it — is
+// bit-identical to the per-event engine's. Batching changes WHEN events
+// arrive (at flush boundaries instead of at each primitive), never WHICH
+// events arrive or in what order. Recorders whose state is read between
+// flushes bridge the gap with Sources: the hierarchy registers itself as a
+// dirty source while it holds buffered events, and the recorder's read/mark
+// methods call Sync first, so no reader ever observes a torn prefix.
+
+// DefaultBatchEvents is the event-buffer capacity a Hierarchy allocates when
+// SetBatchCapacity was not called: large enough to amortize dispatch to a
+// handful of recorders, small enough (~14 KB of Event values) to stay cache-
+// resident per P.
+const DefaultBatchEvents = 256
+
+// EventBatch is a fixed-capacity append-only event buffer: the unit of block
+// dispatch. Producers append until Append reports the buffer full, hand
+// Events() to RecordAll (or a BatchRecorder directly), then Reset. The
+// capacity is fixed at construction; Append never reallocates, so a filled
+// batch costs zero allocations in steady state.
+type EventBatch struct {
+	buf []Event
+}
+
+// NewEventBatch allocates a batch of the given capacity (values < 1 get
+// DefaultBatchEvents).
+func NewEventBatch(capacity int) *EventBatch {
+	if capacity < 1 {
+		capacity = DefaultBatchEvents
+	}
+	return &EventBatch{buf: make([]Event, 0, capacity)}
+}
+
+// Append adds one event and reports whether the batch is now full (time to
+// flush). Appending to a full batch panics — flush first.
+func (b *EventBatch) Append(e Event) bool {
+	if len(b.buf) == cap(b.buf) {
+		panic("machine: append to full EventBatch")
+	}
+	b.buf = append(b.buf, e)
+	return len(b.buf) == cap(b.buf)
+}
+
+// Events returns the buffered events in append order. The slice aliases the
+// buffer: consume it before the next Reset/Append.
+func (b *EventBatch) Events() []Event { return b.buf }
+
+// Len returns the number of buffered events.
+func (b *EventBatch) Len() int { return len(b.buf) }
+
+// Cap returns the fixed capacity.
+func (b *EventBatch) Cap() int { return cap(b.buf) }
+
+// Reset empties the batch, keeping its capacity.
+func (b *EventBatch) Reset() { b.buf = b.buf[:0] }
+
+// BatchRecorder is the block-dispatch fast path: a Recorder that can consume
+// a whole event slice in one call. RecordBatch(events) must be observably
+// identical to calling Record(e) for each event in order — same counters,
+// same emitted records, same span trees — it only gets to do so cheaper
+// (accumulate into locals, lock once, commit once). The slice is owned by the
+// caller and invalid after RecordBatch returns; implementations must not
+// retain it.
+//
+// Implement BatchRecorder when the recorder pays a fixed cost per Record call
+// that a block can amortize: a lock (monitor.Monitor), atomic operations
+// (Shard), or simply interface-dispatch on a very dense stream (counters,
+// streams, span recorders). Recorders that are cheap per event or rarely on a
+// hot path can skip it and rely on the RecordAll shim.
+type BatchRecorder interface {
+	Recorder
+	RecordBatch(events []Event)
+}
+
+// RecordAll delivers a block of events to any recorder: natively when it
+// implements BatchRecorder, otherwise unrolled into per-event Record calls in
+// order — the compatibility shim that keeps every pre-batch Recorder working
+// unchanged behind a flush boundary.
+func RecordAll(r Recorder, events []Event) {
+	if br, ok := r.(BatchRecorder); ok {
+		br.RecordBatch(events)
+		return
+	}
+	for i := range events {
+		r.Record(events[i])
+	}
+}
+
+// Flusher is anything holding buffered events it can push downstream;
+// Hierarchy is the canonical implementation.
+type Flusher interface {
+	Flush()
+}
+
+// BatchAware is an optional Recorder refinement for recorders whose state is
+// read from outside the event stream (Snapshot, Phase, Stats, span trees):
+// a Hierarchy tells such recorders when it starts holding buffered events for
+// them (SourceDirty) and when its buffer drains (SourceClean), so the
+// recorder's read methods can flush exactly the sources with pending events
+// before answering. Embed Sources for the standard implementation.
+type BatchAware interface {
+	SourceDirty(Flusher)
+	SourceClean(Flusher)
+}
+
+// Sources is the standard BatchAware implementation: a small set of dirty
+// upstream Flushers in first-dirtied order. Recorders embed it and call Sync
+// at the top of every externally-called read or mark method; the steady-state
+// cost when nothing is buffered is a nil-slice length check.
+//
+// Like the recorders that embed it, Sources is driven synchronously from the
+// recording goroutine and is not itself goroutine-safe; internally locked
+// recorders (monitor.Monitor) must call Sync only from the recording side,
+// never from concurrent readers.
+type Sources struct {
+	dirty   []Flusher
+	scratch []Flusher
+}
+
+// SourceDirty registers f as holding buffered events for this recorder.
+// Duplicate registrations are ignored (the dirty set is small: one entry per
+// concurrently-observed hierarchy).
+func (s *Sources) SourceDirty(f Flusher) {
+	for _, d := range s.dirty {
+		if d == f {
+			return
+		}
+	}
+	s.dirty = append(s.dirty, f)
+}
+
+// SourceClean removes f from the dirty set (called by the source once its
+// buffer drained). Keeps capacity so dirty/clean cycles do not allocate.
+func (s *Sources) SourceClean(f Flusher) {
+	for i, d := range s.dirty {
+		if d == f {
+			s.dirty = append(s.dirty[:i], s.dirty[i+1:]...)
+			return
+		}
+	}
+}
+
+// Sync flushes every dirty source, in first-dirtied order, delivering all
+// buffered events (to this recorder and any other recorder sharing those
+// hierarchies). Call it before reading or marking state fed by attached
+// hierarchies. No-op when nothing is buffered.
+func (s *Sources) Sync() {
+	if len(s.dirty) == 0 {
+		return
+	}
+	// Flushing mutates s.dirty via SourceClean; iterate a snapshot.
+	s.scratch = append(s.scratch[:0], s.dirty...)
+	for _, f := range s.scratch {
+		f.Flush()
+	}
+}

@@ -202,6 +202,7 @@ func (cm CostModel) Breakdown(h *Hierarchy) string {
 // recorder also composes with sinks that never keep a hierarchy around, and
 // supports per-phase readings without counter resets.
 type CostRecorder struct {
+	Sources
 	Model  CostModel
 	loadT  []float64 // per-interface accumulated load time
 	storeT []float64 // per-interface accumulated store time
@@ -241,8 +242,18 @@ func (c *CostRecorder) Record(e Event) {
 	}
 }
 
+// RecordBatch charges a block of events: per-interface times accumulate in
+// the same float64 order as per-event charging, so Time is bit-identical.
+func (c *CostRecorder) RecordBatch(events []Event) {
+	for i := range events {
+		c.Record(events[i])
+	}
+}
+
 // Time returns the accumulated model time, honoring WriteBuffer overlap.
+// Buffered events are synced out of the attached hierarchies first.
 func (c *CostRecorder) Time() float64 {
+	c.Sync()
 	t := c.flopT
 	for i := range c.loadT {
 		if c.Model.WriteBuffer {
@@ -254,8 +265,10 @@ func (c *CostRecorder) Time() float64 {
 	return t
 }
 
-// Reset zeroes the accumulated time.
+// Reset zeroes the accumulated time (draining any buffered events first, so
+// they do not leak into the next reading).
 func (c *CostRecorder) Reset() {
+	c.Sync()
 	for i := range c.loadT {
 		c.loadT[i] = 0
 		c.storeT[i] = 0

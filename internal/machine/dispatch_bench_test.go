@@ -1,0 +1,42 @@
+package machine
+
+import (
+	"testing"
+)
+
+// Engine-dispatch microbenchmarks: per-event cost of the hot recording paths
+// with the recorder complements the real drivers attach. Run against the
+// pre-batching engine for an apples-to-apples events/sec comparison.
+
+type nullSink struct{ n int64 }
+
+func (s *nullSink) Access(addr uint64, write bool) { s.n++ }
+
+func BenchmarkTouchToTraceRecorder(b *testing.B) {
+	h := New(false, Level{Name: "DRAM"}, Level{Name: "NVM"})
+	h.Attach(NewTraceRecorder(&nullSink{}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Touch(uint64(i)*64, i&7 == 0)
+	}
+	h.Flush()
+}
+
+func BenchmarkLoadToShard(b *testing.B) {
+	h := New(false, Level{Name: "DRAM"}, Level{Name: "NVM"})
+	sh := NewShardedRecorder(2)
+	h.Attach(sh.Handle())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Load(0, 8)
+	}
+	h.Flush()
+}
+
+func BenchmarkLoadNoRecorder(b *testing.B) {
+	h := New(false, Level{Name: "DRAM"}, Level{Name: "NVM"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Load(0, 8)
+	}
+}

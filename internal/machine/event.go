@@ -177,6 +177,41 @@ func (c *CounterSet) Record(e Event) {
 	}
 }
 
+// RecordBatch accumulates a block of events. The occupancy-bearing kinds
+// (loads, stores, inits, discards) are order-dependent — Occupancy clamps at
+// zero and PeakOccupancy is a running max — so they go through Record one by
+// one; the linear counters (flops, touches) accumulate into locals and commit
+// once, which is the bulk of a traced stream.
+func (c *CounterSet) RecordBatch(events []Event) {
+	var flops, tr, tw, rtr, rtw int64
+	for i := range events {
+		e := &events[i]
+		switch e.Kind {
+		case EvFlops:
+			flops += e.Words
+		case EvTouch:
+			if e.Write {
+				tw++
+				if e.Remote {
+					rtw++
+				}
+			} else {
+				tr++
+				if e.Remote {
+					rtr++
+				}
+			}
+		case EvLoad, EvStore, EvInit, EvDiscard:
+			c.Record(*e)
+		}
+	}
+	c.FlopCount += flops
+	c.TouchReads += tr
+	c.TouchWrites += tw
+	c.RemoteTouchReads += rtr
+	c.RemoteTouchWrites += rtw
+}
+
 // WantsTouch opts the counter set into the EvTouch stream so TouchReads and
 // TouchWrites stay meaningful when one is attached directly.
 func (c *CounterSet) WantsTouch() bool { return true }

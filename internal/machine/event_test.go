@@ -54,6 +54,7 @@ func TestAttachedRecorderSeesEveryPrimitive(t *testing.T) {
 	h.Store(0, 4)
 	h.Load(0, 0) // zero ops must not dispatch
 	h.Flops(0)
+	h.Flush() // deliver the buffered block
 	want := []Event{
 		{Kind: EvLoad, Arg: 0, Words: 4},
 		{Kind: EvInit, Arg: 0, Words: 2},
@@ -93,6 +94,7 @@ func TestTouchGoesOnlyToInterestedRecorders(t *testing.T) {
 	h.Attach(tracer)
 	h.Touch(0x40, false)
 	h.Touch(0x48, true)
+	h.Flush()
 	if len(plain.events) != 0 {
 		t.Errorf("uninterested recorder saw %d touches", len(plain.events))
 	}
@@ -116,6 +118,7 @@ func TestCounterSetMirrorsHierarchy(t *testing.T) {
 	h.Flops(100)
 	h.Store(0, 16)
 	h.Discard(0, 4)
+	h.Flush()
 	if !reflect.DeepEqual(mirror, h.Counters()) {
 		t.Errorf("mirror = %+v, hierarchy = %+v", mirror, h.Counters())
 	}
@@ -134,6 +137,7 @@ func TestTraceRecorderForwardsTouches(t *testing.T) {
 	h.Load(0, 1) // non-touch events must not reach the sink
 	h.Touch(8, false)
 	h.Touch(16, true)
+	h.Flush()
 	if len(got) != 2 || got[0] != 8 || got[1] != 16 || writes != 1 {
 		t.Errorf("sink saw addrs %v (%d writes), want [8 16] with 1 write", got, writes)
 	}
@@ -187,6 +191,7 @@ func TestShardedRecorderSharedPath(t *testing.T) {
 	h.Attach(sr)
 	h.Load(0, 5)
 	h.Store(0, 5)
+	h.Flush()
 	cs := sr.Merge()
 	if cs.Iface[0].LoadWords != 5 || cs.Iface[0].StoreWords != 5 {
 		t.Errorf("shared path merged %+v, want 5/5 words", cs.Iface[0])

@@ -66,6 +66,8 @@ func (g *GrowingCounters) grow(e Event) {
 	grown.FlopCount = g.cur.FlopCount
 	grown.TouchReads = g.cur.TouchReads
 	grown.TouchWrites = g.cur.TouchWrites
+	grown.RemoteTouchReads = g.cur.RemoteTouchReads
+	grown.RemoteTouchWrites = g.cur.RemoteTouchWrites
 	g.cur = grown
 }
 

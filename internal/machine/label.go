@@ -1,0 +1,88 @@
+package machine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Span labels are the one allocation the instrumented hot loops used to make
+// per block: fmt.Sprintf("C[%d,%d]", i, j) on every Begin. Drivers already
+// skip formatting when Hierarchy.Marking() is off; SpanLabels removes the
+// cost when it is on, by interning each formatted label the first time its
+// index appears and handing back the same string thereafter. Kernels sweep
+// the same block/panel/step indices run after run, so in steady state the
+// label path allocates nothing.
+//
+// Caches are safe for concurrent use (dist ranks and smp workers format
+// labels concurrently): lookups are an atomic load on an immutable slice,
+// misses copy-on-write under a mutex.
+
+// SpanLabels interns a one-parameter label family, e.g. "panel %d".
+type SpanLabels struct {
+	format func(int) string
+	mu     sync.Mutex
+	v      atomic.Pointer[[]string]
+}
+
+// NewSpanLabels builds an interning cache over format. Indices must be >= 0.
+func NewSpanLabels(format func(int) string) *SpanLabels {
+	return &SpanLabels{format: format}
+}
+
+// Get returns the interned label for index i, formatting it at most once.
+func (l *SpanLabels) Get(i int) string {
+	if p := l.v.Load(); p != nil && i < len(*p) {
+		if s := (*p)[i]; s != "" {
+			return s
+		}
+	}
+	return l.miss(i)
+}
+
+func (l *SpanLabels) miss(i int) string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var cur []string
+	if p := l.v.Load(); p != nil {
+		cur = *p
+	}
+	if i < len(cur) && cur[i] != "" {
+		return cur[i]
+	}
+	n := len(cur)
+	if i >= n {
+		n = i + 16
+	}
+	grown := make([]string, n)
+	copy(grown, cur)
+	if grown[i] == "" {
+		grown[i] = l.format(i)
+	}
+	l.v.Store(&grown)
+	return grown[i]
+}
+
+// SpanLabels2 interns a two-parameter label family, e.g. "C[%d,%d]".
+type SpanLabels2 struct {
+	format func(i, j int) string
+	m      sync.Map // uint64 key -> string
+}
+
+// NewSpanLabels2 builds an interning cache over format. Both indices must fit
+// in 32 bits (block and step indices always do).
+func NewSpanLabels2(format func(i, j int) string) *SpanLabels2 {
+	return &SpanLabels2{format: format}
+}
+
+// Get returns the interned label for (i, j), formatting it at most once.
+func (l *SpanLabels2) Get(i, j int) string {
+	k := uint64(uint32(i))<<32 | uint64(uint32(j))
+	if v, ok := l.m.Load(k); ok {
+		return v.(string)
+	}
+	s := l.format(i, j)
+	if v, loaded := l.m.LoadOrStore(k, s); loaded {
+		return v.(string)
+	}
+	return s
+}

@@ -60,16 +60,49 @@ type LevelCounters struct {
 	PeakOccupancy int64
 }
 
+// attached is one subscribed recorder with its dispatch refinements resolved
+// once at Attach time, so the flush loop never repeats type assertions.
+type attached struct {
+	rec   Recorder
+	fast  BatchRecorder // non-nil when rec implements the native block path
+	aware BatchAware    // non-nil when rec tracks dirty sources
+	touch bool          // wants the EvTouch/EvRange stream
+}
+
+// deliver hands a block to the recorder: natively or via per-event unrolling.
+func (a *attached) deliver(events []Event) {
+	if a.fast != nil {
+		a.fast.RecordBatch(events)
+		return
+	}
+	for i := range events {
+		a.rec.Record(events[i])
+	}
+}
+
 // Hierarchy is a concrete machine with explicit, programmer-controlled data
 // movement. The zero value is not usable; construct with New.
+//
+// Events for attached recorders are buffered and delivered in blocks (see
+// batch.go): the default counters (Counters, WritesTo, strict occupancy
+// checks) are always exact, but an attached recorder only sees events at
+// flush boundaries — batch capacity, Attach/Detach/Reset, an explicit Flush,
+// or a Sync issued by the recorder's own read/mark methods. Recorder-side
+// state read between flushes without one of those is a torn prefix; the
+// built-in recorders all Sync themselves.
 type Hierarchy struct {
 	levels  []Level
-	def     *CounterSet // default recorder, always present
-	recs    []Recorder  // additional attached recorders
-	touch   []Recorder  // subset of recs that want EvTouch
+	def     *CounterSet // default recorder, always present and unbuffered
+	recs    []attached  // additional attached recorders
+	touchN  int         // count of recs that want EvTouch/EvRange
 	marking int         // count of attached recorders that want span marks
 	strict  bool
 	topo    Topology // socket dimension; zero value = flat machine
+
+	batchCap int     // buffer capacity; >= 1
+	batch    []Event // pending events for attached recorders (lazily allocated)
+	scratch  []Event // touch-stripped view for non-touch recorders, reused
+	flushing bool    // re-entrancy guard: Sync during delivery must not recurse
 }
 
 // New builds a hierarchy from levels listed fastest first. With strict
@@ -80,9 +113,10 @@ func New(strict bool, levels ...Level) *Hierarchy {
 		panic("machine: a hierarchy needs at least two levels")
 	}
 	h := &Hierarchy{
-		levels: append([]Level(nil), levels...),
-		def:    NewCounterSet(len(levels)),
-		strict: strict,
+		levels:   append([]Level(nil), levels...),
+		def:      NewCounterSet(len(levels)),
+		strict:   strict,
+		batchCap: DefaultBatchEvents,
 	}
 	// The lowest level starts holding the problem data; occupancy tracking
 	// there is not meaningful, so it is left unbounded by convention.
@@ -102,45 +136,49 @@ func (h *Hierarchy) NumLevels() int { return len(h.levels) }
 func (h *Hierarchy) LevelInfo(i int) Level { return h.levels[i] }
 
 // Attach subscribes a recorder to the hierarchy's event stream. Events are
-// delivered synchronously, after the default counters are updated and after
-// strict validation, so recorders only ever see valid programs. If the
-// recorder implements TouchInterest and wants touches, the per-element Touch
-// stream is enabled for it as well.
+// buffered and delivered in attach order at flush boundaries, after the
+// default counters are updated and after strict validation, so recorders only
+// ever see valid programs. If the recorder implements TouchInterest and wants
+// touches, the per-element Touch stream is enabled for it as well. Pending
+// events are flushed first, so a newly attached recorder sees nothing from
+// before its attachment.
 func (h *Hierarchy) Attach(r Recorder) {
-	h.recs = append(h.recs, r)
+	h.Flush()
+	a := attached{rec: r}
+	a.fast, _ = r.(BatchRecorder)
+	a.aware, _ = r.(BatchAware)
 	if ti, ok := r.(TouchInterest); ok && ti.WantsTouch() {
-		h.touch = append(h.touch, r)
+		a.touch = true
+		h.touchN++
 	}
+	h.recs = append(h.recs, a)
 	if si, ok := r.(SpanInterest); ok && si.WantsSpans() {
 		h.marking++
 	}
 }
 
-// Detach unsubscribes a previously attached recorder.
+// Detach unsubscribes a previously attached recorder, flushing pending events
+// to it (and everyone else) first.
 func (h *Hierarchy) Detach(r Recorder) {
-	before := len(h.recs)
-	h.recs = removeRecorder(h.recs, r)
-	h.touch = removeRecorder(h.touch, r)
-	if len(h.recs) < before {
-		if si, ok := r.(SpanInterest); ok && si.WantsSpans() {
-			h.marking--
+	h.Flush()
+	for i := range h.recs {
+		if h.recs[i].rec == r {
+			if h.recs[i].touch {
+				h.touchN--
+			}
+			h.recs = append(h.recs[:i], h.recs[i+1:]...)
+			if si, ok := r.(SpanInterest); ok && si.WantsSpans() {
+				h.marking--
+			}
+			return
 		}
 	}
-}
-
-func removeRecorder(rs []Recorder, r Recorder) []Recorder {
-	for i := range rs {
-		if rs[i] == r {
-			return append(rs[:i], rs[i+1:]...)
-		}
-	}
-	return rs
 }
 
 // Tracing reports whether any attached recorder wants the per-element Touch
 // stream. Algorithms use it to skip per-element emission entirely when nobody
 // is listening.
-func (h *Hierarchy) Tracing() bool { return len(h.touch) > 0 }
+func (h *Hierarchy) Tracing() bool { return h.touchN > 0 }
 
 // Marking reports whether any attached recorder builds span attribution.
 // Drivers use it to skip formatting span labels in hot loops when nobody is
@@ -150,18 +188,38 @@ func (h *Hierarchy) Marking() bool { return h.marking > 0 }
 // Touch dispatches one element access to the touch-interested recorders. It
 // is the tracing fast path: a no-op unless Tracing() is true, and it never
 // touches the word counters (the enclosing Load/Store/Flops already did).
+// Touches bypass the default counters entirely, exactly like the per-event
+// engine did: non-touch recorders never see them either (the flush strips
+// them), so a Hierarchy's own CounterSet reports zero touches always.
 func (h *Hierarchy) Touch(addr uint64, write bool) {
-	for _, r := range h.touch {
-		r.Record(Event{Kind: EvTouch, Addr: addr, Write: write})
+	if h.touchN == 0 {
+		return
 	}
+	// Manually unrolled push fast path: the touch stream is the densest event
+	// source in the repo (one event per element access), so it writes the
+	// buffer slot in place instead of paying a call with a 56-byte argument.
+	n := len(h.batch)
+	if n == 0 || n+1 >= h.batchCap {
+		h.pushEdge(Event{Kind: EvTouch, Addr: addr, Write: write})
+		return
+	}
+	h.batch = h.batch[:n+1]
+	h.batch[n] = Event{Kind: EvTouch, Addr: addr, Write: write}
 }
 
 // TouchRemote is Touch for an element homed on another socket; the access is
 // counted in the same TouchReads/TouchWrites totals plus the Remote* split.
 func (h *Hierarchy) TouchRemote(addr uint64, write bool) {
-	for _, r := range h.touch {
-		r.Record(Event{Kind: EvTouch, Addr: addr, Write: write, Remote: true})
+	if h.touchN == 0 {
+		return
 	}
+	n := len(h.batch)
+	if n == 0 || n+1 >= h.batchCap {
+		h.pushEdge(Event{Kind: EvTouch, Addr: addr, Write: write, Remote: true})
+		return
+	}
+	h.batch = h.batch[:n+1]
+	h.batch[n] = Event{Kind: EvTouch, Addr: addr, Write: write, Remote: true}
 }
 
 // Begin opens a named span: subsequent events up to the matching End are
@@ -186,18 +244,114 @@ func (h *Hierarchy) End() {
 // it exists so address-attributing sinks (write heatmaps) can see WHICH
 // words crossed an interface, which the bulk Load/Store events do not say.
 func (h *Hierarchy) Range(iface int, addr uint64, words int64, store bool) {
-	for _, r := range h.touch {
-		r.Record(Event{Kind: EvRange, Arg: iface, Addr: addr, Words: words, Write: store})
+	if h.touchN == 0 {
+		return
+	}
+	n := len(h.batch)
+	if n == 0 || n+1 >= h.batchCap {
+		h.pushEdge(Event{Kind: EvRange, Arg: iface, Addr: addr, Words: words, Write: store})
+		return
+	}
+	h.batch = h.batch[:n+1]
+	h.batch[n] = Event{Kind: EvRange, Arg: iface, Addr: addr, Words: words, Write: store}
+}
+
+// dispatch records an event in the default counters and buffers it for the
+// attached recorders.
+func (h *Hierarchy) dispatch(e Event) {
+	h.def.Record(e)
+	if len(h.recs) == 0 {
+		return
+	}
+	n := len(h.batch)
+	if n == 0 || n+1 >= h.batchCap {
+		h.pushEdge(e)
+		return
+	}
+	h.batch = h.batch[:n+1]
+	h.batch[n] = e
+}
+
+// pushEdge handles the batch-boundary cases the emitters keep off their
+// manually unrolled fast paths (Touch, TouchRemote, Range, and dispatch all
+// write the buffer slot in place when the buffer is non-empty and this event
+// does not fill it — the event stream runs hundreds of millions of events per
+// experiment, and a call frame plus a second 56-byte Event copy per event
+// shows up directly in wall time). This slow path covers the lazy first
+// allocation, dirty-marking on the empty->non-empty transition, and the flush
+// when this event reaches capacity.
+func (h *Hierarchy) pushEdge(e Event) {
+	if h.batch == nil {
+		h.batch = make([]Event, 0, h.batchCap)
+	}
+	h.batch = append(h.batch, e)
+	if len(h.batch) == 1 {
+		for i := range h.recs {
+			if h.recs[i].aware != nil {
+				h.recs[i].aware.SourceDirty(h)
+			}
+		}
+	}
+	if len(h.batch) >= h.batchCap {
+		h.Flush()
 	}
 }
 
-// dispatch delivers an event to the default counters and every attached
-// recorder.
-func (h *Hierarchy) dispatch(e Event) {
-	h.def.Record(e)
-	for _, r := range h.recs {
-		r.Record(e)
+// Flush delivers every buffered event to the attached recorders, in attach
+// order, each recorder seeing the events in emission order: natively for
+// BatchRecorders, unrolled through Record otherwise. Non-touch recorders get
+// the block with EvTouch/EvRange stripped (they never see those kinds, same
+// as the per-event engine). Safe to call any time; a no-op when nothing is
+// buffered or when called re-entrantly from inside a delivery.
+func (h *Hierarchy) Flush() {
+	if h.flushing || len(h.batch) == 0 {
+		return
 	}
+	h.flushing = true
+	filtered := false
+	for i := range h.recs {
+		a := &h.recs[i]
+		if a.touch {
+			a.deliver(h.batch)
+			continue
+		}
+		if !filtered {
+			h.scratch = h.scratch[:0]
+			for j := range h.batch {
+				switch h.batch[j].Kind {
+				case EvTouch, EvRange:
+				default:
+					h.scratch = append(h.scratch, h.batch[j])
+				}
+			}
+			filtered = true
+		}
+		if len(h.scratch) > 0 {
+			a.deliver(h.scratch)
+		}
+	}
+	h.batch = h.batch[:0]
+	for i := range h.recs {
+		if h.recs[i].aware != nil {
+			h.recs[i].aware.SourceClean(h)
+		}
+	}
+	h.flushing = false
+}
+
+// SetBatchCapacity resizes the event buffer (minimum 1: every event flushes
+// immediately, which is the per-event engine's delivery timing and what the
+// differential tests pin the batched engine against). Pending events are
+// flushed first. The capacity only affects WHEN attached recorders see
+// events, never what they see.
+func (h *Hierarchy) SetBatchCapacity(n int) {
+	h.Flush()
+	if n < 1 {
+		n = 1
+	}
+	h.batchCap = n
+	h.batch = nil
+	h.scratch = nil
 }
 
 // Load moves words from level i+1 into level i across interface i as one
@@ -370,8 +524,10 @@ func (h *Hierarchy) ResidencyBalanced(i int) bool {
 }
 
 // Reset zeroes the default counters but keeps the level configuration and
-// attached recorders (which keep their own state).
+// attached recorders (which keep their own state, and receive any still-
+// buffered pre-Reset events first).
 func (h *Hierarchy) Reset() {
+	h.Flush()
 	h.def.Reset()
 }
 

@@ -155,6 +155,7 @@ func TestTouchRemoteDispatch(t *testing.T) {
 	h.Touch(1, true)
 	h.TouchRemote(2, true)
 	h.TouchRemote(3, false)
+	h.Flush()
 	cs := rec.Merge()
 	if cs.TouchWrites != 2 || cs.TouchReads != 1 {
 		t.Fatalf("touch totals: %+v", cs)

@@ -75,6 +75,20 @@ func (s *ShardedRecorder) initShared() *Shard {
 	return sh
 }
 
+// RecordBatch delivers a block to the common shard: the atomic-pointer hop is
+// paid once per block instead of once per event, and the shard's own block
+// path commits each touched counter with one atomic add.
+func (s *ShardedRecorder) RecordBatch(events []Event) {
+	if len(events) == 0 {
+		return
+	}
+	sh := s.shared.Load()
+	if sh == nil {
+		sh = s.initShared()
+	}
+	sh.RecordBatch(events)
+}
+
 // WantsTouch opts the shared path into the per-element stream.
 func (s *ShardedRecorder) WantsTouch() bool { return true }
 
@@ -167,6 +181,103 @@ func (sh *Shard) Record(e Event) {
 				sh.remoteTouchReads.Add(1)
 			}
 		}
+	}
+}
+
+// shardBatchLevels bounds the stack-allocated accumulators of
+// Shard.RecordBatch; deeper hierarchies (none in the repo exceed four levels)
+// fall back to per-event atomic adds.
+const shardBatchLevels = 8
+
+// RecordBatch accumulates a block into stack-local tallies and commits each
+// nonzero counter with a single atomic add. Concurrent readers (Counters,
+// Merge) still only ever see committed values — a block is just a coarser
+// unit of the same monotone adds — so the momentary-snapshot semantics are
+// unchanged; only the per-event atomic traffic is gone.
+func (sh *Shard) RecordBatch(events []Event) {
+	levels := len(sh.initWords)
+	if levels > shardBatchLevels {
+		for i := range events {
+			sh.Record(events[i])
+		}
+		return
+	}
+	var lw, lm, sw, sm, rlw, rsw [shardBatchLevels]int64
+	var iw, dw [shardBatchLevels]int64
+	var flops, tr, tw, rtr, rtw int64
+	for i := range events {
+		e := &events[i]
+		switch e.Kind {
+		case EvLoad:
+			lw[e.Arg] += e.Words
+			lm[e.Arg]++
+			if e.Remote {
+				rlw[e.Arg] += e.Words
+			}
+		case EvStore:
+			sw[e.Arg] += e.Words
+			sm[e.Arg]++
+			if e.Remote {
+				rsw[e.Arg] += e.Words
+			}
+		case EvInit:
+			iw[e.Arg] += e.Words
+		case EvDiscard:
+			dw[e.Arg] += e.Words
+		case EvFlops:
+			flops += e.Words
+		case EvTouch:
+			if e.Write {
+				tw++
+				if e.Remote {
+					rtw++
+				}
+			} else {
+				tr++
+				if e.Remote {
+					rtr++
+				}
+			}
+		}
+	}
+	for i := 0; i < levels-1; i++ {
+		if lm[i] != 0 {
+			sh.loadWords[i].Add(lw[i])
+			sh.loadMsgs[i].Add(lm[i])
+		}
+		if rlw[i] != 0 {
+			sh.remoteLoadWords[i].Add(rlw[i])
+		}
+		if sm[i] != 0 {
+			sh.storeWords[i].Add(sw[i])
+			sh.storeMsgs[i].Add(sm[i])
+		}
+		if rsw[i] != 0 {
+			sh.remoteStoreWords[i].Add(rsw[i])
+		}
+	}
+	for i := 0; i < levels; i++ {
+		if iw[i] != 0 {
+			sh.initWords[i].Add(iw[i])
+		}
+		if dw[i] != 0 {
+			sh.discardWords[i].Add(dw[i])
+		}
+	}
+	if flops != 0 {
+		sh.flops.Add(flops)
+	}
+	if tr != 0 {
+		sh.touchReads.Add(tr)
+	}
+	if tw != 0 {
+		sh.touchWrites.Add(tw)
+	}
+	if rtr != 0 {
+		sh.remoteTouchReads.Add(rtr)
+	}
+	if rtw != 0 {
+		sh.remoteTouchWrites.Add(rtw)
 	}
 }
 

@@ -115,6 +115,7 @@ func (sw *StreamWriter) Err() error { return sw.err }
 // not safe for concurrent use; concurrent machines stream through
 // dist.Machine's aggregate stream instead.
 type StreamRecorder struct {
+	Sources
 	sw     *StreamWriter
 	g      *GrowingCounters
 	every  int64
@@ -176,32 +177,60 @@ func (s *StreamRecorder) Record(e Event) {
 	}
 }
 
+// RecordBatch consumes a block of events. Flush cadence is pinned to the
+// per-event engine's: the every-N threshold is checked after each event of
+// the block, so an Every smaller than the batch capacity still emits one
+// record per N events, with exactly the same deltas, from inside the block.
+// Batching moves the moment records are written — delivery happens at the
+// hierarchy's flush boundaries — but never which events each record covers.
+func (s *StreamRecorder) RecordBatch(events []Event) {
+	for i := range events {
+		e := &events[i]
+		switch e.Kind {
+		case EvBegin, EvEnd, EvRange:
+			continue
+		}
+		s.g.Record(*e)
+		s.events++
+		s.total++
+		if s.every > 0 && s.events >= s.every {
+			s.flush(false)
+		}
+	}
+}
+
 // WantsTouch subscribes the stream to the per-element touch stream so traced
 // runs expose read/write touch trajectories too.
 func (s *StreamRecorder) WantsTouch() bool { return true }
 
-// Phase flushes any pending delta under the current phase label, then
-// switches subsequent events to the new label. Consecutive marks with no
-// intervening events do not emit empty records.
+// Phase syncs any batch-buffered events out of the attached hierarchies (no
+// event emitted before the mark is ever deferred past it), flushes the
+// pending delta under the current phase label, then switches subsequent
+// events to the new label. Consecutive marks with no intervening events do
+// not emit empty records.
 func (s *StreamRecorder) Phase(name string) {
+	s.Sync()
 	if s.events > 0 {
 		s.flush(false)
 	}
 	s.phase = name
 }
 
-// Flush emits a record for any pending events under the current phase.
+// Flush syncs buffered events and emits a record for any pending ones under
+// the current phase.
 func (s *StreamRecorder) Flush() {
+	s.Sync()
 	if s.events > 0 {
 		s.flush(false)
 	}
 }
 
-// Close flushes pending events and emits the final cumulative record. It is
-// idempotent; Err reports any write error encountered over the stream's
-// lifetime.
+// Close syncs and flushes pending events and emits the final cumulative
+// record. It is idempotent; Err reports any write error encountered over the
+// stream's lifetime.
 func (s *StreamRecorder) Close() error {
 	if !s.closed {
+		s.Sync()
 		s.closed = true
 		s.flush(true)
 	}
@@ -212,13 +241,20 @@ func (s *StreamRecorder) Close() error {
 func (s *StreamRecorder) Err() error { return s.sw.Err() }
 
 // Counters exposes the stream's cumulative counter set (the post-hoc totals
-// the final record reports).
-func (s *StreamRecorder) Counters() *CounterSet { return s.g.Counters() }
+// the final record reports), syncing buffered events first.
+func (s *StreamRecorder) Counters() *CounterSet {
+	s.Sync()
+	return s.g.Counters()
+}
 
-// Snapshot returns the stream's current cumulative snapshot.
-func (s *StreamRecorder) Snapshot() Snapshot { return s.g.Snapshot() }
+// Snapshot returns the stream's current cumulative snapshot, syncing buffered
+// events first.
+func (s *StreamRecorder) Snapshot() Snapshot {
+	s.Sync()
+	return s.g.Snapshot()
+}
 
 func (s *StreamRecorder) flush(final bool) {
-	_ = s.sw.Emit(s.phase, s.events, s.total, s.Snapshot(), final)
+	_ = s.sw.Emit(s.phase, s.events, s.total, s.g.Snapshot(), final)
 	s.events = 0
 }

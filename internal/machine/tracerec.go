@@ -11,7 +11,12 @@ type AddrSink interface {
 // sink such as a cache simulator. Attach one to a Hierarchy and the counted
 // algorithm drivers double as trace emitters; detach it (or never attach one)
 // and the per-element fast path disappears entirely.
+//
+// The sink is external state the recorder cannot guard: with the batched
+// engine, call Sync (or flush/detach the hierarchy) before reading simulator
+// results, or the tail of the trace may still sit in the event buffer.
 type TraceRecorder struct {
+	Sources
 	Sink AddrSink
 }
 
@@ -24,6 +29,15 @@ func NewTraceRecorder(sink AddrSink) *TraceRecorder {
 func (t *TraceRecorder) Record(e Event) {
 	if e.Kind == EvTouch {
 		t.Sink.Access(e.Addr, e.Write)
+	}
+}
+
+// RecordBatch forwards a block of element accesses in order.
+func (t *TraceRecorder) RecordBatch(events []Event) {
+	for i := range events {
+		if events[i].Kind == EvTouch {
+			t.Sink.Access(events[i].Addr, events[i].Write)
+		}
 	}
 }
 

@@ -95,6 +95,15 @@ func (r *Registry) Len() int { return len(r.preds) }
 // not subscribe to the per-element touch stream — conformance checks are on
 // word counters, and the dense EvTouch stream would triple the hot path.
 type Monitor struct {
+	// sources tracks hierarchies holding batch-buffered events for this
+	// monitor. It is driven (and synced) only from the run goroutine —
+	// Record/RecordBatch/Phase/Finish/TotalEvents — never from the HTTP
+	// readers: a concurrent reader syncing would race with the hierarchy it
+	// flushes. Live reads (Snapshot, Violations) therefore keep their
+	// momentary-snapshot semantics, now at batch rather than event
+	// granularity.
+	sources machine.Sources
+
 	mu         sync.Mutex
 	g          *machine.GrowingCounters
 	reg        *Registry
@@ -124,6 +133,7 @@ func (m *Monitor) Record(e machine.Event) {
 	case machine.EvBegin, machine.EvEnd, machine.EvRange:
 		return
 	}
+	m.sources.Sync()
 	m.mu.Lock()
 	m.g.Record(e)
 	m.events++
@@ -131,20 +141,48 @@ func (m *Monitor) Record(e machine.Event) {
 	m.mu.Unlock()
 }
 
+// RecordBatch accumulates a block of events under one lock acquisition — the
+// monitor's biggest win from batching, since the per-event path paid a
+// mutex round-trip per primitive.
+func (m *Monitor) RecordBatch(events []machine.Event) {
+	m.mu.Lock()
+	for i := range events {
+		e := &events[i]
+		switch e.Kind {
+		case machine.EvBegin, machine.EvEnd, machine.EvRange:
+			continue
+		}
+		m.g.Record(*e)
+		m.events++
+		m.total++
+	}
+	m.mu.Unlock()
+}
+
+// SourceDirty and SourceClean track hierarchies with buffered events (run
+// goroutine only; see the sources field).
+func (m *Monitor) SourceDirty(f machine.Flusher) { m.sources.SourceDirty(f) }
+func (m *Monitor) SourceClean(f machine.Flusher) { m.sources.SourceClean(f) }
+
 // Phase closes the current phase: if it saw any events, its exact delta is
 // checked against every matching prediction, and subsequent events count
-// toward the new label. Mirrors StreamRecorder.Phase so the wabench section
-// marks drive both the same way.
+// toward the new label. Events still buffered in observed hierarchies are
+// synced in first, so a phase delta covers exactly the events emitted under
+// its label — flush boundaries never split a phase. Mirrors
+// StreamRecorder.Phase so the wabench section marks drive both the same way.
 func (m *Monitor) Phase(name string) {
+	m.sources.Sync()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.closePhaseLocked()
 	m.phase = name
 }
 
-// Finish closes the final phase and freezes the monitor, returning every
-// violation recorded over the run. Idempotent.
+// Finish syncs buffered events, closes the final phase and freezes the
+// monitor, returning every violation recorded over the run. Idempotent. Call
+// from the run goroutine.
 func (m *Monitor) Finish() []Violation {
+	m.sources.Sync()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if !m.finished {
@@ -254,8 +292,10 @@ func (m *Monitor) Phases() int64 {
 	return m.phases
 }
 
-// TotalEvents returns the counter-bearing events seen so far.
+// TotalEvents returns the counter-bearing events seen so far, syncing any
+// batch-buffered events first. Call from the run goroutine.
 func (m *Monitor) TotalEvents() int64 {
+	m.sources.Sync()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.total

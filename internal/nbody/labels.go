@@ -1,0 +1,14 @@
+package nbody
+
+import (
+	"strconv"
+
+	"writeavoid/internal/machine"
+)
+
+// forceLabels interns the per-force-block span labels "F[i:j]" so repeated
+// sweeps over the same blocking re-use one formatted string per block and
+// the steady-state label path allocates nothing.
+var forceLabels = machine.NewSpanLabels2(func(i, j int) string {
+	return "F[" + strconv.Itoa(i) + ":" + strconv.Itoa(j) + "]"
+})

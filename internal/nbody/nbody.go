@@ -157,7 +157,7 @@ func forces2Level(h *machine.Hierarchy, bs []int, lvl int, s *System, f []Vec3, 
 	mark := fresh && h.Marking()
 	for i := i0; i < i0+ni; i += b {
 		if mark {
-			h.Begin(fmt.Sprintf("F[%d:%d]", i, i+b))
+			h.Begin(forceLabels.Get(i, i+b))
 		}
 		h.Load(lvl, int64(b)) // P1 block
 		if fresh {

@@ -77,7 +77,7 @@ func cholRightBody(cfg Config, p *dist.Proc, st *state, nb int, bw int64) {
 
 	for k := 0; k < nb; k++ {
 		if mark {
-			p.H.Begin(fmt.Sprintf("step %d", k))
+			p.H.Begin(stepLabels.Get(k))
 		}
 		ko := cfg.owner(k, k)
 		// Factor the diagonal; broadcast down processor column k (the
@@ -165,7 +165,7 @@ func cholLeftBody(cfg Config, p *dist.Proc, st *state, nb int, bw int64) {
 
 	for i := 0; i < nb; i++ { // block column I of L
 		if mark {
-			p.H.Begin(fmt.Sprintf("column %d", i))
+			p.H.Begin(columnLabels.Get(i))
 		}
 		inColumn := myCol == i%cfg.Q
 		if inColumn {

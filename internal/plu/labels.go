@@ -1,0 +1,16 @@
+package plu
+
+import (
+	"strconv"
+
+	"writeavoid/internal/machine"
+)
+
+// Interned superstep labels: all P ranks begin the same "step k"/"column i"
+// span each superstep, so without interning every rank formats the same
+// string every step. The caches are concurrent-safe and shared across ranks
+// and runs; the steady-state label path allocates nothing.
+var (
+	stepLabels   = machine.NewSpanLabels(func(k int) string { return "step " + strconv.Itoa(k) })
+	columnLabels = machine.NewSpanLabels(func(i int) string { return "column " + strconv.Itoa(i) })
+)

@@ -39,6 +39,10 @@ type Config struct {
 	// Observe, when non-nil, supplies one extra recorder per processor
 	// (attribution, tracing); see dist.Config.Observe.
 	Observe dist.Observer
+
+	// BatchEvents overrides each rank hierarchy's event-batch capacity;
+	// see dist.Config.BatchEvents.
+	BatchEvents int
 }
 
 // P returns the processor count.
@@ -67,6 +71,7 @@ func (c Config) machineFor() *dist.Machine {
 		},
 		MaxMsgWords: c.MaxMsgWords,
 		Observe:     c.Observe,
+		BatchEvents: c.BatchEvents,
 	})
 }
 
@@ -177,7 +182,7 @@ func RightLooking(cfg Config, a *matrix.Dense) (*matrix.Dense, *dist.Machine, er
 
 		for k := 0; k < nb; k++ {
 			if mark {
-				p.H.Begin(fmt.Sprintf("step %d", k))
+				p.H.Begin(stepLabels.Get(k))
 			}
 			ko := cfg.owner(k, k)
 			// Factor the diagonal block and broadcast it along both
@@ -321,7 +326,7 @@ func LeftLooking(cfg Config, a *matrix.Dense) (*matrix.Dense, *dist.Machine, err
 
 		for i := 0; i < nb; i++ { // block column index I
 			if mark {
-				p.H.Begin(fmt.Sprintf("column %d", i))
+				p.H.Begin(columnLabels.Get(i))
 			}
 			colProcs := cfg.colGroup(i % cfg.Q)
 			inColumn := myCol == i%cfg.Q

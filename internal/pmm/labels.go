@@ -1,0 +1,18 @@
+package pmm
+
+import (
+	"strconv"
+
+	"writeavoid/internal/machine"
+)
+
+// Interned superstep/tile labels: every rank begins the same "step t" span
+// each multiply-shift step, and tile indices recur across runs. Formatting
+// happens once per distinct index; the steady-state label path allocates
+// nothing.
+var (
+	stepLabels = machine.NewSpanLabels(func(t int) string { return "step " + strconv.Itoa(t) })
+	tileLabels = machine.NewSpanLabels2(func(ti, tj int) string {
+		return "tile[" + strconv.Itoa(ti) + "," + strconv.Itoa(tj) + "]"
+	})
+)

@@ -47,6 +47,10 @@ type Config struct {
 	// Observe, when non-nil, supplies one extra recorder per processor
 	// (attribution, tracing); see dist.Config.Observe.
 	Observe dist.Observer
+
+	// BatchEvents overrides each rank hierarchy's event-batch capacity;
+	// see dist.Config.BatchEvents.
+	BatchEvents int
 }
 
 // P returns the processor count.
@@ -89,6 +93,7 @@ func (c Config) machineFor() *dist.Machine {
 		Observe:     c.Observe,
 		Sockets:     c.Sockets,
 		Placement:   c.Placement,
+		BatchEvents: c.BatchEvents,
 	})
 }
 
@@ -193,7 +198,7 @@ func MM25D(cfg Config, a, b *matrix.Dense) (*matrix.Dense, *dist.Machine, error)
 		plan := cfg.localPlan(p.H)
 		for t := 0; t < s; t++ {
 			if mark {
-				p.H.Begin(fmt.Sprintf("step %d", t))
+				p.H.Begin(stepLabels.Get(t))
 			}
 			if err := core.MatMul(plan, cLoc, unflatten(aBlk, nb), unflatten(bBlk, nb)); err != nil {
 				panic(err)
@@ -310,7 +315,7 @@ func SUMMAooL2(cfg Config, tile int, a, b *matrix.Dense) (*matrix.Dense, *dist.M
 		for ti := 0; ti < tilesPer; ti++ {
 			for tj := 0; tj < tilesPer; tj++ {
 				if mark {
-					p.H.Begin(fmt.Sprintf("tile[%d,%d]", ti, tj))
+					p.H.Begin(tileLabels.Get(ti, tj))
 				}
 				cTile := cLoc.Block(ti*tile, tj*tile, tile, tile)
 				p.H.Init(1, int64(tile*tile)) // C tile born in DRAM

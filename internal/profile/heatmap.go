@@ -18,6 +18,7 @@ import (
 // interface, while the k-outermost classical order rewrites each block
 // n/b times.
 type HeatmapRecorder struct {
+	machine.Sources
 	iface      int // interface EvRange events must match; < 0 = touch mode
 	blockWords int64
 	writes     map[uint64]int64 // block index -> words written
@@ -66,6 +67,13 @@ func (h *HeatmapRecorder) Record(e machine.Event) {
 	}
 }
 
+// RecordBatch consumes a block of events in order.
+func (h *HeatmapRecorder) RecordBatch(events []machine.Event) {
+	for i := range events {
+		h.Record(events[i])
+	}
+}
+
 // accumulate spreads the run [addr, addr+words) over its blocks.
 func (h *HeatmapRecorder) accumulate(addr uint64, words int64, write bool) {
 	m := h.reads
@@ -89,16 +97,19 @@ func (h *HeatmapRecorder) accumulate(addr uint64, words int64, write bool) {
 func (h *HeatmapRecorder) BlockWords() int64 { return h.blockWords }
 
 // WriteCount and ReadCount return the words written/read in the block
-// holding addr.
+// holding addr (buffered events synced first, like every read method here).
 func (h *HeatmapRecorder) WriteCount(addr uint64) int64 {
+	h.Sync()
 	return h.writes[addr/uint64(h.blockWords)]
 }
 func (h *HeatmapRecorder) ReadCount(addr uint64) int64 {
+	h.Sync()
 	return h.reads[addr/uint64(h.blockWords)]
 }
 
 // Blocks returns the sorted indices of every block with any traffic.
 func (h *HeatmapRecorder) Blocks() []uint64 {
+	h.Sync()
 	seen := map[uint64]bool{}
 	var out []uint64
 	for b := range h.writes {
@@ -121,6 +132,7 @@ func (h *HeatmapRecorder) Blocks() []uint64 {
 // the blocks of the region [base, base+words) — the one-line check that a
 // region was written uniformly (min == max == blockWords for exactly-once).
 func (h *HeatmapRecorder) WriteExtremes(base uint64, words int64) (min, max int64) {
+	h.Sync()
 	first := true
 	bw := uint64(h.blockWords)
 	for b := base / bw; b <= (base+uint64(words)-1)/bw; b++ {
@@ -144,6 +156,7 @@ const heatRamp = " .:-=+*#%@"
 // region's hottest block. A uniform exactly-once region renders as a solid
 // field of one glyph.
 func (h *HeatmapRecorder) Render(w io.Writer, base uint64, words int64, cols int) {
+	h.Sync()
 	if cols <= 0 {
 		cols = 64
 	}

@@ -26,6 +26,7 @@ import (
 //
 // Like every synchronous recorder it is not safe for concurrent use.
 type ReuseRecorder struct {
+	machine.Sources
 	last  map[uint64]int64 // addr -> 1-based timestamp of previous touch
 	ids   map[uint64]int32 // addr -> dense id for the replay log
 	marks []bool           // marks[t] = t is some address's latest touch
@@ -66,6 +67,15 @@ func (r *ReuseRecorder) Record(e machine.Event) {
 		return
 	}
 	r.Touch(e.Addr, e.Write)
+}
+
+// RecordBatch consumes a block of events in order.
+func (r *ReuseRecorder) RecordBatch(events []machine.Event) {
+	for i := range events {
+		if events[i].Kind == machine.EvTouch {
+			r.Touch(events[i].Addr, events[i].Write)
+		}
+	}
 }
 
 // Touch processes one element access directly (the access.Sink shape, for
@@ -140,16 +150,29 @@ func (r *ReuseRecorder) prefix(pos int64) int64 {
 	return s
 }
 
-// Touches returns the number of accesses processed.
-func (r *ReuseRecorder) Touches() int64 { return r.n }
+// Touches returns the number of accesses processed (buffered events synced
+// first, like every read method here).
+func (r *ReuseRecorder) Touches() int64 {
+	r.Sync()
+	return r.n
+}
 
 // Addresses returns the number of distinct addresses seen.
-func (r *ReuseRecorder) Addresses() int { return len(r.ids) }
+func (r *ReuseRecorder) Addresses() int {
+	r.Sync()
+	return len(r.ids)
+}
 
 // ReadDist and WriteDist return copies of the exact distance histograms
 // (cold accesses are the separate ColdReads/ColdWrites tallies).
-func (r *ReuseRecorder) ReadDist() map[int64]int64  { return copyHist(r.reads) }
-func (r *ReuseRecorder) WriteDist() map[int64]int64 { return copyHist(r.writes) }
+func (r *ReuseRecorder) ReadDist() map[int64]int64 {
+	r.Sync()
+	return copyHist(r.reads)
+}
+func (r *ReuseRecorder) WriteDist() map[int64]int64 {
+	r.Sync()
+	return copyHist(r.writes)
+}
 
 func copyHist(h map[int64]int64) map[int64]int64 {
 	out := make(map[int64]int64, len(h))
@@ -163,6 +186,7 @@ func copyHist(h map[int64]int64) map[int64]int64 {
 // capacity words would miss: the histogram tail at the capacity plus every
 // cold access.
 func (r *ReuseRecorder) Misses(capacity int64) int64 {
+	r.Sync()
 	miss := r.ColdReads + r.ColdWrites
 	for d, c := range r.reads {
 		if d >= capacity {
@@ -185,6 +209,7 @@ func (r *ReuseRecorder) Misses(capacity int64) int64 {
 // back once. This is the Proposition 6.1 floor the write-distance tail
 // induces, and it equals cache.FALRU's VictimsM after FlushDirty.
 func (r *ReuseRecorder) WriteBackFloor(capacity int64) int64 {
+	r.Sync()
 	dirty := make([]bool, len(r.ids))
 	var wb int64
 	for _, op := range r.log {
@@ -210,6 +235,7 @@ func (r *ReuseRecorder) WriteBackFloor(capacity int64) int64 {
 // RenderHist writes the read and write distance spectra as an aligned
 // power-of-two-bucketed ASCII table.
 func (r *ReuseRecorder) RenderHist(w io.Writer) {
+	r.Sync()
 	reads := bucketize(r.reads)
 	writes := bucketize(r.writes)
 	var keys []int

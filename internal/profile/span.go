@@ -77,6 +77,7 @@ type ifaceSample struct {
 // ProcGroup.Recorder). The geometry grows on demand with generic level
 // names, so one recorder can follow hierarchies of different depths.
 type SpanRecorder struct {
+	machine.Sources
 	g       *machine.GrowingCounters
 	clock   int64
 	roots   []*Span
@@ -115,8 +116,23 @@ func (r *SpanRecorder) WantsTouch() bool { return true }
 func (r *SpanRecorder) WantsSpans() bool { return true }
 
 // Record consumes one event: marks manage the span stack, everything else
-// advances the counters and the clock.
+// advances the counters and the clock. Direct Record calls sync any events
+// still buffered in attached hierarchies first, so mixed driving (a direct
+// meter plus a batched hierarchy) keeps the per-event engine's order.
 func (r *SpanRecorder) Record(e machine.Event) {
+	r.Sync()
+	r.record1(e)
+}
+
+// RecordBatch consumes a block of events in order — the hierarchy's flush
+// delivery path, which must not re-sync.
+func (r *SpanRecorder) RecordBatch(events []machine.Event) {
+	for i := range events {
+		r.record1(events[i])
+	}
+}
+
+func (r *SpanRecorder) record1(e machine.Event) {
 	switch e.Kind {
 	case machine.EvBegin:
 		r.push(e.Label)
@@ -135,15 +151,25 @@ func (r *SpanRecorder) Record(e machine.Event) {
 }
 
 // Begin opens a span directly (for drivers not routed through a Hierarchy,
-// e.g. krylov's Traffic meter or wabench section marks).
-func (r *SpanRecorder) Begin(name string) { r.push(name) }
+// e.g. krylov's Traffic meter or wabench section marks), syncing buffered
+// events first so the boundary lands after everything already emitted.
+func (r *SpanRecorder) Begin(name string) {
+	r.Sync()
+	r.push(name)
+}
 
 // End closes the innermost open span.
-func (r *SpanRecorder) End() { r.pop() }
+func (r *SpanRecorder) End() {
+	r.Sync()
+	r.pop()
+}
 
 // Mark closes every open span and begins a new top-level one: consecutive
-// Marks partition a run into sections.
+// Marks partition a run into sections. Events buffered in attached
+// hierarchies are synced first — no event emitted before the mark is ever
+// attributed past it.
 func (r *SpanRecorder) Mark(name string) {
+	r.Sync()
 	for len(r.stack) > 0 {
 		r.pop()
 	}
@@ -155,7 +181,7 @@ func (r *SpanRecorder) push(name string) {
 		Name:      name,
 		Start:     r.clock,
 		StartTime: r.time,
-		startSnap: r.Snapshot(),
+		startSnap: r.g.Snapshot(),
 		open:      true,
 	}
 	if n := len(r.stack); n > 0 {
@@ -177,7 +203,7 @@ func (r *SpanRecorder) pop() {
 	r.stack = r.stack[:n-1]
 	s.End = r.clock
 	s.EndTime = r.time
-	s.Delta = r.Snapshot().Sub(s.startSnap)
+	s.Delta = r.g.Snapshot().Sub(s.startSnap)
 	s.open = false
 	r.sample()
 }
@@ -214,27 +240,41 @@ func (r *SpanRecorder) charge(e machine.Event) {
 	}
 }
 
-// Finish closes any spans still open (at the current clock) and freezes the
-// tree. Idempotent; called by exporters.
+// Finish syncs buffered events, closes any spans still open (at the current
+// clock) and freezes the tree. Idempotent; called by exporters.
 func (r *SpanRecorder) Finish() {
+	r.Sync()
 	for len(r.stack) > 0 {
 		r.pop()
 	}
 	r.finished = true
 }
 
-// Roots returns the top-level spans recorded so far.
-func (r *SpanRecorder) Roots() []*Span { return r.roots }
+// Roots returns the top-level spans recorded so far (buffered events synced
+// first, so closed spans carry their full deltas).
+func (r *SpanRecorder) Roots() []*Span {
+	r.Sync()
+	return r.roots
+}
 
 // Clock returns the current event-count clock reading.
-func (r *SpanRecorder) Clock() int64 { return r.clock }
+func (r *SpanRecorder) Clock() int64 {
+	r.Sync()
+	return r.clock
+}
 
 // Time returns accumulated cost-model seconds (zero without a model).
-func (r *SpanRecorder) Time() float64 { return r.time }
+func (r *SpanRecorder) Time() float64 {
+	r.Sync()
+	return r.time
+}
 
 // Snapshot returns the recorder's cumulative snapshot: the post-hoc totals
-// every delta telescopes into.
-func (r *SpanRecorder) Snapshot() machine.Snapshot { return r.g.Snapshot() }
+// every delta telescopes into. Buffered events are synced first.
+func (r *SpanRecorder) Snapshot() machine.Snapshot {
+	r.Sync()
+	return r.g.Snapshot()
+}
 
 // Total is Snapshot under the name the exactness invariant uses.
 func (r *SpanRecorder) Total() machine.Snapshot { return r.Snapshot() }
@@ -242,12 +282,13 @@ func (r *SpanRecorder) Total() machine.Snapshot { return r.Snapshot() }
 // Unattributed returns the events outside every root span: Total minus the
 // root deltas. With marks covering the whole run it is the zero snapshot.
 func (r *SpanRecorder) Unattributed() machine.Snapshot {
-	out := r.Total()
+	r.Sync()
+	out := r.g.Snapshot()
 	for _, s := range r.roots {
 		if !s.open {
 			out = out.Sub(s.Delta)
 		} else {
-			out = out.Sub(r.Snapshot().Sub(s.startSnap))
+			out = out.Sub(r.g.Snapshot().Sub(s.startSnap))
 		}
 	}
 	return out

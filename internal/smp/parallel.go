@@ -69,14 +69,27 @@ func RunParallelPlaced(sched Schedule, rec machine.Recorder, plan SocketPlan) (R
 				h = handler.Handle()
 			}
 			socket := topo.SocketOf(w, plan.Placement)
+			// Each worker buffers its events in a private batch and delivers
+			// blocks at capacity and at the end of its queue — the recorder
+			// pays its per-call synchronization (atomics, locks) once per
+			// block instead of once per access. Order within the worker is
+			// preserved exactly; concurrently-recording recorders never
+			// guaranteed any cross-worker order, batched or not.
+			eb := machine.NewEventBatch(machine.DefaultBatchEvents)
+			emit := func(e machine.Event) {
+				if eb.Append(e) {
+					machine.RecordAll(h, eb.Events())
+					eb.Reset()
+				}
+			}
 			for _, t := range sched.Queues[w] {
 				// Each task is one span on this worker's recorder; counting
 				// recorders (shards) ignore the marks, span recorders
 				// attribute the task's touches to its label.
-				h.Record(machine.Event{Kind: machine.EvBegin, Label: t.Label})
+				emit(machine.Event{Kind: machine.EvBegin, Label: t.Label})
 				for _, op := range t.Ops {
 					remote := classify && plan.Home(op.Addr) != socket
-					h.Record(machine.Event{
+					emit(machine.Event{
 						Kind:   machine.EvTouch,
 						Addr:   op.Addr,
 						Write:  op.Write,
@@ -87,8 +100,12 @@ func RunParallelPlaced(sched Schedule, rec machine.Recorder, plan SocketPlan) (R
 						tallies[w].remote++
 					}
 				}
-				h.Record(machine.Event{Kind: machine.EvEnd})
+				emit(machine.Event{Kind: machine.EvEnd})
 				tallies[w].tasks++
+			}
+			if eb.Len() > 0 {
+				machine.RecordAll(h, eb.Events())
+				eb.Reset()
 			}
 		}(w)
 	}
