@@ -9,11 +9,16 @@
 //	        [-compare OLD.json NEW.json]
 //	        [-sockets S] [-placement block|rr] [section ...]
 //
-// Sections: sec2 sec3 sec4 sec5 fig2 fig5 realcache table1 table2 lu krylov sec9 smp multilevel numa all
+// Sections: sec2 sec3 sec4 sec5 fig2 fig5 realcache table1 table2 lu krylov sec9 smp multilevel omega numa all
 // (default: all). -quick shrinks problem sizes so the whole run finishes in
 // well under a minute; the full run takes a few minutes, dominated by the
 // Figure 2/5 cache simulations. -json skips the text sections and instead
 // emits machine-readable counter snapshots of a fixed counted phase suite.
+//
+// The omega section prices the write-efficient algorithm family (extsort's
+// small-write sort, dp's LCS and Floyd–Warshall schedules) against the
+// classical variants under the explicit write-cost parameter ω, asserting
+// every load/store count exactly through the conformance monitor.
 //
 // -sockets partitions the distributed NUMA section's processors over S
 // sockets and -placement picks the rank-to-socket mapping (block: contiguous
@@ -329,6 +334,7 @@ func run(args []string) (rc int) {
 	runSec("sec9", func() string { return experiments.Sec9Report(*quick) })
 	runSec("smp", func() string { return experiments.SMPReport(*quick) })
 	runSec("multilevel", func() string { return experiments.FormatMultiLevel(experiments.MultiLevel(*quick)) })
+	runSec("omega", func() string { return experiments.FormatOmega(experiments.Omega(*quick)) })
 	// Gated under "all" so a default run's output (and every counter behind
 	// it) stays byte-identical to the pre-socket machine; explicit `numa`
 	// always runs, clamped to at least two sockets inside the section.

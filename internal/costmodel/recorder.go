@@ -68,6 +68,17 @@ func (r *Recorder) StoreTime(i int) float64 {
 	return r.storeT[i]
 }
 
+// Omega returns the hardware's NVM write/read per-word asymmetry ω =
+// Beta23/Beta32 — the explicit model parameter of the paper's successors
+// (Blelloch et al., arXiv:1511.01038), read off the Section 7 coefficients.
+// Symmetric hardware (DRAMOnly) reports 1.
+func (r *Recorder) Omega() float64 {
+	if r.hw.Beta23 == r.hw.Beta32 || r.hw.Beta32 == 0 {
+		return 1
+	}
+	return r.hw.Beta23 / r.hw.Beta32
+}
+
 // Time returns total predicted seconds: all interfaces, both directions.
 func (r *Recorder) Time() float64 {
 	r.Sync()

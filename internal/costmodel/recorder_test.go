@@ -68,3 +68,14 @@ func TestRecorderIgnoresDeeperInterfaces(t *testing.T) {
 		t.Fatalf("interface 2 should be free, got %g", rec.Time())
 	}
 }
+
+// Omega reads the NVM write/read asymmetry off the Section 7 coefficients:
+// NVMBacked(p) built its Beta23 as p times Beta32.
+func TestRecorderOmega(t *testing.T) {
+	if got := NewRecorder(NVMBacked(8)).Omega(); got != 8 {
+		t.Fatalf("NVMBacked(8) ω = %g want 8", got)
+	}
+	if got := NewRecorder(DRAMOnly()).Omega(); got != 1 {
+		t.Fatalf("DRAMOnly ω = %g want 1", got)
+	}
+}

@@ -1,0 +1,363 @@
+// Package dp implements dynamic-programming kernels — longest common
+// subsequence and Floyd–Warshall all-pairs shortest paths — in two
+// schedules on the explicit machine model: a classical schedule that
+// materializes every table cell in slow memory, and a write-efficient
+// schedule in the style of Blelloch et al. (arXiv:1511.01038 §6) that
+// stores only tile boundaries (LCS) or block results (FW), trading extra
+// reads for asymptotically fewer slow-memory writes. Both schedules of a
+// kernel compute identical answers; only the charged traffic differs, and
+// the Predict* functions reproduce the counts word for word.
+package dp
+
+import (
+	"fmt"
+
+	"writeavoid/internal/intmath"
+	"writeavoid/internal/machine"
+)
+
+// minMemory is the smallest fast memory any kernel here accepts, matching
+// extsort's floor so the experiment sweeps can share machine sizes.
+const minMemory = 32
+
+// lcsTileSize returns the square tile side for the LCS kernels: peak
+// residency per tile is bounded by 2h + 3w + 1 <= 5b + 1 words (boundaries,
+// string chunks, two rolling rows), so b = (m-1)/6 leaves slack.
+func lcsTileSize(m int) int {
+	b := (m - 1) / 6
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// lcsRun walks the (la+1)x(lb+1) LCS table tile by tile, charging either
+// the classical schedule (every interior cell stored: la*lb slow-memory
+// writes) or the write-efficient one (only each tile's bottom row and right
+// column stored: w + h - 1 writes per h-by-w tile, ~2*la*lb/b total).
+//
+// Per tile the schedule is: load (or Init, when it is the all-zero row 0 or
+// column 0) the top boundary row plus its corner and the left boundary
+// column, load the two string chunks, then produce the tile row by row with
+// two rows resident. A finished row is dead one row later: classical stores
+// it (materializing the table), write-efficient stores only its right-column
+// cell and discards the rest. The final row is stored whole by both — it is
+// the bottom boundary the next tile row block loads back.
+func lcsRun(h *machine.Hierarchy, m int, a, bs []byte, writeEfficient bool) (int, error) {
+	la, lb := len(a), len(bs)
+	if m < minMemory {
+		return 0, fmt.Errorf("dp: fast memory %d too small (need >= %d words)", m, minMemory)
+	}
+	if la == 0 || lb == 0 {
+		return 0, nil
+	}
+	b := lcsTileSize(m)
+	dp := make([]int32, (la+1)*(lb+1))
+	idx := func(i, j int) int { return i*(lb+1) + j }
+	for i0 := 0; i0 < la; i0 += b {
+		th := min(b, la-i0)
+		for j0 := 0; j0 < lb; j0 += b {
+			tw := min(b, lb-j0)
+			// Top boundary (tw words + the northwest corner) and left
+			// boundary (th words): zeros are created in place, everything
+			// else was stored by an earlier tile.
+			if i0 == 0 {
+				h.Init(0, int64(tw+1))
+			} else if j0 == 0 {
+				h.Load(0, int64(tw))
+				h.Init(0, 1)
+			} else {
+				h.Load(0, int64(tw+1))
+			}
+			if j0 == 0 {
+				h.Init(0, int64(th))
+			} else {
+				h.Load(0, int64(th))
+			}
+			h.Load(0, int64(th)) // a chunk
+			h.Load(0, int64(tw)) // b chunk
+			for r := 0; r < th; r++ {
+				i := i0 + r + 1
+				h.Init(0, int64(tw))
+				for c := 0; c < tw; c++ {
+					j := j0 + c + 1
+					if a[i-1] == bs[j-1] {
+						dp[idx(i, j)] = dp[idx(i-1, j-1)] + 1
+					} else {
+						dp[idx(i, j)] = max(dp[idx(i-1, j)], dp[idx(i, j-1)])
+					}
+				}
+				h.Flops(int64(tw))
+				switch {
+				case r == 0:
+					h.Discard(0, int64(tw+1)) // top boundary dead
+				case writeEfficient:
+					h.Store(0, 1) // right-column cell of row r-1
+					h.Discard(0, int64(tw-1))
+				default:
+					h.Store(0, int64(tw)) // row r-1 joins the slow table
+				}
+			}
+			h.Store(0, int64(tw))        // final row: bottom boundary
+			h.Discard(0, int64(2*th+tw)) // left boundary + string chunks
+		}
+	}
+	return int(dp[idx(la, lb)]), nil
+}
+
+// LCSClassical returns the longest-common-subsequence length of a and b,
+// charging the classical blocked schedule that stores every one of the
+// la*lb table cells to slow memory.
+func LCSClassical(h *machine.Hierarchy, m int, a, b []byte) (int, error) {
+	return lcsRun(h, m, a, b, false)
+}
+
+// LCSWriteEfficient returns the same LCS length while storing only tile
+// boundaries — O(la*lb/b) slow-memory writes for tile side b ~ m/6 — at the
+// cost of no extra reads (the classical schedule already reloads
+// boundaries); the write saving is pure.
+func LCSWriteEfficient(h *machine.Hierarchy, m int, a, b []byte) (int, error) {
+	return lcsRun(h, m, a, b, true)
+}
+
+// predictLCS mirrors lcsRun's charging loops without touching data.
+func predictLCS(la, lb, m int, writeEfficient bool) (loads, stores int64) {
+	if la == 0 || lb == 0 {
+		return 0, 0
+	}
+	b := lcsTileSize(m)
+	for i0 := 0; i0 < la; i0 += b {
+		th := min(b, la-i0)
+		for j0 := 0; j0 < lb; j0 += b {
+			tw := min(b, lb-j0)
+			if i0 == 0 {
+				// top boundary Init
+			} else if j0 == 0 {
+				loads += int64(tw)
+			} else {
+				loads += int64(tw + 1)
+			}
+			if j0 != 0 {
+				loads += int64(th)
+			}
+			loads += int64(th + tw) // string chunks
+			if writeEfficient {
+				stores += int64(tw + th - 1)
+			} else {
+				stores += int64(th * tw)
+			}
+		}
+	}
+	return loads, stores
+}
+
+// PredictLCSClassical returns the exact slow-memory traffic of LCSClassical.
+func PredictLCSClassical(la, lb, m int) (loads, stores int64) {
+	return predictLCS(la, lb, m, false)
+}
+
+// PredictLCSWriteEfficient returns the exact slow-memory traffic of
+// LCSWriteEfficient.
+func PredictLCSWriteEfficient(la, lb, m int) (loads, stores int64) {
+	return predictLCS(la, lb, m, true)
+}
+
+// FWClassical runs Floyd–Warshall on the flattened n-by-n distance matrix d
+// (use +Inf for absent edges) with the classical row-streaming schedule:
+// for each pivot k the pivot row stays resident while every row is loaded,
+// relaxed, and stored back — n^3 + n^2 loads and n^3 stores. Fast memory
+// must hold two rows (m >= 2n).
+func FWClassical(h *machine.Hierarchy, m, n int, d []float64) ([]float64, error) {
+	if len(d) != n*n {
+		return nil, fmt.Errorf("dp: distance matrix has %d words, want %d", len(d), n*n)
+	}
+	if m < minMemory {
+		return nil, fmt.Errorf("dp: fast memory %d too small (need >= %d words)", m, minMemory)
+	}
+	out := append([]float64(nil), d...)
+	if n == 0 {
+		return out, nil
+	}
+	if m < 2*n {
+		return nil, fmt.Errorf("dp: fast memory %d cannot hold two rows of n=%d (need 2n)", m, n)
+	}
+	for k := 0; k < n; k++ {
+		h.Load(0, int64(n)) // pivot row k
+		for i := 0; i < n; i++ {
+			h.Load(0, int64(n))
+			for j := 0; j < n; j++ {
+				if v := out[i*n+k] + out[k*n+j]; v < out[i*n+j] {
+					out[i*n+j] = v
+				}
+			}
+			h.Flops(int64(2 * n))
+			h.Store(0, int64(n))
+		}
+		h.Discard(0, int64(n))
+	}
+	return out, nil
+}
+
+// PredictFWClassical returns the exact slow-memory traffic of FWClassical.
+func PredictFWClassical(n, m int) (loads, stores int64) {
+	if n == 0 {
+		return 0, 0
+	}
+	nn := int64(n)
+	return nn*nn*nn + nn*nn, nn * nn * nn
+}
+
+// fwBlockSize returns the block side for the write-efficient blocked FW:
+// the inner phase holds three blocks at once, so b = floor(sqrt(m/3)).
+func fwBlockSize(m int) int {
+	b := intmath.Isqrt(int64(m / 3))
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// fwBlockStarts returns the block starting offsets for side b over n.
+func fwBlockStarts(n, b int) []int {
+	var starts []int
+	for s := 0; s < n; s += b {
+		starts = append(starts, s)
+	}
+	return starts
+}
+
+// FWWriteEfficient runs the blocked Floyd–Warshall schedule: per pivot
+// block K it processes the diagonal block, then K's row and column blocks
+// against it, then every remaining block against its row/column partners —
+// exactly one store per block per pivot phase, so ~n^3/b slow-memory writes
+// against the classical n^3, at the cost of ~3x the loads. Block side is
+// b = sqrt(m/3); every block result written is final for that phase.
+func FWWriteEfficient(h *machine.Hierarchy, m, n int, d []float64) ([]float64, error) {
+	if len(d) != n*n {
+		return nil, fmt.Errorf("dp: distance matrix has %d words, want %d", len(d), n*n)
+	}
+	if m < minMemory {
+		return nil, fmt.Errorf("dp: fast memory %d too small (need >= %d words)", m, minMemory)
+	}
+	out := append([]float64(nil), d...)
+	if n == 0 {
+		return out, nil
+	}
+	b := fwBlockSize(m)
+	// relax applies the pivot-k range to block (i0..i0+si, j0..j0+sj).
+	relax := func(k0, sk, i0, si, j0, sj int) {
+		// out[i*n+k] is re-read per j: when the block spans column k the
+		// loop itself updates it, and the refreshed value must be used.
+		for k := k0; k < k0+sk; k++ {
+			for i := i0; i < i0+si; i++ {
+				for j := j0; j < j0+sj; j++ {
+					if v := out[i*n+k] + out[k*n+j]; v < out[i*n+j] {
+						out[i*n+j] = v
+					}
+				}
+			}
+		}
+	}
+	starts := fwBlockStarts(n, b)
+	for _, k0 := range starts {
+		sk := min(b, n-k0)
+		// Phase 1: the diagonal block against itself.
+		h.Load(0, int64(sk*sk))
+		relax(k0, sk, k0, sk, k0, sk)
+		h.Flops(int64(2 * sk * sk * sk))
+		h.Store(0, int64(sk*sk))
+		// Phase 2: K's row and column blocks, diagonal block resident.
+		h.Load(0, int64(sk*sk))
+		for _, j0 := range starts {
+			if j0 == k0 {
+				continue
+			}
+			sj := min(b, n-j0)
+			h.Load(0, int64(sk*sj))
+			relax(k0, sk, k0, sk, j0, sj)
+			h.Flops(int64(2 * sk * sk * sj))
+			h.Store(0, int64(sk*sj))
+		}
+		for _, i0 := range starts {
+			if i0 == k0 {
+				continue
+			}
+			si := min(b, n-i0)
+			h.Load(0, int64(si*sk))
+			relax(k0, sk, i0, si, k0, sk)
+			h.Flops(int64(2 * sk * si * sk))
+			h.Store(0, int64(si*sk))
+		}
+		h.Discard(0, int64(sk*sk))
+		// Phase 3: everything else, holding (I,K), (K,J), (I,J).
+		for _, i0 := range starts {
+			if i0 == k0 {
+				continue
+			}
+			si := min(b, n-i0)
+			h.Load(0, int64(si*sk)) // (I,K) held across the J loop
+			for _, j0 := range starts {
+				if j0 == k0 {
+					continue
+				}
+				sj := min(b, n-j0)
+				h.Load(0, int64(sk*sj))
+				h.Load(0, int64(si*sj))
+				relax(k0, sk, i0, si, j0, sj)
+				h.Flops(int64(2 * sk * si * sj))
+				h.Store(0, int64(si*sj))
+				h.Discard(0, int64(sk*sj))
+			}
+			h.Discard(0, int64(si*sk))
+		}
+	}
+	return out, nil
+}
+
+// PredictFWWriteEfficient returns the exact slow-memory traffic of
+// FWWriteEfficient by mirroring its block loops.
+func PredictFWWriteEfficient(n, m int) (loads, stores int64) {
+	if n == 0 {
+		return 0, 0
+	}
+	b := fwBlockSize(m)
+	starts := fwBlockStarts(n, b)
+	for _, k0 := range starts {
+		sk := min(b, n-k0)
+		loads += int64(sk * sk)
+		stores += int64(sk * sk)
+		loads += int64(sk * sk)
+		for _, j0 := range starts {
+			if j0 == k0 {
+				continue
+			}
+			sj := min(b, n-j0)
+			loads += int64(sk * sj)
+			stores += int64(sk * sj)
+		}
+		for _, i0 := range starts {
+			if i0 == k0 {
+				continue
+			}
+			si := min(b, n-i0)
+			loads += int64(si * sk)
+			stores += int64(si * sk)
+		}
+		for _, i0 := range starts {
+			if i0 == k0 {
+				continue
+			}
+			si := min(b, n-i0)
+			loads += int64(si * sk)
+			for _, j0 := range starts {
+				if j0 == k0 {
+					continue
+				}
+				sj := min(b, n-j0)
+				loads += int64(sk*sj) + int64(si*sj)
+				stores += int64(si * sj)
+			}
+		}
+	}
+	return loads, stores
+}

@@ -1,0 +1,283 @@
+package dp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"writeavoid/internal/machine"
+)
+
+// naiveLCS is the reference: the full quadratic table.
+func naiveLCS(a, b []byte) int {
+	la, lb := len(a), len(b)
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for i := 1; i <= la; i++ {
+		for j := 1; j <= lb; j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else {
+				cur[j] = max(prev[j], cur[j-1])
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[lb]
+}
+
+// naiveFW is the reference triple loop.
+func naiveFW(n int, d []float64) []float64 {
+	out := append([]float64(nil), d...)
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if v := out[i*n+k] + out[k*n+j]; v < out[i*n+j] {
+					out[i*n+j] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
+func randBytes(n int, alphabet byte, rng *rand.Rand) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte(rng.Uint64() % uint64(alphabet))
+	}
+	return s
+}
+
+func randDist(n int, rng *rand.Rand) []float64 {
+	d := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch {
+			case i == j:
+				d[i*n+j] = 0
+			case rng.Uint64()%3 == 0:
+				d[i*n+j] = math.Inf(1)
+			default:
+				d[i*n+j] = float64(rng.Uint64()%100) + 1
+			}
+		}
+	}
+	return d
+}
+
+func checkModel(t *testing.T, h *machine.Hierarchy, name string, wantL, wantS int64) {
+	t.Helper()
+	c := h.Interface(0)
+	if c.LoadWords != wantL || c.StoreWords != wantS {
+		t.Fatalf("%s: traffic (%d,%d) want (%d,%d)", name, c.LoadWords, c.StoreWords, wantL, wantS)
+	}
+	if !h.Theorem1Holds(0) || !h.ResidencyBalanced(0) {
+		t.Fatalf("%s: model invariants violated", name)
+	}
+}
+
+func TestLCSBothSchedules(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, tc := range []struct{ la, lb, m int }{
+		{0, 10, 64}, {10, 0, 64}, {1, 1, 32},
+		{5, 9, 32}, {40, 40, 32}, {100, 63, 64},
+		{200, 150, 144}, {97, 101, 256},
+	} {
+		a := randBytes(tc.la, 4, rng)
+		b := randBytes(tc.lb, 4, rng)
+		want := naiveLCS(a, b)
+
+		hc := machine.TwoLevel(int64(tc.m))
+		got, err := LCSClassical(hc, tc.m, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("la=%d lb=%d m=%d: classical LCS %d want %d", tc.la, tc.lb, tc.m, got, want)
+		}
+		lc, sc := PredictLCSClassical(tc.la, tc.lb, tc.m)
+		checkModel(t, hc, "lcs-classical", lc, sc)
+		if tc.la > 0 && tc.lb > 0 && sc != int64(tc.la)*int64(tc.lb) {
+			t.Fatalf("classical stores %d, want exactly la*lb=%d", sc, tc.la*tc.lb)
+		}
+
+		hw := machine.TwoLevel(int64(tc.m))
+		got, err = LCSWriteEfficient(hw, tc.m, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("la=%d lb=%d m=%d: write-efficient LCS %d want %d", tc.la, tc.lb, tc.m, got, want)
+		}
+		lw, sw := PredictLCSWriteEfficient(tc.la, tc.lb, tc.m)
+		checkModel(t, hw, "lcs-weff", lw, sw)
+		if sw > sc {
+			t.Fatalf("write-efficient stores %d exceed classical %d", sw, sc)
+		}
+		// The write saving is pure: same loads, only stores shrink.
+		if lw != lc {
+			t.Fatalf("write-efficient loads %d differ from classical %d", lw, lc)
+		}
+	}
+}
+
+// With tiles much smaller than the strings, the write-efficient schedule's
+// stores are ~2/b of the classical ones.
+func TestLCSWriteSavingScales(t *testing.T) {
+	la, lb, m := 192, 192, 144
+	_, sc := PredictLCSClassical(la, lb, m)
+	_, sw := PredictLCSWriteEfficient(la, lb, m)
+	b := lcsTileSize(m)
+	if sw*int64(b) >= sc*3 {
+		t.Fatalf("expected ~2/b=2/%d store ratio, got %d/%d", b, sw, sc)
+	}
+}
+
+func TestFWBothSchedules(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for _, tc := range []struct{ n, m int }{
+		{0, 32}, {1, 32}, {4, 32}, {7, 48},
+		{16, 48}, {23, 64}, {32, 64}, {48, 160},
+	} {
+		d := randDist(tc.n, rng)
+		want := naiveFW(tc.n, d)
+
+		if tc.m >= 2*tc.n {
+			hc := machine.TwoLevel(int64(tc.m))
+			got, err := FWClassical(hc, tc.m, tc.n, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d m=%d: classical FW mismatch at %d", tc.n, tc.m, i)
+				}
+			}
+			lc, sc := PredictFWClassical(tc.n, tc.m)
+			checkModel(t, hc, "fw-classical", lc, sc)
+		}
+
+		hw := machine.TwoLevel(int64(tc.m))
+		got, err := FWWriteEfficient(hw, tc.m, tc.n, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d m=%d: write-efficient FW mismatch at %d", tc.n, tc.m, i)
+			}
+		}
+		lw, sw := PredictFWWriteEfficient(tc.n, tc.m)
+		checkModel(t, hw, "fw-weff", lw, sw)
+		if lc, sc := PredictFWClassical(tc.n, tc.m); tc.n > fwBlockSize(tc.m) {
+			if sw >= sc {
+				t.Fatalf("n=%d m=%d: blocked stores %d not below classical %d", tc.n, tc.m, sw, sc)
+			}
+			_ = lc
+		}
+	}
+}
+
+func TestFWClassicalRejectsTinyMemory(t *testing.T) {
+	d := randDist(32, rand.New(rand.NewPCG(5, 6)))
+	if _, err := FWClassical(machine.TwoLevel(48), 48, 32, d); err == nil {
+		t.Fatal("want two-rows error")
+	}
+	if _, err := FWClassical(machine.TwoLevel(16), 16, 4, randDist(4, rand.New(rand.NewPCG(5, 6)))); err == nil {
+		t.Fatal("want too-small error")
+	}
+	if _, err := FWWriteEfficient(machine.TwoLevel(16), 16, 4, randDist(4, rand.New(rand.NewPCG(5, 6)))); err == nil {
+		t.Fatal("want too-small error")
+	}
+	if _, err := FWClassical(machine.TwoLevel(64), 64, 4, make([]float64, 3)); err == nil {
+		t.Fatal("want shape error")
+	}
+	if _, err := FWWriteEfficient(machine.TwoLevel(64), 64, 4, make([]float64, 3)); err == nil {
+		t.Fatal("want shape error")
+	}
+	if _, err := LCSClassical(machine.TwoLevel(8), 8, []byte("ab"), []byte("ba")); err == nil {
+		t.Fatal("want too-small error")
+	}
+}
+
+func TestFWDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	d := randDist(16, rng)
+	orig := append([]float64(nil), d...)
+	if _, err := FWClassical(machine.TwoLevel(64), 64, 16, d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FWWriteEfficient(machine.TwoLevel(64), 64, 16, d); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d {
+		if d[i] != orig[i] {
+			t.Fatal("input mutated")
+		}
+	}
+}
+
+// Property test across random shapes: both schedules of both kernels agree
+// with the references and with their predictions.
+func TestDPPropertyRandom(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 42))
+		la := int(rng.Uint64() % 120)
+		lb := int(rng.Uint64() % 120)
+		m := 32 + int(rng.Uint64()%300)
+		a := randBytes(la, 3, rng)
+		b := randBytes(lb, 3, rng)
+		want := naiveLCS(a, b)
+		h1 := machine.TwoLevel(int64(m))
+		g1, err := LCSClassical(h1, m, a, b)
+		if err != nil || g1 != want {
+			return false
+		}
+		l1, s1 := PredictLCSClassical(la, lb, m)
+		c1 := h1.Interface(0)
+		if c1.LoadWords != l1 || c1.StoreWords != s1 || !h1.ResidencyBalanced(0) {
+			return false
+		}
+		h2 := machine.TwoLevel(int64(m))
+		g2, err := LCSWriteEfficient(h2, m, a, b)
+		if err != nil || g2 != want {
+			return false
+		}
+		l2, s2 := PredictLCSWriteEfficient(la, lb, m)
+		c2 := h2.Interface(0)
+		if c2.LoadWords != l2 || c2.StoreWords != s2 || !h2.ResidencyBalanced(0) {
+			return false
+		}
+
+		n := int(rng.Uint64() % 24)
+		d := randDist(n, rng)
+		fwWant := naiveFW(n, d)
+		mf := max(m, 2*n)
+		h3 := machine.TwoLevel(int64(mf))
+		g3, err := FWClassical(h3, mf, n, d)
+		if err != nil {
+			return false
+		}
+		h4 := machine.TwoLevel(int64(m))
+		g4, err := FWWriteEfficient(h4, m, n, d)
+		if err != nil {
+			return false
+		}
+		for i := range fwWant {
+			if g3[i] != fwWant[i] || g4[i] != fwWant[i] {
+				return false
+			}
+		}
+		l3, s3 := PredictFWClassical(n, mf)
+		l4, s4 := PredictFWWriteEfficient(n, m)
+		c3, c4 := h3.Interface(0), h4.Interface(0)
+		return c3.LoadWords == l3 && c3.StoreWords == s3 &&
+			c4.LoadWords == l4 && c4.StoreWords == s4 &&
+			h3.ResidencyBalanced(0) && h4.ResidencyBalanced(0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package dp
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"writeavoid/internal/machine"
+)
+
+// FuzzLCS checks both LCS schedules against the reference on fuzzed string
+// shapes: same answer, traffic exactly as predicted, strict occupancy never
+// violated (a residency bug panics the hierarchy).
+func FuzzLCS(f *testing.F) {
+	f.Add(uint64(1), uint16(40), uint16(40), uint16(64))
+	f.Add(uint64(2), uint16(0), uint16(9), uint16(32))
+	f.Add(uint64(3), uint16(150), uint16(1), uint16(200))
+	f.Fuzz(func(t *testing.T, seed uint64, laRaw, lbRaw, mRaw uint16) {
+		la := int(laRaw % 200)
+		lb := int(lbRaw % 200)
+		m := 32 + int(mRaw%400)
+		rng := rand.New(rand.NewPCG(seed, 11))
+		a := randBytes(la, 5, rng)
+		b := randBytes(lb, 5, rng)
+		want := naiveLCS(a, b)
+		for _, we := range []bool{false, true} {
+			h := machine.TwoLevel(int64(m))
+			got, err := lcsRun(h, m, a, b, we)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("we=%v: LCS %d want %d", we, got, want)
+			}
+			wantL, wantS := predictLCS(la, lb, m, we)
+			c := h.Interface(0)
+			if c.LoadWords != wantL || c.StoreWords != wantS {
+				t.Fatalf("we=%v: traffic (%d,%d) want (%d,%d)", we, c.LoadWords, c.StoreWords, wantL, wantS)
+			}
+			if !h.Theorem1Holds(0) || !h.ResidencyBalanced(0) {
+				t.Fatalf("we=%v: model invariants violated", we)
+			}
+		}
+	})
+}
+
+// FuzzFW checks both Floyd–Warshall schedules against the reference triple
+// loop on fuzzed sizes and random weight matrices.
+func FuzzFW(f *testing.F) {
+	f.Add(uint64(1), uint8(8), uint16(64))
+	f.Add(uint64(2), uint8(0), uint16(32))
+	f.Add(uint64(3), uint8(31), uint16(100))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint8, mRaw uint16) {
+		n := int(nRaw % 40)
+		m := 32 + int(mRaw%400)
+		rng := rand.New(rand.NewPCG(seed, 19))
+		d := randDist(n, rng)
+		want := naiveFW(n, d)
+
+		mc := max(m, 2*n)
+		hc := machine.TwoLevel(int64(mc))
+		got, err := FWClassical(hc, mc, n, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("classical: mismatch at %d", i)
+			}
+		}
+		lc, sc := PredictFWClassical(n, mc)
+		c := hc.Interface(0)
+		if c.LoadWords != lc || c.StoreWords != sc || !hc.ResidencyBalanced(0) {
+			t.Fatalf("classical: traffic (%d,%d) want (%d,%d)", c.LoadWords, c.StoreWords, lc, sc)
+		}
+
+		hw := machine.TwoLevel(int64(m))
+		got, err = FWWriteEfficient(hw, m, n, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("write-efficient: mismatch at %d", i)
+			}
+		}
+		lw, sw := PredictFWWriteEfficient(n, m)
+		cw := hw.Interface(0)
+		if cw.LoadWords != lw || cw.StoreWords != sw || !hw.ResidencyBalanced(0) {
+			t.Fatalf("write-efficient: traffic (%d,%d) want (%d,%d)", cw.LoadWords, cw.StoreWords, lw, sw)
+		}
+	})
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 
+	"writeavoid/internal/dp"
+	"writeavoid/internal/extsort"
 	"writeavoid/internal/monitor"
 )
 
@@ -92,6 +94,31 @@ func ConformanceChecks(quick bool) *monitor.Registry {
 		n9 = 1 << 13
 	}
 	reg.Register(monitor.OutputFloor("sec9", 3*n9))
+
+	// ω section: each phase runs exactly one schedule, so the bounds are
+	// exact (slack 1) — classical schedules carry a store *floor* pinning
+	// their write volume, write-efficient ones a store *ceiling* pinning the
+	// reduced budget, and the ω-aware sort a ceiling at whatever the planner
+	// promises for that ω. Sizes come from the same helpers the section uses.
+	sn, sm := omegaSortSize(quick)
+	_, scStores := extsort.PredictTraffic(sn, sm)
+	reg.Register(monitor.StoreFloor("omega/sort-classical", scStores, 1))
+	_, swStores := extsort.PredictTrafficWriteEfficient(sn, sm)
+	reg.Register(monitor.StoreCeiling("omega/sort-weff", swStores, 1))
+	for _, w := range omegaSweep {
+		_, st, _ := extsort.PredictTrafficOmega(sn, sm, w)
+		reg.Register(monitor.StoreCeiling(omegaSortPhase(w), st, 1))
+	}
+	la, lb, lm := omegaLCSSize(quick)
+	_, lcStores := dp.PredictLCSClassical(la, lb, lm)
+	reg.Register(monitor.StoreFloor("omega/lcs-classical", lcStores, 1))
+	_, lwStores := dp.PredictLCSWriteEfficient(la, lb, lm)
+	reg.Register(monitor.StoreCeiling("omega/lcs-weff", lwStores, 1))
+	fn, fm := omegaFWSize(quick)
+	_, fcStores := dp.PredictFWClassical(fn, fm)
+	reg.Register(monitor.StoreFloor("omega/fw-classical", fcStores, 1))
+	_, fwStores := dp.PredictFWWriteEfficient(fn, fm)
+	reg.Register(monitor.StoreCeiling("omega/fw-weff", fwStores, 1))
 
 	return reg
 }

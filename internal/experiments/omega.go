@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"writeavoid/internal/dp"
+	"writeavoid/internal/extsort"
+	"writeavoid/internal/lowerbounds"
+	"writeavoid/internal/machine"
+)
+
+// omegaSweep is the write-cost sweep the ω section prices every variant at:
+// symmetric (ω=1) through deep-NVM territory. The sort sizes are chosen so
+// the SortOmega planner's crossover from merge to the small-write schedule
+// lands inside the sweep.
+var omegaSweep = []float64{1, 4, 16, 64, 256}
+
+// omegaSortSize returns the external-sort problem size for the ω section;
+// shared with ConformanceChecks so the registered bounds match the run.
+func omegaSortSize(quick bool) (n, m int) {
+	if quick {
+		return 4096, 128
+	}
+	return 16384, 256
+}
+
+// omegaLCSSize returns the LCS string lengths and fast-memory size.
+func omegaLCSSize(quick bool) (la, lb, m int) {
+	if quick {
+		return 96, 96, 144
+	}
+	return 160, 160, 144
+}
+
+// omegaFWSize returns the Floyd–Warshall size; m must hold two rows for the
+// classical schedule (m >= 2n).
+func omegaFWSize(quick bool) (n, m int) {
+	if quick {
+		return 48, 160
+	}
+	return 64, 256
+}
+
+// omegaSortPhase names the per-ω SortOmega phase; registry predictions key
+// on the exact label.
+func omegaSortPhase(w float64) string { return fmt.Sprintf("omega/sort-omega-w%g", w) }
+
+// OmegaVariantRow is one schedule's measured traffic plus its price at each
+// sweep ω under the (M, ω) model reads + ω·writes (α=0, β=1, so times read
+// as word counts).
+type OmegaVariantRow struct {
+	Name          string
+	Loads, Stores int64
+	Costs         []float64 // indexed like omegaSweep
+}
+
+// OmegaChoiceRow is one SortOmega run: which schedule the planner picked at
+// that ω, the merge buffer it would use, and the realized traffic and cost.
+type OmegaChoiceRow struct {
+	Omega         float64
+	Strategy      string
+	MergeBuf      int
+	Loads, Stores int64
+	Cost          float64
+}
+
+// OmegaReport carries the ω section's measurements.
+type OmegaReport struct {
+	Sweep              []float64
+	SortN, SortM       int
+	LCSLa, LCSLb, LCSM int
+	FWN, FWM           int
+	Variants           []OmegaVariantRow
+	Choices            []OmegaChoiceRow
+}
+
+// Omega measures the write-efficient algorithm family against the classical
+// schedules under the explicit write-cost parameter ω of Blelloch et al.
+// (arXiv:1511.01038): the external sorts of extsort and the LCS and
+// Floyd–Warshall kernels of dp, each run on a strict two-level machine with
+// every load and store metered, then priced at each sweep ω with
+// machine.Asymmetric. SortOmega additionally reruns per ω so the planner's
+// merge-to-small-write crossover is visible in the chosen strategies.
+//
+// Conformance: every variant's loads and stores are asserted exactly (floor
+// and ceiling, slack 1) against its Predict* counts through the monitor,
+// and the per-phase registry bounds (classical store floors, write-efficient
+// store ceilings) are evaluated at each mark.
+func Omega(quick bool) OmegaReport {
+	rep := OmegaReport{Sweep: omegaSweep}
+	rep.SortN, rep.SortM = omegaSortSize(quick)
+	rep.LCSLa, rep.LCSLb, rep.LCSM = omegaLCSSize(quick)
+	rep.FWN, rep.FWM = omegaFWSize(quick)
+
+	// priced appends a variant row, pricing the hierarchy's counters at
+	// every sweep ω and asserting the exact predicted traffic both ways.
+	priced := func(name string, h *machine.Hierarchy, wantL, wantS int64) {
+		c := h.Interface(0)
+		row := OmegaVariantRow{Name: name, Loads: c.LoadWords, Stores: c.StoreWords}
+		for _, w := range omegaSweep {
+			row.Costs = append(row.Costs, machine.Asymmetric(w).Time(h))
+		}
+		rep.Variants = append(rep.Variants, row)
+		conform("omega-loads-exact", "omega/"+name, float64(c.LoadWords), float64(wantL), 1, false)
+		conform("omega-loads-exact", "omega/"+name, float64(c.LoadWords), float64(wantL), 1, true)
+		conform("omega-stores-exact", "omega/"+name, float64(c.StoreWords), float64(wantS), 1, false)
+		conform("omega-stores-exact", "omega/"+name, float64(c.StoreWords), float64(wantS), 1, true)
+	}
+
+	data := make([]float64, rep.SortN)
+	for i := range data {
+		data[i] = float64((i*2654435761)%1000003) - 500000
+	}
+
+	mark("omega/sort-classical")
+	h := observe(machine.TwoLevel(int64(rep.SortM)))
+	if _, err := extsort.Sort(h, rep.SortM, data); err != nil {
+		panic(err)
+	}
+	wl, ws := extsort.PredictTraffic(rep.SortN, rep.SortM)
+	priced("sort-classical", h, wl, ws)
+
+	mark("omega/sort-weff")
+	h = observe(machine.TwoLevel(int64(rep.SortM)))
+	if _, err := extsort.SortWriteEfficient(h, rep.SortM, data); err != nil {
+		panic(err)
+	}
+	wl, ws = extsort.PredictTrafficWriteEfficient(rep.SortN, rep.SortM)
+	priced("sort-weff", h, wl, ws)
+
+	for _, w := range omegaSweep {
+		mark(omegaSortPhase(w))
+		h = observe(machine.TwoLevel(int64(rep.SortM)))
+		_, strat, err := extsort.SortOmega(h, rep.SortM, w, data)
+		if err != nil {
+			panic(err)
+		}
+		wantL, wantS, wantStrat := extsort.PredictTrafficOmega(rep.SortN, rep.SortM, w)
+		_, buf := extsort.PlanOmega(rep.SortN, rep.SortM, w)
+		c := h.Interface(0)
+		rep.Choices = append(rep.Choices, OmegaChoiceRow{
+			Omega: w, Strategy: strat.String(), MergeBuf: buf,
+			Loads: c.LoadWords, Stores: c.StoreWords,
+			Cost: machine.Asymmetric(w).Time(h),
+		})
+		conform("omega-plan-exact", omegaSortPhase(w),
+			lowerbounds.OmegaCost(c.LoadWords, c.StoreWords, w),
+			lowerbounds.OmegaCost(wantL, wantS, w), 1, true)
+		// The planner's pick still sits above the (M, ω) sort cost floor.
+		conform("omega-sort-cost-floor", omegaSortPhase(w),
+			lowerbounds.OmegaCost(c.LoadWords, c.StoreWords, w),
+			lowerbounds.OmegaSortCostFloor(rep.SortN, int64(rep.SortM), w), 1, false)
+		if strat != wantStrat {
+			panic(fmt.Sprintf("omega: strategy %v at ω=%g, planner predicted %v", strat, w, wantStrat))
+		}
+	}
+
+	a := make([]byte, rep.LCSLa)
+	bs := make([]byte, rep.LCSLb)
+	for i := range a {
+		a[i] = byte((i * 7) % 4)
+	}
+	for i := range bs {
+		bs[i] = byte((i * 5) % 4)
+	}
+
+	mark("omega/lcs-classical")
+	h = observe(machine.TwoLevel(int64(rep.LCSM)))
+	lenC, err := dp.LCSClassical(h, rep.LCSM, a, bs)
+	if err != nil {
+		panic(err)
+	}
+	wl, ws = dp.PredictLCSClassical(rep.LCSLa, rep.LCSLb, rep.LCSM)
+	priced("lcs-classical", h, wl, ws)
+
+	mark("omega/lcs-weff")
+	h = observe(machine.TwoLevel(int64(rep.LCSM)))
+	lenW, err := dp.LCSWriteEfficient(h, rep.LCSM, a, bs)
+	if err != nil {
+		panic(err)
+	}
+	if lenW != lenC {
+		panic(fmt.Sprintf("omega: LCS schedules disagree: %d vs %d", lenW, lenC))
+	}
+	wl, ws = dp.PredictLCSWriteEfficient(rep.LCSLa, rep.LCSLb, rep.LCSM)
+	priced("lcs-weff", h, wl, ws)
+
+	d := make([]float64, rep.FWN*rep.FWN)
+	for i := 0; i < rep.FWN; i++ {
+		for j := 0; j < rep.FWN; j++ {
+			switch {
+			case i == j:
+				d[i*rep.FWN+j] = 0
+			default:
+				d[i*rep.FWN+j] = float64((i*31+j*17)%97 + 1)
+			}
+		}
+	}
+
+	mark("omega/fw-classical")
+	h = observe(machine.TwoLevel(int64(rep.FWM)))
+	fwC, err := dp.FWClassical(h, rep.FWM, rep.FWN, d)
+	if err != nil {
+		panic(err)
+	}
+	wl, ws = dp.PredictFWClassical(rep.FWN, rep.FWM)
+	priced("fw-classical", h, wl, ws)
+
+	mark("omega/fw-weff")
+	h = observe(machine.TwoLevel(int64(rep.FWM)))
+	fwW, err := dp.FWWriteEfficient(h, rep.FWM, rep.FWN, d)
+	if err != nil {
+		panic(err)
+	}
+	for i := range fwC {
+		if fwC[i] != fwW[i] {
+			panic("omega: FW schedules disagree")
+		}
+	}
+	wl, ws = dp.PredictFWWriteEfficient(rep.FWN, rep.FWM)
+	priced("fw-weff", h, wl, ws)
+	// Even the write-efficient FW must pay ω per word of its n^2-word
+	// output: the DP write floor in the (M, ω) cost.
+	for _, w := range omegaSweep {
+		conform("omega-dp-write-floor", "omega/fw-weff",
+			w*float64(h.Interface(0).StoreWords),
+			lowerbounds.OmegaWriteFloorDP(int64(rep.FWN)*int64(rep.FWN), w), 1, false)
+	}
+
+	return rep
+}
+
+// FormatOmega renders the ω cost tables.
+func FormatOmega(rep OmegaReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Asymmetric write cost ω (arXiv:1511.01038): classical vs write-efficient schedules, cost = reads + ω·writes\n")
+	fmt.Fprintf(&b, "-- sort n=%d M=%d / LCS %dx%d M=%d / FW n=%d M=%d\n",
+		rep.SortN, rep.SortM, rep.LCSLa, rep.LCSLb, rep.LCSM, rep.FWN, rep.FWM)
+	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "variant\tloads\tstores\t")
+	for _, w := range rep.Sweep {
+		fmt.Fprintf(tw, "ω=%g\t", w)
+	}
+	fmt.Fprintf(tw, "\n")
+	for _, r := range rep.Variants {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t", r.Name, r.Loads, r.Stores)
+		for _, c := range r.Costs {
+			fmt.Fprintf(tw, "%.0f\t", c)
+		}
+		fmt.Fprintf(tw, "\n")
+	}
+	tw.Flush()
+	b.WriteString("-- ω-aware sort: SortOmega reruns per ω, shrinking merge buffers then crossing to the small-write schedule\n")
+	tw = tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "ω\tstrategy\tmerge buf\tloads\tstores\tcost\t\n")
+	for _, r := range rep.Choices {
+		fmt.Fprintf(tw, "%g\t%s\t%d\t%d\t%d\t%.0f\t\n",
+			r.Omega, r.Strategy, r.MergeBuf, r.Loads, r.Stores, r.Cost)
+	}
+	tw.Flush()
+	b.WriteString("(write-efficient variants trade reads for asymptotically fewer slow-memory stores; the monitor asserts every count exactly)\n")
+	return b.String()
+}

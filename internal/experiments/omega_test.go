@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"writeavoid/internal/machine"
+	"writeavoid/internal/monitor"
+)
+
+// The ω section's rows carry the claims the tentpole makes: classical
+// variants keep their exact pinned counts, write-efficient variants store
+// strictly less, the per-ω planner crosses from merge to small-write within
+// the sweep, and every registered store bound holds at slack 1 when the
+// section runs under its own conformance registry.
+func TestOmegaRows(t *testing.T) {
+	mon := monitor.New(machine.GenericLevels(2), ConformanceChecks(true))
+	SetMonitor(mon)
+	defer SetMonitor(nil)
+
+	rep := Omega(true)
+	if viol := mon.Finish(); len(viol) != 0 {
+		t.Fatalf("conformance violations: %v", viol)
+	}
+
+	byName := map[string]OmegaVariantRow{}
+	for _, r := range rep.Variants {
+		if len(r.Costs) != len(rep.Sweep) {
+			t.Fatalf("%s: %d costs for %d sweep points", r.Name, len(r.Costs), len(rep.Sweep))
+		}
+		byName[r.Name] = r
+	}
+	for _, pair := range [][2]string{
+		{"sort-classical", "sort-weff"},
+		{"lcs-classical", "lcs-weff"},
+		{"fw-classical", "fw-weff"},
+	} {
+		cl, ok1 := byName[pair[0]]
+		we, ok2 := byName[pair[1]]
+		if !ok1 || !ok2 {
+			t.Fatalf("missing variant pair %v (have %v)", pair, rep.Variants)
+		}
+		if we.Stores >= cl.Stores {
+			t.Fatalf("%s stores %d not below %s stores %d", pair[1], we.Stores, pair[0], cl.Stores)
+		}
+		// At the deep end of the sweep the write saving must win the total.
+		last := len(rep.Sweep) - 1
+		if we.Costs[last] >= cl.Costs[last] {
+			t.Fatalf("%s cost %g not below %s cost %g at ω=%g",
+				pair[1], we.Costs[last], pair[0], cl.Costs[last], rep.Sweep[last])
+		}
+	}
+
+	if len(rep.Choices) != len(rep.Sweep) {
+		t.Fatalf("%d choices for %d sweep points", len(rep.Choices), len(rep.Sweep))
+	}
+	sawMerge, sawSmall := false, false
+	for i, c := range rep.Choices {
+		if c.Omega != rep.Sweep[i] {
+			t.Fatalf("choice %d at ω=%g, want %g", i, c.Omega, rep.Sweep[i])
+		}
+		switch c.Strategy {
+		case "merge":
+			sawMerge = true
+		case "small-write":
+			sawSmall = true
+		default:
+			t.Fatalf("unknown strategy %q", c.Strategy)
+		}
+	}
+	if !sawMerge || !sawSmall {
+		t.Fatalf("sweep never crossed over: merge=%v small=%v", sawMerge, sawSmall)
+	}
+	if rep.Choices[0].Omega != 1 || rep.Choices[0].Strategy != "merge" {
+		t.Fatalf("ω=1 must choose merge, got %+v", rep.Choices[0])
+	}
+
+	txt := FormatOmega(rep)
+	for _, want := range []string{"sort-weff", "fw-classical", "small-write", "ω=1"} {
+		if !strings.Contains(txt, want) {
+			t.Fatalf("FormatOmega output missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+// An absent monitor must not change the section's measurements (the conform
+// hooks are no-ops), and the full-size geometry must also hold its exact
+// predictions — this is the non-quick path CI's strict gate doesn't run.
+func TestOmegaFullSizeNoMonitor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size ω section")
+	}
+	rep := Omega(false)
+	if rep.SortN != 16384 || rep.FWN != 64 {
+		t.Fatalf("unexpected full sizes: %+v", rep)
+	}
+	byName := map[string]OmegaVariantRow{}
+	for _, r := range rep.Variants {
+		byName[r.Name] = r
+	}
+	if sc := byName["sort-classical"]; sc.Loads != sc.Stores {
+		t.Fatalf("classical sort loads %d != stores %d", sc.Loads, sc.Stores)
+	}
+	if we := byName["sort-weff"]; we.Stores != int64(rep.SortN) {
+		t.Fatalf("write-efficient sort stores %d, want n=%d", we.Stores, rep.SortN)
+	}
+}

@@ -1,6 +1,7 @@
 package extsort
 
 import (
+	"math"
 	"math/rand/v2"
 	"sort"
 	"testing"
@@ -133,5 +134,321 @@ func TestSortDuplicatesAndSortedInput(t *testing.T) {
 		if got[i-1] > got[i] {
 			t.Fatal("not sorted")
 		}
+	}
+}
+
+// Regression for the trailing single-run merge group: with n=4096, m=64 the
+// run formation makes 64 runs and fanout 7, so the first pass has a
+// trailing group of exactly one run (64 % 7 == 1). That run must stay in
+// place — traffic is one full pass minus its words — and the result must
+// still be sorted. The old code round-tripped it, charging 64 extra loads
+// and stores.
+func TestSortTrailingSingleRunGroupSkipped(t *testing.T) {
+	n, m := 4096, 64
+	runs := (n + m - 1) / m
+	fanout := m/8 - 1
+	if runs%fanout != 1 {
+		t.Fatalf("test geometry broken: %d runs %% %d fanout = %d, want 1", runs, fanout, runs%fanout)
+	}
+	h := machine.TwoLevel(int64(m))
+	data := randData(n, 77)
+	got, err := Sort(h, m, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), data...)
+	sort.Float64s(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+	c := h.Interface(0)
+	wantL, wantS := PredictTraffic(n, m)
+	if c.LoadWords != wantL || c.StoreWords != wantS {
+		t.Fatalf("got (%d,%d) want (%d,%d)", c.LoadWords, c.StoreWords, wantL, wantS)
+	}
+	// The skip must actually save a pass over the trailing run's words:
+	// naive passes*n would be 4*4096 loads, the skip saves 64 on pass one.
+	if naive := int64(4 * n); c.LoadWords >= naive {
+		t.Fatalf("loads %d not below naive full-pass count %d", c.LoadWords, naive)
+	}
+	if !h.Theorem1Holds(0) || !h.ResidencyBalanced(0) {
+		t.Fatal("model invariants violated")
+	}
+}
+
+// Degenerate edges: n=0 and n=1 move nothing and compare nothing; m exactly
+// 32 (the minimum) and runs shorter than the 8-word buffer still balance
+// residency and match the prediction exactly.
+func TestSortDegenerateEdges(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{
+		{0, 32}, {1, 32}, {1, 1024},
+		{33, 32},   // trailing run of one word, shorter than buf
+		{37, 32},   // trailing run of 5 < buf words
+		{8192, 32}, // minimum memory, 256 runs, fanout clamp area
+		{65, 64},   // single trailing word after one full run
+	} {
+		h := machine.TwoLevel(int64(tc.m))
+		data := randData(tc.n, uint64(tc.n)+101)
+		got, err := Sort(h, tc.m, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]float64(nil), data...)
+		sort.Float64s(want)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d m=%d: not sorted", tc.n, tc.m)
+			}
+		}
+		c := h.Interface(0)
+		wantL, wantS := PredictTraffic(tc.n, tc.m)
+		if c.LoadWords != wantL || c.StoreWords != wantS {
+			t.Fatalf("n=%d m=%d: got (%d,%d) want (%d,%d)",
+				tc.n, tc.m, c.LoadWords, c.StoreWords, wantL, wantS)
+		}
+		if tc.n <= 1 && (c.LoadWords != 0 || h.FlopCount() != 0) {
+			t.Fatalf("n=%d: charged %d loads %d flops for a no-op sort", tc.n, c.LoadWords, h.FlopCount())
+		}
+		if !h.Theorem1Holds(0) || !h.ResidencyBalanced(0) {
+			t.Fatalf("n=%d m=%d: model invariants violated", tc.n, tc.m)
+		}
+	}
+}
+
+// SortWriteEfficient: sorted output, n stores exactly, traffic matching the
+// prediction, and model invariants on a strictly-sized fast memory.
+func TestSortWriteEfficient(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{
+		{100, 256}, // fits in fast memory
+		{1000, 64},
+		{4096, 64},
+		{777, 32},
+		{0, 32}, {1, 32},
+	} {
+		h := machine.TwoLevel(int64(tc.m))
+		data := randData(tc.n, uint64(tc.n)+5)
+		got, err := SortWriteEfficient(h, tc.m, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]float64(nil), data...)
+		sort.Float64s(want)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d m=%d: length %d want %d", tc.n, tc.m, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d m=%d: mismatch at %d", tc.n, tc.m, i)
+			}
+		}
+		c := h.Interface(0)
+		wantL, wantS := PredictTrafficWriteEfficient(tc.n, tc.m)
+		if c.LoadWords != wantL || c.StoreWords != wantS {
+			t.Fatalf("n=%d m=%d: got (%d,%d) want (%d,%d)",
+				tc.n, tc.m, c.LoadWords, c.StoreWords, wantL, wantS)
+		}
+		if tc.n > tc.m && c.StoreWords != int64(tc.n) {
+			t.Fatalf("n=%d m=%d: %d stores, want exactly n", tc.n, tc.m, c.StoreWords)
+		}
+		if !h.Theorem1Holds(0) || !h.ResidencyBalanced(0) {
+			t.Fatalf("n=%d m=%d: model invariants violated", tc.n, tc.m)
+		}
+	}
+}
+
+func TestSortWriteEfficientDoesNotMutateInput(t *testing.T) {
+	data := randData(500, 13)
+	orig := append([]float64(nil), data...)
+	h := machine.TwoLevel(64)
+	if _, err := SortWriteEfficient(h, 64, data); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if data[i] != orig[i] {
+			t.Fatal("input mutated")
+		}
+	}
+}
+
+func TestSortWriteEfficientDuplicates(t *testing.T) {
+	h := machine.TwoLevel(64)
+	data := make([]float64, 1000)
+	for i := range data {
+		data[i] = float64(i % 7)
+	}
+	got, err := SortWriteEfficient(h, 64, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1000 {
+		t.Fatalf("lost elements: %d", len(got))
+	}
+	counts := map[float64]int{}
+	for i, v := range got {
+		if i > 0 && got[i-1] > v {
+			t.Fatal("not sorted")
+		}
+		counts[v]++
+	}
+	// 1000 = 7*142 + 6: values 0..5 appear 143 times, value 6 appears 142.
+	for v := 0; v < 7; v++ {
+		want := 143
+		if v == 6 {
+			want = 142
+		}
+		if counts[float64(v)] != want {
+			t.Fatalf("value %d count %d want %d", v, counts[float64(v)], want)
+		}
+	}
+}
+
+// SortOmega at ω=1 is the classical merge sort, bit for bit: same strategy,
+// same output, same counters.
+func TestSortOmegaUnitIsClassical(t *testing.T) {
+	n, m := 4096, 64
+	data := randData(n, 21)
+	h1 := machine.TwoLevel(int64(m))
+	want, err := Sort(h1, m, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := machine.TwoLevel(int64(m))
+	got, strat, err := SortOmega(h2, m, 1, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strat != StrategyMerge {
+		t.Fatalf("ω=1 chose %v", strat)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("output differs from classical")
+		}
+	}
+	c1, c2 := h1.Interface(0), h2.Interface(0)
+	if c1 != c2 || h1.FlopCount() != h2.FlopCount() {
+		t.Fatalf("counters differ: %+v vs %+v", c1, c2)
+	}
+}
+
+// As ω grows the planner must cross over from merge to small-write, and the
+// realized traffic must match PredictTrafficOmega exactly at every ω.
+func TestSortOmegaCrossover(t *testing.T) {
+	n, m := 4096, 64
+	data := randData(n, 23)
+	sawMerge, sawSmall := false, false
+	for _, omega := range []float64{1, 2, 4, 8, 32, 128, 1024} {
+		h := machine.TwoLevel(int64(m))
+		got, strat, err := SortOmega(h, m, omega, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]float64(nil), data...)
+		sort.Float64s(want)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("ω=%g: not sorted", omega)
+			}
+		}
+		wantL, wantS, wantStrat := PredictTrafficOmega(n, m, omega)
+		c := h.Interface(0)
+		if strat != wantStrat || c.LoadWords != wantL || c.StoreWords != wantS {
+			t.Fatalf("ω=%g: strat %v (%d,%d) want %v (%d,%d)",
+				omega, strat, c.LoadWords, c.StoreWords, wantStrat, wantL, wantS)
+		}
+		switch strat {
+		case StrategyMerge:
+			sawMerge = true
+		case StrategySmallWrite:
+			sawSmall = true
+		}
+		if !h.Theorem1Holds(0) || !h.ResidencyBalanced(0) {
+			t.Fatalf("ω=%g: model invariants violated", omega)
+		}
+	}
+	if !sawMerge || !sawSmall {
+		t.Fatalf("sweep never crossed over: merge=%v small=%v", sawMerge, sawSmall)
+	}
+}
+
+// The planner's chosen schedule is never costlier under reads + ω·writes
+// than the schedule it rejected.
+func TestPlanOmegaPicksCheaper(t *testing.T) {
+	for _, n := range []int{100, 1000, 4096, 20000} {
+		for _, m := range []int{32, 64, 256} {
+			for _, omega := range []float64{1, 3, 8, 100} {
+				buf := MergeBuf(omega)
+				ml, ms := predictMergeTraffic(n, m, buf)
+				sl, ss := PredictTrafficWriteEfficient(n, m)
+				mergeCost := float64(ml) + omega*float64(ms)
+				smallCost := float64(sl) + omega*float64(ss)
+				gotL, gotS, _ := PredictTrafficOmega(n, m, omega)
+				gotCost := float64(gotL) + omega*float64(gotS)
+				if best := math.Min(mergeCost, smallCost); gotCost != best {
+					t.Fatalf("n=%d m=%d ω=%g: cost %g want %g", n, m, omega, gotCost, best)
+				}
+			}
+		}
+	}
+}
+
+// Property test across random n, m, ω: both variants agree with the
+// reference sort and with their predictions.
+func TestSortVariantsPropertyRandom(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		n := int(rng.Uint64() % 3000)
+		m := 32 + int(rng.Uint64()%200)
+		omega := math.Exp(rng.Float64() * 7) // 1 .. ~1096
+		data := randData(n, seed)
+		want := append([]float64(nil), data...)
+		sort.Float64s(want)
+
+		check := func(got []float64, h *machine.Hierarchy, wantL, wantS int64) bool {
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			c := h.Interface(0)
+			return c.LoadWords == wantL && c.StoreWords == wantS &&
+				h.Theorem1Holds(0) && h.ResidencyBalanced(0)
+		}
+
+		h1 := machine.TwoLevel(int64(m))
+		out1, err := Sort(h1, m, data)
+		if err != nil {
+			return false
+		}
+		l1, s1 := PredictTraffic(n, m)
+		if !check(out1, h1, l1, s1) {
+			return false
+		}
+
+		h2 := machine.TwoLevel(int64(m))
+		out2, err := SortWriteEfficient(h2, m, data)
+		if err != nil {
+			return false
+		}
+		l2, s2 := PredictTrafficWriteEfficient(n, m)
+		if !check(out2, h2, l2, s2) {
+			return false
+		}
+
+		h3 := machine.TwoLevel(int64(m))
+		out3, _, err := SortOmega(h3, m, omega, data)
+		if err != nil {
+			return false
+		}
+		l3, s3, _ := PredictTrafficOmega(n, m, omega)
+		return check(out3, h3, l3, s3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
 	}
 }

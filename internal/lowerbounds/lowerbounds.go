@@ -116,3 +116,40 @@ func MultiLevelWriteBound(flops int64, f FofM, levelSize int64, lowest bool, out
 	}
 	return float64(flops) / f(levelSize)
 }
+
+// Asymmetric (M, ω) model bounds (Blelloch-Fineman-Gibbons-Gu,
+// arXiv:1511.01038): cost = reads + ω·writes per word crossing the
+// slow-memory interface.
+
+// OmegaCost prices a measured (loads, stores) word pair in the (M, ω)
+// model — the objective the ω-aware planners minimize.
+func OmegaCost(loads, stores int64, omega float64) float64 {
+	return float64(loads) + omega*float64(stores)
+}
+
+// OmegaSortCostFloor is a lower bound on any comparison sort's (M, ω) cost
+// for n > M words: every input word must be read and every output word
+// written at least once, giving n(1 + ω); independently the read side alone
+// obeys the Aggarwal-Vitter Ω(n log_M n) term. The returned value is the
+// larger of the two — like the package's other bounds, without the hidden
+// constant.
+func OmegaSortCostFloor(n int, M int64, omega float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	io := float64(n) * (1 + omega)
+	if int64(n) <= M || M < 2 {
+		return io
+	}
+	av := float64(n) * math.Log(float64(n)) / math.Log(float64(M))
+	return math.Max(io, av)
+}
+
+// OmegaWriteFloorDP is the write floor for a DP table computation that must
+// emit outputWords results: stores >= outputWords, so the write side of the
+// (M, ω) cost is at least ω·outputWords no matter how much recomputation
+// the schedule buys. The write-efficient LCS and Floyd-Warshall schedules
+// approach it within their boundary factor.
+func OmegaWriteFloorDP(outputWords int64, omega float64) float64 {
+	return omega * float64(outputWords)
+}

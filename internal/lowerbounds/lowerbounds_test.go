@@ -120,3 +120,33 @@ func TestWriteBoundSlow(t *testing.T) {
 		t.Fatal("output bound is the output size")
 	}
 }
+
+// The (M, ω) bounds: cost pricing is linear in ω, the sort floor reduces to
+// n(1+ω) in-memory and to the Aggarwal-Vitter term when reads dominate, and
+// measured variants must sit above their floors.
+func TestOmegaBounds(t *testing.T) {
+	if got := OmegaCost(100, 10, 8); got != 180 {
+		t.Fatalf("OmegaCost = %g want 180", got)
+	}
+	// In-memory: read+write floor only.
+	if got := OmegaSortCostFloor(100, 256, 4); got != 500 {
+		t.Fatalf("in-memory floor = %g want 500", got)
+	}
+	// External with huge ω: the n(1+ω) term dominates the AV term.
+	n, M := 4096, int64(64)
+	big := OmegaSortCostFloor(n, M, 1000)
+	if big != float64(n)*1001 {
+		t.Fatalf("write-dominated floor = %g want %g", big, float64(n)*1001)
+	}
+	// External with ω=1: the AV term dominates (log_64 4096 = 2 passes).
+	sym := OmegaSortCostFloor(n, M, 1)
+	if sym <= float64(2*n)-1e-9 || sym > float64(3*n) {
+		t.Fatalf("read-dominated floor = %g, want ~%d", sym, 2*n)
+	}
+	if got := OmegaWriteFloorDP(1000, 16); got != 16000 {
+		t.Fatalf("DP write floor = %g want 16000", got)
+	}
+	if got := OmegaSortCostFloor(0, 64, 8); got != 0 {
+		t.Fatalf("empty floor = %g want 0", got)
+	}
+}

@@ -19,29 +19,62 @@ type CostParams struct {
 	BetaStore  float64 // per-word cost of writing slow (the expensive one)
 	// BetaRemoteLoad/BetaRemoteStore price the inter-socket share of the
 	// interface's words (the RemoteLoadWords/RemoteStoreWords
-	// sub-counters); the remaining local share keeps the β above. Zero
-	// means "same as local", so flat-machine models are unchanged. This is
+	// sub-counters); the remaining local share keeps the β above. This is
 	// the asymmetric-link regime of Blelloch et al. (arXiv:1511.01038)
 	// layered on the paper's per-interface asymmetry: on a NUMA machine a
 	// remote NVM store pays both penalties at once.
+	//
+	// Validity convention: the remote βs apply when set through
+	// SetRemoteBetas (which makes a genuinely free remote link, β=0,
+	// expressible) or — for struct-literal back-compat — when nonzero.
+	// Otherwise remote words are priced like local ones, so flat-machine
+	// models built from zero values are unchanged.
 	BetaRemoteLoad  float64
 	BetaRemoteStore float64
+	remoteSet       bool
 }
+
+// SetRemoteBetas sets the remote per-word costs explicitly. Unlike assigning
+// the fields directly, this marks them valid even at zero, so a free remote
+// link is expressible (the zero value of CostParams still means "remote same
+// as local").
+func (p *CostParams) SetRemoteBetas(load, store float64) {
+	p.BetaRemoteLoad = load
+	p.BetaRemoteStore = store
+	p.remoteSet = true
+}
+
+// RemoteBetasSet reports whether the remote βs were set via SetRemoteBetas.
+func (p CostParams) RemoteBetasSet() bool { return p.remoteSet }
 
 // betaRemoteLoad returns the per-word cost of a remote load (local β when no
 // remote β is configured).
 func (p CostParams) betaRemoteLoad() float64 {
-	if p.BetaRemoteLoad != 0 {
+	if p.remoteSet || p.BetaRemoteLoad != 0 {
 		return p.BetaRemoteLoad
 	}
 	return p.BetaLoad
 }
 
 func (p CostParams) betaRemoteStore() float64 {
-	if p.BetaRemoteStore != 0 {
+	if p.remoteSet || p.BetaRemoteStore != 0 {
 		return p.BetaRemoteStore
 	}
 	return p.BetaStore
+}
+
+// Omega returns the interface's write/read per-word asymmetry ω =
+// BetaStore/BetaLoad — the first-class cost-model parameter of the paper's
+// successors (Blelloch et al., arXiv:1511.01038; Gu, arXiv:1809.09330). A
+// symmetric interface reports 1; so does a degenerate one with both βs zero.
+func (p CostParams) Omega() float64 {
+	if p.BetaStore == p.BetaLoad {
+		return 1
+	}
+	if p.BetaLoad == 0 {
+		return math.Inf(1)
+	}
+	return p.BetaStore / p.BetaLoad
 }
 
 // loadTime prices msgs messages carrying words words, of which remote crossed
@@ -116,10 +149,47 @@ func NUMA(base CostModel, loadPenalty, storePenalty float64) CostModel {
 		WriteBuffer: base.WriteBuffer,
 	}
 	for i := range cm.Iface {
-		cm.Iface[i].BetaRemoteLoad = cm.Iface[i].BetaLoad * loadPenalty
-		cm.Iface[i].BetaRemoteStore = cm.Iface[i].BetaStore * storePenalty
+		cm.Iface[i].SetRemoteBetas(cm.Iface[i].BetaLoad*loadPenalty, cm.Iface[i].BetaStore*storePenalty)
 	}
 	return cm
+}
+
+// Asymmetric returns the (M, ω)-asymmetric cost model of Blelloch et al.
+// (arXiv:1511.01038) on a two-level machine: per-word loads cost 1, per-word
+// stores cost ω, messages and flops are free — so TimeOf reads directly as
+// the ω-weighted word count (reads + ω·writes) the write-efficiency
+// literature states its bounds in.
+func Asymmetric(omega float64) CostModel {
+	return AsymmetricNVM(1, 0, 1, omega)
+}
+
+// AsymmetricNVM generalizes Asymmetric to an nIfaces-interface hierarchy with
+// explicit α/β coefficients: every interface is symmetric except the lowest,
+// whose stores (both the per-message α and the per-word β) cost ω times its
+// loads — the ω knob applied to the NVM bottom level of the paper's Section 2
+// machine.
+func AsymmetricNVM(nIfaces int, alpha, beta, omega float64) CostModel {
+	cm := CostModel{Iface: make([]CostParams, nIfaces)}
+	for i := range cm.Iface {
+		p := CostParams{AlphaLoad: alpha, BetaLoad: beta, AlphaStore: alpha, BetaStore: beta}
+		if i == nIfaces-1 {
+			p.AlphaStore *= omega
+			p.BetaStore *= omega
+		}
+		cm.Iface[i] = p
+	}
+	return cm
+}
+
+// Omega returns the model's write/read cost asymmetry: the ω of the deepest
+// (slowest, in the paper's machines nonvolatile) interface. It is the ratio
+// an ω-aware algorithm should consult when trading extra reads for fewer
+// writes at the bottom of the hierarchy.
+func (cm CostModel) Omega() float64 {
+	if len(cm.Iface) == 0 {
+		return 1
+	}
+	return cm.Iface[len(cm.Iface)-1].Omega()
 }
 
 // Time evaluates the model against a hierarchy's measured counters.
@@ -264,6 +334,33 @@ func (c *CostRecorder) Time() float64 {
 	}
 	return t
 }
+
+// LoadTime returns the accumulated read-direction time summed over all
+// interfaces — the side of the asymmetry a write-efficient algorithm is
+// allowed to grow. Buffered events are synced first.
+func (c *CostRecorder) LoadTime() float64 {
+	c.Sync()
+	var t float64
+	for i := range c.loadT {
+		t += c.loadT[i]
+	}
+	return t
+}
+
+// StoreTime returns the accumulated write-direction time summed over all
+// interfaces — the side ω makes expensive.
+func (c *CostRecorder) StoreTime() float64 {
+	c.Sync()
+	var t float64
+	for i := range c.storeT {
+		t += c.storeT[i]
+	}
+	return t
+}
+
+// Omega reports the ω of the recorder's model (see CostModel.Omega), so a
+// streaming read-out carries the asymmetry it charged events under.
+func (c *CostRecorder) Omega() float64 { return c.Model.Omega() }
 
 // Reset zeroes the accumulated time (draining any buffered events first, so
 // they do not leak into the next reading).

@@ -219,3 +219,57 @@ func TestRegistryRejectsUnevaluable(t *testing.T) {
 	}()
 	NewRegistry().Register(Prediction{Check: "nothing"})
 }
+
+// The ω-section store bounds: an exact floor pins a classical schedule's
+// write volume, an exact ceiling pins a write-efficient schedule's budget;
+// each fires only on its own side.
+func TestStoreFloorAndCeiling(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(StoreFloor("classical", 1000, 1))
+	reg.Register(StoreCeiling("weff", 100, 1))
+	m := New(machine.GenericLevels(2), reg)
+	m.Phase("classical")
+	load(m, 0, 1000)
+	store(m, 0, 1000) // meets the floor exactly
+	m.Phase("weff")
+	load(m, 0, 1000)
+	store(m, 0, 100) // meets the ceiling exactly
+	if viol := m.Finish(); len(viol) != 0 {
+		t.Fatalf("exact bounds violated: %v", viol)
+	}
+
+	reg = NewRegistry()
+	reg.Register(StoreFloor("classical", 1000, 1))
+	reg.Register(StoreCeiling("weff", 100, 1))
+	m = New(machine.GenericLevels(2), reg)
+	m.Phase("classical")
+	load(m, 0, 1000)
+	store(m, 0, 999) // one word shy of the classical floor
+	m.Phase("weff")
+	load(m, 0, 1000)
+	store(m, 0, 101) // one word over the write-efficient budget
+	viol := m.Finish()
+	if len(viol) != 2 {
+		t.Fatalf("want floor + ceiling violations, got %v", viol)
+	}
+	checks := map[string]string{}
+	for _, v := range viol {
+		checks[v.Check] = v.Kernel
+	}
+	if checks["omega-store-floor"] != "classical" || checks["omega-store-ceiling"] != "weff" {
+		t.Fatalf("checks = %v", checks)
+	}
+
+	// Slack loosens both sides.
+	reg = NewRegistry()
+	reg.Register(StoreFloor("k", 1000, 2))
+	reg.Register(StoreCeiling("k", 100, 2))
+	m = New(machine.GenericLevels(2), reg)
+	m.Phase("k")
+	load(m, 0, 1000)
+	store(m, 0, 500) // >= 1000/2 and <= 100*2? No: 500 > 200 — ceiling fires.
+	viol = m.Finish()
+	if len(viol) != 1 || viol[0].Check != "omega-store-ceiling" {
+		t.Fatalf("violations = %v", viol)
+	}
+}

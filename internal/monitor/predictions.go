@@ -224,3 +224,58 @@ func WriteBackFloor(kernel string, lines, slack float64) Prediction {
 		},
 	}
 }
+
+// StoreFloor checks a classical-schedule write floor: stores across the
+// coarsest active interface are at least storeWords/slack. Registered with
+// the exact predicted counts of the ω-section's classical sort and DP
+// schedules (slack 1), it pins "classical variants keep their write volume"
+// online — a schedule change that silently sheds (or is credited with
+// shedding) writes trips it.
+func StoreFloor(kernel string, storeWords int64, slack float64) Prediction {
+	return Prediction{
+		Check:  "omega-store-floor",
+		Kernel: kernel,
+		Eval: func(kernel string, d machine.Snapshot) []Violation {
+			k := coarsestActive(d)
+			if k < 0 {
+				return nil
+			}
+			observed := float64(d.Interfaces[k].StoreWords)
+			if observed >= float64(storeWords)/slack {
+				return nil
+			}
+			return []Violation{{
+				Check: "omega-store-floor", Kernel: kernel,
+				Expected: float64(storeWords), Observed: observed, Slack: slack,
+				Detail: fmt.Sprintf("stores across %s below the classical write floor", d.Interfaces[k].Between),
+			}}
+		},
+	}
+}
+
+// StoreCeiling checks a write-efficient schedule's store budget: stores
+// across the coarsest active interface are at most storeWords*slack. The
+// ω-section registers the exact predicted counts (slack 1), so the
+// write-efficient variants' headline claim — asymptotically fewer
+// slow-memory writes — is asserted on every strict run, not just in tests.
+func StoreCeiling(kernel string, storeWords int64, slack float64) Prediction {
+	return Prediction{
+		Check:  "omega-store-ceiling",
+		Kernel: kernel,
+		Eval: func(kernel string, d machine.Snapshot) []Violation {
+			k := coarsestActive(d)
+			if k < 0 {
+				return nil
+			}
+			observed := float64(d.Interfaces[k].StoreWords)
+			if observed <= float64(storeWords)*slack {
+				return nil
+			}
+			return []Violation{{
+				Check: "omega-store-ceiling", Kernel: kernel,
+				Expected: float64(storeWords), Observed: observed, Slack: slack,
+				Detail: fmt.Sprintf("stores across %s exceed the write-efficient budget", d.Interfaces[k].Between),
+			}}
+		},
+	}
+}
