@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"log/slog"
 	"testing"
 
 	"writeavoid/internal/costmodel"
@@ -29,6 +31,10 @@ func TestRunRejectsContradictoryFlags(t *testing.T) {
 	}
 }
 
+func testLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
 // The strict verdict: a monitor that recorded a violation exits nonzero
 // under -check strict, zero under warn and off.
 func TestConformanceVerdictExitCodes(t *testing.T) {
@@ -41,19 +47,19 @@ func TestConformanceVerdictExitCodes(t *testing.T) {
 		mon.Record(machine.Event{Kind: machine.EvStore, Arg: 0, Words: 50})
 		return mon
 	}
-	if rc := conformanceVerdict(mk(1<<40), "strict"); rc != 1 {
+	if rc := conformanceVerdict(mk(1<<40), "strict", testLogger()); rc != 1 {
 		t.Fatalf("strict verdict on violation = %d, want 1", rc)
 	}
-	if rc := conformanceVerdict(mk(1<<40), "warn"); rc != 0 {
+	if rc := conformanceVerdict(mk(1<<40), "warn", testLogger()); rc != 0 {
 		t.Fatalf("warn verdict on violation = %d, want 0", rc)
 	}
-	if rc := conformanceVerdict(mk(1<<40), "off"); rc != 0 {
+	if rc := conformanceVerdict(mk(1<<40), "off", testLogger()); rc != 0 {
 		t.Fatalf("off verdict on violation = %d, want 0", rc)
 	}
-	if rc := conformanceVerdict(mk(10), "strict"); rc != 0 {
+	if rc := conformanceVerdict(mk(10), "strict", testLogger()); rc != 0 {
 		t.Fatalf("strict verdict on clean run = %d, want 0", rc)
 	}
-	if rc := conformanceVerdict(nil, "strict"); rc != 0 {
+	if rc := conformanceVerdict(nil, "strict", testLogger()); rc != 0 {
 		t.Fatalf("strict verdict with no monitor = %d, want 0", rc)
 	}
 }
@@ -65,7 +71,7 @@ func TestJSONSuiteConformsStrictly(t *testing.T) {
 	experiments.SetMonitor(mon)
 	buildJSONReport(true, "nvm", costmodel.NVMBacked(8))
 	experiments.SetMonitor(nil)
-	if rc := conformanceVerdict(mon, "strict"); rc != 0 {
+	if rc := conformanceVerdict(mon, "strict", testLogger()); rc != 0 {
 		t.Fatalf("json suite violates its own bounds: %v", mon.Violations())
 	}
 	if mon.Phases() != 4 {

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"writeavoid/internal/observ"
+)
+
+// runDashboards implements the `wabench dashboards` subcommand:
+//
+//	wabench dashboards -out DIR          generate + validate + write artifacts
+//	wabench dashboards -out DIR -check   verify DIR matches generation (CI gate)
+//
+// Generation is deterministic over the registered wa_* families, so -check
+// against the committed dashboards/ directory fails exactly when someone
+// changed the families or the generators without regenerating the goldens.
+func runDashboards(args []string) int {
+	fs := flag.NewFlagSet("wabench dashboards", flag.ExitOnError)
+	out := fs.String("out", "", "directory for the generated artifacts (required)")
+	check := fs.Bool("check", false, "write nothing; exit 1 unless -out already matches the generated artifacts")
+	fs.Parse(args) //nolint:errcheck
+	if *out == "" || fs.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "usage: wabench dashboards -out DIR [-check]")
+		return 2
+	}
+
+	bundle, err := observ.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wabench dashboards:", err)
+		return 1
+	}
+
+	if *check {
+		drifted := false
+		for _, name := range bundle.FileNames() {
+			path := filepath.Join(*out, name)
+			got, err := os.ReadFile(path)
+			switch {
+			case err != nil:
+				fmt.Fprintf(os.Stderr, "wabench dashboards: %s: %v\n", path, err)
+				drifted = true
+			case !bytes.Equal(got, bundle.Files[name]):
+				fmt.Fprintf(os.Stderr, "wabench dashboards: %s drifted from the generated output; run `wabench dashboards -out %s`\n", path, *out)
+				drifted = true
+			}
+		}
+		if drifted {
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wabench dashboards: %d artifact(s) in %s match the generators\n", len(bundle.Files), *out)
+		return 0
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "wabench dashboards:", err)
+		return 1
+	}
+	for _, name := range bundle.FileNames() {
+		if err := os.WriteFile(filepath.Join(*out, name), bundle.Files[name], 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "wabench dashboards:", err)
+			return 1
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wabench dashboards: wrote %d artifact(s) to %s\n", len(bundle.Files), *out)
+	return 0
+}

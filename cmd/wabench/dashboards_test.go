@@ -1,0 +1,134 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"writeavoid/internal/costmodel"
+	"writeavoid/internal/experiments"
+	"writeavoid/internal/machine"
+	"writeavoid/internal/monitor"
+	"writeavoid/internal/observ"
+)
+
+// The dashboards subcommand writes the artifact set, and -check passes on a
+// fresh directory, fails on drift or absence — the CI gate's exit codes.
+func TestDashboardsWriteAndCheck(t *testing.T) {
+	dir := t.TempDir()
+
+	if rc := runDashboards([]string{}); rc != 2 {
+		t.Fatalf("missing -out = %d, want 2", rc)
+	}
+	if rc := runDashboards([]string{"-out", dir, "extra"}); rc != 2 {
+		t.Fatalf("positional arg = %d, want 2", rc)
+	}
+
+	// -check before anything exists: every artifact is missing.
+	if rc := runDashboards([]string{"-out", dir, "-check"}); rc != 1 {
+		t.Fatalf("check on empty dir = %d, want 1", rc)
+	}
+
+	// run() dispatches the subcommand before flag parsing.
+	if rc := run([]string{"dashboards", "-out", dir}); rc != 0 {
+		t.Fatalf("write = %d, want 0", rc)
+	}
+	for _, name := range []string{observ.DashboardFile, observ.RulesFile} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("artifact %s not written: %v", name, err)
+		}
+	}
+	if rc := runDashboards([]string{"-out", dir, "-check"}); rc != 0 {
+		t.Fatalf("check on fresh artifacts = %d, want 0", rc)
+	}
+
+	// Any byte of drift fails the gate.
+	path := filepath.Join(dir, observ.RulesFile)
+	content, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(content, []byte("# hand edit\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if rc := runDashboards([]string{"-out", dir, "-check"}); rc != 1 {
+		t.Fatalf("check on drifted artifact = %d, want 1", rc)
+	}
+}
+
+// The committed dashboards/ goldens pass the same gate the CI job runs.
+func TestCommittedDashboardsMatch(t *testing.T) {
+	if rc := runDashboards([]string{"-out", filepath.Join("..", "..", "dashboards"), "-check"}); rc != 0 {
+		t.Fatal("committed dashboards/ drifted; run `wabench dashboards -out dashboards`")
+	}
+}
+
+// The serve-mode wiring end to end, without a server: the histogram recorder
+// rides the -json suite via the experiments hooks, and its phase histogram
+// sums equal the recorder's own cumulative interface counters exactly — the
+// acceptance pin over a real workload rather than a synthetic event feed.
+func TestJSONSuiteHistogramExactness(t *testing.T) {
+	mon := monitor.New(machine.GenericLevels(3), jsonSuiteChecks())
+	hists := monitor.NewHistogramRecorder(machine.GenericLevels(3))
+	hists.SetFloor("matmul-wa", 64*64)
+	experiments.SetMonitor(mon)
+	experiments.SetHistograms(hists)
+	buildJSONReport(true, "nvm", costmodel.NVMBacked(8))
+	experiments.SetMonitor(nil)
+	experiments.SetHistograms(nil)
+	hists.Finish()
+
+	byFamily := map[string]monitor.HistogramSnapshot{}
+	for _, fh := range hists.Histograms() {
+		byFamily[fh.Family] = fh.Snap
+	}
+	cum := hists.Snapshot()
+	var loadW, storeW int64
+	for _, ifc := range cum.Interfaces {
+		loadW += ifc.LoadWords
+		storeW += ifc.StoreWords
+	}
+	if loadW == 0 || storeW == 0 {
+		t.Fatal("recorder saw no traffic; the experiments hook is not attached")
+	}
+	if got := byFamily["wa_phase_load_words"]; got.Sum != float64(loadW) {
+		t.Fatalf("load histogram sum = %g, cumulative counters = %d", got.Sum, loadW)
+	}
+	if got := byFamily["wa_phase_store_words"]; got.Sum != float64(storeW) {
+		t.Fatalf("store histogram sum = %g, cumulative counters = %d", got.Sum, storeW)
+	}
+	if got := byFamily["wa_phase_load_words"]; got.Count == 0 {
+		t.Fatal("no phase observations recorded")
+	}
+	// The conform() hook feeds the floor-slack distribution for every checked
+	// floor (never ceilings); slack is always >= 1 on a conforming run.
+	slack := byFamily["wa_phase_floor_slack_ratio"]
+	if slack.Count == 0 {
+		t.Fatal("no floor-slack observations from the json suite")
+	}
+	if slack.Sum < float64(slack.Count) {
+		t.Fatalf("mean floor slack < 1 on a conforming run: sum %g over %d", slack.Sum, slack.Count)
+	}
+}
+
+// A histogram-bearing /metrics exposition from the full serve wiring passes
+// the validator (the same check a scraper's parse performs).
+func TestServeMetricsValidate(t *testing.T) {
+	hists := monitor.NewHistogramRecorder(machine.GenericLevels(3))
+	experiments.SetHistograms(hists)
+	buildJSONReport(true, "nvm", costmodel.NVMBacked(8))
+	experiments.SetHistograms(nil)
+	hists.Finish()
+
+	srv := monitor.NewServer()
+	srv.SetHistograms(hists)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics = %d", rec.Code)
+	}
+	if _, err := monitor.ValidateExposition(rec.Body.Bytes()); err != nil {
+		t.Fatalf("serve /metrics invalid: %v", err)
+	}
+}

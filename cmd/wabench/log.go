@@ -1,0 +1,40 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// Structured diagnostics: everything wabench reports about a run in flight
+// (stream failures, the serve URL, conformance verdicts) goes through one
+// slog.Logger, selectable as human text or machine JSON with a level knob —
+// so a CI harness can parse `-log json` stderr instead of grepping prose.
+// Usage errors before a run starts stay plain fmt output: they are CLI UX,
+// not run telemetry.
+
+// newLogger builds the run logger writing to w.
+func newLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log %q (want text|json)", format)
+	}
+}

@@ -6,8 +6,10 @@
 //
 //	wabench [-quick] [-json] [-stream file] [-trace file] [-profile]
 //	        [-serve addr] [-check off|warn|strict] [-benchjson file]
-//	        [-compare OLD.json NEW.json]
+//	        [-compare OLD.json NEW.json] [-pprof]
+//	        [-log text|json] [-log-level debug|info|warn|error]
 //	        [-sockets S] [-placement block|rr] [section ...]
+//	wabench dashboards -out DIR [-check]
 //
 // Sections: sec2 sec3 sec4 sec5 fig2 fig5 realcache table1 table2 lu krylov sec9 smp multilevel omega numa all
 // (default: all). -quick shrinks problem sizes so the whole run finishes in
@@ -86,6 +88,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"time"
 
@@ -102,6 +105,10 @@ func main() { os.Exit(run(os.Args[1:])) }
 // writing, server shutdown) must run before the process exits, so nothing
 // below calls os.Exit directly on the happy paths.
 func run(args []string) (rc int) {
+	// Subcommands dispatch before flag parsing claims their arguments.
+	if len(args) > 0 && args[0] == "dashboards" {
+		return runDashboards(args[1:])
+	}
 	fs := flag.NewFlagSet("wabench", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "run reduced problem sizes")
 	hwKind := fs.String("hw", "nvm", "hardware preset for analytic tables: dram|nvm")
@@ -118,7 +125,18 @@ func run(args []string) (rc int) {
 	compareEvEps := fs.Float64("compare-events-eps", 1e-9, "with -compare: fail a workload whose events/op drifts by more than this relative epsilon")
 	sockets := fs.Int("sockets", 1, "sockets for the numa section (>=2 also enables it under \"all\")")
 	placementFlag := fs.String("placement", "block", "rank-to-socket placement for the numa section: block | rr")
+	logFormat := fs.String("log", "text", "diagnostic log format: text | json")
+	logLevel := fs.String("log-level", "info", "diagnostic log level: debug | info | warn | error")
+	pprofOn := fs.Bool("pprof", false, "with -serve: expose /debug/pprof profiling endpoints")
 	fs.Parse(args) //nolint:errcheck
+
+	logger, err := newLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wabench: %v\n", err)
+		return 2
+	}
+	experiments.SetLogger(logger)
+	defer experiments.SetLogger(nil)
 
 	placement, err := machine.ParsePlacement(*placementFlag)
 	if err != nil {
@@ -130,6 +148,10 @@ func run(args []string) (rc int) {
 	case "off", "warn", "strict":
 	default:
 		fmt.Fprintf(os.Stderr, "wabench: unknown -check %q (want off|warn|strict)\n", *checkMode)
+		return 2
+	}
+	if *pprofOn && *serveAddr == "" {
+		fmt.Fprintln(os.Stderr, "wabench: -pprof requires -serve")
 		return 2
 	}
 	// Exactly one writer may own stdout; catching the contradiction here
@@ -208,7 +230,7 @@ func run(args []string) (rc int) {
 		defer func() {
 			experiments.SetStream(nil)
 			if err := stream.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				logger.Error("closing metrics stream", "err", err)
 				if rc == 0 {
 					rc = 1
 				}
@@ -246,7 +268,7 @@ func run(args []string) (rc int) {
 				cerr = f.Close()
 			}
 			if werr != nil || cerr != nil {
-				fmt.Fprintln(os.Stderr, "writing trace:", werr, cerr)
+				logger.Error("writing trace", "writeErr", werr, "closeErr", cerr)
 				if rc == 0 {
 					rc = 1
 				}
@@ -270,9 +292,25 @@ func run(args []string) (rc int) {
 
 	if *serveAddr != "" {
 		srv := monitor.NewServer()
+		srv.SetLogger(logger.With("component", "http"))
+		if *pprofOn {
+			srv.EnablePprof()
+		}
 		if mon != nil {
 			srv.SetMonitor(mon)
 		}
+		// The distribution recorder turns exact per-phase deltas into the
+		// wa_phase_* histograms next to the monitor's scalar counters.
+		hists := monitor.NewHistogramRecorder(machine.GenericLevels(3))
+		if *jsonOut {
+			// The -json phase suite's store floors (same numbers the
+			// conformance registry asserts) feed the floor-slack histogram.
+			hists.SetFloor("matmul-wa", 64*64)
+			hists.SetFloor("matmul-nonwa", 64*64)
+			hists.SetFloor("extsort", 1<<12)
+		}
+		experiments.SetHistograms(hists)
+		srv.SetHistograms(hists)
 		// A second stream recorder feeds the SSE bridge, so /events carries
 		// the same JSONL records a -stream file would, phase marks included.
 		sse := machine.NewStreamRecorder(srv.Events(), machine.GenericLevels(3), *streamEvery)
@@ -280,12 +318,15 @@ func run(args []string) (rc int) {
 		experiments.SetServer(srv)
 		addr, err := srv.Start(*serveAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "wabench:", err)
+			logger.Error("starting observability server", "err", err)
 			return 1
 		}
-		fmt.Fprintf(os.Stderr, "wabench: serving observability on http://%s/\n", addr)
+		logger.Info("serving observability", "url", fmt.Sprintf("http://%s/", addr),
+			"pprof", *pprofOn)
 		defer func() {
 			experiments.SetServer(nil)
+			experiments.SetHistograms(nil)
+			hists.Finish()  // close the last phase before the final scrapes
 			_ = sse.Close() // final record reaches /events subscribers
 			_ = srv.Close()
 		}()
@@ -295,10 +336,10 @@ func run(args []string) (rc int) {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(buildJSONReport(*quick, *hwKind, hw)); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			logger.Error("encoding JSON report", "err", err)
 			return 1
 		}
-		return conformanceVerdict(mon, *checkMode)
+		return conformanceVerdict(mon, *checkMode, logger)
 	}
 
 	runSec := func(name string, f func() string) {
@@ -342,14 +383,14 @@ func run(args []string) (rc int) {
 		runSec("numa", func() string { return experiments.FormatNUMA(experiments.NUMA(*quick, *sockets, placement)) })
 	}
 
-	return conformanceVerdict(mon, *checkMode)
+	return conformanceVerdict(mon, *checkMode, logger)
 }
 
 // conformanceVerdict closes the monitor after the run and turns its
 // violations into the process outcome: silent under "off", reported under
 // "warn", reported and nonzero under "strict". It is the last sequential
 // step of both output modes.
-func conformanceVerdict(mon *monitor.Monitor, mode string) int {
+func conformanceVerdict(mon *monitor.Monitor, mode string, logger *slog.Logger) int {
 	if mon == nil {
 		return 0
 	}
@@ -358,13 +399,13 @@ func conformanceVerdict(mon *monitor.Monitor, mode string) int {
 		return 0
 	}
 	if len(viol) == 0 {
-		fmt.Fprintf(os.Stderr, "wabench: conformance ok — %d phases checked, 0 violations\n", mon.Phases())
+		logger.Info("conformance ok", "phases", mon.Phases(), "violations", 0)
 		return 0
 	}
 	for _, v := range viol {
-		fmt.Fprintln(os.Stderr, "wabench: conformance violation:", v)
+		logger.Warn("conformance violation", "violation", v.String())
 	}
-	fmt.Fprintf(os.Stderr, "wabench: conformance FAILED — %d violation(s) over %d phases\n", len(viol), mon.Phases())
+	logger.Error("conformance failed", "violations", len(viol), "phases", mon.Phases())
 	if mode == "strict" {
 		return 1
 	}

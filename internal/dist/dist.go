@@ -19,6 +19,7 @@ package dist
 
 import (
 	"fmt"
+	"log/slog"
 	"math/bits"
 	"sync"
 
@@ -91,6 +92,10 @@ type Config struct {
 	// replicates per-event delivery timing — the differential harness uses
 	// it as the reference engine.
 	BatchEvents int
+	// Logger, when non-nil, receives structured Debug records at machine
+	// construction and SPMD run boundaries (and an Error record when a
+	// processor panics). Counters and algorithm behavior are unaffected.
+	Logger *slog.Logger
 }
 
 // Machine is a P-processor distributed machine.
@@ -206,6 +211,10 @@ func (m *Machine) Proc(r int) *Proc { return m.procs[r] }
 // Run executes body as P concurrent SPMD processes and waits for all of
 // them. A panic in any process is re-raised in the caller.
 func (m *Machine) Run(body func(p *Proc)) {
+	if l := m.cfg.Logger; l != nil {
+		l.Debug("spmd run start", "procs", m.cfg.P, "sockets", m.topo.Sockets)
+		defer l.Debug("spmd run done", "procs", m.cfg.P)
+	}
 	var wg sync.WaitGroup
 	panics := make([]any, m.cfg.P)
 	for r := 0; r < m.cfg.P; r++ {
@@ -232,6 +241,9 @@ func (m *Machine) Run(body func(p *Proc)) {
 	for r, e := range panics {
 		if e != nil {
 			if _, secondary := e.(abortError); !secondary {
+				if l := m.cfg.Logger; l != nil {
+					l.Error("processor panicked", "rank", r, "panic", fmt.Sprint(e))
+				}
 				panic(fmt.Sprintf("dist: processor %d panicked: %v", r, e))
 			}
 		}

@@ -86,6 +86,7 @@ func NUMA(quick bool, sockets int, placement machine.Placement) []NUMARow {
 			Q: q, C: c, M1: 48, B1: 4, M2: 3 * 8 * 8, B2: 8, UseL3: true,
 			Sockets: sockets, Placement: pl,
 			Observe: distObserve("numa " + pl.String()),
+			Logger:  runLogger(),
 		}
 		_, m, err := pmm.MM25D(cfg, a, b)
 		if err != nil {

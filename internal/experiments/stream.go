@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"encoding/json"
+	"log/slog"
 
 	"writeavoid/internal/cache"
 	"writeavoid/internal/dist"
@@ -27,6 +28,8 @@ var (
 	prof    *profile.Profiler
 	mon     *monitor.Monitor
 	server  *monitor.Server
+	hists   *monitor.HistogramRecorder
+	runLog  *slog.Logger
 )
 
 // SetStream installs s as the only stream recorder (nil: removes them all).
@@ -57,6 +60,19 @@ func SetMonitor(m *monitor.Monitor) { mon = m }
 // publish stats, and the profiler's span tree is pushed at each boundary.
 func SetServer(s *monitor.Server) { server = s }
 
+// SetHistograms installs (or removes) the distribution recorder: observed
+// hierarchies feed it, marks close its phases, and every floor-type conform
+// check contributes a floor-slack observation.
+func SetHistograms(h *monitor.HistogramRecorder) { hists = h }
+
+// SetLogger installs the structured run logger that dist-backed sections
+// hand to their machines (dist.Config.Logger); nil removes it. Counters are
+// unaffected — the logger only emits Debug records at run boundaries.
+func SetLogger(l *slog.Logger) { runLog = l }
+
+// runLogger returns the installed run logger, or nil.
+func runLogger() *slog.Logger { return runLog }
+
 // Observe attaches every installed sink to a freshly built hierarchy and
 // returns it unchanged. Exported for drivers outside this package that want
 // the same wiring (wabench's -json phase suite).
@@ -71,6 +87,9 @@ func observe(h *machine.Hierarchy) *machine.Hierarchy {
 	}
 	if mon != nil {
 		h.Attach(mon)
+	}
+	if hists != nil {
+		h.Attach(hists)
 	}
 	return h
 }
@@ -91,6 +110,9 @@ func mark(name string) {
 	}
 	if mon != nil {
 		mon.Phase(name)
+	}
+	if hists != nil {
+		hists.Phase(name)
 	}
 	if server != nil {
 		server.MarkPhase(name)
@@ -151,6 +173,12 @@ func statsCheck(kernel string, st cache.Stats) {
 func conform(check, kernel string, observed, expected, slack float64, ceiling bool) {
 	if mon != nil {
 		mon.CheckBound(check, kernel, observed, expected, slack, ceiling)
+	}
+	// Every floor-type check doubles as one floor-slack observation: the
+	// distribution of observed/floor across all checked kernels is the
+	// "how close to the paper's bounds does the code run" histogram.
+	if hists != nil && !ceiling {
+		hists.ObserveFloorSlack(kernel, observed, expected)
 	}
 }
 

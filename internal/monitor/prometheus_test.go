@@ -30,7 +30,7 @@ func TestExpositionRoundTrip(t *testing.T) {
 	)
 
 	var buf bytes.Buffer
-	if err := writeExposition(&buf, samples); err != nil {
+	if err := writeExposition(&buf, samples, nil); err != nil {
 		t.Fatal(err)
 	}
 	info, err := ValidateExposition(buf.Bytes())
@@ -47,7 +47,7 @@ func TestExpositionRoundTrip(t *testing.T) {
 
 func TestWriteExpositionRejectsUndeclaredFamily(t *testing.T) {
 	var buf bytes.Buffer
-	err := writeExposition(&buf, []metricSample{{family: "made_up_total", value: 1}})
+	err := writeExposition(&buf, []metricSample{{family: "made_up_total", value: 1}}, nil)
 	if err == nil || !strings.Contains(err.Error(), "made_up_total") {
 		t.Fatalf("err = %v", err)
 	}

@@ -3,11 +3,14 @@ package monitor
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"writeavoid/internal/cache"
 	"writeavoid/internal/machine"
@@ -22,6 +25,7 @@ import (
 //	/events      Server-Sent Events bridging the streaming JSONL records
 //	/violations  the conformance monitor's violation list as JSON
 //	/healthz     liveness
+//	/readyz      readiness: 503 until a source attaches and during Close drain
 //
 // Sources are pull-based functions (snapshot, per-rank, violations) that
 // must be safe to call from HTTP goroutines — the Monitor and dist shard
@@ -39,6 +43,15 @@ type Server struct {
 	ranks     map[string]func() []machine.Snapshot
 	cacheSt   map[string]cache.Stats
 	spansJSON []byte
+	hists     *HistogramRecorder
+	logger    *slog.Logger
+	attached  bool // a recorder/source has been wired → ready
+	draining  bool // Close started → not ready
+	pprofOn   bool
+
+	// depth is the wa_sse_queue_depth histogram, fed by the broker on every
+	// enqueue; owned here so it renders even before any recorder attaches.
+	depth *Histogram
 
 	srv *http.Server
 	ln  net.Listener
@@ -51,10 +64,13 @@ func NewServer() *Server {
 		broker:  NewBroker(),
 		ranks:   map[string]func() []machine.Snapshot{},
 		cacheSt: map[string]cache.Stats{},
+		depth:   NewHistogram(DepthBuckets),
 	}
+	s.broker.ObserveDepth(s.depth)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/spans", s.handleSpans)
@@ -64,8 +80,89 @@ func NewServer() *Server {
 	return s
 }
 
-// Handler exposes the routing for tests (httptest.NewServer(s.Handler())).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler exposes the routing for tests (httptest.NewServer(s.Handler()));
+// the request-logging middleware (SetLogger) wraps every route.
+func (s *Server) Handler() http.Handler { return http.HandlerFunc(s.root) }
+
+// SetLogger installs a structured logger; every subsequent request is logged
+// at Info with method, path, status, bytes, and duration. Nil disables.
+func (s *Server) SetLogger(l *slog.Logger) {
+	s.mu.Lock()
+	s.logger = l
+	s.mu.Unlock()
+}
+
+// EnablePprof mounts net/http/pprof's profiling handlers under /debug/pprof/
+// — opt-in (wabench -pprof), since profile endpoints on a metrics port are a
+// foot-gun in shared environments. Call at most once, before Start.
+func (s *Server) EnablePprof() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pprofOn {
+		return
+	}
+	s.pprofOn = true
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// root is the outermost handler: the logging middleware around the mux. The
+// wrapped writer forwards http.Flusher so SSE streaming keeps working.
+func (s *Server) root(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	logger := s.logger
+	s.mu.Unlock()
+	if logger == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w}
+	s.mux.ServeHTTP(sw, r)
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	logger.Info("http request",
+		"method", r.Method, "path", r.URL.Path,
+		"status", status, "bytes", sw.bytes, "duration", time.Since(start))
+}
+
+// statusWriter records the status and byte count a handler produced, and
+// keeps the Flusher contract SSE needs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// markAttachedLocked flips readiness on the first source registration.
+func (s *Server) markAttachedLocked() { s.attached = true }
 
 // SetMonitor wires a conformance monitor as the snapshot and violation
 // source in one call.
@@ -74,6 +171,7 @@ func (s *Server) SetMonitor(m *Monitor) {
 	s.mon = m
 	s.snapFn = m.Snapshot
 	s.violFn = m.Violations
+	s.markAttachedLocked()
 	s.mu.Unlock()
 }
 
@@ -82,6 +180,16 @@ func (s *Server) SetMonitor(m *Monitor) {
 func (s *Server) SetSnapshot(fn func() machine.Snapshot) {
 	s.mu.Lock()
 	s.snapFn = fn
+	s.markAttachedLocked()
+	s.mu.Unlock()
+}
+
+// SetHistograms wires a HistogramRecorder: its phase-distribution families
+// join /metrics next to the scalar counters.
+func (s *Server) SetHistograms(h *HistogramRecorder) {
+	s.mu.Lock()
+	s.hists = h
+	s.markAttachedLocked()
 	s.mu.Unlock()
 }
 
@@ -91,6 +199,7 @@ func (s *Server) SetSnapshot(fn func() machine.Snapshot) {
 func (s *Server) RankSource(name string, fn func() []machine.Snapshot) {
 	s.mu.Lock()
 	s.ranks[name] = fn
+	s.markAttachedLocked()
 	s.mu.Unlock()
 }
 
@@ -141,7 +250,7 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	}
 	s.mu.Lock()
 	s.ln = ln
-	s.srv = &http.Server{Handler: s.mux}
+	s.srv = &http.Server{Handler: s.Handler()}
 	srv := s.srv
 	s.mu.Unlock()
 	go func() { _ = srv.Serve(ln) }()
@@ -156,6 +265,7 @@ func (s *Server) Close() error {
 	s.mu.Lock()
 	srv := s.srv
 	s.srv, s.ln = nil, nil
+	s.draining = true // /readyz flips 503 before the listener dies
 	s.mu.Unlock()
 	// Unblock SSE handlers first: srv.Close terminates their connections,
 	// but handlers parked in the broker's select need the done signal to
@@ -181,7 +291,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"  /spans       span-tree attribution (JSON)\n"+
 		"  /events      live metrics stream (SSE)\n"+
 		"  /violations  theory-conformance violations (JSON)\n"+
-		"  /healthz     liveness\n")
+		"  /healthz     liveness\n"+
+		"  /readyz      readiness (503 until a recorder attaches / while draining)\n")
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -189,9 +300,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// handleReadyz splits readiness from liveness: the process is alive from the
+// first byte (healthz), but a scraper or load-balancer should not route to it
+// until a recorder/source is attached, and should stop once Close starts
+// draining.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	attached, draining := s.attached, s.draining
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case draining:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	case !attached:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "no recorder attached")
+	default:
+		fmt.Fprintln(w, "ready")
+	}
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	mon, snapFn, violFn := s.mon, s.snapFn, s.violFn
+	mon, snapFn, violFn, hr := s.mon, s.snapFn, s.violFn, s.hists
 	rankNames := make([]string, 0, len(s.ranks))
 	for name := range s.ranks {
 		rankNames = append(rankNames, name)
@@ -237,11 +369,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	samples = append(samples,
 		metricSample{family: "wa_sse_clients", value: float64(s.broker.Clients())},
+		metricSample{family: "wa_sse_sent_total", value: float64(s.broker.Sent())},
 		metricSample{family: "wa_sse_dropped_total", value: float64(s.broker.Dropped())},
+		buildInfoSample(),
 	)
+	var hists []histogramSample
+	if hr != nil {
+		for _, fh := range hr.Histograms() {
+			hists = append(hists, histogramSample{family: fh.Family, h: fh.Snap})
+		}
+	}
+	hists = append(hists, histogramSample{family: "wa_sse_queue_depth", h: s.depth.Snapshot()})
+	samples, runtimeHists := runtimeSamples(samples)
+	hists = append(hists, runtimeHists...)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := writeExposition(w, samples); err != nil {
+	if err := writeExposition(w, samples, hists); err != nil {
 		// Headers are committed; the truncated body fails a scraper's parse,
 		// which is the detectable outcome we want.
 		return

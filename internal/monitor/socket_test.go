@@ -62,7 +62,7 @@ func TestPrometheusRemoteFamiliesGatedOnNonzero(t *testing.T) {
 func exposition(t *testing.T, s machine.Snapshot) string {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := writeExposition(&buf, snapshotSamples(nil, s, nil)); err != nil {
+	if err := writeExposition(&buf, snapshotSamples(nil, s, nil), nil); err != nil {
 		t.Fatal(err)
 	}
 	return buf.String()

@@ -34,6 +34,11 @@ type Broker struct {
 
 	sent    atomic.Int64
 	dropped atomic.Int64
+
+	// depth, when set, receives each client's queue depth at enqueue time —
+	// the wa_sse_queue_depth distribution the server exports. Histograms are
+	// internally locked, so observing under b.mu is safe.
+	depth *Histogram
 }
 
 // clientQueue bounds each subscriber's in-flight messages.
@@ -93,6 +98,9 @@ func (b *Broker) Broadcast(event string, data []byte) {
 	msg := sseMsg{event: event, data: append([]byte(nil), data...)}
 	b.mu.Lock()
 	for ch := range b.clients {
+		if b.depth != nil {
+			b.depth.Observe(float64(len(ch)))
+		}
 		select {
 		case ch <- msg:
 			b.sent.Add(1)
@@ -100,6 +108,15 @@ func (b *Broker) Broadcast(event string, data []byte) {
 			b.dropped.Add(1)
 		}
 	}
+	b.mu.Unlock()
+}
+
+// ObserveDepth points the broker's per-enqueue queue-depth observations at a
+// histogram (the Server wires its wa_sse_queue_depth here). Call before
+// traffic starts.
+func (b *Broker) ObserveDepth(h *Histogram) {
+	b.mu.Lock()
+	b.depth = h
 	b.mu.Unlock()
 }
 

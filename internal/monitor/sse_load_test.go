@@ -1,0 +1,155 @@
+package monitor
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A subscriber that never reads fills its bounded queue, after which every
+// further broadcast is dropped and counted — producers never block. The
+// queue-depth histogram sees one observation per enqueue attempt, so its
+// count must equal sent+dropped exactly.
+func TestBrokerLoadAccounting(t *testing.T) {
+	b := NewBroker()
+	depth := NewHistogram(DepthBuckets)
+	b.ObserveDepth(depth)
+	ch := b.subscribe() // stalled client: nothing ever reads ch
+	defer b.unsubscribe(ch)
+
+	const extra = 100
+	for i := 0; i < clientQueue+extra; i++ {
+		b.Broadcast("", []byte(fmt.Sprintf("msg %d", i)))
+	}
+	if got := b.Sent(); got != clientQueue {
+		t.Fatalf("sent = %d, want %d", got, clientQueue)
+	}
+	if got := b.Dropped(); got != extra {
+		t.Fatalf("dropped = %d, want %d", got, extra)
+	}
+	snap := depth.Snapshot()
+	if snap.Count != clientQueue+extra {
+		t.Fatalf("depth observations = %d, want %d (one per enqueue attempt)", snap.Count, clientQueue+extra)
+	}
+	// Depths ran 0,1,...,255 then pinned at 256 for the dropped extras:
+	// sum = 255*256/2 + extra*256.
+	if want := float64(clientQueue*(clientQueue-1)/2 + extra*clientQueue); snap.Sum != want {
+		t.Fatalf("depth sum = %g, want %g", snap.Sum, want)
+	}
+}
+
+// SSE under load end to end, run with -race: live readers on /events, a
+// stalled subscriber forcing drops, concurrent broadcasters, and /metrics
+// scrapes all at once. Afterwards the wa_sse_* families must agree with the
+// broker's own counters, and every enqueue attempt must have exactly one
+// queue-depth observation (sent + dropped == histogram count).
+func TestSSEUnderLoadMetricsAgree(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	// Two live readers that consume everything.
+	const readers = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var readerWG sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/events", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		r := bufio.NewReader(resp.Body)
+		if line, err := r.ReadString('\n'); err != nil || !strings.HasPrefix(line, ": stream open") {
+			t.Fatalf("SSE open line = %q, %v", line, err)
+		}
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				if _, err := r.ReadString('\n'); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	// One stalled subscriber that guarantees drops under load.
+	stalled := srv.Events().subscribe()
+	defer srv.Events().unsubscribe(stalled)
+
+	for srv.Events().Clients() != readers+1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Concurrent broadcasters and scrapers.
+	const writers, perWriter = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				fmt.Fprintf(srv.Events(), `{"writer":%d,"i":%d}`+"\n", w, i)
+			}
+		}(w)
+	}
+	scrapeCtx, stopScrapes := context.WithCancel(context.Background())
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		for scrapeCtx.Err() == nil {
+			resp, err := http.Get(ts.URL + "/metrics")
+			if err != nil {
+				t.Errorf("mid-load scrape: %v", err)
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Errorf("mid-load scrape read: %v", err)
+				return
+			}
+			if _, err := ValidateExposition(body); err != nil {
+				t.Errorf("mid-load /metrics invalid: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	stopScrapes()
+	scrapeWG.Wait()
+
+	b := srv.Events()
+	total := int64(writers * perWriter * (readers + 1)) // every broadcast tries every client
+	if got := b.Sent() + b.Dropped(); got != total {
+		t.Fatalf("sent+dropped = %d, want %d", got, total)
+	}
+	if b.Dropped() < writers*perWriter-clientQueue {
+		t.Fatalf("dropped = %d; the stalled client alone must drop at least %d",
+			b.Dropped(), writers*perWriter-clientQueue)
+	}
+
+	// Quiescent scrape: the exported families mirror the counters, and the
+	// depth histogram saw exactly one observation per enqueue attempt.
+	_, body := get(t, ts, "/metrics")
+	for _, want := range []string{
+		fmt.Sprintf("wa_sse_clients %d", readers+1),
+		fmt.Sprintf("wa_sse_sent_total %d", b.Sent()),
+		fmt.Sprintf("wa_sse_dropped_total %d", b.Dropped()),
+		fmt.Sprintf("wa_sse_queue_depth_count %d", total),
+	} {
+		if !strings.Contains(string(body), want+"\n") {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+}

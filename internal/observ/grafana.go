@@ -1,0 +1,207 @@
+package observ
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"writeavoid/internal/monitor"
+)
+
+// Grafana dashboard model — the subset of the dashboard JSON schema the
+// import dialog needs. Rendered with a stable field order (struct order) and
+// MarshalIndent, so generation is byte-deterministic.
+
+type Dashboard struct {
+	Title         string   `json:"title"`
+	UID           string   `json:"uid"`
+	Tags          []string `json:"tags"`
+	Timezone      string   `json:"timezone"`
+	Editable      bool     `json:"editable"`
+	SchemaVersion int      `json:"schemaVersion"`
+	Refresh       string   `json:"refresh"`
+	Time          TimeSpan `json:"time"`
+	Panels        []Panel  `json:"panels"`
+}
+
+type TimeSpan struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+type Panel struct {
+	ID          int      `json:"id"`
+	Title       string   `json:"title"`
+	Type        string   `json:"type"` // row | timeseries | stat | heatmap
+	Description string   `json:"description,omitempty"`
+	GridPos     GridPos  `json:"gridPos"`
+	Collapsed   bool     `json:"collapsed,omitempty"` // rows only
+	Targets     []Target `json:"targets,omitempty"`
+}
+
+type GridPos struct {
+	H int `json:"h"`
+	W int `json:"w"`
+	X int `json:"x"`
+	Y int `json:"y"`
+}
+
+type Target struct {
+	RefID        string `json:"refId"`
+	Expr         string `json:"expr"`
+	LegendFormat string `json:"legendFormat,omitempty"`
+}
+
+// dashBuilder lays panels onto the 24-unit grid, three data panels per row.
+type dashBuilder struct {
+	panels []Panel
+	nextID int
+	x, y   int
+}
+
+const (
+	panelW = 8
+	panelH = 8
+)
+
+func (d *dashBuilder) row(title string) {
+	if d.x > 0 {
+		d.x = 0
+		d.y += panelH
+	}
+	d.nextID++
+	d.panels = append(d.panels, Panel{
+		ID:      d.nextID,
+		Title:   title,
+		Type:    "row",
+		GridPos: GridPos{H: 1, W: 24, X: 0, Y: d.y},
+	})
+	d.y++
+}
+
+func (d *dashBuilder) panel(typ, title, desc string, targets ...Target) {
+	if d.x+panelW > 24 {
+		d.x = 0
+		d.y += panelH
+	}
+	d.nextID++
+	for i := range targets {
+		targets[i].RefID = string(rune('A' + i))
+	}
+	d.panels = append(d.panels, Panel{
+		ID:          d.nextID,
+		Title:       title,
+		Type:        typ,
+		Description: desc,
+		GridPos:     GridPos{H: panelH, W: panelW, X: d.x, Y: d.y},
+		Targets:     targets,
+	})
+	d.x += panelW
+}
+
+// buildDashboard assembles the writeavoid dashboard: curated rows for the
+// paper's core signals, then a generated row with a rate panel for every
+// exported counter family — the part that tracks the registry automatically,
+// so adding a family to monitor.families grows the dashboard (and moves the
+// golden) without touching this file.
+func buildDashboard(fams []monitor.Family) Dashboard {
+	d := &dashBuilder{}
+
+	d.row("Traffic")
+	d.panel("timeseries", "Interface words/s",
+		"Load vs store word rates summed over all interfaces; the gap between the two lines is the write-avoidance the paper buys.",
+		Target{Expr: "wa:load_words:rate1m", LegendFormat: "loads"},
+		Target{Expr: "wa:store_words:rate1m", LegendFormat: "stores"})
+	d.panel("timeseries", "Write/read ratio",
+		"Slow-memory writes per read (recording rule); WA algorithms hold this far below 1.",
+		Target{Expr: "wa:write_read_ratio:rate1m", LegendFormat: "writes/read"})
+	d.panel("timeseries", "Remote share of interface traffic",
+		"Inter-socket fraction of loads and stores on NUMA runs.",
+		Target{Expr: "sum(rate(wa_interface_remote_store_words_total[1m])) / sum(rate(wa_interface_store_words_total[1m]))", LegendFormat: "store share"},
+		Target{Expr: "sum(rate(wa_interface_remote_load_words_total[1m])) / sum(rate(wa_interface_load_words_total[1m]))", LegendFormat: "load share"})
+
+	d.row("Phase distributions")
+	d.panel("timeseries", "Phase duration p95",
+		"95th percentile of per-phase wall time (wa_phase_duration_seconds).",
+		Target{Expr: "wa:phase_duration_seconds:p95", LegendFormat: "p95"})
+	d.panel("heatmap", "Phase store words",
+		"Distribution of per-phase slow-store traffic; sums are exact phase deltas.",
+		Target{Expr: "sum by (le) (increase(wa_phase_store_words_bucket[5m]))", LegendFormat: "{{le}}"})
+	d.panel("timeseries", "Floor-slack ratio (p50)",
+		"Observed slow writes divided by the (M, omega) store floor per checked phase; 1 means running exactly at the proven floor, below 1 means the accounting is broken.",
+		Target{Expr: "wa:phase_floor_slack_ratio:p50", LegendFormat: "p50"})
+
+	d.row("Conformance")
+	d.panel("stat", "Violations",
+		"Total conformance violations recorded by the monitor.",
+		Target{Expr: "wa_violations_total", LegendFormat: "violations"})
+	d.panel("stat", "Theorem 1 holds",
+		"Min over interfaces of the Theorem 1 indicator; anything below 1 pages.",
+		Target{Expr: "min(wa_interface_theorem1_holds)", LegendFormat: "holds"})
+	d.panel("timeseries", "Monitor phases/s",
+		"Phase-evaluation rate of the conformance monitor.",
+		Target{Expr: "rate(wa_monitor_phases_total[1m])", LegendFormat: "phases/s"})
+
+	d.row("SSE broker")
+	d.panel("timeseries", "Subscribers",
+		"Currently connected /events clients.",
+		Target{Expr: "wa_sse_clients", LegendFormat: "clients"})
+	d.panel("timeseries", "Delivered vs dropped msg/s",
+		"Broker throughput and shed rate; sustained drops mean slow dashboard clients.",
+		Target{Expr: "rate(wa_sse_sent_total[1m])", LegendFormat: "sent"},
+		Target{Expr: "wa:sse_dropped:rate5m", LegendFormat: "dropped"})
+	d.panel("timeseries", "Queue depth p99",
+		"99th percentile per-client queue depth at enqueue (capacity 256).",
+		Target{Expr: "wa:sse_queue_depth:p99", LegendFormat: "p99"})
+
+	d.row("Runtime")
+	d.panel("timeseries", "Goroutines",
+		"Live goroutines in the serving process.",
+		Target{Expr: "wa_go_goroutines", LegendFormat: "goroutines"})
+	d.panel("timeseries", "Heap bytes",
+		"Live heap object bytes vs total mapped memory.",
+		Target{Expr: "wa_go_heap_objects_bytes", LegendFormat: "heap objects"},
+		Target{Expr: "wa_go_memory_total_bytes", LegendFormat: "total mapped"})
+	d.panel("timeseries", "GC pause p99",
+		"99th percentile stop-the-world pause (rebucketed from runtime/metrics).",
+		Target{Expr: "wa:go_gc_pauses_seconds:p99", LegendFormat: "p99"})
+
+	// Generated row: one rate panel per counter family, straight off the
+	// registry. Families already charted above still appear — this row is the
+	// exhaustive reference view.
+	d.row("All counters (generated)")
+	for _, f := range fams {
+		if f.Type != "counter" {
+			continue
+		}
+		short := strings.TrimSuffix(strings.TrimPrefix(f.Name, "wa_"), "_total")
+		d.panel("timeseries", short+"/s", f.Help,
+			Target{Expr: fmt.Sprintf("sum(rate(%s[1m]))", f.Name), LegendFormat: short})
+	}
+
+	return Dashboard{
+		Title:         "Write-Avoiding Algorithms",
+		UID:           "writeavoid",
+		Tags:          []string{"writeavoid", "generated"},
+		Timezone:      "browser",
+		Editable:      true,
+		SchemaVersion: 39,
+		Refresh:       "10s",
+		Time:          TimeSpan{From: "now-1h", To: "now"},
+		Panels:        d.panels,
+	}
+}
+
+// renderDashboard marshals with a trailing newline (committed-file friendly).
+func renderDashboard(d Dashboard) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString("")
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	buf.Write(b)
+	buf.WriteByte('\n')
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,64 @@
+// Package observ generates the consumer-ready observability artifacts over
+// the wa_* metric families: a Grafana dashboard (JSON) and Prometheus
+// recording + alerting rules (YAML), built programmatically from
+// monitor.Families() so the artifacts can never reference a metric the
+// server does not export — an internal promtool-style validator enforces
+// exactly that, plus naming and duration conventions, before a single byte
+// is rendered. The generated files are committed as goldens under
+// dashboards/ and gated in CI: `wabench dashboards -out dashboards -check`
+// fails on drift, so the committed artifacts always match the code.
+package observ
+
+import (
+	"fmt"
+	"sort"
+
+	"writeavoid/internal/monitor"
+)
+
+// Bundle is one generation run: filename → rendered content.
+type Bundle struct {
+	Files map[string][]byte
+}
+
+// Artifact filenames.
+const (
+	DashboardFile = "grafana-writeavoid.json"
+	RulesFile     = "prometheus-rules.yml"
+)
+
+// Build generates and validates the full artifact set from the registered
+// wa_* families. Generation is deterministic — same families, same bytes —
+// which is what makes golden-file gating meaningful.
+func Build() (*Bundle, error) {
+	fams := monitor.Families()
+	rules := buildRules(fams)
+	dash := buildDashboard(fams)
+
+	known := knownMetrics(fams, rules)
+	if err := validateRules(rules, known); err != nil {
+		return nil, fmt.Errorf("observ: rules: %w", err)
+	}
+	if err := validateDashboard(dash, known); err != nil {
+		return nil, fmt.Errorf("observ: dashboard: %w", err)
+	}
+
+	dashJSON, err := renderDashboard(dash)
+	if err != nil {
+		return nil, fmt.Errorf("observ: render dashboard: %w", err)
+	}
+	return &Bundle{Files: map[string][]byte{
+		DashboardFile: dashJSON,
+		RulesFile:     renderRules(rules),
+	}}, nil
+}
+
+// FileNames lists the bundle's files sorted, for stable iteration.
+func (b *Bundle) FileNames() []string {
+	names := make([]string, 0, len(b.Files))
+	for name := range b.Files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

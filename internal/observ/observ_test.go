@@ -1,0 +1,253 @@
+package observ
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"writeavoid/internal/monitor"
+)
+
+// Build must be deterministic — same registry, same bytes — or the golden
+// gate would flap.
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Files) != 2 {
+		t.Fatalf("files = %v, want dashboard + rules", a.FileNames())
+	}
+	for _, name := range a.FileNames() {
+		if !bytes.Equal(a.Files[name], b.Files[name]) {
+			t.Fatalf("%s differs between two builds", name)
+		}
+	}
+	if got := a.FileNames(); got[0] != DashboardFile || got[1] != RulesFile {
+		t.Fatalf("FileNames = %v", got)
+	}
+}
+
+// The committed goldens under dashboards/ must match what the generators
+// produce — the same gate CI runs via `wabench dashboards -check`, pinned
+// here so a lone `go test ./...` catches drift too.
+func TestGoldensMatchGenerators(t *testing.T) {
+	bundle, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range bundle.Files {
+		got, err := os.ReadFile(filepath.Join("..", "..", "dashboards", name))
+		if err != nil {
+			t.Fatalf("golden %s: %v (regenerate: wabench dashboards -out dashboards)", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("golden %s drifted; regenerate: wabench dashboards -out dashboards", name)
+		}
+	}
+}
+
+// The dashboard golden is loadable JSON with the import-dialog essentials.
+func TestDashboardArtifactShape(t *testing.T) {
+	bundle, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Dashboard
+	if err := json.Unmarshal(bundle.Files[DashboardFile], &d); err != nil {
+		t.Fatalf("dashboard JSON: %v", err)
+	}
+	if d.UID != "writeavoid" || d.Title == "" || len(d.Panels) == 0 {
+		t.Fatalf("dashboard = %+v", d)
+	}
+	rows := 0
+	for _, p := range d.Panels {
+		if p.Type == "row" {
+			rows++
+		}
+	}
+	if rows < 5 {
+		t.Fatalf("rows = %d, want the curated sections plus the generated one", rows)
+	}
+}
+
+// Every rule and panel references only exported families or recording rules;
+// mutating either into an unknown wa_* name must fail validation with the
+// specific unknown-family error.
+func TestValidatorRejectsUnknownMetric(t *testing.T) {
+	fams := monitor.Families()
+	rules := buildRules(fams)
+	known := knownMetrics(fams, rules)
+
+	bad := rules
+	bad.Groups = append([]RuleGroup(nil), rules.Groups...)
+	g := bad.Groups[0]
+	g.Rules = append([]Rule(nil), g.Rules...)
+	g.Rules[0] = Rule{Record: "wa:bogus:rate1m", Expr: "rate(wa_not_a_family_total[1m])"}
+	bad.Groups[0] = g
+	err := validateRules(bad, known)
+	if err == nil || !strings.Contains(err.Error(), "wa_not_a_family_total") {
+		t.Fatalf("unknown metric in rule: err = %v", err)
+	}
+
+	dash := buildDashboard(fams)
+	dash.Panels = append([]Panel(nil), dash.Panels...)
+	for i, p := range dash.Panels {
+		if len(p.Targets) == 0 {
+			continue
+		}
+		p.Targets = append([]Target(nil), p.Targets...)
+		p.Targets[0].Expr = "sum(rate(wa_phantom_total[1m]))"
+		dash.Panels[i] = p
+		break
+	}
+	err = validateDashboard(dash, known)
+	if err == nil || !strings.Contains(err.Error(), "wa_phantom_total") {
+		t.Fatalf("unknown metric in panel: err = %v", err)
+	}
+}
+
+func TestValidateRulesConventions(t *testing.T) {
+	known := map[string]bool{"wa_up": true}
+	base := func(r Rule) RuleFile {
+		return RuleFile{Groups: []RuleGroup{{Name: "g", Rules: []Rule{r}}}}
+	}
+	okAlert := Rule{
+		Alert: "WAOk", Expr: "wa_up == 0", For: "1m",
+		Labels:      map[string]string{"severity": "warn"},
+		Annotations: map[string]string{"summary": "s"},
+	}
+	cases := map[string]struct {
+		rf      RuleFile
+		wantErr string
+	}{
+		"ok recording":    {base(Rule{Record: "wa:up:alias", Expr: "wa_up"}), ""},
+		"ok alert":        {base(okAlert), ""},
+		"bad record name": {base(Rule{Record: "wa_up_alias", Expr: "wa_up"}), "convention"},
+		"record with for": {base(Rule{Record: "wa:up:alias", Expr: "wa_up", For: "1m"}), "alert-only"},
+		"alert lowercase": {base(func() Rule { r := okAlert; r.Alert = "waOk"; return r }()), "CamelCase"},
+		"alert bad for":   {base(func() Rule { r := okAlert; r.For = "90"; return r }()), "duration"},
+		"alert no severity": {base(func() Rule {
+			r := okAlert
+			r.Labels = nil
+			return r
+		}()), "severity"},
+		"alert no summary": {base(func() Rule {
+			r := okAlert
+			r.Annotations = map[string]string{"description": "d"}
+			return r
+		}()), "summary"},
+		"both record and alert": {base(Rule{Record: "wa:x:y", Alert: "WAX", Expr: "wa_up"}), "both"},
+		"neither":               {base(Rule{Expr: "wa_up"}), "neither"},
+		"unbalanced expr":       {base(Rule{Record: "wa:up:alias", Expr: "sum(wa_up"}), "unbalanced"},
+		"empty expr":            {base(Rule{Record: "wa:up:alias", Expr: "  "}), "empty expr"},
+		"bad interval": {RuleFile{Groups: []RuleGroup{{
+			Name: "g", Interval: "half an hour",
+			Rules: []Rule{{Record: "wa:up:alias", Expr: "wa_up"}},
+		}}}, "interval"},
+		"duplicate rule names": {RuleFile{Groups: []RuleGroup{{
+			Name: "g",
+			Rules: []Rule{
+				{Record: "wa:up:alias", Expr: "wa_up"},
+				{Record: "wa:up:alias", Expr: "wa_up"},
+			},
+		}}}, "duplicate"},
+	}
+	for name, tc := range cases {
+		err := validateRules(tc.rf, known)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestValidateDashboardConventions(t *testing.T) {
+	known := map[string]bool{"wa_up": true}
+	okPanel := Panel{
+		ID: 1, Title: "p", Type: "timeseries",
+		GridPos: GridPos{H: 8, W: 8, X: 0, Y: 0},
+		Targets: []Target{{RefID: "A", Expr: "wa_up"}},
+	}
+	base := func(panels ...Panel) Dashboard {
+		return Dashboard{Title: "t", UID: "u", Panels: panels}
+	}
+	cases := map[string]struct {
+		d       Dashboard
+		wantErr string
+	}{
+		"ok":           {base(okPanel), ""},
+		"no uid":       {Dashboard{Title: "t", Panels: []Panel{okPanel}}, "uid"},
+		"no panels":    {base(), "no panels"},
+		"unknown type": {base(func() Panel { p := okPanel; p.Type = "piechart"; return p }()), "unknown type"},
+		"off grid": {base(func() Panel {
+			p := okPanel
+			p.GridPos = GridPos{H: 8, W: 20, X: 8, Y: 0}
+			return p
+		}()), "24-unit grid"},
+		"row with targets": {base(func() Panel {
+			p := okPanel
+			p.Type = "row"
+			p.GridPos = GridPos{H: 1, W: 24}
+			return p
+		}()), "must not have targets"},
+		"no targets":      {base(func() Panel { p := okPanel; p.Targets = nil; return p }()), "no targets"},
+		"duplicate refid": {base(func() Panel { p := okPanel; p.Targets = append(p.Targets, p.Targets[0]); return p }()), "refId"},
+		"duplicate ids":   {base(okPanel, okPanel), "duplicate panel id"},
+	}
+	for name, tc := range cases {
+		err := validateDashboard(tc.d, known)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", name, err, tc.wantErr)
+		}
+	}
+}
+
+// The YAML renderer quotes exactly when needed, and the rules golden carries
+// the do-not-edit header.
+func TestYAMLRendering(t *testing.T) {
+	if got := yamlScalar("plain words"); got != "plain words" {
+		t.Fatalf("plain scalar quoted: %q", got)
+	}
+	for _, v := range []string{"a: b", "{{ $value }}", `back\slash`, `quo"te`, ""} {
+		got := yamlScalar(v)
+		if !strings.HasPrefix(got, `"`) || !strings.HasSuffix(got, `"`) {
+			t.Fatalf("yamlScalar(%q) = %q, want quoted", v, got)
+		}
+	}
+	bundle, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := string(bundle.Files[RulesFile])
+	if !strings.HasPrefix(rules, "# Generated by `wabench dashboards`") {
+		t.Fatal("rules file missing the generated-file header")
+	}
+	for _, want := range []string{
+		"groups:", "- name: writeavoid.recording", "- name: writeavoid.alerts",
+		"- record: wa:load_words:rate1m", "- alert: WAConformanceViolation",
+		"severity: page", "- record: wa:phase_floor_slack_ratio:p50",
+	} {
+		if !strings.Contains(rules, want) {
+			t.Fatalf("rules YAML missing %q:\n%s", want, rules)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package observ
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"writeavoid/internal/monitor"
+)
+
+// Prometheus rule files, modeled as structs and rendered to YAML by hand —
+// the repo is stdlib-only, and the subset of YAML a rule file needs (nested
+// maps, string scalars, a list of rules) is small enough to emit
+// deterministically without a marshaller.
+
+// Rule is one recording or alerting rule; exactly one of Record/Alert is set.
+type Rule struct {
+	Record      string            // recording rule name (wa:level:metric:op)
+	Alert       string            // alert name (CamelCase)
+	Expr        string            // PromQL
+	For         string            // alerts only; "" omits
+	Labels      map[string]string // e.g. severity
+	Annotations map[string]string // alerts only
+}
+
+// RuleGroup is one named evaluation group.
+type RuleGroup struct {
+	Name     string
+	Interval string // "" omits
+	Rules    []Rule
+}
+
+// RuleFile is the top-level `groups:` document.
+type RuleFile struct {
+	Groups []RuleGroup
+}
+
+// buildRules derives the rule set from the exported families: aggregate
+// rates for every interface counter, quantiles for every histogram, and the
+// alert pack over the conformance/liveness/SSE signals. Only families in
+// fams are referenced — validateRules proves it.
+func buildRules(fams []monitor.Family) RuleFile {
+	byName := map[string]monitor.Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+
+	var recording []Rule
+	// Traffic rates over the interface counters, machine-wide.
+	for _, name := range []string{
+		"wa_interface_load_words_total",
+		"wa_interface_store_words_total",
+		"wa_interface_traffic_words_total",
+	} {
+		if _, ok := byName[name]; !ok {
+			continue
+		}
+		short := strings.TrimSuffix(strings.TrimPrefix(name, "wa_interface_"), "_total")
+		recording = append(recording, Rule{
+			Record: "wa:" + short + ":rate1m",
+			Expr:   fmt.Sprintf("sum(rate(%s[1m]))", name),
+		})
+	}
+	// The paper's headline ratio: slow writes per slow read, live.
+	recording = append(recording, Rule{
+		Record: "wa:write_read_ratio:rate1m",
+		Expr:   "wa:store_words:rate1m / wa:load_words:rate1m",
+	})
+	// Quantiles for every exported histogram family, uniformly.
+	histQuantiles := map[string]string{
+		"wa_phase_duration_seconds":   "0.95",
+		"wa_phase_load_words":         "0.95",
+		"wa_phase_store_words":        "0.95",
+		"wa_phase_remote_write_share": "0.95",
+		"wa_phase_floor_slack_ratio":  "0.5",
+		"wa_sse_queue_depth":          "0.99",
+		"wa_go_gc_pauses_seconds":     "0.99",
+	}
+	for _, f := range fams {
+		if f.Type != "histogram" {
+			continue
+		}
+		q, ok := histQuantiles[f.Name]
+		if !ok {
+			q = "0.95"
+		}
+		short := strings.TrimPrefix(f.Name, "wa_")
+		suffix := strings.TrimPrefix(q, "0.")
+		if len(suffix) == 1 { // "0.5" names p50, not p5
+			suffix += "0"
+		}
+		recording = append(recording, Rule{
+			Record: fmt.Sprintf("wa:%s:p%s", short, suffix),
+			Expr:   fmt.Sprintf("histogram_quantile(%s, sum by (le) (rate(%s_bucket[5m])))", q, f.Name),
+		})
+	}
+	recording = append(recording, Rule{
+		Record: "wa:sse_dropped:rate5m",
+		Expr:   "rate(wa_sse_dropped_total[5m])",
+	})
+
+	alerts := []Rule{
+		{
+			Alert:  "WAConformanceViolation",
+			Expr:   "increase(wa_violations_total[5m]) > 0",
+			Labels: map[string]string{"severity": "page"},
+			Annotations: map[string]string{
+				"summary":     "A run violated a paper bound",
+				"description": "The conformance monitor recorded {{ $value }} new violation(s) in 5m; see /violations on the run server.",
+			},
+		},
+		{
+			Alert:  "WATheorem1Broken",
+			Expr:   "min(wa_interface_theorem1_holds) == 0",
+			For:    "1m",
+			Labels: map[string]string{"severity": "page"},
+			Annotations: map[string]string{
+				"summary":     "Theorem 1 inequality failed on an interface",
+				"description": "2*writesFast >= traffic does not hold on the cumulative counters of at least one interface.",
+			},
+		},
+		{
+			Alert:  "WARunDown",
+			Expr:   "wa_up == 0",
+			For:    "1m",
+			Labels: map[string]string{"severity": "warn"},
+			Annotations: map[string]string{
+				"summary":     "Run server reports down",
+				"description": "wa_up has been 0 for 1m; the observed run is no longer live.",
+			},
+		},
+		{
+			Alert:  "WASSEDropping",
+			Expr:   "rate(wa_sse_dropped_total[1m]) > 0",
+			For:    "2m",
+			Labels: map[string]string{"severity": "warn"},
+			Annotations: map[string]string{
+				"summary":     "SSE broker is shedding messages",
+				"description": "Subscriber queues have been overflowing for 2m ({{ $value }} msg/s dropped); slow dashboard clients are losing records.",
+			},
+		},
+		{
+			Alert:  "WAFloorSlackBelowOne",
+			Expr:   "wa:phase_floor_slack_ratio:p50 < 1",
+			For:    "5m",
+			Labels: map[string]string{"severity": "warn"},
+			Annotations: map[string]string{
+				"summary":     "Observed writes below a proven floor",
+				"description": "The median floor-slack ratio dropped below 1: some phase wrote fewer slow words than its (M, omega) store floor allows, which means the accounting (not the algorithm) is wrong.",
+			},
+		},
+	}
+
+	return RuleFile{Groups: []RuleGroup{
+		{Name: "writeavoid.recording", Interval: "30s", Rules: recording},
+		{Name: "writeavoid.alerts", Rules: alerts},
+	}}
+}
+
+// renderRules emits the rule file as YAML: fixed field order, two-space
+// indents, values quoted — byte-stable for the golden gate.
+func renderRules(rf RuleFile) []byte {
+	var b strings.Builder
+	b.WriteString("# Generated by `wabench dashboards` from the exported wa_* families.\n")
+	b.WriteString("# Do not edit by hand; regenerate with: wabench dashboards -out dashboards\n")
+	b.WriteString("groups:\n")
+	for _, g := range rf.Groups {
+		fmt.Fprintf(&b, "  - name: %s\n", g.Name)
+		if g.Interval != "" {
+			fmt.Fprintf(&b, "    interval: %s\n", g.Interval)
+		}
+		b.WriteString("    rules:\n")
+		for _, r := range g.Rules {
+			if r.Record != "" {
+				fmt.Fprintf(&b, "      - record: %s\n", r.Record)
+			} else {
+				fmt.Fprintf(&b, "      - alert: %s\n", r.Alert)
+			}
+			fmt.Fprintf(&b, "        expr: %s\n", yamlScalar(r.Expr))
+			if r.For != "" {
+				fmt.Fprintf(&b, "        for: %s\n", r.For)
+			}
+			writeYAMLMap(&b, "labels", r.Labels)
+			writeYAMLMap(&b, "annotations", r.Annotations)
+		}
+	}
+	return []byte(b.String())
+}
+
+func writeYAMLMap(b *strings.Builder, key string, m map[string]string) {
+	if len(m) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(b, "        %s:\n", key)
+	for _, k := range keys {
+		fmt.Fprintf(b, "          %s: %s\n", k, yamlScalar(m[k]))
+	}
+}
+
+// yamlScalar quotes a value whenever a bare scalar could be misread (colons,
+// braces, leading specials); the double-quoted form escapes only quotes and
+// backslashes, which is all our strings contain.
+func yamlScalar(v string) string {
+	if v == "" || strings.ContainsAny(v, ":#{}[]&*!|>%@`\"\\\n") || strings.HasPrefix(v, " ") {
+		v = strings.ReplaceAll(v, `\`, `\\`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		return `"` + v + `"`
+	}
+	return v
+}

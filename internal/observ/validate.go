@@ -1,0 +1,212 @@
+package observ
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"writeavoid/internal/monitor"
+)
+
+// The promtool-style validator: every artifact is checked before rendering,
+// so `wabench dashboards` can never emit a dashboard or rule that references
+// a metric the /metrics endpoint does not export, a malformed rule name, or
+// a duration Prometheus would reject. This is the enforcement behind the
+// acceptance bar "artifacts reference only exported families".
+
+var (
+	identRe      = regexp.MustCompile(`[a-zA-Z_:][a-zA-Z0-9_:]*`)
+	rangeSelRe   = regexp.MustCompile(`\[[0-9]+(ms|s|m|h|d)\]`)
+	recordNameRe = regexp.MustCompile(`^wa:[a-z0-9_]+(:[a-z0-9_]+)*$`)
+	alertNameRe  = regexp.MustCompile(`^[A-Z][A-Za-z0-9]*$`)
+	durationRe   = regexp.MustCompile(`^[0-9]+(ms|s|m|h|d)$`)
+	labelKeyRe   = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// promqlFuncs are the identifiers an expr may use that are not metrics. Only
+// what the generators emit is listed — an unknown function is as much a typo
+// as an unknown metric.
+var promqlFuncs = map[string]bool{
+	"rate": true, "increase": true, "sum": true, "min": true, "max": true,
+	"avg": true, "by": true, "le": true, "histogram_quantile": true,
+	"absent": true, "on": true, "ignoring": true,
+}
+
+// knownMetrics builds the resolution set: every exported family (histogram
+// families contribute their _bucket/_sum/_count series) plus every recording
+// rule name, which later rules and panels may reference.
+func knownMetrics(fams []monitor.Family, rules RuleFile) map[string]bool {
+	known := map[string]bool{}
+	for _, f := range fams {
+		known[f.Name] = true
+		if f.Type == "histogram" {
+			known[f.Name+"_bucket"] = true
+			known[f.Name+"_sum"] = true
+			known[f.Name+"_count"] = true
+		}
+	}
+	for _, g := range rules.Groups {
+		for _, r := range g.Rules {
+			if r.Record != "" {
+				known[r.Record] = true
+			}
+		}
+	}
+	return known
+}
+
+// checkExpr validates one PromQL expression: parens/braces balance, and
+// every identifier is either a known metric/rule name or a known function.
+// A full PromQL parser is out of scope; identifier resolution is the check
+// that actually guards the dashboards.
+func checkExpr(expr string, known map[string]bool) error {
+	if strings.TrimSpace(expr) == "" {
+		return fmt.Errorf("empty expr")
+	}
+	depth, brace := 0, 0
+	for _, c := range expr {
+		switch c {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case '{':
+			brace++
+		case '}':
+			brace--
+		}
+		if depth < 0 || brace < 0 {
+			return fmt.Errorf("unbalanced parens in %q", expr)
+		}
+	}
+	if depth != 0 || brace != 0 {
+		return fmt.Errorf("unbalanced parens in %q", expr)
+	}
+	// Range selectors like [5m] read as identifiers otherwise.
+	scanned := rangeSelRe.ReplaceAllString(expr, "")
+	for _, ident := range identRe.FindAllString(scanned, -1) {
+		if promqlFuncs[ident] || known[ident] {
+			continue
+		}
+		if strings.HasPrefix(ident, "wa_") || strings.HasPrefix(ident, "wa:") {
+			return fmt.Errorf("expr %q references %q, which no exported family or recording rule provides", expr, ident)
+		}
+		return fmt.Errorf("expr %q uses unknown identifier %q", expr, ident)
+	}
+	return nil
+}
+
+func validateRules(rf RuleFile, known map[string]bool) error {
+	if len(rf.Groups) == 0 {
+		return fmt.Errorf("no rule groups")
+	}
+	groupNames := map[string]bool{}
+	ruleNames := map[string]bool{}
+	for _, g := range rf.Groups {
+		if g.Name == "" {
+			return fmt.Errorf("rule group without a name")
+		}
+		if groupNames[g.Name] {
+			return fmt.Errorf("duplicate rule group %q", g.Name)
+		}
+		groupNames[g.Name] = true
+		if g.Interval != "" && !durationRe.MatchString(g.Interval) {
+			return fmt.Errorf("group %q: bad interval %q", g.Name, g.Interval)
+		}
+		if len(g.Rules) == 0 {
+			return fmt.Errorf("group %q has no rules", g.Name)
+		}
+		for _, r := range g.Rules {
+			name := r.Record
+			switch {
+			case r.Record != "" && r.Alert != "":
+				return fmt.Errorf("group %q: rule sets both record %q and alert %q", g.Name, r.Record, r.Alert)
+			case r.Record != "":
+				if !recordNameRe.MatchString(r.Record) {
+					return fmt.Errorf("recording rule %q does not follow the wa:metric:operation convention", r.Record)
+				}
+				if r.For != "" || len(r.Annotations) > 0 {
+					return fmt.Errorf("recording rule %q carries alert-only fields", r.Record)
+				}
+			case r.Alert != "":
+				name = r.Alert
+				if !alertNameRe.MatchString(r.Alert) {
+					return fmt.Errorf("alert name %q is not CamelCase", r.Alert)
+				}
+				if r.For != "" && !durationRe.MatchString(r.For) {
+					return fmt.Errorf("alert %q: bad for duration %q", r.Alert, r.For)
+				}
+				if r.Labels["severity"] == "" {
+					return fmt.Errorf("alert %q has no severity label", r.Alert)
+				}
+				if r.Annotations["summary"] == "" {
+					return fmt.Errorf("alert %q has no summary annotation", r.Alert)
+				}
+			default:
+				return fmt.Errorf("group %q: rule with neither record nor alert", g.Name)
+			}
+			if ruleNames[name] {
+				return fmt.Errorf("duplicate rule name %q", name)
+			}
+			ruleNames[name] = true
+			for _, m := range []map[string]string{r.Labels, r.Annotations} {
+				for k := range m {
+					if !labelKeyRe.MatchString(k) {
+						return fmt.Errorf("rule %q: bad label/annotation key %q", name, k)
+					}
+				}
+			}
+			if err := checkExpr(r.Expr, known); err != nil {
+				return fmt.Errorf("rule %q: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+var panelTypes = map[string]bool{
+	"row": true, "timeseries": true, "stat": true, "heatmap": true,
+}
+
+func validateDashboard(d Dashboard, known map[string]bool) error {
+	if d.Title == "" || d.UID == "" {
+		return fmt.Errorf("dashboard needs a title and uid")
+	}
+	if len(d.Panels) == 0 {
+		return fmt.Errorf("dashboard has no panels")
+	}
+	ids := map[int]bool{}
+	for _, p := range d.Panels {
+		if ids[p.ID] {
+			return fmt.Errorf("duplicate panel id %d", p.ID)
+		}
+		ids[p.ID] = true
+		if !panelTypes[p.Type] {
+			return fmt.Errorf("panel %q: unknown type %q", p.Title, p.Type)
+		}
+		g := p.GridPos
+		if g.W <= 0 || g.H <= 0 || g.X < 0 || g.X+g.W > 24 {
+			return fmt.Errorf("panel %q: gridPos %+v outside the 24-unit grid", p.Title, g)
+		}
+		if p.Type == "row" {
+			if len(p.Targets) != 0 {
+				return fmt.Errorf("row %q must not have targets", p.Title)
+			}
+			continue
+		}
+		if len(p.Targets) == 0 {
+			return fmt.Errorf("panel %q has no targets", p.Title)
+		}
+		refs := map[string]bool{}
+		for _, t := range p.Targets {
+			if t.RefID == "" || refs[t.RefID] {
+				return fmt.Errorf("panel %q: missing or duplicate refId %q", p.Title, t.RefID)
+			}
+			refs[t.RefID] = true
+			if err := checkExpr(t.Expr, known); err != nil {
+				return fmt.Errorf("panel %q: %w", p.Title, err)
+			}
+		}
+	}
+	return nil
+}

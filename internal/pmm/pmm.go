@@ -19,6 +19,7 @@ package pmm
 
 import (
 	"fmt"
+	"log/slog"
 
 	"writeavoid/internal/core"
 	"writeavoid/internal/dist"
@@ -51,6 +52,10 @@ type Config struct {
 	// BatchEvents overrides each rank hierarchy's event-batch capacity;
 	// see dist.Config.BatchEvents.
 	BatchEvents int
+
+	// Logger, when non-nil, is handed to the machine for structured Debug
+	// records at run boundaries; see dist.Config.Logger.
+	Logger *slog.Logger
 }
 
 // P returns the processor count.
@@ -94,6 +99,7 @@ func (c Config) machineFor() *dist.Machine {
 		Sockets:     c.Sockets,
 		Placement:   c.Placement,
 		BatchEvents: c.BatchEvents,
+		Logger:      c.Logger,
 	})
 }
 
