@@ -21,6 +21,7 @@ import (
 	"writeavoid/internal/experiments"
 	"writeavoid/internal/extsort"
 	"writeavoid/internal/fft"
+	"writeavoid/internal/flight"
 	"writeavoid/internal/machine"
 	"writeavoid/internal/matrix"
 	"writeavoid/internal/monitor"
@@ -119,13 +120,32 @@ func benchWorkloads() []benchWorkload {
 }
 
 // runBenchJSON times every workload (one warmup op, then at least three ops
-// and at least minDur of wall time) and writes the JSON report to path.
-func runBenchJSON(path string, quick bool) int {
+// and at least minDur of wall time) and writes the JSON report to path. With
+// flightN > 0 a flight recorder of that capacity rides every workload — teed
+// next to the monitor on raw kernels, attached through the experiments hooks
+// on section drivers — so comparing a flight run against a no-flight
+// baseline prices the recorder's steady-state overhead; events/op is counted
+// by the monitor alone and stays identical either way.
+func runBenchJSON(path string, quick bool, flightN int) int {
 	minDur := time.Second
 	if quick {
 		minDur = 200 * time.Millisecond
 	}
 	const minIters, maxIters = 3, 1000
+
+	var fr *flight.Recorder
+	if flightN > 0 {
+		fr = flight.New(flightN, machine.GenericLevels(3))
+		experiments.SetFlight(fr)
+		defer experiments.SetFlight(nil)
+	}
+	// attach tees the flight recorder next to the per-workload counter.
+	attach := func(m machine.Recorder) machine.Recorder {
+		if fr == nil {
+			return m
+		}
+		return machine.Tee(m, fr)
+	}
 
 	rep := BenchReport{Quick: quick}
 	for _, w := range benchWorkloads() {
@@ -134,7 +154,7 @@ func runBenchJSON(path string, quick bool) int {
 		// counter-bearing event count.
 		warm := monitor.New(machine.GenericLevels(3), nil)
 		experiments.SetMonitor(warm)
-		err := w.run(warm)
+		err := w.run(attach(warm))
 		experiments.SetMonitor(nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wabench: bench %s: %v\n", w.name, err)
@@ -147,7 +167,7 @@ func runBenchJSON(path string, quick bool) int {
 		start := time.Now()
 		var elapsed time.Duration
 		for iters < minIters || (elapsed < minDur && iters < maxIters) {
-			if err := w.run(m); err != nil {
+			if err := w.run(attach(m)); err != nil {
 				experiments.SetMonitor(nil)
 				fmt.Fprintf(os.Stderr, "wabench: bench %s: %v\n", w.name, err)
 				return 1

@@ -6,6 +6,7 @@
 //
 //	wabench [-quick] [-json] [-stream file] [-trace file] [-profile]
 //	        [-serve addr] [-check off|warn|strict] [-benchjson file]
+//	        [-flight N] [-flight-dump DIR]
 //	        [-compare OLD.json NEW.json] [-pprof]
 //	        [-log text|json] [-log-level debug|info|warn|error]
 //	        [-sockets S] [-placement block|rr] [section ...]
@@ -55,6 +56,19 @@
 // violations on stderr; "strict" additionally exits nonzero when any bound
 // failed — the CI gate.
 //
+// -flight N attaches the always-on flight recorder: a fixed ring keeping the
+// last N events of every observed hierarchy plus the open span stack and the
+// running phase delta, at constant overhead per batch. When the conformance
+// monitor records a violation, the ring freezes into a forensic bundle —
+// violation metadata, the decoded event window, the exact phase delta the
+// check evaluated, and (for distributed sections) every rank's ring
+// correlated by superstep. Bundles are served at /violations/{id}/dump and
+// listed at /flight when -serve is on; -flight-dump DIR additionally writes
+// each bundle as DIR/violation-<id>.json plus a .trace.json Perfetto export,
+// which is how the CI strict gates preserve forensics on failure. With
+// -benchjson, -flight N times the suite with the recorder attached, so the
+// compare gate prices its steady-state cost.
+//
 // -serve starts a live observability HTTP server on addr (":0" picks a
 // port, printed to stderr) for the duration of the run:
 //
@@ -92,8 +106,11 @@ import (
 	"os"
 	"time"
 
+	"path/filepath"
+
 	"writeavoid/internal/costmodel"
 	"writeavoid/internal/experiments"
+	"writeavoid/internal/flight"
 	"writeavoid/internal/machine"
 	"writeavoid/internal/monitor"
 	"writeavoid/internal/profile"
@@ -128,6 +145,8 @@ func run(args []string) (rc int) {
 	logFormat := fs.String("log", "text", "diagnostic log format: text | json")
 	logLevel := fs.String("log-level", "info", "diagnostic log level: debug | info | warn | error")
 	pprofOn := fs.Bool("pprof", false, "with -serve: expose /debug/pprof profiling endpoints")
+	flightEvents := fs.Int("flight", 0, "attach an always-on flight recorder keeping the last N events per hierarchy (0 = off)")
+	flightDump := fs.String("flight-dump", "", "with -flight: write violation forensic bundles (JSON + Perfetto trace) into this directory")
 	fs.Parse(args) //nolint:errcheck
 
 	logger, err := newLogger(os.Stderr, *logFormat, *logLevel)
@@ -152,6 +171,10 @@ func run(args []string) (rc int) {
 	}
 	if *pprofOn && *serveAddr == "" {
 		fmt.Fprintln(os.Stderr, "wabench: -pprof requires -serve")
+		return 2
+	}
+	if *flightDump != "" && *flightEvents <= 0 {
+		fmt.Fprintln(os.Stderr, "wabench: -flight-dump requires -flight N")
 		return 2
 	}
 	// Exactly one writer may own stdout; catching the contradiction here
@@ -201,7 +224,7 @@ func run(args []string) (rc int) {
 	}
 
 	if *benchJSON != "" {
-		return runBenchJSON(*benchJSON, *quick)
+		return runBenchJSON(*benchJSON, *quick, *flightEvents)
 	}
 
 	sections := fs.Args()
@@ -290,8 +313,9 @@ func run(args []string) (rc int) {
 		defer experiments.SetMonitor(nil)
 	}
 
+	var srv *monitor.Server
 	if *serveAddr != "" {
-		srv := monitor.NewServer()
+		srv = monitor.NewServer()
 		srv.SetLogger(logger.With("component", "http"))
 		if *pprofOn {
 			srv.EnablePprof()
@@ -330,6 +354,34 @@ func run(args []string) (rc int) {
 			_ = sse.Close() // final record reaches /events subscribers
 			_ = srv.Close()
 		}()
+	}
+
+	// The flight recorder is the run's black box: always on once enabled, it
+	// rides every observed hierarchy; a conformance violation freezes the
+	// ring into a forensic bundle, published on the server and — with
+	// -flight-dump — written to disk as JSON plus a Perfetto trace.
+	if *flightEvents > 0 {
+		fr := flight.New(*flightEvents, machine.GenericLevels(3))
+		experiments.SetFlight(fr)
+		defer experiments.SetFlight(nil)
+		if srv != nil {
+			srv.SetFlight(fr)
+		}
+		if mon != nil {
+			dumpDir := *flightDump
+			mon.SetViolationHook(func(v monitor.Violation) {
+				b := experiments.FlightCapture(v)
+				if b == nil {
+					return
+				}
+				if srv != nil {
+					srv.AddBundle(b)
+				}
+				if dumpDir != "" {
+					dumpBundle(dumpDir, b, logger)
+				}
+			})
+		}
 	}
 
 	if *jsonOut {
@@ -384,6 +436,38 @@ func run(args []string) (rc int) {
 	}
 
 	return conformanceVerdict(mon, *checkMode, logger)
+}
+
+// dumpBundle writes one forensic bundle into dir as violation-<id>.json plus
+// violation-<id>.trace.json (the Perfetto export; bundle-<seq>.* when the
+// bundle has no violation), creating dir on first use. Dump failures are
+// logged, never fatal — the run's verdict must not hinge on forensic I/O.
+func dumpBundle(dir string, b *flight.Bundle, logger *slog.Logger) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		logger.Error("flight dump", "dir", dir, "err", err)
+		return
+	}
+	stem := fmt.Sprintf("bundle-%d", b.Seq)
+	if b.Violation != nil {
+		stem = fmt.Sprintf("violation-%d", b.Violation.ID)
+	}
+	write := func(name string, render func(io.Writer) error) {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			logger.Error("flight dump", "file", path, "err", err)
+			return
+		}
+		werr := render(f)
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			logger.Error("flight dump", "file", path, "writeErr", werr, "closeErr", cerr)
+			return
+		}
+		logger.Info("flight bundle dumped", "file", path)
+	}
+	write(stem+".json", b.WriteJSON)
+	write(stem+".trace.json", b.WriteTrace)
 }
 
 // conformanceVerdict closes the monitor after the run and turns its

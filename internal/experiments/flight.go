@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"time"
+
+	"writeavoid/internal/flight"
+	"writeavoid/internal/monitor"
+)
+
+// The flight recorder rides the same hook wiring as the other sinks: observe
+// attaches it to every hierarchy, mark closes its phase BEFORE the monitor's
+// (so when a phase check raises a Violation, the flight recorder's last
+// closed PhaseDelta is word-for-word the delta the check evaluated), and
+// dist-backed sections get a per-rank flight.Group teed alongside the
+// profiler group so a violation can freeze every rank's ring too.
+var (
+	fr         *flight.Recorder
+	flightDist *flight.Group
+)
+
+// SetFlight installs (or, with nil, removes) the always-on flight recorder.
+// The caller keeps ownership; wabench reads it back through the server's
+// /flight endpoint and through FlightCapture on violations.
+func SetFlight(f *flight.Recorder) {
+	fr = f
+	if f == nil {
+		flightDist = nil
+	}
+}
+
+// FlightCapture freezes the installed flight recorder into a forensic bundle
+// for v: the main window (hierarchy-synced, so the tail is exact to the
+// event), the violation metadata, and — when the most recent dist-backed
+// section registered rank recorders — every rank's window correlated by
+// superstep. Returns nil when no flight recorder is installed.
+//
+// Meant to run from a monitor violation hook: hooks fire on the recording
+// goroutine, which for phase and bound checks is the run goroutine that owns
+// the hierarchy, so the Capture sync is safe.
+func FlightCapture(v monitor.Violation) *flight.Bundle {
+	if fr == nil {
+		return nil
+	}
+	b := &flight.Bundle{
+		Reason:     "violation",
+		CapturedAt: time.Now().UTC(),
+		Violation: &flight.ViolationInfo{
+			ID:       v.ID,
+			Check:    v.Check,
+			Kernel:   v.Kernel,
+			Expected: v.Expected,
+			Observed: v.Observed,
+			Slack:    v.Slack,
+			Detail:   v.Detail,
+		},
+		Window: fr.Capture("violation"),
+	}
+	if g := flightDist; g != nil {
+		b.Ranks = g.Windows("violation")
+	}
+	return b
+}

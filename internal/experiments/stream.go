@@ -6,6 +6,7 @@ import (
 
 	"writeavoid/internal/cache"
 	"writeavoid/internal/dist"
+	"writeavoid/internal/flight"
 	"writeavoid/internal/machine"
 	"writeavoid/internal/monitor"
 	"writeavoid/internal/profile"
@@ -85,6 +86,9 @@ func observe(h *machine.Hierarchy) *machine.Hierarchy {
 	if prof != nil {
 		prof.Observe(h)
 	}
+	if fr != nil {
+		h.Attach(fr)
+	}
 	if mon != nil {
 		h.Attach(mon)
 	}
@@ -107,6 +111,12 @@ func mark(name string) {
 	}
 	if prof != nil {
 		prof.Mark(name)
+	}
+	// The flight recorder's phase closes before the monitor's so that when a
+	// phase check violates (and its hook freezes the ring), the frozen
+	// window's Closed delta is exactly the delta the check evaluated.
+	if fr != nil {
+		fr.Phase(name)
 	}
 	if mon != nil {
 		mon.Phase(name)
@@ -132,13 +142,32 @@ func publishSpans() {
 	}
 }
 
-// distObserve returns a per-processor observer registering a named recorder
-// group on the installed profiler, or nil when none is installed.
+// distObserve returns a per-processor observer: a named recorder group on
+// the installed profiler, a per-rank flight.Group on the installed flight
+// recorder (kept as the latest dist group, so a violation capture can freeze
+// the run's rank rings), both teed when both are installed, or nil when
+// neither is.
 func distObserve(name string) dist.Observer {
-	if prof == nil {
-		return nil
+	var pg, fg dist.Observer
+	if prof != nil {
+		pg = prof.Group(name).Recorder
 	}
-	return prof.Group(name).Recorder
+	if fr != nil {
+		g := flight.NewGroup(name, fr.Stats().Capacity, nil)
+		flightDist = g
+		fg = g.Recorder
+	}
+	switch {
+	case pg == nil && fg == nil:
+		return nil
+	case fg == nil:
+		return pg
+	case pg == nil:
+		return fg
+	}
+	return func(rank int) machine.Recorder {
+		return machine.Tee(pg(rank), fg(rank))
+	}
 }
 
 // distDone reports a finished distributed machine: per-rank snapshots go to

@@ -1,0 +1,113 @@
+package flight
+
+import (
+	"fmt"
+	"io"
+
+	"writeavoid/internal/profile"
+)
+
+// This file exports a forensic bundle as Chrome trace-event JSON through
+// the existing profile.TraceBuilder, so a single violation opens in
+// Perfetto: the main window becomes pid 0 / tid 0, each rank window its own
+// tid under the run's pid, with the event-count clock the repo's traces
+// already use (1 event = 1µs — sequence numbers ARE timestamps, so the
+// window's µs axis is its ring position).
+//
+// Span reconstruction from a truncated tail: the window may hold an EvEnd
+// whose EvBegin predates it, and spans open at capture have no EvEnd yet.
+// Both are rendered honestly — pre-window closes become "(pre-window)"
+// spans clipped to the window start, still-open spans are closed at the
+// capture timestamp — so the exported B/E pairs always balance and
+// profile.ValidateTraceEvent accepts every bundle.
+
+// WriteTrace renders the bundle as a complete Chrome trace.
+func (b *Bundle) WriteTrace(w io.Writer) error {
+	tb := profile.NewTraceBuilder()
+	title := "flight: " + b.Reason
+	if b.Violation != nil {
+		title = fmt.Sprintf("flight: %s %s[%s]", b.Reason, b.Violation.Check, b.Violation.Kernel)
+	}
+	tb.AddProcessName(0, title)
+	addWindow(tb, 0, 0, "window", b.Window, b.Violation)
+	runPid := 0
+	lastRun := ""
+	for _, rw := range b.Ranks {
+		if rw.Run != lastRun {
+			runPid++
+			lastRun = rw.Run
+			tb.AddProcessName(runPid, "flight ranks: "+rw.Run)
+		}
+		name := fmt.Sprintf("p%d", rw.Rank)
+		if rw.Superstep != "" {
+			name += " @" + rw.Superstep
+		}
+		addWindow(tb, runPid, rw.Rank, name, rw.Window, nil)
+	}
+	return tb.Write(w)
+}
+
+// addWindow renders one window as thread (pid, tid).
+func addWindow(tb *profile.TraceBuilder, pid, tid int, name string, w *Window, v *ViolationInfo) {
+	tb.AddThreadName(pid, tid, name)
+	if len(w.Events) == 0 {
+		// An empty window still validates: emit only the capture marker.
+		tb.AddInstant(pid, tid, "capture", float64(w.TotalEvents), map[string]any{"reason": w.Reason})
+		return
+	}
+	startTs := float64(w.FirstSeq)
+	endTs := float64(w.FirstSeq + int64(len(w.Events)))
+	type open struct {
+		label string
+		ts    float64
+	}
+	var stack []open
+	// Per-interface cumulative words within the window drive counter tracks.
+	type tally struct{ load, store int64 }
+	words := map[int]*tally{}
+	for _, e := range w.Events {
+		ts := float64(e.Seq)
+		switch e.Kind {
+		case "Begin":
+			stack = append(stack, open{label: e.Label, ts: ts})
+		case "End":
+			if len(stack) > 0 {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				tb.AddSpan(pid, tid, top.label, top.ts, ts, nil)
+			} else {
+				// The matching Begin was overwritten: clip to the window.
+				tb.AddSpan(pid, tid, "(pre-window)", startTs, ts, nil)
+			}
+		case "Load", "Store":
+			t := words[e.Arg]
+			if t == nil {
+				t = &tally{}
+				words[e.Arg] = t
+			}
+			if e.Kind == "Load" {
+				t.load += e.Words
+			} else {
+				t.store += e.Words
+			}
+			tb.AddCounter(pid, fmt.Sprintf("%s if%d", name, e.Arg), ts, map[string]any{
+				"loadWords":  t.load,
+				"storeWords": t.store,
+			})
+		}
+	}
+	// Spans still open at capture close at the window end; emit outermost
+	// first so Perfetto nests them the way the stack did.
+	for _, o := range stack {
+		tb.AddSpan(pid, tid, o.label, o.ts, endTs, nil)
+	}
+	args := map[string]any{"reason": w.Reason, "dropped": w.Dropped, "totalEvents": w.TotalEvents}
+	if v != nil {
+		args["check"] = v.Check
+		args["kernel"] = v.Kernel
+		args["expected"] = v.Expected
+		args["observed"] = v.Observed
+		args["violationId"] = v.ID
+	}
+	tb.AddInstant(pid, tid, "capture", endTs, args)
+}

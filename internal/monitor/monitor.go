@@ -27,6 +27,11 @@ import (
 // Violation is one failed prediction: the bound that broke, on which phase,
 // with the expected and observed values and the slack the check allowed.
 type Violation struct {
+	// ID is the violation's stable monotonic number, assigned in recording
+	// order when the monitor appends it (1-based; 0 only on values that
+	// never passed through a monitor). Pollers page /violations?since=ID
+	// and the flight recorder's /violations/{id}/dump keys bundles by it.
+	ID int64 `json:"id"`
 	// Check names the prediction ("theorem1", "wa-output-floor", ...).
 	Check string `json:"check"`
 	// Kernel is the phase / kernel label the check evaluated against.
@@ -114,6 +119,47 @@ type Monitor struct {
 	phases     int64 // phases that carried at least one event
 	violations []Violation
 	finished   bool
+	hook       func(Violation)
+}
+
+// SetViolationHook installs fn to be called, outside the monitor's lock and
+// on the goroutine that recorded the violation, for every violation as it
+// is appended — the flight recorder's capture trigger. The hook sees the
+// violation with its assigned ID. Phase-check violations fire on the run
+// goroutine during Phase/Finish, so a hook may freeze run-goroutine state
+// (flight captures, span renders) safely. Install before recording starts;
+// nil removes.
+func (m *Monitor) SetViolationHook(fn func(Violation)) {
+	m.mu.Lock()
+	m.hook = fn
+	m.mu.Unlock()
+}
+
+// addViolationsLocked assigns monotonic IDs and appends; callers hold mu
+// and must fire the returned stamped violations through fireHook after
+// unlocking.
+func (m *Monitor) addViolationsLocked(vs []Violation) []Violation {
+	if len(vs) == 0 {
+		return nil
+	}
+	stamped := make([]Violation, len(vs))
+	for i, v := range vs {
+		v.ID = int64(len(m.violations)) + 1
+		m.violations = append(m.violations, v)
+		stamped[i] = v
+	}
+	return stamped
+}
+
+// fireHook delivers stamped violations to the installed hook, outside the
+// lock.
+func (m *Monitor) fireHook(hook func(Violation), vs []Violation) {
+	if hook == nil {
+		return
+	}
+	for _, v := range vs {
+		hook(v)
+	}
 }
 
 // New builds a monitor with the given seed geometry evaluating reg (nil:
@@ -173,9 +219,11 @@ func (m *Monitor) SourceClean(f machine.Flusher) { m.sources.SourceClean(f) }
 func (m *Monitor) Phase(name string) {
 	m.sources.Sync()
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.closePhaseLocked()
+	fresh := m.closePhaseLocked()
 	m.phase = name
+	hook := m.hook
+	m.mu.Unlock()
+	m.fireHook(hook, fresh)
 }
 
 // Finish syncs buffered events, closes the final phase and freezes the
@@ -184,29 +232,37 @@ func (m *Monitor) Phase(name string) {
 func (m *Monitor) Finish() []Violation {
 	m.sources.Sync()
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	var fresh []Violation
 	if !m.finished {
-		m.closePhaseLocked()
+		fresh = m.closePhaseLocked()
 		m.finished = true
 	}
-	return append([]Violation(nil), m.violations...)
+	out := append([]Violation(nil), m.violations...)
+	hook := m.hook
+	m.mu.Unlock()
+	m.fireHook(hook, fresh)
+	return out
 }
 
-func (m *Monitor) closePhaseLocked() {
+// closePhaseLocked evaluates the closed phase and returns the freshly
+// stamped violations for the caller to deliver to the hook after unlocking.
+func (m *Monitor) closePhaseLocked() []Violation {
 	if m.events == 0 {
-		return
+		return nil
 	}
 	cum := m.g.Snapshot()
 	delta := cum.Sub(m.prev)
 	m.prev = cum
 	m.events = 0
 	m.phases++
+	var found []Violation
 	for _, p := range m.reg.preds {
 		if p.Eval == nil || (p.Kernel != "" && p.Kernel != m.phase) {
 			continue
 		}
-		m.violations = append(m.violations, p.Eval(m.phase, delta)...)
+		found = append(found, p.Eval(m.phase, delta)...)
 	}
+	return m.addViolationsLocked(found)
 }
 
 // ObserveStats evaluates the stats-based predictions registered for kernel
@@ -214,13 +270,17 @@ func (m *Monitor) closePhaseLocked() {
 // from any goroutine.
 func (m *Monitor) ObserveStats(kernel string, st cache.Stats) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	var found []Violation
 	for _, p := range m.reg.preds {
 		if p.EvalStats == nil || (p.Kernel != "" && p.Kernel != kernel) {
 			continue
 		}
-		m.violations = append(m.violations, p.EvalStats(kernel, st)...)
+		found = append(found, p.EvalStats(kernel, st)...)
 	}
+	fresh := m.addViolationsLocked(found)
+	hook := m.hook
+	m.mu.Unlock()
+	m.fireHook(hook, fresh)
 }
 
 // CheckBound records a direct bound check outside the registry: sections
@@ -243,12 +303,14 @@ func (m *Monitor) CheckBound(check, kernel string, observed, expected, slack flo
 		return true
 	}
 	m.mu.Lock()
-	m.violations = append(m.violations, Violation{
+	fresh := m.addViolationsLocked([]Violation{{
 		Check: check, Kernel: kernel,
 		Expected: expected, Observed: observed, Slack: slack,
 		Detail: kind + " violated",
-	})
+	}})
+	hook := m.hook
 	m.mu.Unlock()
+	m.fireHook(hook, fresh)
 	return false
 }
 
@@ -275,6 +337,20 @@ func (m *Monitor) Violations() []Violation {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return append([]Violation(nil), m.violations...)
+}
+
+// ViolationsSince returns the violations with ID > since — IDs are assigned
+// densely in recording order, so pollers page with the last ID they saw.
+func (m *Monitor) ViolationsSince(since int64) []Violation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if since < 0 {
+		since = 0
+	}
+	if since >= int64(len(m.violations)) {
+		return nil
+	}
+	return append([]Violation(nil), m.violations[since:]...)
 }
 
 // Snapshot returns the monitor's cumulative snapshot. Safe from any

@@ -82,6 +82,11 @@ var families = []familyDef{
 	{"wa_phase_store_words", "histogram", "Words stored across all interfaces per phase (sum is exact: equals the cumulative store counter)."},
 	{"wa_phase_remote_write_share", "histogram", "Inter-socket fraction of stored words per phase (multi-socket phases only)."},
 	{"wa_phase_floor_slack_ratio", "histogram", "Observed slow writes divided by the registered (M, omega) store floor, per floor check."},
+	{"wa_flight_events_total", "counter", "Events that passed through the flight recorder's ring."},
+	{"wa_flight_dropped_events_total", "counter", "Flight-ring events overwritten before any capture froze them."},
+	{"wa_flight_ring_events", "gauge", "Events currently resident in the flight recorder's ring."},
+	{"wa_flight_captures_total", "counter", "Ring freezes taken by the flight recorder (violation-triggered and on-demand)."},
+	{"wa_flight_bundles_total", "counter", "Forensic bundles stored on the server."},
 	{"wa_sse_clients", "gauge", "Currently connected /events subscribers."},
 	{"wa_sse_sent_total", "counter", "SSE messages delivered to subscriber queues."},
 	{"wa_sse_dropped_total", "counter", "SSE messages dropped on full client queues."},

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"writeavoid/internal/cache"
+	"writeavoid/internal/flight"
 	"writeavoid/internal/machine"
 )
 
@@ -49,12 +50,32 @@ type Server struct {
 	draining  bool // Close started → not ready
 	pprofOn   bool
 
+	// routes is the registered endpoint list the index page renders; every
+	// mux registration goes through handle() so the two can never disagree
+	// (a test asserts exactly that).
+	routes []routeEntry
+
+	// flight is the wired flight recorder (nil: the flight endpoints answer
+	// 404); bundles the frozen forensic captures in arrival order, byViol
+	// the same bundles keyed by violation ID for /violations/{id}/dump.
+	flight    *flight.Recorder
+	bundles   []*flight.Bundle
+	byViol    map[int64]*flight.Bundle
+	bundleSeq int64
+
 	// depth is the wa_sse_queue_depth histogram, fed by the broker on every
 	// enqueue; owned here so it renders even before any recorder attaches.
 	depth *Histogram
 
 	srv *http.Server
 	ln  net.Listener
+}
+
+// routeEntry is one registered endpoint and its index-page description.
+type routeEntry struct {
+	pattern string // the mux pattern, method/wildcards included
+	path    string // the display path the index lists
+	desc    string
 }
 
 // NewServer builds a server with no sources; register them before or after
@@ -64,20 +85,41 @@ func NewServer() *Server {
 		broker:  NewBroker(),
 		ranks:   map[string]func() []machine.Snapshot{},
 		cacheSt: map[string]cache.Stats{},
+		byViol:  map[int64]*flight.Bundle{},
 		depth:   NewHistogram(DepthBuckets),
 	}
 	s.broker.ObserveDepth(s.depth)
-	mux := http.NewServeMux()
-	mux.HandleFunc("/", s.handleIndex)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/readyz", s.handleReadyz)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/snapshot", s.handleSnapshot)
-	mux.HandleFunc("/spans", s.handleSpans)
-	mux.HandleFunc("/violations", s.handleViolations)
-	mux.Handle("/events", s.broker)
-	s.mux = mux
+	s.mux = http.NewServeMux()
+	s.handle("/", "/", "this endpoint index", s.handleIndex)
+	s.handle("/healthz", "/healthz", "liveness", s.handleHealthz)
+	s.handle("/readyz", "/readyz", "readiness (503 until a recorder attaches / while draining)", s.handleReadyz)
+	s.handle("/metrics", "/metrics", "Prometheus text exposition", s.handleMetrics)
+	s.handle("/snapshot", "/snapshot", "cumulative machine snapshot (JSON)", s.handleSnapshot)
+	s.handle("/spans", "/spans", "span-tree attribution (JSON)", s.handleSpans)
+	s.handle("/violations", "/violations", "theory-conformance violations (JSON; ?since=ID pages)", s.handleViolations)
+	s.handle("/violations/{id}/dump", "/violations/{id}/dump", "forensic bundle for one violation (JSON)", s.handleViolationDump)
+	s.handle("/flight", "/flight", "flight-recorder status and captured bundles (JSON)", s.handleFlight)
+	s.handle("/flight/capture", "/flight/capture", "freeze the ring on demand (POST; returns the bundle)", s.handleFlightCapture)
+	s.handle("/events", "/events", "live metrics stream (SSE)", s.broker.ServeHTTP)
 	return s
+}
+
+// handle registers one endpoint on the mux and in the index's route list.
+func (s *Server) handle(pattern, path, desc string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, h)
+	s.routes = append(s.routes, routeEntry{pattern: pattern, path: path, desc: desc})
+}
+
+// Routes lists every registered endpoint path (index display form, in
+// registration order) — the contract the index-page test asserts against.
+func (s *Server) Routes() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.routes))
+	for i, r := range s.routes {
+		out[i] = r.path
+	}
+	return out
 }
 
 // Handler exposes the routing for tests (httptest.NewServer(s.Handler()));
@@ -102,7 +144,7 @@ func (s *Server) EnablePprof() {
 		return
 	}
 	s.pprofOn = true
-	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.handle("/debug/pprof/", "/debug/pprof", "Go profiling endpoints (opt-in)", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
@@ -284,15 +326,20 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
+	s.mu.Lock()
+	routes := append([]routeEntry(nil), s.routes...)
+	s.mu.Unlock()
+	width := 0
+	for _, rt := range routes {
+		if len(rt.path) > width {
+			width = len(rt.path)
+		}
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, "writeavoid observability server\n"+
-		"  /metrics     Prometheus text exposition\n"+
-		"  /snapshot    cumulative machine snapshot (JSON)\n"+
-		"  /spans       span-tree attribution (JSON)\n"+
-		"  /events      live metrics stream (SSE)\n"+
-		"  /violations  theory-conformance violations (JSON)\n"+
-		"  /healthz     liveness\n"+
-		"  /readyz      readiness (503 until a recorder attaches / while draining)\n")
+	fmt.Fprintln(w, "writeavoid observability server")
+	for _, rt := range routes {
+		fmt.Fprintf(w, "  %-*s  %s\n", width, rt.path, rt.desc)
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -324,6 +371,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	mon, snapFn, violFn, hr := s.mon, s.snapFn, s.violFn, s.hists
+	fr, bundleCount := s.flight, len(s.bundles)
 	rankNames := make([]string, 0, len(s.ranks))
 	for name := range s.ranks {
 		rankNames = append(rankNames, name)
@@ -366,6 +414,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if violFn != nil {
 		samples = append(samples,
 			metricSample{family: "wa_violations_total", value: float64(len(violFn()))})
+	}
+	if fr != nil {
+		st := fr.Stats()
+		samples = append(samples,
+			metricSample{family: "wa_flight_events_total", value: float64(st.TotalEvents)},
+			metricSample{family: "wa_flight_dropped_events_total", value: float64(st.Dropped)},
+			metricSample{family: "wa_flight_ring_events", value: float64(st.Len)},
+			metricSample{family: "wa_flight_captures_total", value: float64(st.Captures)},
+			metricSample{family: "wa_flight_bundles_total", value: float64(bundleCount)},
+		)
 	}
 	samples = append(samples,
 		metricSample{family: "wa_sse_clients", value: float64(s.broker.Clients())},
@@ -437,15 +495,159 @@ func (s *Server) handleSpans(w http.ResponseWriter, _ *http.Request) {
 	_, _ = w.Write(b)
 }
 
-func (s *Server) handleViolations(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	violFn := s.violFn
 	s.mu.Unlock()
+	var since int64
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	// Filtering on the generic source keeps any violFn working; monitor IDs
+	// are dense and monotonic, so this is the same page ViolationsSince cuts.
 	violations := []Violation{}
 	if violFn != nil {
-		violations = append(violations, violFn()...)
+		for _, v := range violFn() {
+			if v.ID > since {
+				violations = append(violations, v)
+			}
+		}
 	}
 	writeJSON(w, violations)
+}
+
+// --- flight recorder ---------------------------------------------------------
+
+// SetFlight wires the flight recorder: /flight reports its ring state, the
+// wa_flight_* families join /metrics, and /flight/capture freezes it on
+// demand.
+func (s *Server) SetFlight(f *flight.Recorder) {
+	s.mu.Lock()
+	s.flight = f
+	s.markAttachedLocked()
+	s.mu.Unlock()
+}
+
+// bundleSummary is one bundle's line in /flight and in the SSE broadcast.
+type bundleSummary struct {
+	Seq         int64  `json:"seq"`
+	Reason      string `json:"reason"`
+	ViolationID int64  `json:"violationId,omitempty"`
+	Check       string `json:"check,omitempty"`
+	Kernel      string `json:"kernel,omitempty"`
+	Phase       string `json:"phase,omitempty"`
+	Events      int    `json:"events"`
+	Dropped     int64  `json:"dropped"`
+	Ranks       int    `json:"ranks,omitempty"`
+}
+
+func summarize(b *flight.Bundle) bundleSummary {
+	sum := bundleSummary{
+		Seq:     b.Seq,
+		Reason:  b.Reason,
+		Phase:   b.Window.Phase,
+		Events:  len(b.Window.Events),
+		Dropped: b.Window.Dropped,
+		Ranks:   len(b.Ranks),
+	}
+	if v := b.Violation; v != nil {
+		sum.ViolationID = v.ID
+		sum.Check = v.Check
+		sum.Kernel = v.Kernel
+	}
+	return sum
+}
+
+// AddBundle stores a frozen forensic bundle, assigns its monotonic sequence
+// number, indexes it by violation ID when it has one (first capture per
+// violation wins), and broadcasts a "flight" SSE event announcing the
+// capture. Returns the assigned sequence number. Safe from any goroutine.
+func (s *Server) AddBundle(b *flight.Bundle) int64 {
+	s.mu.Lock()
+	s.bundleSeq++
+	b.Seq = s.bundleSeq
+	s.bundles = append(s.bundles, b)
+	if v := b.Violation; v != nil {
+		if _, dup := s.byViol[v.ID]; !dup {
+			s.byViol[v.ID] = b
+		}
+	}
+	s.markAttachedLocked()
+	s.mu.Unlock()
+	if data, err := json.Marshal(summarize(b)); err == nil {
+		s.broker.Broadcast("flight", data)
+	}
+	return b.Seq
+}
+
+// flightDoc is the /flight JSON document.
+type flightDoc struct {
+	Stats   flight.Stats    `json:"stats"`
+	Bundles []bundleSummary `json:"bundles"`
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	f := s.flight
+	bundles := append([]*flight.Bundle(nil), s.bundles...)
+	s.mu.Unlock()
+	if f == nil {
+		http.Error(w, "no flight recorder attached", http.StatusNotFound)
+		return
+	}
+	doc := flightDoc{Stats: f.Stats(), Bundles: make([]bundleSummary, 0, len(bundles))}
+	for _, b := range bundles {
+		doc.Bundles = append(doc.Bundles, summarize(b))
+	}
+	writeJSON(w, doc)
+}
+
+// handleFlightCapture freezes the ring on demand (Peek semantics: no
+// hierarchy sync from an HTTP goroutine, so the window is current to the
+// last flush boundary) and stores + returns the resulting bundle.
+func (s *Server) handleFlightCapture(w http.ResponseWriter, r *http.Request) {
+	// Capturing mutates server state, so the method check is explicit here
+	// (a method-scoped mux pattern would fall through to the "/" catch-all
+	// and 404 instead of answering 405).
+	if r.Method != http.MethodPost {
+		http.Error(w, "capture requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	f := s.flight
+	s.mu.Unlock()
+	if f == nil {
+		http.Error(w, "no flight recorder attached", http.StatusNotFound)
+		return
+	}
+	b := &flight.Bundle{
+		Reason:     "manual",
+		CapturedAt: time.Now().UTC(),
+		Window:     f.Peek("manual"),
+	}
+	s.AddBundle(b)
+	writeJSON(w, b)
+}
+
+func (s *Server) handleViolationDump(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad violation id: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	b := s.byViol[id]
+	s.mu.Unlock()
+	if b == nil {
+		http.Error(w, fmt.Sprintf("no bundle for violation %d", id), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, b)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -155,6 +155,19 @@ func buildDashboard(fams []monitor.Family) Dashboard {
 		"99th percentile per-client queue depth at enqueue (capacity 256).",
 		Target{Expr: "wa:sse_queue_depth:p99", LegendFormat: "p99"})
 
+	d.row("Flight recorder")
+	d.panel("timeseries", "Ring events/s vs dropped/s",
+		"Flight-ring throughput against overwrite rate; dropped only matters when a capture needed the overwritten tail.",
+		Target{Expr: "rate(wa_flight_events_total[1m])", LegendFormat: "recorded"},
+		Target{Expr: "rate(wa_flight_dropped_events_total[1m])", LegendFormat: "dropped"})
+	d.panel("timeseries", "Ring occupancy",
+		"Events currently resident in the flight ring (plateaus at capacity once warm).",
+		Target{Expr: "wa_flight_ring_events", LegendFormat: "resident"})
+	d.panel("stat", "Captures and bundles",
+		"Ring freezes taken vs forensic bundles stored; a gap means manual peeks without a stored bundle.",
+		Target{Expr: "wa_flight_captures_total", LegendFormat: "captures"},
+		Target{Expr: "wa_flight_bundles_total", LegendFormat: "bundles"})
+
 	d.row("Runtime")
 	d.panel("timeseries", "Goroutines",
 		"Live goroutines in the serving process.",

@@ -75,6 +75,13 @@ func (b *TraceBuilder) AddSpan(pid, tid int, name string, start, end float64, ar
 		traceEvent{Name: name, Ph: "E", Ts: end, Pid: pid, Tid: tid, Args: args})
 }
 
+// AddInstant emits one instant event ("i" phase): a point marker in the
+// timeline, used by the flight-recorder export to pin a violation's capture
+// moment onto the reconstructed window.
+func (b *TraceBuilder) AddInstant(pid, tid int, name string, ts float64, args map[string]any) {
+	b.events = append(b.events, traceEvent{Name: name, Ph: "i", Ts: ts, Pid: pid, Tid: tid, Args: args})
+}
+
 // AddRecorder renders one SpanRecorder as thread (pid, tid): its span tree
 // as B/E events and one counter track per interface from the recorder's
 // boundary samples. Open spans are closed first (Finish). The track name
