@@ -32,7 +32,7 @@ import (
 // reports the cache-oblivious vs write-avoiding victims.M at the endpoint.
 func BenchmarkFig2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		panels := experiments.Fig2(true)
+		panels := experiments.NewSession().Fig2(true)
 		co := panels[0].Points[len(panels[0].Points)-1]
 		wa := panels[2].Points[len(panels[2].Points)-1]
 		b.ReportMetric(float64(co.VictimsM), "co-victimsM")
@@ -43,7 +43,7 @@ func BenchmarkFig2(b *testing.B) {
 // BenchmarkFig5 regenerates the eight Figure 5 panels (quick sweep).
 func BenchmarkFig5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		panels := experiments.Fig5(true)
+		panels := experiments.NewSession().Fig5(true)
 		left := panels[len(panels)-2].Points
 		right := panels[len(panels)-1].Points
 		b.ReportMetric(float64(left[len(left)-1].VictimsM), "multilevel-victimsM")
@@ -54,7 +54,7 @@ func BenchmarkFig5(b *testing.B) {
 // BenchmarkTable1 runs the three Model-1/2.1 parallel matmuls.
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Table1(true)
+		rows := experiments.NewSession().Table1(true)
 		b.ReportMetric(float64(rows[0].NetWords), "cannon-networds")
 		b.ReportMetric(float64(rows[2].NetWords), "25dmml3-networds")
 	}
@@ -63,7 +63,7 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkTable2 runs the two Model-2.2 algorithms (Theorem 4's pair).
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Table2(true)
+		rows := experiments.NewSession().Table2(true)
 		b.ReportMetric(float64(rows[0].NVMWrites), "ool2-nvmwrites")
 		b.ReportMetric(float64(rows[1].NVMWrites), "summa-nvmwrites")
 	}
@@ -72,7 +72,7 @@ func BenchmarkTable2(b *testing.B) {
 // BenchmarkSec4Kernels runs the Section 4 WA kernel suite.
 func BenchmarkSec4Kernels(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Sec4(true)
+		rows := experiments.NewSession().Sec4(true)
 		b.ReportMetric(float64(rows[0].WAStores), "matmul-wa-stores")
 	}
 }
@@ -80,7 +80,7 @@ func BenchmarkSec4Kernels(b *testing.B) {
 // BenchmarkSec7LU runs LL- vs RL-LUNP.
 func BenchmarkSec7LU(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.LU(true)
+		rows := experiments.NewSession().LU(true)
 		b.ReportMetric(float64(rows[0].NVMWrites), "ll-nvmwrites")
 		b.ReportMetric(float64(rows[1].NVMWrites), "rl-nvmwrites")
 	}
@@ -89,7 +89,7 @@ func BenchmarkSec7LU(b *testing.B) {
 // BenchmarkSec8Krylov runs the CA-CG write-reduction sweep.
 func BenchmarkSec8Krylov(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Krylov(true)
+		rows := experiments.NewSession().Krylov(true)
 		b.ReportMetric(rows[len(rows)-1].WriteRatio, "write-reduction-s8")
 	}
 }

@@ -43,10 +43,11 @@ type BenchReport struct {
 
 // benchWorkload is one timed unit: run executes a single op, recording any
 // hierarchy it builds into rec (section drivers reach the same recorder
-// through the experiments monitor hook instead).
+// through the session's monitor hook instead). Every timed run gets a fresh
+// Session, so no recorder state leaks between workloads or iterations.
 type benchWorkload struct {
 	name string
-	run  func(rec machine.Recorder) error
+	run  func(sess *experiments.Session, rec machine.Recorder) error
 }
 
 // benchWorkloads mirrors ten benchmarks of bench_test.go — the five section
@@ -55,27 +56,27 @@ type benchWorkload struct {
 func benchWorkloads() []benchWorkload {
 	rng := rand.New(rand.NewPCG(1, 2))
 	return []benchWorkload{
-		{"Fig2", func(machine.Recorder) error {
-			experiments.Fig2(true)
+		{"Fig2", func(sess *experiments.Session, _ machine.Recorder) error {
+			sess.Fig2(true)
 			return nil
 		}},
-		{"Table1", func(machine.Recorder) error {
-			experiments.Table1(true)
+		{"Table1", func(sess *experiments.Session, _ machine.Recorder) error {
+			sess.Table1(true)
 			return nil
 		}},
-		{"Sec4Kernels", func(machine.Recorder) error {
-			experiments.Sec4(true)
+		{"Sec4Kernels", func(sess *experiments.Session, _ machine.Recorder) error {
+			sess.Sec4(true)
 			return nil
 		}},
-		{"Sec7LU", func(machine.Recorder) error {
-			experiments.LU(true)
+		{"Sec7LU", func(sess *experiments.Session, _ machine.Recorder) error {
+			sess.LU(true)
 			return nil
 		}},
-		{"Sec8Krylov", func(machine.Recorder) error {
-			experiments.Krylov(true)
+		{"Sec8Krylov", func(sess *experiments.Session, _ machine.Recorder) error {
+			sess.Krylov(true)
 			return nil
 		}},
-		{"WAMatMulCompute", func(rec machine.Recorder) error {
+		{"WAMatMulCompute", func(_ *experiments.Session, rec machine.Recorder) error {
 			n := 128
 			a := matrix.Random(n, n, 1)
 			b := matrix.Random(n, n, 2)
@@ -83,14 +84,14 @@ func benchWorkloads() []benchWorkload {
 			p.H.Attach(rec)
 			return core.MatMul(p, matrix.New(n, n), a, b)
 		}},
-		{"CacheSimFALRU", func(machine.Recorder) error {
+		{"CacheSimFALRU", func(_ *experiments.Session, _ machine.Recorder) error {
 			c := cache.NewFALRU(128*1024, 64)
 			for i := 0; i < 1<<16; i++ {
 				c.Access(uint64(i*64)%(1<<22), i&7 == 0)
 			}
 			return nil
 		}},
-		{"FFTExternal", func(rec machine.Recorder) error {
+		{"FFTExternal", func(_ *experiments.Session, rec machine.Recorder) error {
 			x := make([]complex128, 4096)
 			for i := range x {
 				x[i] = complex(float64(i%7), float64(i%3))
@@ -100,7 +101,7 @@ func benchWorkloads() []benchWorkload {
 			fft.External(h, 64, x)
 			return nil
 		}},
-		{"ExternalSort", func(rec machine.Recorder) error {
+		{"ExternalSort", func(_ *experiments.Session, rec machine.Recorder) error {
 			data := make([]float64, 1<<14)
 			for i := range data {
 				data[i] = float64((i * 2654435761) % 99991)
@@ -110,7 +111,7 @@ func benchWorkloads() []benchWorkload {
 			_, err := extsort.Sort(h, 256, data)
 			return err
 		}},
-		{"ScheduleSimulation", func(machine.Recorder) error {
+		{"ScheduleSimulation", func(_ *experiments.Session, _ machine.Recorder) error {
 			g := fft.BuildCDAG(64)
 			order := cdag.RandomTopoOrder(g, rng)
 			_, err := cdag.Schedule(g, order, 16, rng)
@@ -136,8 +137,6 @@ func runBenchJSON(path string, quick bool, flightN int) int {
 	var fr *flight.Recorder
 	if flightN > 0 {
 		fr = flight.New(flightN, machine.GenericLevels(3))
-		experiments.SetFlight(fr)
-		defer experiments.SetFlight(nil)
 	}
 	// attach tees the flight recorder next to the per-workload counter.
 	attach := func(m machine.Recorder) machine.Recorder {
@@ -146,6 +145,16 @@ func runBenchJSON(path string, quick bool, flightN int) int {
 		}
 		return machine.Tee(m, fr)
 	}
+	// session builds the per-run wiring: a fresh Session per monitor, the
+	// shared flight ring riding along when -flight is on.
+	session := func(m *monitor.Monitor) *experiments.Session {
+		sess := experiments.NewSession()
+		sess.SetMonitor(m)
+		if fr != nil {
+			sess.SetFlight(fr)
+		}
+		return sess
+	}
 
 	rep := BenchReport{Quick: quick}
 	for _, w := range benchWorkloads() {
@@ -153,29 +162,24 @@ func runBenchJSON(path string, quick bool, flightN int) int {
 		// experiments hooks accept it, and TotalEvents is exactly the
 		// counter-bearing event count.
 		warm := monitor.New(machine.GenericLevels(3), nil)
-		experiments.SetMonitor(warm)
-		err := w.run(attach(warm))
-		experiments.SetMonitor(nil)
-		if err != nil {
+		if err := w.run(session(warm), attach(warm)); err != nil {
 			fmt.Fprintf(os.Stderr, "wabench: bench %s: %v\n", w.name, err)
 			return 1
 		}
 
 		m := monitor.New(machine.GenericLevels(3), nil)
-		experiments.SetMonitor(m)
+		sess := session(m)
 		iters := 0
 		start := time.Now()
 		var elapsed time.Duration
 		for iters < minIters || (elapsed < minDur && iters < maxIters) {
-			if err := w.run(attach(m)); err != nil {
-				experiments.SetMonitor(nil)
+			if err := w.run(sess, attach(m)); err != nil {
 				fmt.Fprintf(os.Stderr, "wabench: bench %s: %v\n", w.name, err)
 				return 1
 			}
 			iters++
 			elapsed = time.Since(start)
 		}
-		experiments.SetMonitor(nil)
 
 		res := BenchResult{
 			Name:        w.name,

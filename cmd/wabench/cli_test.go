@@ -68,9 +68,9 @@ func TestConformanceVerdictExitCodes(t *testing.T) {
 // gate over buildJSONReport stays green, and all four phases are checked.
 func TestJSONSuiteConformsStrictly(t *testing.T) {
 	mon := monitor.New(machine.GenericLevels(3), jsonSuiteChecks())
-	experiments.SetMonitor(mon)
-	buildJSONReport(true, "nvm", costmodel.NVMBacked(8))
-	experiments.SetMonitor(nil)
+	sess := experiments.NewSession()
+	sess.SetMonitor(mon)
+	buildJSONReport(sess, true, "nvm", costmodel.NVMBacked(8))
 	if rc := conformanceVerdict(mon, "strict", testLogger()); rc != 0 {
 		t.Fatalf("json suite violates its own bounds: %v", mon.Violations())
 	}

@@ -72,11 +72,10 @@ func TestJSONSuiteHistogramExactness(t *testing.T) {
 	mon := monitor.New(machine.GenericLevels(3), jsonSuiteChecks())
 	hists := monitor.NewHistogramRecorder(machine.GenericLevels(3))
 	hists.SetFloor("matmul-wa", 64*64)
-	experiments.SetMonitor(mon)
-	experiments.SetHistograms(hists)
-	buildJSONReport(true, "nvm", costmodel.NVMBacked(8))
-	experiments.SetMonitor(nil)
-	experiments.SetHistograms(nil)
+	sess := experiments.NewSession()
+	sess.SetMonitor(mon)
+	sess.SetHistograms(hists)
+	buildJSONReport(sess, true, "nvm", costmodel.NVMBacked(8))
 	hists.Finish()
 
 	byFamily := map[string]monitor.HistogramSnapshot{}
@@ -116,9 +115,9 @@ func TestJSONSuiteHistogramExactness(t *testing.T) {
 // the validator (the same check a scraper's parse performs).
 func TestServeMetricsValidate(t *testing.T) {
 	hists := monitor.NewHistogramRecorder(machine.GenericLevels(3))
-	experiments.SetHistograms(hists)
-	buildJSONReport(true, "nvm", costmodel.NVMBacked(8))
-	experiments.SetHistograms(nil)
+	sess := experiments.NewSession()
+	sess.SetHistograms(hists)
+	buildJSONReport(sess, true, "nvm", costmodel.NVMBacked(8))
 	hists.Finish()
 
 	srv := monitor.NewServer()

@@ -27,10 +27,9 @@ import (
 func TestFlightForensicPathEndToEnd(t *testing.T) {
 	mon := monitor.New(machine.GenericLevels(3), nil)
 	fr := flight.New(4096, machine.GenericLevels(3))
-	experiments.SetMonitor(mon)
-	experiments.SetFlight(fr)
-	defer experiments.SetMonitor(nil)
-	defer experiments.SetFlight(nil)
+	sess := experiments.NewSession()
+	sess.SetMonitor(mon)
+	sess.SetFlight(fr)
 
 	srv := monitor.NewServer()
 	srv.SetMonitor(mon)
@@ -42,7 +41,7 @@ func TestFlightForensicPathEndToEnd(t *testing.T) {
 	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
 	var hooked *flight.Bundle
 	mon.SetViolationHook(func(v monitor.Violation) {
-		b := experiments.FlightCapture(v)
+		b := sess.FlightCapture(v)
 		if b == nil {
 			t.Error("FlightCapture returned nil with a recorder installed")
 			return
@@ -55,11 +54,11 @@ func TestFlightForensicPathEndToEnd(t *testing.T) {
 	// A serial section feeds the main ring through the observe hook; a
 	// distributed one registers per-rank flight recorders through
 	// distObserve.
-	experiments.Sec4(true)
+	sess.Sec4(true)
 	if st := fr.Stats(); st.TotalEvents == 0 {
 		t.Fatal("flight recorder saw no events from the serial section")
 	}
-	experiments.Table1(true)
+	sess.Table1(true)
 
 	// Trip a deliberately impossible bound: the hook must fire.
 	mon.CheckBound("e2e-floor", "table1", 1, 1<<40, 1, false)

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"writeavoid/internal/costmodel"
+	"writeavoid/internal/experiments"
+	"writeavoid/internal/machine"
+)
+
+// The Session refactor's acceptance pin: the -json phase suite and its
+// stream JSONL must be bit-identical to goldens captured from the
+// pre-refactor binary (global-hook wiring, `wabench -quick -json -stream
+// FILE -stream-every 1000`). Regenerate only for a deliberate counter
+// change:
+//
+//	go run ./cmd/wabench -quick -json \
+//	  -stream cmd/wabench/testdata/golden_stream_quick.jsonl -stream-every 1000 \
+//	  > cmd/wabench/testdata/golden_report_quick.json
+func TestGoldenReportBitIdentical(t *testing.T) {
+	var stream bytes.Buffer
+	rec := machine.NewStreamRecorder(&stream, machine.GenericLevels(3), 1000)
+	sess := experiments.NewSession()
+	sess.SetStream(rec)
+
+	rep := buildJSONReport(sess, true, "nvm", costmodel.NVMBacked(8))
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc bytes.Buffer
+	enc := json.NewEncoder(&doc)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+
+	wantDoc, err := os.ReadFile(filepath.Join("testdata", "golden_report_quick.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(doc.Bytes(), wantDoc) {
+		t.Errorf("-json report drifted from pre-refactor golden (%d vs %d bytes)",
+			doc.Len(), len(wantDoc))
+	}
+
+	wantStream, err := os.ReadFile(filepath.Join("testdata", "golden_stream_quick.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stream.Bytes(), wantStream) {
+		t.Errorf("stream JSONL drifted from pre-refactor golden (%d vs %d bytes)",
+			stream.Len(), len(wantStream))
+	}
+}

@@ -145,6 +145,9 @@ func run(args []string) (rc int) {
 	logFormat := fs.String("log", "text", "diagnostic log format: text | json")
 	logLevel := fs.String("log-level", "info", "diagnostic log level: debug | info | warn | error")
 	pprofOn := fs.Bool("pprof", false, "with -serve: expose /debug/pprof profiling endpoints")
+	serviceAddr := fs.String("service", "", "standalone mode: serve the multi-tenant benchmark API (POST /runs, result cache, load shedding) on this address")
+	serviceWorkers := fs.Int("service-workers", 4, "with -service: worker-pool size")
+	serviceQueue := fs.Int("service-queue", 64, "with -service: bounded job-queue capacity (full queue sheds with 429)")
 	flightEvents := fs.Int("flight", 0, "attach an always-on flight recorder keeping the last N events per hierarchy (0 = off)")
 	flightDump := fs.String("flight-dump", "", "with -flight: write violation forensic bundles (JSON + Perfetto trace) into this directory")
 	fs.Parse(args) //nolint:errcheck
@@ -154,8 +157,11 @@ func run(args []string) (rc int) {
 		fmt.Fprintf(os.Stderr, "wabench: %v\n", err)
 		return 2
 	}
-	experiments.SetLogger(logger)
-	defer experiments.SetLogger(nil)
+	// One Session owns this run's observability wiring end to end; nothing
+	// is process-global, so an embedding caller (or the benchmark service)
+	// can run many sessions concurrently.
+	sess := experiments.NewSession()
+	sess.SetLogger(logger)
 
 	placement, err := machine.ParsePlacement(*placementFlag)
 	if err != nil {
@@ -212,6 +218,14 @@ func run(args []string) (rc int) {
 		return runCompare(fs.Arg(0), fs.Arg(1), *compareNsRatio, *compareEvEps)
 	}
 
+	if *serviceAddr != "" {
+		if *jsonOut || *benchJSON != "" || *serveAddr != "" || fs.NArg() > 0 {
+			fmt.Fprintln(os.Stderr, "wabench: -service is a standalone mode; it cannot combine with -json, -benchjson, -serve, or section arguments")
+			return 2
+		}
+		return runService(*serviceAddr, *serviceWorkers, *serviceQueue, logger)
+	}
+
 	var hw costmodel.HW
 	switch *hwKind {
 	case "dram":
@@ -249,9 +263,8 @@ func run(args []string) (rc int) {
 			w = f
 		}
 		stream := machine.NewStreamRecorder(w, machine.GenericLevels(3), *streamEvery)
-		experiments.SetStream(stream)
+		sess.SetStream(stream)
 		defer func() {
-			experiments.SetStream(nil)
 			if err := stream.Close(); err != nil {
 				logger.Error("closing metrics stream", "err", err)
 				if rc == 0 {
@@ -263,9 +276,8 @@ func run(args []string) (rc int) {
 
 	if *traceTo != "" || *profileOut {
 		prof := profile.NewProfiler(machine.GenericLevels(3))
-		experiments.SetProfile(prof)
+		sess.SetProfile(prof)
 		defer func() {
-			experiments.SetProfile(nil)
 			if *profileOut {
 				fmt.Print(prof.Summary())
 			}
@@ -309,8 +321,7 @@ func run(args []string) (rc int) {
 			reg = jsonSuiteChecks()
 		}
 		mon = monitor.New(machine.GenericLevels(3), reg)
-		experiments.SetMonitor(mon)
-		defer experiments.SetMonitor(nil)
+		sess.SetMonitor(mon)
 	}
 
 	var srv *monitor.Server
@@ -333,13 +344,13 @@ func run(args []string) (rc int) {
 			hists.SetFloor("matmul-nonwa", 64*64)
 			hists.SetFloor("extsort", 1<<12)
 		}
-		experiments.SetHistograms(hists)
+		sess.SetHistograms(hists)
 		srv.SetHistograms(hists)
 		// A second stream recorder feeds the SSE bridge, so /events carries
 		// the same JSONL records a -stream file would, phase marks included.
 		sse := machine.NewStreamRecorder(srv.Events(), machine.GenericLevels(3), *streamEvery)
-		experiments.AddStream(sse)
-		experiments.SetServer(srv)
+		sess.AddStream(sse)
+		sess.SetServer(srv)
 		addr, err := srv.Start(*serveAddr)
 		if err != nil {
 			logger.Error("starting observability server", "err", err)
@@ -348,8 +359,6 @@ func run(args []string) (rc int) {
 		logger.Info("serving observability", "url", fmt.Sprintf("http://%s/", addr),
 			"pprof", *pprofOn)
 		defer func() {
-			experiments.SetServer(nil)
-			experiments.SetHistograms(nil)
 			hists.Finish()  // close the last phase before the final scrapes
 			_ = sse.Close() // final record reaches /events subscribers
 			_ = srv.Close()
@@ -362,15 +371,14 @@ func run(args []string) (rc int) {
 	// -flight-dump — written to disk as JSON plus a Perfetto trace.
 	if *flightEvents > 0 {
 		fr := flight.New(*flightEvents, machine.GenericLevels(3))
-		experiments.SetFlight(fr)
-		defer experiments.SetFlight(nil)
+		sess.SetFlight(fr)
 		if srv != nil {
 			srv.SetFlight(fr)
 		}
 		if mon != nil {
 			dumpDir := *flightDump
 			mon.SetViolationHook(func(v monitor.Violation) {
-				b := experiments.FlightCapture(v)
+				b := sess.FlightCapture(v)
 				if b == nil {
 					return
 				}
@@ -387,7 +395,7 @@ func run(args []string) (rc int) {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(buildJSONReport(*quick, *hwKind, hw)); err != nil {
+		if err := enc.Encode(buildJSONReport(sess, *quick, *hwKind, hw)); err != nil {
 			logger.Error("encoding JSON report", "err", err)
 			return 1
 		}
@@ -404,35 +412,35 @@ func run(args []string) (rc int) {
 		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
-	runSec("sec2", experiments.Sec2Report)
-	runSec("sec3", func() string { return experiments.FormatSec3(experiments.Sec3(*quick)) })
-	runSec("sec4", func() string { return experiments.FormatSec4(experiments.Sec4(*quick)) })
-	runSec("sec5", func() string { return experiments.FormatSec5(experiments.Sec5(*quick)) })
-	runSec("fig2", func() string { return experiments.FormatPanels(experiments.Fig2(*quick)) })
-	runSec("fig5", func() string { return experiments.FormatPanels(experiments.Fig5(*quick)) })
+	runSec("sec2", sess.Sec2Report)
+	runSec("sec3", func() string { return experiments.FormatSec3(sess.Sec3(*quick)) })
+	runSec("sec4", func() string { return experiments.FormatSec4(sess.Sec4(*quick)) })
+	runSec("sec5", func() string { return experiments.FormatSec5(sess.Sec5(*quick)) })
+	runSec("fig2", func() string { return experiments.FormatPanels(sess.Fig2(*quick)) })
+	runSec("fig5", func() string { return experiments.FormatPanels(sess.Fig5(*quick)) })
 	runSec("realcache", func() string {
-		wa, co := experiments.RealCacheCrossCheck()
+		wa, co := sess.RealCacheCrossCheck()
 		return fmt.Sprintf("== Set-associative CLOCK3 cross-check (250 x 128 x 250, 16-way)\n"+
 			"WA order victims.M = %d, CO order victims.M = %d (ordering preserved: %v)\n",
 			wa, co, wa < co)
 	})
 	runSec("table1", func() string {
-		return experiments.FormatTable1(experiments.Table1(*quick), hw, 1<<14, 1<<10, 2, 8)
+		return experiments.FormatTable1(sess.Table1(*quick), hw, 1<<14, 1<<10, 2, 8)
 	})
 	runSec("table2", func() string {
-		return experiments.FormatTable2(experiments.Table2(*quick), hw, 1<<20, 256, 4)
+		return experiments.FormatTable2(sess.Table2(*quick), hw, 1<<20, 256, 4)
 	})
-	runSec("lu", func() string { return experiments.FormatLU(experiments.LU(*quick), hw) })
-	runSec("krylov", func() string { return experiments.FormatKrylov(experiments.Krylov(*quick)) })
-	runSec("sec9", func() string { return experiments.Sec9Report(*quick) })
-	runSec("smp", func() string { return experiments.SMPReport(*quick) })
-	runSec("multilevel", func() string { return experiments.FormatMultiLevel(experiments.MultiLevel(*quick)) })
-	runSec("omega", func() string { return experiments.FormatOmega(experiments.Omega(*quick)) })
+	runSec("lu", func() string { return experiments.FormatLU(sess.LU(*quick), hw) })
+	runSec("krylov", func() string { return experiments.FormatKrylov(sess.Krylov(*quick)) })
+	runSec("sec9", func() string { return sess.Sec9Report(*quick) })
+	runSec("smp", func() string { return sess.SMPReport(*quick) })
+	runSec("multilevel", func() string { return experiments.FormatMultiLevel(sess.MultiLevel(*quick)) })
+	runSec("omega", func() string { return experiments.FormatOmega(sess.Omega(*quick)) })
 	// Gated under "all" so a default run's output (and every counter behind
 	// it) stays byte-identical to the pre-socket machine; explicit `numa`
 	// always runs, clamped to at least two sockets inside the section.
 	if want["numa"] || (want["all"] && *sockets >= 2) {
-		runSec("numa", func() string { return experiments.FormatNUMA(experiments.NUMA(*quick, *sockets, placement)) })
+		runSec("numa", func() string { return experiments.FormatNUMA(sess.NUMA(*quick, *sockets, placement)) })
 	}
 
 	return conformanceVerdict(mon, *checkMode, logger)

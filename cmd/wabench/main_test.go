@@ -5,13 +5,14 @@ import (
 	"testing"
 
 	"writeavoid/internal/costmodel"
+	"writeavoid/internal/experiments"
 )
 
 // The -json document round-trips: this test consumes the serialized bytes
 // through independent struct tags, the way an external tool would, and
 // checks the counters inside.
 func TestJSONReportCounters(t *testing.T) {
-	raw, err := json.Marshal(buildJSONReport(true, "nvm", costmodel.NVMBacked(8)))
+	raw, err := json.Marshal(buildJSONReport(experiments.NewSession(), true, "nvm", costmodel.NVMBacked(8)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -29,19 +29,19 @@ type Report struct {
 // buildJSONReport runs a small suite of counted phases, each on a fresh
 // hierarchy with a costmodel.Recorder attached, and snapshots the counters.
 // Phase sizes are fixed (they already finish in milliseconds), so quick only
-// tags the document. Each phase passes its hierarchy through the experiments
+// tags the document. Each phase passes its hierarchy through the session's
 // observability hooks, so any installed stream recorders, profiler, monitor
 // and server see the suite the same way they see the text sections — phase
 // boundaries become marks, and the JSONL deltas line up with the report's
 // phases name for name.
-func buildJSONReport(quick bool, hwName string, hw costmodel.HW) Report {
+func buildJSONReport(sess *experiments.Session, quick bool, hwName string, hw costmodel.HW) Report {
 	rep := Report{HW: hwName, Quick: quick}
 
 	phase := func(name string, h *machine.Hierarchy, run func()) {
 		rec := costmodel.NewRecorder(hw)
 		h.Attach(rec)
-		experiments.Mark(name)
-		experiments.Observe(h)
+		sess.Mark(name)
+		sess.Observe(h)
 		run()
 		rep.Phases = append(rep.Phases, PhaseReport{
 			Name:             name,

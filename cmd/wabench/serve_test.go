@@ -43,12 +43,9 @@ func sseClient(t *testing.T, url string) (*bufio.Reader, context.CancelFunc) {
 func TestServeEventsStreamDuringRun(t *testing.T) {
 	srv := monitor.NewServer()
 	sse := machine.NewStreamRecorder(srv.Events(), machine.GenericLevels(3), 0)
-	experiments.AddStream(sse)
-	experiments.SetServer(srv)
-	defer func() {
-		experiments.SetServer(nil)
-		experiments.SetStream(nil)
-	}()
+	sess := experiments.NewSession()
+	sess.AddStream(sse)
+	sess.SetServer(srv)
 
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -59,7 +56,7 @@ func TestServeEventsStreamDuringRun(t *testing.T) {
 	_ = quitter
 	disconnect() // hangs up before the run starts producing
 
-	buildJSONReport(true, "nvm", costmodel.NVMBacked(8))
+	buildJSONReport(sess, true, "nvm", costmodel.NVMBacked(8))
 	if err := sse.Close(); err != nil { // flush the final record to /events
 		t.Fatal(err)
 	}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"writeavoid/internal/monitor"
+	"writeavoid/internal/service"
+)
+
+// runService is the `-service ADDR` standalone mode: the observability
+// server with the multi-tenant benchmark API mounted on it — POST /runs,
+// per-run status/result/SSE, and the wa_service_* families on /metrics —
+// serving until SIGINT/SIGTERM, then draining the queue before exit.
+func runService(addr string, workers, queueCap int, logger *slog.Logger) int {
+	svc := service.New(workers, queueCap)
+	srv := monitor.NewServer()
+	srv.SetLogger(logger)
+	svc.Mount(srv)
+	bound, err := srv.Start(addr)
+	if err != nil {
+		logger.Error("starting service", "err", err)
+		return 1
+	}
+	logger.Info("benchmark service listening",
+		"addr", bound.String(), "workers", workers, "queue", queueCap,
+		"sections", service.Sections())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	logger.Info("benchmark service draining")
+	svc.Close() // workers finish every queued run; brokers shut down
+	if err := srv.Close(); err != nil {
+		logger.Error("closing server", "err", err)
+		return 1
+	}
+	return 0
+}

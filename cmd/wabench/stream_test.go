@@ -32,10 +32,10 @@ func decodeStream(t *testing.T, raw []byte) []machine.StreamRecord {
 func TestStreamJSONLRoundTripsExactly(t *testing.T) {
 	var buf bytes.Buffer
 	stream := machine.NewStreamRecorder(&buf, machine.GenericLevels(3), 1000)
-	experiments.SetStream(stream)
+	sess := experiments.NewSession()
+	sess.SetStream(stream)
 
-	buildJSONReport(true, "nvm", costmodel.NVMBacked(8))
-	experiments.SetStream(nil)
+	buildJSONReport(sess, true, "nvm", costmodel.NVMBacked(8))
 	if err := stream.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -89,10 +89,10 @@ func TestStreamJSONLRoundTripsExactly(t *testing.T) {
 func TestStreamExperimentsHook(t *testing.T) {
 	var buf bytes.Buffer
 	stream := machine.NewStreamRecorder(&buf, machine.GenericLevels(3), 0)
-	experiments.SetStream(stream)
-	defer experiments.SetStream(nil)
+	sess := experiments.NewSession()
+	sess.SetStream(stream)
 
-	experiments.Sec2Report()
+	sess.Sec2Report()
 	if err := stream.Close(); err != nil {
 		t.Fatal(err)
 	}

@@ -9,7 +9,7 @@ import (
 // must hold even at the reduced scale.
 
 func TestFig2Shapes(t *testing.T) {
-	panels := Fig2(true)
+	panels := NewSession().Fig2(true)
 	if len(panels) != 6 {
 		t.Fatalf("Figure 2 has 6 panels, got %d", len(panels))
 	}
@@ -54,7 +54,7 @@ func TestFig2Shapes(t *testing.T) {
 }
 
 func TestFig5Shapes(t *testing.T) {
-	panels := Fig5(true)
+	panels := NewSession().Fig5(true)
 	if len(panels) != 8 {
 		t.Fatalf("Figure 5 has 8 panels, got %d", len(panels))
 	}
@@ -85,7 +85,7 @@ func TestFig5Shapes(t *testing.T) {
 }
 
 func TestSec4Rows(t *testing.T) {
-	rows := Sec4(true)
+	rows := NewSession().Sec4(true)
 	if len(rows) != 6 {
 		t.Fatalf("want 6 kernels, got %d", len(rows))
 	}
@@ -104,7 +104,7 @@ func TestSec4Rows(t *testing.T) {
 }
 
 func TestSec3Rows(t *testing.T) {
-	rows := Sec3(true)
+	rows := NewSession().Sec3(true)
 	if len(rows) != 6 {
 		t.Fatalf("want 6 rows, got %d", len(rows))
 	}
@@ -122,7 +122,7 @@ func TestSec3Rows(t *testing.T) {
 }
 
 func TestSec5Rows(t *testing.T) {
-	rows := Sec5(true)
+	rows := NewSession().Sec5(true)
 	for _, r := range rows {
 		if r.WAVictimsM > 2*r.OutputLines {
 			t.Errorf("cache %d: WA victims %d far above output %d", r.CacheBytes, r.WAVictimsM, r.OutputLines)
@@ -138,14 +138,14 @@ func TestSec5Rows(t *testing.T) {
 }
 
 func TestSec2Report(t *testing.T) {
-	r := Sec2Report()
+	r := NewSession().Sec2Report()
 	if !strings.Contains(r, "Theorem 1") || !strings.Contains(r, "true") {
 		t.Fatalf("bad report:\n%s", r)
 	}
 }
 
 func TestTable1Measured(t *testing.T) {
-	rows := Table1(true)
+	rows := NewSession().Table1(true)
 	if len(rows) != 3 {
 		t.Fatalf("want 3 algorithms, got %d", len(rows))
 	}
@@ -165,7 +165,7 @@ func TestTable1Measured(t *testing.T) {
 }
 
 func TestTable2Measured(t *testing.T) {
-	rows := Table2(true)
+	rows := NewSession().Table2(true)
 	if len(rows) != 2 {
 		t.Fatal("two algorithms")
 	}
@@ -182,7 +182,7 @@ func TestTable2Measured(t *testing.T) {
 }
 
 func TestLURows(t *testing.T) {
-	rows := LU(true)
+	rows := NewSession().LU(true)
 	if len(rows) != 4 {
 		t.Fatal("LU and Cholesky, LL and RL each")
 	}
@@ -199,7 +199,7 @@ func TestLURows(t *testing.T) {
 }
 
 func TestMultiLevelRows(t *testing.T) {
-	rows := MultiLevel(true)
+	rows := NewSession().MultiLevel(true)
 	if len(rows) != 2 {
 		t.Fatal("two orders")
 	}
@@ -224,28 +224,28 @@ func TestMultiLevelRows(t *testing.T) {
 }
 
 func TestSMPReportShapes(t *testing.T) {
-	out := SMPReport(true)
+	out := NewSession().SMPReport(true)
 	if !strings.Contains(out, "depth-first") || !strings.Contains(out, "breadth-first") {
 		t.Fatalf("bad report:\n%s", out)
 	}
 }
 
 func TestSec9ReportShapes(t *testing.T) {
-	out := Sec9Report(true)
+	out := NewSession().Sec9Report(true)
 	if !strings.Contains(out, "mergesort") {
 		t.Fatalf("bad report:\n%s", out)
 	}
 }
 
 func TestRealCacheCrossCheckOrdering(t *testing.T) {
-	wa, co := RealCacheCrossCheck()
+	wa, co := NewSession().RealCacheCrossCheck()
 	if wa >= co {
 		t.Fatalf("WA order should beat CO under CLOCK3: %d vs %d", wa, co)
 	}
 }
 
 func TestKrylovRows(t *testing.T) {
-	rows := Krylov(true)
+	rows := NewSession().Krylov(true)
 	if len(rows) != 6 {
 		t.Fatal("three s values x two dimensionalities")
 	}

@@ -85,8 +85,8 @@ func runTrace(run func(access.Sink)) (cache.Stats, int64) {
 // (b) the locality-tuned but write-oblivious order standing in for MKL
 // dgemm, (c)-(f) two-level write-avoiding orders with L3 blocks 48/56/64/72
 // (the paper's 700/800/900/1023).
-func Fig2(quick bool) []FigPanel {
-	mark("fig2")
+func (s *Session) Fig2(quick bool) []FigPanel {
+	s.mark("fig2")
 	var panels []FigPanel
 
 	co := FigPanel{Name: "fig2a cache-oblivious"}
@@ -126,8 +126,8 @@ func Fig2(quick bool) []FigPanel {
 // left column is the multi-level WA instruction order (Fig. 4a: contraction
 // innermost at every level), the right column the two-level WA order
 // (Fig. 4b: contraction outermost below the top level).
-func Fig5(quick bool) []FigPanel {
-	mark("fig5")
+func (s *Session) Fig5(quick bool) []FigPanel {
+	s.mark("fig5")
 	var panels []FigPanel
 	for _, b := range Fig2Blocks {
 		for _, multiLevel := range []bool{true, false} {
@@ -155,8 +155,8 @@ func Fig5(quick bool) []FigPanel {
 // documented Nehalem-EX replacement approximation), verifying that the
 // write-avoidance ordering survives a real replacement policy and limited
 // associativity, conflict noise included.
-func RealCacheCrossCheck() (waVictimsM, coVictimsM int64) {
-	mark("realcache")
+func (s *Session) RealCacheCrossCheck() (waVictimsM, coVictimsM int64) {
+	s.mark("realcache")
 	mkClock := func() *cache.Cache {
 		return cache.New(cache.Config{
 			SizeBytes: figL3Bytes,

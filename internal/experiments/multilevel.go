@@ -29,8 +29,8 @@ type MultiLevelRow struct {
 // The shapes mirror Figure 5: the Fig. 4b order minimizes write-backs from
 // the LAST level (memory writes) but pays more L1/L2-level write-backs,
 // while the Fig. 4a order is the better citizen at the upper levels.
-func MultiLevel(quick bool) []MultiLevelRow {
-	mark("multilevel")
+func (s *Session) MultiLevel(quick bool) []MultiLevelRow {
+	s.mark("multilevel")
 	n := 96
 	mid := 192
 	if quick {

@@ -66,8 +66,8 @@ const (
 // per socket — the algorithm is traffic-homogeneous, every rank sends the
 // same words, so the critical-path floor must hold inside every socket, not
 // just on the machine-wide maximum.
-func NUMA(quick bool, sockets int, placement machine.Placement) []NUMARow {
-	mark("numa")
+func (s *Session) NUMA(quick bool, sockets int, placement machine.Placement) []NUMARow {
+	s.mark("numa")
 	if sockets < 2 {
 		sockets = 2
 	}
@@ -85,8 +85,8 @@ func NUMA(quick bool, sockets int, placement machine.Placement) []NUMARow {
 		cfg := pmm.Config{
 			Q: q, C: c, M1: 48, B1: 4, M2: 3 * 8 * 8, B2: 8, UseL3: true,
 			Sockets: sockets, Placement: pl,
-			Observe: distObserve("numa " + pl.String()),
-			Logger:  runLogger(),
+			Observe: s.distObserve("numa " + pl.String()),
+			Logger:  s.runLogger(),
 		}
 		_, m, err := pmm.MM25D(cfg, a, b)
 		if err != nil {
@@ -109,15 +109,15 @@ func NUMA(quick bool, sockets int, placement machine.Placement) []NUMARow {
 			row.LocalNet += nc.WordsSent - nc.RemoteWordsSent
 			row.RemoteNet += nc.RemoteWordsSent
 		}
-		conform("w2-network-floor", "numa/"+pl.String(),
+		s.conform("w2-network-floor", "numa/"+pl.String(),
 			float64(row.NetWords), row.W2Bound, 1, false)
 		perSocket := make([]float64, m.NumSockets())
 		for s := range perSocket {
 			perSocket[s] = float64(m.MaxNetOnSocket(s).WordsSent)
 		}
-		conformPerSocket("w2-network-floor-socket", "numa/"+pl.String(),
+		s.conformPerSocket("w2-network-floor-socket", "numa/"+pl.String(),
 			perSocket, row.W2Bound, 1, false)
-		distDone("numa "+pl.String(), m)
+		s.distDone("numa "+pl.String(), m)
 		rows = append(rows, row)
 	}
 	return rows

@@ -88,7 +88,7 @@ type OmegaReport struct {
 // and ceiling, slack 1) against its Predict* counts through the monitor,
 // and the per-phase registry bounds (classical store floors, write-efficient
 // store ceilings) are evaluated at each mark.
-func Omega(quick bool) OmegaReport {
+func (s *Session) Omega(quick bool) OmegaReport {
 	rep := OmegaReport{Sweep: omegaSweep}
 	rep.SortN, rep.SortM = omegaSortSize(quick)
 	rep.LCSLa, rep.LCSLb, rep.LCSM = omegaLCSSize(quick)
@@ -103,10 +103,10 @@ func Omega(quick bool) OmegaReport {
 			row.Costs = append(row.Costs, machine.Asymmetric(w).Time(h))
 		}
 		rep.Variants = append(rep.Variants, row)
-		conform("omega-loads-exact", "omega/"+name, float64(c.LoadWords), float64(wantL), 1, false)
-		conform("omega-loads-exact", "omega/"+name, float64(c.LoadWords), float64(wantL), 1, true)
-		conform("omega-stores-exact", "omega/"+name, float64(c.StoreWords), float64(wantS), 1, false)
-		conform("omega-stores-exact", "omega/"+name, float64(c.StoreWords), float64(wantS), 1, true)
+		s.conform("omega-loads-exact", "omega/"+name, float64(c.LoadWords), float64(wantL), 1, false)
+		s.conform("omega-loads-exact", "omega/"+name, float64(c.LoadWords), float64(wantL), 1, true)
+		s.conform("omega-stores-exact", "omega/"+name, float64(c.StoreWords), float64(wantS), 1, false)
+		s.conform("omega-stores-exact", "omega/"+name, float64(c.StoreWords), float64(wantS), 1, true)
 	}
 
 	data := make([]float64, rep.SortN)
@@ -114,16 +114,16 @@ func Omega(quick bool) OmegaReport {
 		data[i] = float64((i*2654435761)%1000003) - 500000
 	}
 
-	mark("omega/sort-classical")
-	h := observe(machine.TwoLevel(int64(rep.SortM)))
+	s.mark("omega/sort-classical")
+	h := s.observe(machine.TwoLevel(int64(rep.SortM)))
 	if _, err := extsort.Sort(h, rep.SortM, data); err != nil {
 		panic(err)
 	}
 	wl, ws := extsort.PredictTraffic(rep.SortN, rep.SortM)
 	priced("sort-classical", h, wl, ws)
 
-	mark("omega/sort-weff")
-	h = observe(machine.TwoLevel(int64(rep.SortM)))
+	s.mark("omega/sort-weff")
+	h = s.observe(machine.TwoLevel(int64(rep.SortM)))
 	if _, err := extsort.SortWriteEfficient(h, rep.SortM, data); err != nil {
 		panic(err)
 	}
@@ -131,8 +131,8 @@ func Omega(quick bool) OmegaReport {
 	priced("sort-weff", h, wl, ws)
 
 	for _, w := range omegaSweep {
-		mark(omegaSortPhase(w))
-		h = observe(machine.TwoLevel(int64(rep.SortM)))
+		s.mark(omegaSortPhase(w))
+		h = s.observe(machine.TwoLevel(int64(rep.SortM)))
 		_, strat, err := extsort.SortOmega(h, rep.SortM, w, data)
 		if err != nil {
 			panic(err)
@@ -145,11 +145,11 @@ func Omega(quick bool) OmegaReport {
 			Loads: c.LoadWords, Stores: c.StoreWords,
 			Cost: machine.Asymmetric(w).Time(h),
 		})
-		conform("omega-plan-exact", omegaSortPhase(w),
+		s.conform("omega-plan-exact", omegaSortPhase(w),
 			lowerbounds.OmegaCost(c.LoadWords, c.StoreWords, w),
 			lowerbounds.OmegaCost(wantL, wantS, w), 1, true)
 		// The planner's pick still sits above the (M, ω) sort cost floor.
-		conform("omega-sort-cost-floor", omegaSortPhase(w),
+		s.conform("omega-sort-cost-floor", omegaSortPhase(w),
 			lowerbounds.OmegaCost(c.LoadWords, c.StoreWords, w),
 			lowerbounds.OmegaSortCostFloor(rep.SortN, int64(rep.SortM), w), 1, false)
 		if strat != wantStrat {
@@ -166,8 +166,8 @@ func Omega(quick bool) OmegaReport {
 		bs[i] = byte((i * 5) % 4)
 	}
 
-	mark("omega/lcs-classical")
-	h = observe(machine.TwoLevel(int64(rep.LCSM)))
+	s.mark("omega/lcs-classical")
+	h = s.observe(machine.TwoLevel(int64(rep.LCSM)))
 	lenC, err := dp.LCSClassical(h, rep.LCSM, a, bs)
 	if err != nil {
 		panic(err)
@@ -175,8 +175,8 @@ func Omega(quick bool) OmegaReport {
 	wl, ws = dp.PredictLCSClassical(rep.LCSLa, rep.LCSLb, rep.LCSM)
 	priced("lcs-classical", h, wl, ws)
 
-	mark("omega/lcs-weff")
-	h = observe(machine.TwoLevel(int64(rep.LCSM)))
+	s.mark("omega/lcs-weff")
+	h = s.observe(machine.TwoLevel(int64(rep.LCSM)))
 	lenW, err := dp.LCSWriteEfficient(h, rep.LCSM, a, bs)
 	if err != nil {
 		panic(err)
@@ -199,8 +199,8 @@ func Omega(quick bool) OmegaReport {
 		}
 	}
 
-	mark("omega/fw-classical")
-	h = observe(machine.TwoLevel(int64(rep.FWM)))
+	s.mark("omega/fw-classical")
+	h = s.observe(machine.TwoLevel(int64(rep.FWM)))
 	fwC, err := dp.FWClassical(h, rep.FWM, rep.FWN, d)
 	if err != nil {
 		panic(err)
@@ -208,8 +208,8 @@ func Omega(quick bool) OmegaReport {
 	wl, ws = dp.PredictFWClassical(rep.FWN, rep.FWM)
 	priced("fw-classical", h, wl, ws)
 
-	mark("omega/fw-weff")
-	h = observe(machine.TwoLevel(int64(rep.FWM)))
+	s.mark("omega/fw-weff")
+	h = s.observe(machine.TwoLevel(int64(rep.FWM)))
 	fwW, err := dp.FWWriteEfficient(h, rep.FWM, rep.FWN, d)
 	if err != nil {
 		panic(err)
@@ -224,7 +224,7 @@ func Omega(quick bool) OmegaReport {
 	// Even the write-efficient FW must pay ω per word of its n^2-word
 	// output: the DP write floor in the (M, ω) cost.
 	for _, w := range omegaSweep {
-		conform("omega-dp-write-floor", "omega/fw-weff",
+		s.conform("omega-dp-write-floor", "omega/fw-weff",
 			w*float64(h.Interface(0).StoreWords),
 			lowerbounds.OmegaWriteFloorDP(int64(rep.FWN)*int64(rep.FWN), w), 1, false)
 	}

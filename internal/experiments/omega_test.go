@@ -15,10 +15,10 @@ import (
 // section runs under its own conformance registry.
 func TestOmegaRows(t *testing.T) {
 	mon := monitor.New(machine.GenericLevels(2), ConformanceChecks(true))
-	SetMonitor(mon)
-	defer SetMonitor(nil)
+	sess := NewSession()
+	sess.SetMonitor(mon)
 
-	rep := Omega(true)
+	rep := sess.Omega(true)
 	if viol := mon.Finish(); len(viol) != 0 {
 		t.Fatalf("conformance violations: %v", viol)
 	}
@@ -90,7 +90,7 @@ func TestOmegaFullSizeNoMonitor(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-size ω section")
 	}
-	rep := Omega(false)
+	rep := NewSession().Omega(false)
 	if rep.SortN != 16384 || rep.FWN != 64 {
 		t.Fatalf("unexpected full sizes: %+v", rep)
 	}

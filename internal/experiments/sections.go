@@ -36,8 +36,8 @@ type Sec4Row struct {
 
 // Sec4 measures every Section 4 algorithm at a few sizes, reporting stores
 // to slow memory under both loop orders against the output-size lower bound.
-func Sec4(quick bool) []Sec4Row {
-	mark("sec4")
+func (s *Session) Sec4(quick bool) []Sec4Row {
+	s.mark("sec4")
 	sizes := []int{32, 64}
 	if quick {
 		sizes = sizes[:1]
@@ -49,7 +49,7 @@ func Sec4(quick bool) []Sec4Row {
 		{
 			run := func(order core.Order) machine.InterfaceCounters {
 				p := core.TwoLevelPlan(int64(3*b*b), b, order)
-				observe(p.H)
+				s.observe(p.H)
 				c := matrix.New(n, n)
 				if err := core.MatMul(p, c, matrix.Random(n, n, 1), matrix.Random(n, n, 2)); err != nil {
 					panic(err)
@@ -64,7 +64,7 @@ func Sec4(quick bool) []Sec4Row {
 		{
 			run := func(order core.Order) machine.InterfaceCounters {
 				p := core.TwoLevelPlan(int64(3*b*b), b, order)
-				observe(p.H)
+				s.observe(p.H)
 				t := matrix.RandomUpperTriangular(n, 3)
 				x := matrix.Random(n, n, 4)
 				if err := core.TRSM(p, t, x); err != nil {
@@ -80,7 +80,7 @@ func Sec4(quick bool) []Sec4Row {
 		{
 			run := func(order core.Order) machine.InterfaceCounters {
 				p := core.TwoLevelPlan(int64(3*b*b), b, order)
-				observe(p.H)
+				s.observe(p.H)
 				a := matrix.RandomSPD(n, 5)
 				if err := core.Cholesky(p, a); err != nil {
 					panic(err)
@@ -95,7 +95,7 @@ func Sec4(quick bool) []Sec4Row {
 		{
 			run := func(order core.Order) machine.InterfaceCounters {
 				p := core.TwoLevelPlan(int64(3*b*b), b, order)
-				observe(p.H)
+				s.observe(p.H)
 				a := matrix.Random(n, n, 7)
 				for d := 0; d < n; d++ {
 					a.Set(d, d, a.At(d, d)+float64(n)+2)
@@ -116,7 +116,7 @@ func Sec4(quick bool) []Sec4Row {
 				if order == core.OrderNonWA {
 					need = int64(2*n*b + 2*b*b)
 				}
-				h := observe(machine.TwoLevel(need))
+				h := s.observe(machine.TwoLevel(need))
 				a := matrix.Random(n, n, 8)
 				r := matrix.New(n, n)
 				if err := core.QR(h, b, order, a, r); err != nil {
@@ -132,13 +132,13 @@ func Sec4(quick bool) []Sec4Row {
 		}
 		// Direct (N,2)-body (Algorithm 4): WA vs force-symmetry.
 		{
-			s := nbody.RandomSystem(n, 6)
-			hWA := observe(machine.TwoLevel(int64(3 * b)))
-			if _, err := nbody.Forces2WA(hWA, []int{b}, s); err != nil {
+			sys := nbody.RandomSystem(n, 6)
+			hWA := s.observe(machine.TwoLevel(int64(3 * b)))
+			if _, err := nbody.Forces2WA(hWA, []int{b}, sys); err != nil {
 				panic(err)
 			}
-			hSym := observe(machine.TwoLevel(int64(4 * b)))
-			if _, err := nbody.Forces2Symmetric(hSym, b, s); err != nil {
+			hSym := s.observe(machine.TwoLevel(int64(4 * b)))
+			if _, err := nbody.Forces2Symmetric(hSym, b, sys); err != nil {
 				panic(err)
 			}
 			rows = append(rows, Sec4Row{"nbody2", n, b, int64(n),
@@ -179,8 +179,8 @@ type Sec3Row struct {
 
 // Sec3 measures the FFT and Strassen store fractions (Corollaries 2 and 3)
 // together with their CDAG degrees and Theorem 2 bounds.
-func Sec3(quick bool) []Sec3Row {
-	mark("sec3")
+func (s *Session) Sec3(quick bool) []Sec3Row {
+	s.mark("sec3")
 	var rows []Sec3Row
 
 	nFFT := 4096
@@ -193,7 +193,7 @@ func Sec3(quick bool) []Sec3Row {
 		x[i] = complex(float64(i%7)-3, float64(i%5)-2)
 	}
 	for _, m := range []int{16, 128, 1024} {
-		h := observe(machine.TwoLevel(int64(m)))
+		h := s.observe(machine.TwoLevel(int64(m)))
 		fft.External(h, m, x)
 		c := h.Interface(0)
 		tr := c.LoadWords + c.StoreWords
@@ -214,7 +214,7 @@ func Sec3(quick bool) []Sec3Row {
 	a := matrix.Random(nStr, nStr, 1)
 	bm := matrix.Random(nStr, nStr, 2)
 	for _, m := range []int64{48, 192, 768} {
-		h := observe(machine.TwoLevel(m))
+		h := s.observe(machine.TwoLevel(m))
 		if _, err := strassen.Multiply(h, m, a, bm); err != nil {
 			panic(err)
 		}
@@ -284,8 +284,8 @@ type Sec5Row struct {
 
 // Sec5 runs the Theorem 3 experiment: a fixed multiplication through
 // fully-associative LRU caches of shrinking size.
-func Sec5(quick bool) []Sec5Row {
-	mark("sec5")
+func (s *Session) Sec5(quick bool) []Sec5Row {
+	s.mark("sec5")
 	n := 96
 	if quick {
 		n = 64
@@ -316,8 +316,8 @@ func Sec5(quick bool) []Sec5Row {
 		cWA.FlushDirty()
 
 		key := fmt.Sprintf("%dK", sz/1024)
-		statsCheck("sec5-co-"+key, cCO.Stats())
-		statsCheck("sec5-wa-"+key, cWA.Stats())
+		s.statsCheck("sec5-co-"+key, cCO.Stats())
+		s.statsCheck("sec5-wa-"+key, cWA.Stats())
 
 		elems := float64(sz) / 8
 		rows = append(rows, Sec5Row{
@@ -348,8 +348,8 @@ func FormatSec5(rows []Sec5Row) string {
 // SMPReport runs the Section 9 shared-memory scheduler experiment: the same
 // blocked-matmul task set through a shared LLC under depth-first vs
 // breadth-first worker schedules.
-func SMPReport(quick bool) string {
-	mark("smp")
+func (s *Session) SMPReport(quick bool) string {
+	s.mark("smp")
 	n, b, workers := 128, 16, 4
 	if quick {
 		n = 64
@@ -374,7 +374,7 @@ func SMPReport(quick bool) string {
 		if err != nil {
 			panic(err)
 		}
-		statsCheck("smp-"+tc.name, res.Stats)
+		s.statsCheck("smp-"+tc.name, res.Stats)
 		fmt.Fprintf(tw, "%s\t%d\t%dK\t%d\t%d\t%.1f\t\n",
 			tc.name, workers, llcBytes/1024, res.Stats.VictimsM, outLines,
 			float64(res.Stats.VictimsM)/float64(outLines))
@@ -386,8 +386,8 @@ func SMPReport(quick bool) string {
 // Sec9Report exhibits the paper's Section 9 sorting conjecture: the
 // I/O-optimal external mergesort's stores equal its loads for every
 // fast-memory size, across a sweep of M.
-func Sec9Report(quick bool) string {
-	mark("sec9")
+func (s *Session) Sec9Report(quick bool) string {
+	s.mark("sec9")
 	n := 1 << 16
 	if quick {
 		n = 1 << 13
@@ -401,7 +401,7 @@ func Sec9Report(quick bool) string {
 	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintf(tw, "n\tM\tloads\tstores\tpasses\t\n")
 	for _, m := range []int{64, 512, 4096} {
-		h := observe(machine.TwoLevel(int64(m)))
+		h := s.observe(machine.TwoLevel(int64(m)))
 		if _, err := extsort.Sort(h, m, data); err != nil {
 			panic(err)
 		}
@@ -413,10 +413,10 @@ func Sec9Report(quick bool) string {
 }
 
 // Sec2Report summarizes Theorem 1 on a measured run.
-func Sec2Report() string {
-	mark("sec2")
+func (s *Session) Sec2Report() string {
+	s.mark("sec2")
 	p := core.TwoLevelPlan(3*16*16, 16, core.OrderWA)
-	observe(p.H)
+	s.observe(p.H)
 	c := matrix.New(64, 64)
 	if err := core.MatMul(p, c, matrix.Random(64, 64, 1), matrix.Random(64, 64, 2)); err != nil {
 		panic(err)

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"writeavoid/internal/machine"
+)
+
+// sessionRun drives one fully wired session through a deterministic section
+// and returns the stream recorder's post-hoc snapshot plus the emitted JSONL.
+func sessionRun() (machine.Snapshot, []byte) {
+	var buf bytes.Buffer
+	rec := machine.NewStreamRecorder(&buf, machine.GenericLevels(3), 0)
+	sess := NewSession()
+	sess.SetStream(rec)
+	sess.Sec2Report()
+	if err := rec.Close(); err != nil {
+		panic(err)
+	}
+	return rec.Snapshot(), buf.Bytes()
+}
+
+// The regression the Session refactor exists for: the old package-level
+// AddStream globals accumulated recorders across in-process runs, so a
+// second run double-counted into the first run's sinks, and two concurrent
+// runs raced on the shared slice. With per-run Sessions, every run — whether
+// sequential or concurrent — must produce the same exact snapshot and the
+// same stream bytes as a solo reference run, with nothing leaked between
+// them.
+func TestSessionsIsolateRuns(t *testing.T) {
+	refSnap, refStream := sessionRun()
+	if refSnap.Flops == 0 {
+		t.Fatal("reference run recorded no work; stream not attached")
+	}
+
+	// Two sequential in-process runs: byte- and counter-identical to the
+	// reference, i.e. no recorder state survives from one run to the next.
+	for i := 0; i < 2; i++ {
+		snap, stream := sessionRun()
+		if !reflect.DeepEqual(snap, refSnap) {
+			t.Fatalf("sequential run %d snapshot differs from reference:\ngot  %+v\nwant %+v", i, snap, refSnap)
+		}
+		if !bytes.Equal(stream, refStream) {
+			t.Fatalf("sequential run %d stream bytes differ from reference", i)
+		}
+	}
+
+	// Two concurrent runs: each session owns its recorders, so neither sees
+	// the other's events and both still match the solo reference exactly.
+	var wg sync.WaitGroup
+	snaps := make([]machine.Snapshot, 2)
+	streams := make([][]byte, 2)
+	for i := range snaps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			snaps[i], streams[i] = sessionRun()
+		}(i)
+	}
+	wg.Wait()
+	for i := range snaps {
+		if !reflect.DeepEqual(snaps[i], refSnap) {
+			t.Fatalf("concurrent run %d snapshot differs from reference:\ngot  %+v\nwant %+v", i, snaps[i], refSnap)
+		}
+		if !bytes.Equal(streams[i], refStream) {
+			t.Fatalf("concurrent run %d stream bytes differ from reference", i)
+		}
+	}
+}

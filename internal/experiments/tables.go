@@ -30,8 +30,8 @@ type Table1Measured struct {
 // Table1 runs 2DMML2, 2.5DMML2 and 2.5DMML3 at a small scale and reports the
 // measured per-processor words next to the W2 bound; the analytic rows of
 // the paper's Table 1 are printed separately from costmodel.
-func Table1(quick bool) []Table1Measured {
-	mark("table1")
+func (s *Session) Table1(quick bool) []Table1Measured {
+	s.mark("table1")
 	n, q := 64, 4
 	if !quick {
 		n = 128
@@ -49,7 +49,7 @@ func Table1(quick bool) []Table1Measured {
 	}
 	var rows []Table1Measured
 	for _, tc := range configs {
-		tc.cfg.Observe = distObserve("table1 " + tc.name)
+		tc.cfg.Observe = s.distObserve("table1 " + tc.name)
 		_, m, err := pmm.MM25D(tc.cfg, a, b)
 		if err != nil {
 			panic(err)
@@ -80,9 +80,9 @@ func Table1(quick bool) []Table1Measured {
 			NVMWrites:  w23,
 			W2Bound:    lowerbounds.W2(n, tc.cfg.P(), float64(tc.cfg.C)),
 		}
-		conform("w2-network-floor", "table1/"+tc.name,
+		s.conform("w2-network-floor", "table1/"+tc.name,
 			float64(row.NetWords), row.W2Bound, 1, false)
-		distDone("table1 "+tc.name, m)
+		s.distDone("table1 "+tc.name, m)
 		rows = append(rows, row)
 	}
 	return rows
@@ -134,8 +134,8 @@ type Table2Measured struct {
 
 // Table2 runs 2.5DMML3ooL2 and SUMMAL3ooL2 and reports measured words
 // against both Theorem 4 bounds.
-func Table2(quick bool) []Table2Measured {
-	mark("table2")
+func (s *Session) Table2(quick bool) []Table2Measured {
+	s.mark("table2")
 	n := 64
 	if !quick {
 		n = 128
@@ -144,13 +144,13 @@ func Table2(quick bool) []Table2Measured {
 	b := matrix.Random(n, n, 4)
 
 	cfg25 := pmm.Config{Q: 4, C: 4, M1: 48, B1: 4, M2: 3 * 8 * 8, B2: 8, UseL3: true,
-		Observe: distObserve("table2 2.5DMML3ooL2")}
+		Observe: s.distObserve("table2 2.5DMML3ooL2")}
 	_, m25, err := pmm.MM25D(cfg25, a, b)
 	if err != nil {
 		panic(err)
 	}
 	cfgS := pmm.Config{Q: 4, C: 1, M1: 48, B1: 4, M2: 3 * 8 * 8, B2: 8, UseL3: true,
-		Observe: distObserve("table2 SUMMAL3ooL2")}
+		Observe: s.distObserve("table2 SUMMAL3ooL2")}
 	_, mS, err := pmm.SUMMAooL2(cfgS, 8, a, b)
 	if err != nil {
 		panic(err)
@@ -188,13 +188,13 @@ func Table2(quick bool) []Table2Measured {
 	// valid lower bounds: per-processor NVM writes sit at or above W1
 	// (SUMMA attains it exactly) and network words at or above W2.
 	for _, r := range rows {
-		conform("w1-nvm-write-floor", "table2/"+r.Algorithm,
+		s.conform("w1-nvm-write-floor", "table2/"+r.Algorithm,
 			float64(r.NVMWrites), r.W1Bound, 1, false)
-		conform("w2-network-floor", "table2/"+r.Algorithm,
+		s.conform("w2-network-floor", "table2/"+r.Algorithm,
 			float64(r.NetWords), r.W2Bound, 1, false)
 	}
-	distDone("table2 2.5DMML3ooL2", m25)
-	distDone("table2 SUMMAL3ooL2", mS)
+	s.distDone("table2 2.5DMML3ooL2", m25)
+	s.distDone("table2 SUMMAL3ooL2", mS)
 	return rows
 }
 
@@ -235,8 +235,8 @@ type LURow struct {
 }
 
 // LU runs LL-LUNP and RL-LUNP and reports the write/network trade-off.
-func LU(quick bool) []LURow {
-	mark("lu")
+func (s *Session) LU(quick bool) []LURow {
+	s.mark("lu")
 	n, q, bs := 32, 2, 4
 	if !quick {
 		n, q = 64, 4
@@ -261,7 +261,7 @@ func LU(quick bool) []LURow {
 		case "chol-RL":
 			run, input = plu.CholeskyRL, spd
 		}
-		cfg.Observe = distObserve("lu " + alg)
+		cfg.Observe = s.distObserve("lu " + alg)
 		_, mm, err := run(cfg, input.Clone())
 		if err != nil {
 			panic(err)
@@ -286,9 +286,9 @@ func LU(quick bool) []LURow {
 		if strings.HasPrefix(alg, "chol") {
 			outShare = float64(n) * float64(n+1) / 2 / float64(cfg.P())
 		}
-		conform("w1-nvm-write-floor", "lu/"+alg,
+		s.conform("w1-nvm-write-floor", "lu/"+alg,
 			float64(row.NVMWrites), outShare, 1, false)
-		distDone("lu "+alg, mm)
+		s.distDone("lu "+alg, mm)
 		rows = append(rows, row)
 	}
 	return rows
@@ -331,8 +331,8 @@ type KrylovRow struct {
 
 // Krylov measures W12 for CG, stored CA-CG and streaming CA-CG across s, on
 // the 1-D ring and the 2-D torus (the paper's (2b+1)^d-point stencils).
-func Krylov(quick bool) []KrylovRow {
-	mark("krylov")
+func (s *Session) Krylov(quick bool) []KrylovRow {
+	s.mark("krylov")
 	n := 4096
 	iters := 32
 	if quick {
@@ -361,23 +361,23 @@ func Krylov(quick bool) []KrylovRow {
 			bvec[i] = float64(i%13) - 6
 		}
 		x0 := make([]float64, nn)
-		trCG := krylov.Traffic{Rec: profRec()}
+		trCG := krylov.Traffic{Rec: s.profRec()}
 		ref := krylov.CG(o.op.Matrix(), bvec, x0, iters, 0, &trCG)
 
-		for _, s := range []int{2, 4, 8} {
+		for _, sv := range []int{2, 4, 8} {
 			basis, bname := krylov.BasisMonomial, "monomial"
-			if s > 4 {
+			if sv > 4 {
 				basis, bname = krylov.BasisNewton, "newton"
 			}
-			trStored := krylov.Traffic{Rec: profRec()}
-			trStream := krylov.Traffic{Rec: profRec()}
-			stored, err := krylov.CACG(o.op, bvec, x0, iters/s,
-				krylov.CACGConfig{S: s, Mode: krylov.CACGStored, Basis: basis}, &trStored)
+			trStored := krylov.Traffic{Rec: s.profRec()}
+			trStream := krylov.Traffic{Rec: s.profRec()}
+			stored, err := krylov.CACG(o.op, bvec, x0, iters/sv,
+				krylov.CACGConfig{S: sv, Mode: krylov.CACGStored, Basis: basis}, &trStored)
 			if err != nil {
 				panic(err)
 			}
-			stream, err := krylov.CACG(o.op, bvec, x0, iters/s,
-				krylov.CACGConfig{S: s, Mode: krylov.CACGStreaming, Basis: basis, Block: o.block}, &trStream)
+			stream, err := krylov.CACG(o.op, bvec, x0, iters/sv,
+				krylov.CACGConfig{S: sv, Mode: krylov.CACGStreaming, Basis: basis, Block: o.block}, &trStream)
 			if err != nil {
 				panic(err)
 			}
@@ -389,7 +389,7 @@ func Krylov(quick bool) []KrylovRow {
 			}
 			rows = append(rows, KrylovRow{
 				Dim:           o.dim,
-				S:             s,
+				S:             sv,
 				Basis:         bname,
 				CGWrites:      trCG.Writes,
 				StoredWrites:  trStored.Writes,

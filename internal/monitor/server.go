@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log/slog"
@@ -41,6 +42,7 @@ type Server struct {
 	mon       *Monitor
 	snapFn    func() machine.Snapshot
 	violFn    func() []Violation
+	sampleFns []func() []Sample
 	ranks     map[string]func() []machine.Snapshot
 	cacheSt   map[string]cache.Stats
 	spansJSON []byte
@@ -108,6 +110,17 @@ func NewServer() *Server {
 func (s *Server) handle(pattern, path, desc string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, h)
 	s.routes = append(s.routes, routeEntry{pattern: pattern, path: path, desc: desc})
+}
+
+// Mount registers an additional endpoint on the server's mux and index page
+// — how the benchmark service grafts its /runs API onto the observability
+// server without owning the mux. Safe concurrently (unlike the construction-
+// time handle calls, mounts can arrive after Start); panics if the pattern is
+// already registered, same as any duplicate mux registration.
+func (s *Server) Mount(pattern, path, desc string, h http.HandlerFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handle(pattern, path, desc, h)
 }
 
 // Routes lists every registered endpoint path (index display form, in
@@ -235,6 +248,27 @@ func (s *Server) SetHistograms(h *HistogramRecorder) {
 	s.mu.Unlock()
 }
 
+// Sample is one externally contributed /metrics sample: a declared wa_*
+// family name, optional labels in render order, and the value. The exposition
+// writer rejects undeclared families, so contributors must stick to the
+// families list in prometheus.go.
+type Sample struct {
+	Family string
+	Labels [][2]string
+	Value  float64
+}
+
+// AddSampleSource registers a pull-based /metrics contributor: fn is called
+// on every scrape, from the HTTP goroutine, so it must be safe for concurrent
+// use (atomic counters, or its own lock). The benchmark service feeds its
+// wa_service_* families through one of these.
+func (s *Server) AddSampleSource(fn func() []Sample) {
+	s.mu.Lock()
+	s.sampleFns = append(s.sampleFns, fn)
+	s.markAttachedLocked()
+	s.mu.Unlock()
+}
+
 // RankSource registers a live per-rank snapshot source under a run name
 // (dist.Machine.RankSnapshots is safe to pass directly — shards are read
 // atomically).
@@ -292,31 +326,60 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	}
 	s.mu.Lock()
 	s.ln = ln
-	s.srv = &http.Server{Handler: s.Handler()}
+	s.srv = &http.Server{
+		Handler: s.Handler(),
+		// A slowloris client trickling header bytes (or never sending any)
+		// must not hold a connection forever; 5s covers any real scraper.
+		ReadHeaderTimeout: 5 * time.Second,
+		// Full-request deadline. Long-lived SSE streams survive it: the read
+		// deadline only gates reading the request, and /events is a GET whose
+		// request is fully consumed before the handler starts writing.
+		ReadTimeout: 30 * time.Second,
+		// Reap idle keep-alive connections a client abandoned.
+		IdleTimeout: 2 * time.Minute,
+		// WriteTimeout stays 0 deliberately: it would apply to the response
+		// as a whole and sever every SSE stream after the deadline.
+		WriteTimeout: 0,
+	}
 	srv := s.srv
 	s.mu.Unlock()
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr(), nil
 }
 
-// Close stops the listener and every in-flight connection (SSE clients hold
-// theirs open, so a graceful drain would never finish), and shuts the SSE
-// broker down so no handler goroutine outlives the server. Safe without
-// Start, and idempotent.
+// closeTimeout bounds the graceful drain in Close: long enough for any
+// in-flight scrape or POST body to finish, short enough that shutdown never
+// hangs on a handler that will not return (an SSE client on a run-scoped
+// broker this server does not own).
+const closeTimeout = 2 * time.Second
+
+// Close stops accepting connections, drains in-flight requests gracefully,
+// and shuts the SSE broker down so no handler goroutine outlives the server.
+// Ordering matters: /readyz flips 503 first (load balancers stop routing),
+// then the broker's done signal unblocks every parked /events handler — SSE
+// connections are never "idle" in http.Server's sense, so without this the
+// drain would wait the full deadline on them — and only then does Shutdown
+// wait for the remaining handlers (a /metrics scrape mid-body, a POST /runs
+// mid-read) to complete. Handlers still running at the deadline are severed
+// with srv.Close. Safe without Start, and idempotent.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	srv := s.srv
 	s.srv, s.ln = nil, nil
 	s.draining = true // /readyz flips 503 before the listener dies
 	s.mu.Unlock()
-	// Unblock SSE handlers first: srv.Close terminates their connections,
-	// but handlers parked in the broker's select need the done signal to
-	// observe the shutdown and return.
 	s.broker.Shutdown()
 	if srv == nil {
 		return nil
 	}
-	return srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), closeTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		// Deadline expired with handlers still in flight (run-scoped SSE
+		// streams park in brokers this server never shuts down): sever them.
+		return srv.Close()
+	}
+	return nil
 }
 
 // --- handlers ----------------------------------------------------------------
@@ -372,6 +435,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	mon, snapFn, violFn, hr := s.mon, s.snapFn, s.violFn, s.hists
 	fr, bundleCount := s.flight, len(s.bundles)
+	sampleFns := append([]func() []Sample(nil), s.sampleFns...)
 	rankNames := make([]string, 0, len(s.ranks))
 	for name := range s.ranks {
 		rankNames = append(rankNames, name)
@@ -424,6 +488,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			metricSample{family: "wa_flight_captures_total", value: float64(st.Captures)},
 			metricSample{family: "wa_flight_bundles_total", value: float64(bundleCount)},
 		)
+	}
+	for _, fn := range sampleFns {
+		for _, sm := range fn() {
+			ms := metricSample{family: sm.Family, value: sm.Value}
+			for _, l := range sm.Labels {
+				ms.labels = append(ms.labels, labelPair{l[0], l[1]})
+			}
+			samples = append(samples, ms)
+		}
 	}
 	samples = append(samples,
 		metricSample{family: "wa_sse_clients", value: float64(s.broker.Clients())},

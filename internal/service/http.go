@@ -1,0 +1,115 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"writeavoid/internal/monitor"
+)
+
+// Mount grafts the service API onto a monitor.Server and registers the
+// wa_service_* metric families as a /metrics sample source:
+//
+//	POST /runs              submit a RunConfig; 202 + {id,status}, or 429 when shed
+//	GET  /runs/{id}         status document
+//	GET  /runs/{id}/result  the rendered result bytes (404 until done)
+//	GET  /runs/{id}/events  run-scoped SSE (closed immediately once the run is over)
+func (s *Service) Mount(srv *monitor.Server) {
+	srv.Mount("POST /runs", "/runs", "submit a benchmark run (JSON config; 202, 429 when shed)", s.handleSubmit)
+	srv.Mount("GET /runs/{id}", "/runs/{id}", "run status (JSON)", s.handleStatus)
+	srv.Mount("GET /runs/{id}/result", "/runs/{id}/result", "completed run's result document (JSON)", s.handleResult)
+	srv.Mount("GET /runs/{id}/events", "/runs/{id}/events", "run-scoped live metrics stream (SSE)", s.handleEvents)
+	srv.AddSampleSource(s.Samples)
+}
+
+// statusDoc is the submission receipt and the /runs/{id} document.
+type statusDoc struct {
+	ID     string    `json:"id"`
+	Status string    `json:"status"`
+	Config RunConfig `json:"config"`
+	Error  string    `json:"error,omitempty"`
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var cfg RunConfig
+	if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil {
+		http.Error(w, "bad config: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	job, err := s.Submit(cfg)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Shed, don't queue: the client owns the retry. One second is the
+		// honest hint — quick runs finish well inside it.
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+		return
+	case errors.Is(err, ErrClosed):
+		http.Error(w, "service closed", http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/runs/"+job.ID)
+	w.WriteHeader(http.StatusAccepted)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(statusDoc{ID: job.ID, Status: job.Status(), Config: job.cfg})
+}
+
+// lookup resolves {id} or answers 404.
+func (s *Service) lookup(w http.ResponseWriter, r *http.Request) *Job {
+	job := s.Job(r.PathValue("id"))
+	if job == nil {
+		http.Error(w, "no such run", http.StatusNotFound)
+	}
+	return job
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(w, r)
+	if job == nil {
+		return
+	}
+	doc := statusDoc{ID: job.ID, Status: job.Status(), Config: job.cfg}
+	if _, err := job.Result(); err != nil && doc.Status == "failed" {
+		doc.Error = err.Error()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(w, r)
+	if job == nil {
+		return
+	}
+	select {
+	case <-job.Done():
+	default:
+		http.Error(w, "run not finished; poll /runs/"+job.ID, http.StatusNotFound)
+		return
+	}
+	b, err := job.Result()
+	if err != nil {
+		http.Error(w, "run failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// The exec rendered these bytes exactly once; every coalesced or cached
+	// job serves the identical body.
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(b)
+}
+
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(w, r)
+	if job == nil {
+		return
+	}
+	job.Events().ServeHTTP(w, r)
+}

@@ -1,0 +1,313 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"writeavoid/internal/monitor"
+)
+
+// loadConfigs is the config pool the harness cycles through — cheap sections
+// only, in several distinct combinations so the cache and the single-flight
+// table both see real traffic.
+var loadConfigs = []RunConfig{
+	{Sections: []string{"sec2"}, Quick: true},
+	{Sections: []string{"sec4"}, Quick: true},
+	{Sections: []string{"lu"}, Quick: true},
+	{Sections: []string{"table1"}, Quick: true},
+	{Sections: []string{"sec2", "sec4"}, Quick: true},
+	{Sections: []string{"lu", "sec4"}, Quick: true},
+	{Sections: []string{"sec2"}, Quick: true, Check: true},
+	{Sections: []string{"sec4"}, Quick: true, Check: true},
+}
+
+// scrapeFamily pulls one scalar family's value out of a /metrics body.
+func scrapeFamily(t *testing.T, body, family string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, family+" "); ok {
+			var v float64
+			if _, err := fmt.Sscanf(rest, "%g", &v); err != nil {
+				t.Fatalf("parsing %s sample %q: %v", family, rest, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("family %s missing from exposition", family)
+	return 0
+}
+
+// The tentpole's graceful-degradation proof, sized for the CI -race smoke
+// gate: a thousand-plus concurrent submissions against a small queue, with
+// /metrics scrapers and run-scoped SSE clients riding along. Queue-full
+// submissions must shed with 429 + Retry-After and be counted exactly in
+// wa_service_shed_total; every accepted run must reach a terminal state and
+// serve result bytes identical to a solo execution of its config; and after
+// the drain no goroutine may linger.
+func TestServiceLoad(t *testing.T) {
+	submitters := 1200
+	if testing.Short() {
+		submitters = 200
+	}
+
+	baseline := runtime.NumGoroutine()
+
+	s := New(4, 16)
+	srv := monitor.NewServer()
+	s.Mount(srv)
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = 64
+
+	// Solo references: one isolated execution per config, before any load,
+	// so "per-run counts exact" is checked against an independent run.
+	refs := make(map[string][]byte, len(loadConfigs))
+	for _, cfg := range loadConfigs {
+		c := cfg
+		if err := c.canonicalize(); err != nil {
+			t.Fatal(err)
+		}
+		ex := &exec{cfg: c, broker: monitor.NewBroker(), done: make(chan struct{})}
+		b, err := runExec(ex)
+		ex.broker.Shutdown()
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[c.key()] = b
+	}
+
+	// Background /metrics scrapers: every scrape must validate.
+	stopScrape := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	var scrapes atomic.Int64
+	for i := 0; i < 3; i++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-stopScrape:
+					return
+				default:
+				}
+				resp, err := client.Get(ts.URL + "/metrics")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := monitor.ValidateExposition(body); err != nil {
+					t.Errorf("mid-load exposition invalid: %v", err)
+					return
+				}
+				scrapes.Add(1)
+			}
+		}()
+	}
+
+	// The submission storm. Every 202 records its run ID and config key;
+	// every 429 must carry Retry-After and is tallied against the shed
+	// counter afterwards.
+	type accepted struct {
+		id  string
+		key string
+	}
+	var mu sync.Mutex
+	var acceptedRuns []accepted
+	var shed429 atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := loadConfigs[i%len(loadConfigs)]
+			payload, _ := json.Marshal(cfg)
+			resp, err := client.Post(ts.URL+"/runs", "application/json", bytes.NewReader(payload))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				var doc statusDoc
+				if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+					t.Error(err)
+					return
+				}
+				c := cfg
+				c.Sections = append([]string(nil), cfg.Sections...)
+				_ = c.canonicalize()
+				mu.Lock()
+				acceptedRuns = append(acceptedRuns, accepted{id: doc.ID, key: c.key()})
+				mu.Unlock()
+			case http.StatusTooManyRequests:
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After")
+				}
+				shed429.Add(1)
+			default:
+				t.Errorf("POST /runs = %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// A few SSE clients on live (or just-finished) runs: each stream must
+	// open cleanly and terminate once the run's broker shuts down.
+	mu.Lock()
+	sseTargets := append([]accepted(nil), acceptedRuns...)
+	mu.Unlock()
+	if len(sseTargets) > 8 {
+		sseTargets = sseTargets[:8]
+	}
+	var sseWG sync.WaitGroup
+	for _, a := range sseTargets {
+		sseWG.Add(1)
+		go func(id string) {
+			defer sseWG.Done()
+			resp, err := client.Get(ts.URL + "/runs/" + id + "/events")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			r := bufio.NewReader(resp.Body)
+			line, err := r.ReadString('\n')
+			if err != nil || !strings.HasPrefix(line, ":") {
+				t.Errorf("SSE stream for %s: %q %v", id, line, err)
+				return
+			}
+			// Drain to EOF: the broker shutdown after run completion must
+			// close the stream rather than park this client forever.
+			_, _ = io.Copy(io.Discard, r)
+		}(a.id)
+	}
+	sseWG.Wait()
+
+	// Every accepted run reaches a terminal state.
+	mu.Lock()
+	runs := append([]accepted(nil), acceptedRuns...)
+	mu.Unlock()
+	if len(runs) == 0 {
+		t.Fatal("no submission was accepted")
+	}
+	for _, a := range runs {
+		job := s.Job(a.id)
+		if job == nil {
+			t.Fatalf("accepted run %s unknown to the service", a.id)
+		}
+		select {
+		case <-job.Done():
+		case <-time.After(60 * time.Second):
+			t.Fatalf("run %s never finished (status %s)", a.id, job.Status())
+		}
+	}
+
+	// Per-run exactness: every result is byte-identical to the solo
+	// reference execution of its config.
+	for _, a := range runs {
+		resp, err := client.Get(ts.URL + "/runs/" + a.id + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("result for %s = %d: %s", a.id, resp.StatusCode, body)
+		}
+		if !bytes.Equal(body, refs[a.key]) {
+			t.Fatalf("run %s result differs from its solo reference execution", a.id)
+		}
+	}
+
+	// The final scrape's counters reconcile exactly with what the clients
+	// observed: sheds equal observed 429s, submissions equal accepted runs,
+	// every accepted run completed, nothing is left queued or running.
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(expo)
+	if got, want := scrapeFamily(t, body, "wa_service_shed_total"), float64(shed429.Load()); got != want {
+		t.Errorf("wa_service_shed_total = %g, observed 429s = %g", got, want)
+	}
+	if got, want := scrapeFamily(t, body, "wa_service_submitted_total"), float64(len(runs)); got != want {
+		t.Errorf("wa_service_submitted_total = %g, accepted = %g", got, want)
+	}
+	if got := scrapeFamily(t, body, "wa_service_failed_total"); got != 0 {
+		t.Errorf("wa_service_failed_total = %g, want 0", got)
+	}
+	execs := scrapeFamily(t, body, "wa_service_executions_total")
+	if got := scrapeFamily(t, body, "wa_service_completed_total"); got != execs {
+		t.Errorf("completed %g != executions %g", got, execs)
+	}
+	if execs == 0 || execs > float64(len(loadConfigs))+float64(s.cacheHits.Load()) {
+		// Coalescing and caching bound executions: at most one live run per
+		// distinct config at any moment; with 8 configs and a drained queue
+		// the count stays far below the accepted-run count.
+		t.Errorf("executions = %g, configs = %d", execs, len(loadConfigs))
+	}
+	coal := scrapeFamily(t, body, "wa_service_coalesced_total")
+	hits := scrapeFamily(t, body, "wa_service_cache_hits_total")
+	if execs+coal+hits != float64(len(runs)) {
+		t.Errorf("executions %g + coalesced %g + cacheHits %g != accepted %d", execs, coal, hits, len(runs))
+	}
+	if got := scrapeFamily(t, body, "wa_service_queue_depth"); got != 0 {
+		t.Errorf("queue depth after drain = %g", got)
+	}
+	if got := scrapeFamily(t, body, "wa_service_running"); got != 0 {
+		t.Errorf("running after drain = %g", got)
+	}
+	if scrapes.Load() == 0 {
+		t.Error("no mid-load scrape completed")
+	}
+
+	close(stopScrape)
+	scrapeWG.Wait()
+	s.Close()
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	client.CloseIdleConnections()
+
+	// Zero goroutine leaks after the drain: everything the storm spawned —
+	// workers, SSE handlers, broker clients, HTTP conns — must be gone.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

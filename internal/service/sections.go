@@ -1,0 +1,32 @@
+package service
+
+import (
+	"sort"
+
+	"writeavoid/internal/experiments"
+)
+
+// sectionRunners maps the submittable section names onto the experiments
+// sections, all driven through the job's Session. The set mirrors wabench's
+// -sections selector for the workloads that make sense per-request (the
+// NUMA and schedule-search sections are excluded: they are minutes-long even
+// in quick mode and belong to the CLI).
+var sectionRunners = map[string]func(sess *experiments.Session, quick bool){
+	"sec2":   func(s *experiments.Session, _ bool) { s.Sec2Report() },
+	"sec4":   func(s *experiments.Session, quick bool) { s.Sec4(quick) },
+	"fig2":   func(s *experiments.Session, quick bool) { s.Fig2(quick) },
+	"table1": func(s *experiments.Session, quick bool) { s.Table1(quick) },
+	"lu":     func(s *experiments.Session, quick bool) { s.LU(quick) },
+	"krylov": func(s *experiments.Session, quick bool) { s.Krylov(quick) },
+	"omega":  func(s *experiments.Session, quick bool) { s.Omega(quick) },
+}
+
+// Sections lists the submittable section names, sorted.
+func Sections() []string {
+	out := make([]string, 0, len(sectionRunners))
+	for name := range sectionRunners {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,350 @@
+// Package service turns the wabench workloads into a multi-tenant benchmark
+// service: a bounded job queue feeding a worker pool, where every job runs
+// with its own experiments.Session (own hierarchy, monitor, and recorders —
+// the isolation the Session refactor exists for), a per-config result cache,
+// and single-flight coalescing so N identical submissions execute once.
+//
+// Degradation is graceful by construction: when the queue is full a
+// submission is shed immediately with ErrQueueFull (the HTTP layer answers
+// 429 + Retry-After), never blocked, and every shed is counted in the
+// wa_service_* metric families the service contributes to /metrics.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"writeavoid/internal/experiments"
+	"writeavoid/internal/machine"
+	"writeavoid/internal/monitor"
+)
+
+// RunConfig selects what one benchmark run executes. It doubles as the
+// result-cache key after canonicalization (sections sorted and deduplicated),
+// so two submissions asking for the same work in a different order coalesce.
+type RunConfig struct {
+	// Sections names the workload sections to run, from the Sections()
+	// registry (fig2, table1, sec4, ...).
+	Sections []string `json:"sections"`
+	// Quick selects the CI-sized problem instances.
+	Quick bool `json:"quick"`
+	// Check runs the full theory-conformance registry over the run and
+	// includes any violations in the result document.
+	Check bool `json:"check"`
+}
+
+// canonicalize sorts and deduplicates the section list in place and
+// validates every name; the canonical form is the cache identity.
+func (c *RunConfig) canonicalize() error {
+	if len(c.Sections) == 0 {
+		return errors.New("service: config selects no sections")
+	}
+	sort.Strings(c.Sections)
+	out := c.Sections[:0]
+	for i, name := range c.Sections {
+		if _, ok := sectionRunners[name]; !ok {
+			return fmt.Errorf("service: unknown section %q (have %v)", name, Sections())
+		}
+		if i > 0 && name == c.Sections[i-1] {
+			continue
+		}
+		out = append(out, name)
+	}
+	c.Sections = out
+	return nil
+}
+
+// key renders the canonical config as its cache key.
+func (c RunConfig) key() string {
+	b, _ := json.Marshal(c)
+	return string(b)
+}
+
+// ErrQueueFull is returned by Submit when the bounded queue cannot take
+// another job; the HTTP layer maps it to 429 + Retry-After.
+var ErrQueueFull = errors.New("service: queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("service: closed")
+
+// exec is one execution of a canonical config. Coalesced submissions and
+// cache hits share the exec — its result bytes are rendered exactly once, so
+// every job attached to it reads byte-identical output. done is closed after
+// result/err are written (the channel close publishes them).
+type exec struct {
+	key     string
+	cfg     RunConfig
+	broker  *monitor.Broker // run-scoped SSE: the job's stream recorder writes here
+	done    chan struct{}
+	running atomic.Bool
+	result  []byte
+	err     error
+}
+
+// state reports the exec's lifecycle phase for status documents.
+func (e *exec) state() string {
+	select {
+	case <-e.done:
+		if e.err != nil {
+			return "failed"
+		}
+		return "done"
+	default:
+		if e.running.Load() {
+			return "running"
+		}
+		return "queued"
+	}
+}
+
+// Job is one accepted submission: an ID the client polls, bound to the
+// (possibly shared) exec that produces its result.
+type Job struct {
+	ID  string
+	cfg RunConfig
+	ex  *exec
+}
+
+// Status reports the job's lifecycle phase: queued, running, done, failed.
+func (j *Job) Status() string { return j.ex.state() }
+
+// Done exposes the completion signal (closed when the result is readable).
+func (j *Job) Done() <-chan struct{} { return j.ex.done }
+
+// Result returns the rendered result document and execution error; valid
+// only after Done.
+func (j *Job) Result() ([]byte, error) { return j.ex.result, j.ex.err }
+
+// Events returns the run-scoped SSE broker carrying the job's live stream
+// records and phase marks. Completed runs' brokers are shut down, so a late
+// subscriber's stream closes immediately — poll the result instead.
+func (j *Job) Events() *monitor.Broker { return j.ex.broker }
+
+// Service is the scheduler: a bounded queue, a fixed worker pool, the
+// single-flight table and the result cache. All methods are safe
+// concurrently.
+type Service struct {
+	mu       sync.Mutex
+	closed   bool
+	jobSeq   int64
+	jobs     map[string]*Job
+	inflight map[string]*exec // canonical key -> queued-or-running exec
+	cache    map[string]*exec // canonical key -> completed exec
+	queue    chan *exec
+	wg       sync.WaitGroup
+
+	// gate, when non-nil, blocks each worker after it pops a job and before
+	// it executes — a test hook for deterministically filling the queue.
+	gate chan struct{}
+
+	submitted  atomic.Int64
+	executions atomic.Int64
+	completed  atomic.Int64
+	failed     atomic.Int64
+	shed       atomic.Int64
+	coalesced  atomic.Int64
+	cacheHits  atomic.Int64
+	running    atomic.Int64
+}
+
+// New starts a service with the given worker-pool size and queue bound.
+func New(workers, queueCap int) *Service { return newGated(workers, queueCap, nil) }
+
+// newGated is New with the test-only worker gate installed before any worker
+// starts (setting it afterwards would race the pool).
+func newGated(workers, queueCap int, gate chan struct{}) *Service {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	s := &Service{
+		jobs:     map[string]*Job{},
+		inflight: map[string]*exec{},
+		cache:    map[string]*exec{},
+		queue:    make(chan *exec, queueCap),
+		gate:     gate,
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit accepts one run request: a cache hit or an identical in-flight run
+// binds the new job to the existing exec (single-flight — the workload runs
+// once, every caller reads the same bytes); otherwise the job is enqueued,
+// or shed with ErrQueueFull when the queue is at capacity. A config error
+// (unknown section, empty selection) is returned without consuming queue
+// space.
+func (s *Service) Submit(cfg RunConfig) (*Job, error) {
+	if err := cfg.canonicalize(); err != nil {
+		return nil, err
+	}
+	key := cfg.key()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if ex, ok := s.cache[key]; ok {
+		s.cacheHits.Add(1)
+		return s.addJobLocked(cfg, ex), nil
+	}
+	if ex, ok := s.inflight[key]; ok {
+		s.coalesced.Add(1)
+		return s.addJobLocked(cfg, ex), nil
+	}
+	ex := &exec{key: key, cfg: cfg, broker: monitor.NewBroker(), done: make(chan struct{})}
+	select {
+	case s.queue <- ex:
+	default:
+		s.shed.Add(1)
+		ex.broker.Shutdown()
+		return nil, ErrQueueFull
+	}
+	s.inflight[key] = ex
+	return s.addJobLocked(cfg, ex), nil
+}
+
+// addJobLocked mints the next job ID and binds it to ex. Counts the
+// submission; callers hold s.mu.
+func (s *Service) addJobLocked(cfg RunConfig, ex *exec) *Job {
+	s.jobSeq++
+	s.submitted.Add(1)
+	j := &Job{ID: "run-" + strconv.FormatInt(s.jobSeq, 10), cfg: cfg, ex: ex}
+	s.jobs[j.ID] = j
+	return j
+}
+
+// Job looks a submission up by ID.
+func (s *Service) Job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// worker executes queued jobs until the queue closes.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for ex := range s.queue {
+		if s.gate != nil {
+			<-s.gate
+		}
+		ex.running.Store(true)
+		s.running.Add(1)
+		s.executions.Add(1)
+		ex.result, ex.err = runExec(ex)
+		s.mu.Lock()
+		delete(s.inflight, ex.key)
+		if ex.err == nil {
+			s.cache[ex.key] = ex
+		}
+		s.mu.Unlock()
+		if ex.err == nil {
+			s.completed.Add(1)
+		} else {
+			s.failed.Add(1)
+		}
+		s.running.Add(-1)
+		close(ex.done)
+		// No more stream records can arrive: release every SSE subscriber.
+		ex.broker.Shutdown()
+	}
+}
+
+// runExec performs one workload execution with fully job-scoped wiring: a
+// fresh Session, a fresh conformance monitor, and a stream recorder feeding
+// the job's own SSE broker — nothing shared with any concurrent run. The
+// result document is deterministic (counters only, no clocks), so identical
+// configs always render identical bytes.
+func runExec(ex *exec) ([]byte, error) {
+	levels := machine.GenericLevels(3)
+	sess := experiments.NewSession()
+	stream := machine.NewStreamRecorder(ex.broker, levels, 0)
+	sess.SetStream(stream)
+	var reg *monitor.Registry
+	if ex.cfg.Check {
+		reg = experiments.ConformanceChecks(ex.cfg.Quick)
+	}
+	mon := monitor.New(levels, reg)
+	sess.SetMonitor(mon)
+
+	for _, name := range ex.cfg.Sections {
+		sectionRunners[name](sess, ex.cfg.Quick)
+	}
+	sess.Mark("done")
+	mon.Finish()
+	if err := stream.Close(); err != nil {
+		return nil, err
+	}
+
+	doc := resultDoc{
+		Config:  ex.cfg,
+		Machine: mon.Snapshot(),
+		Events:  mon.TotalEvents(),
+		Phases:  mon.Phases(),
+	}
+	if ex.cfg.Check {
+		v := mon.Violations()
+		doc.Violations = &v
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// resultDoc is the rendered result: the run's exact cumulative counters and
+// (when checked) its conformance verdict. Deliberately clock-free so reruns
+// of the same config are byte-identical.
+type resultDoc struct {
+	Config     RunConfig            `json:"config"`
+	Machine    machine.Snapshot     `json:"machine"`
+	Events     int64                `json:"totalEvents"`
+	Phases     int64                `json:"phases"`
+	Violations *[]monitor.Violation `json:"violations,omitempty"`
+}
+
+// QueueDepth reports the jobs currently waiting (not running).
+func (s *Service) QueueDepth() int { return len(s.queue) }
+
+// Samples contributes the wa_service_* families to a /metrics scrape; wire
+// it with monitor.Server.AddSampleSource (Mount does).
+func (s *Service) Samples() []monitor.Sample {
+	return []monitor.Sample{
+		{Family: "wa_service_submitted_total", Value: float64(s.submitted.Load())},
+		{Family: "wa_service_executions_total", Value: float64(s.executions.Load())},
+		{Family: "wa_service_completed_total", Value: float64(s.completed.Load())},
+		{Family: "wa_service_failed_total", Value: float64(s.failed.Load())},
+		{Family: "wa_service_shed_total", Value: float64(s.shed.Load())},
+		{Family: "wa_service_coalesced_total", Value: float64(s.coalesced.Load())},
+		{Family: "wa_service_cache_hits_total", Value: float64(s.cacheHits.Load())},
+		{Family: "wa_service_queue_depth", Value: float64(len(s.queue))},
+		{Family: "wa_service_running", Value: float64(s.running.Load())},
+	}
+}
+
+// Close stops accepting submissions, lets the workers drain every queued job
+// (each reaches a terminal state and its broker shuts down — no goroutine or
+// subscriber is left parked), and waits for the pool to exit. Idempotent.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}

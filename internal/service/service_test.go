@@ -1,0 +1,278 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"writeavoid/internal/monitor"
+)
+
+func quickCfg(sections ...string) RunConfig {
+	return RunConfig{Sections: sections, Quick: true}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Identical configs canonicalize to one cache key regardless of section
+// order or duplication; distinct configs never collide.
+func TestConfigCanonicalKey(t *testing.T) {
+	a := quickCfg("table1", "sec4", "sec4")
+	b := quickCfg("sec4", "table1")
+	if err := a.canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	if a.key() != b.key() {
+		t.Fatalf("reordered/deduped configs key differently:\n%s\n%s", a.key(), b.key())
+	}
+	c := quickCfg("sec4")
+	if err := c.canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	if c.key() == a.key() {
+		t.Fatal("distinct configs share a key")
+	}
+	bad := quickCfg("no-such-section")
+	if err := bad.canonicalize(); err == nil {
+		t.Fatal("unknown section accepted")
+	}
+	empty := RunConfig{}
+	if err := empty.canonicalize(); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}
+
+// The satellite single-flight pin: N identical concurrent submissions
+// execute the workload exactly once, and every submitter reads byte-identical
+// result bytes; a distinct config gets its own execution and its own entry.
+func TestSingleFlightCoalescing(t *testing.T) {
+	gate := make(chan struct{})
+	s := newGated(2, 64, gate)
+	defer s.Close()
+
+	const n = 16
+	jobs := make([]*Job, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, err := s.Submit(quickCfg("sec4"))
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			jobs[i] = j
+		}(i)
+	}
+	wg.Wait()
+	close(gate) // release the workers only after every submission landed
+
+	for i, j := range jobs {
+		if j == nil {
+			t.Fatalf("job %d missing", i)
+		}
+		<-j.Done()
+	}
+	ref, err := jobs[0].Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) == 0 {
+		t.Fatal("empty result")
+	}
+	for i, j := range jobs[1:] {
+		b, err := j.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b, ref) {
+			t.Fatalf("job %d result differs from job 0", i+1)
+		}
+	}
+	if got := s.executions.Load(); got != 1 {
+		t.Fatalf("executions = %d, want 1 (single flight)", got)
+	}
+	if got := s.coalesced.Load(); got != n-1 {
+		t.Fatalf("coalesced = %d, want %d", got, n-1)
+	}
+
+	// A later identical submission is a cache hit — still one execution,
+	// still the same bytes.
+	j, err := s.Submit(quickCfg("sec4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if b, _ := j.Result(); !bytes.Equal(b, ref) {
+		t.Fatal("cache-hit result differs from the original execution")
+	}
+	if got := s.executions.Load(); got != 1 {
+		t.Fatalf("executions after cache hit = %d, want 1", got)
+	}
+	if got := s.cacheHits.Load(); got != 1 {
+		t.Fatalf("cacheHits = %d, want 1", got)
+	}
+
+	// A distinct config never shares the entry.
+	j2, err := s.Submit(quickCfg("table1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j2.Done()
+	b2, err := j2.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(b2, ref) {
+		t.Fatal("distinct configs produced identical result bytes from a shared entry")
+	}
+	if got := s.executions.Load(); got != 2 {
+		t.Fatalf("executions after distinct config = %d, want 2", got)
+	}
+}
+
+// A full queue sheds instead of blocking: the submitter gets ErrQueueFull
+// immediately and the shed counter advances.
+func TestQueueFullSheds(t *testing.T) {
+	gate := make(chan struct{})
+	s := newGated(1, 1, gate)
+	defer func() {
+		close(gate)
+		s.Close()
+	}()
+
+	// The worker pops the first job and parks at the gate; the second fills
+	// the queue. Popping is asynchronous, so wait until the slot frees.
+	if _, err := s.Submit(quickCfg("sec4")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s.QueueDepth() == 0 })
+	if _, err := s.Submit(quickCfg("lu")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(quickCfg("table1")); err != ErrQueueFull {
+		t.Fatalf("third submission: err = %v, want ErrQueueFull", err)
+	}
+	if got := s.shed.Load(); got != 1 {
+		t.Fatalf("shed = %d, want 1", got)
+	}
+	// An identical-config submission still coalesces even when the queue is
+	// full — it consumes no queue slot.
+	if _, err := s.Submit(quickCfg("sec4")); err != nil {
+		t.Fatalf("coalescing submission shed: %v", err)
+	}
+}
+
+// The HTTP surface end to end on a monitor.Server: submit, poll, fetch the
+// result, watch run-scoped SSE, and scrape wa_service_* from /metrics.
+func TestServiceHTTPEndpoints(t *testing.T) {
+	s := New(2, 64)
+	defer s.Close()
+	srv := monitor.NewServer()
+	s.Mount(srv)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := strings.NewReader(`{"sections":["sec4"],"quick":true}`)
+	resp, err := http.Post(ts.URL+"/runs", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var receipt statusDoc
+	if err := json.NewDecoder(resp.Body).Decode(&receipt); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /runs = %d", resp.StatusCode)
+	}
+	if receipt.ID == "" {
+		t.Fatal("no run ID in receipt")
+	}
+
+	job := s.Job(receipt.ID)
+	if job == nil {
+		t.Fatalf("job %q not registered", receipt.ID)
+	}
+	<-job.Done()
+
+	resp, err = http.Get(ts.URL + "/runs/" + receipt.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statusDoc
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Status != "done" {
+		t.Fatalf("status = %q, want done", st.Status)
+	}
+
+	resp, err = http.Get(ts.URL + "/runs/" + receipt.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc resultDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if doc.Events == 0 || doc.Machine.Flops == 0 {
+		t.Fatalf("result document empty: %+v", doc)
+	}
+
+	// Unknown section → 400; unknown run → 404.
+	resp, err = http.Post(ts.URL+"/runs", "application/json", strings.NewReader(`{"sections":["nope"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad section = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/runs/run-999/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown run = %d, want 404", resp.StatusCode)
+	}
+
+	// The service families surface on /metrics and the exposition validates.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !strings.Contains(buf.String(), "wa_service_completed_total 1") {
+		t.Fatal("wa_service_completed_total missing from /metrics")
+	}
+	if _, err := monitor.ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+}
